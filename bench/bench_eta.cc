@@ -1,0 +1,133 @@
+// Section 4.1.2 reproduction: ETA estimation from historical ATA.
+//
+// Trains the inventory on ten months of the simulated year and evaluates
+// on the final two months (held-out voyages). Reports the median and
+// P90 absolute ETA error as a function of voyage progress — the shape:
+// error shrinks as the vessel advances, and the route-specific grouping
+// set answers most queries.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "usecases/eta.h"
+
+namespace pol {
+namespace {
+
+int Run() {
+  bench::PrintHeader("ETA baseline from the inventory (paper section 4.1.2)");
+  sim::FleetConfig config = bench::GlobalYearConfig();
+  config.noncommercial_vessels = 0;
+  sim::SimulationOutput sim_output = sim::FleetSimulator(config).Run();
+
+  // Temporal split: train before Nov 1, evaluate after.
+  const UnixSeconds split = 1667260800;  // 2022-11-01.
+  std::vector<ais::PositionReport> train;
+  for (const auto& report : sim_output.reports) {
+    if (report.timestamp < split) train.push_back(report);
+  }
+  std::printf("training on %s of %s reports (Jan-Oct)\n",
+              bench::FormatCount(train.size()).c_str(),
+              bench::FormatCount(sim_output.reports.size()).c_str());
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.partitions = 8;
+  pipeline_config.resolution = 6;
+  core::PipelineResult result =
+      core::RunPipeline(train, sim_output.fleet, pipeline_config);
+  const uc::EtaEstimator estimator(result.inventory.get());
+
+  std::map<ais::Mmsi, ais::MarketSegment> segments;
+  for (const auto& vessel : sim_output.fleet) {
+    segments[vessel.mmsi] = vessel.segment;
+  }
+
+  // Evaluate held-out voyages at ten progress buckets.
+  struct Bucket {
+    std::vector<double> rel_errors;
+  };
+  Bucket buckets[10];
+  uint64_t answered_by_gi[3] = {0, 0, 0};
+  uint64_t no_answer = 0;
+  int voyages = 0;
+  for (const auto& voyage : sim_output.voyages) {
+    if (voyage.departure < split || voyage.distance_km < 1000) continue;
+    std::vector<const ais::PositionReport*> reports;
+    for (const auto& report : sim_output.reports) {
+      if (report.mmsi == voyage.mmsi &&
+          report.timestamp >= voyage.departure &&
+          report.timestamp <= voyage.arrival) {
+        reports.push_back(&report);
+      }
+    }
+    if (reports.size() < 20) continue;
+    ++voyages;
+    const double duration =
+        static_cast<double>(voyage.arrival - voyage.departure);
+    for (int b = 0; b < 10; ++b) {
+      const auto& report =
+          *reports[static_cast<size_t>((b + 0.5) / 10.0 *
+                                       static_cast<double>(reports.size()))];
+      const auto estimate = estimator.Estimate(
+          {report.lat_deg, report.lng_deg}, segments[voyage.mmsi],
+          voyage.origin, voyage.destination);
+      if (!estimate.ok()) {
+        ++no_answer;
+        continue;
+      }
+      ++answered_by_gi[estimate->grouping_set];
+      const double truth =
+          static_cast<double>(voyage.arrival - report.timestamp);
+      buckets[b].rel_errors.push_back(
+          std::fabs(estimate->seconds - truth) / duration);
+    }
+  }
+
+  bench::PrintHeader("ETA error vs voyage progress (held-out voyages)");
+  const std::vector<int> w = {12, 10, 16, 16};
+  bench::PrintRow({"progress", "samples", "median |err|", "p90 |err|"}, w);
+  auto percentile = [](std::vector<double> v, double q) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[static_cast<size_t>(q * static_cast<double>(v.size() - 1))];
+  };
+  double first_median = -1;
+  double last_median = -1;
+  for (int b = 0; b < 10; ++b) {
+    const double median = percentile(buckets[b].rel_errors, 0.5);
+    const double p90 = percentile(buckets[b].rel_errors, 0.9);
+    if (b == 0) first_median = median;
+    if (b == 9) last_median = median;
+    char progress[16], med[16], p90s[16];
+    std::snprintf(progress, sizeof(progress), "%d-%d%%", b * 10, b * 10 + 10);
+    std::snprintf(med, sizeof(med), "%.1f%% of trip", median * 100);
+    std::snprintf(p90s, sizeof(p90s), "%.1f%% of trip", p90 * 100);
+    bench::PrintRow({progress, std::to_string(buckets[b].rel_errors.size()),
+                     med, p90s},
+                    w);
+  }
+
+  bench::PrintHeader("Shape checks");
+  std::printf("held-out voyages evaluated:          %d\n", voyages);
+  std::printf("answers by grouping set (route/type/cell): %llu / %llu / %llu"
+              ", unanswered: %llu\n",
+              static_cast<unsigned long long>(answered_by_gi[2]),
+              static_cast<unsigned long long>(answered_by_gi[1]),
+              static_cast<unsigned long long>(answered_by_gi[0]),
+              static_cast<unsigned long long>(no_answer));
+  std::printf("error shrinks along the voyage:      %s (%.1f%% -> %.1f%%)\n",
+              last_median < first_median ? "PASS" : "FAIL",
+              first_median * 100, last_median * 100);
+  std::printf("late-voyage median error < 25%%:      %s\n",
+              last_median < 0.25 ? "PASS" : "FAIL");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pol
+
+int main() { return pol::Run(); }

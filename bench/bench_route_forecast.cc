@@ -1,0 +1,172 @@
+// Section 4.1.3 reproduction: destination prediction and route
+// forecasting from the inventory.
+//
+// Destination prediction: streaming top-N vote over the cells a vessel
+// crosses; accuracy reported as a function of voyage progress (shape:
+// rises along the voyage). Route forecasting: A* over the (origin,
+// destination, type) transition graph; success rate and path/corridor
+// agreement reported.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "geo/geodesic.h"
+#include "hexgrid/hexgrid.h"
+#include "usecases/destination.h"
+#include "usecases/route_forecast.h"
+
+namespace pol {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "Destination prediction & route forecasting (section 4.1.3)");
+  sim::FleetConfig config = bench::GlobalYearConfig();
+  config.noncommercial_vessels = 0;
+  sim::SimulationOutput sim_output = sim::FleetSimulator(config).Run();
+
+  const UnixSeconds split = 1667260800;  // Train Jan-Oct, test Nov-Dec.
+  std::vector<ais::PositionReport> train;
+  for (const auto& report : sim_output.reports) {
+    if (report.timestamp < split) train.push_back(report);
+  }
+  core::PipelineConfig pipeline_config;
+  pipeline_config.partitions = 8;
+  pipeline_config.resolution = 6;
+  core::PipelineResult result =
+      core::RunPipeline(train, sim_output.fleet, pipeline_config);
+  const core::Inventory& inv = *result.inventory;
+  std::printf("inventory trained on %s reports (%s summaries)\n",
+              bench::FormatCount(train.size()).c_str(),
+              bench::FormatCount(inv.size()).c_str());
+
+  std::map<ais::Mmsi, ais::MarketSegment> segments;
+  for (const auto& vessel : sim_output.fleet) {
+    segments[vessel.mmsi] = vessel.segment;
+  }
+
+  // --- Destination prediction accuracy vs progress. ---
+  constexpr int kCheckpoints = 5;
+  int top1_hits[kCheckpoints] = {};
+  int top3_hits[kCheckpoints] = {};
+  int evaluated = 0;
+  for (const auto& voyage : sim_output.voyages) {
+    if (voyage.departure < split || voyage.distance_km < 1000) continue;
+    std::vector<const ais::PositionReport*> reports;
+    for (const auto& report : sim_output.reports) {
+      if (report.mmsi == voyage.mmsi &&
+          report.timestamp >= voyage.departure &&
+          report.timestamp <= voyage.arrival) {
+        reports.push_back(&report);
+      }
+    }
+    if (reports.size() < 25) continue;
+    ++evaluated;
+    uc::DestinationPredictor predictor(&inv);
+    size_t fed = 0;
+    for (int checkpoint = 0; checkpoint < kCheckpoints; ++checkpoint) {
+      const size_t until =
+          reports.size() * static_cast<size_t>(checkpoint + 1) / kCheckpoints;
+      for (; fed < until; ++fed) {
+        predictor.Observe({reports[fed]->lat_deg, reports[fed]->lng_deg},
+                          segments[voyage.mmsi]);
+      }
+      const auto ranking = predictor.Ranking(3);
+      if (!ranking.empty() && ranking[0].port == voyage.destination) {
+        ++top1_hits[checkpoint];
+      }
+      for (const auto& guess : ranking) {
+        if (guess.port == voyage.destination) {
+          ++top3_hits[checkpoint];
+          break;
+        }
+      }
+    }
+    if (evaluated >= 60) break;
+  }
+
+  bench::PrintHeader("Destination prediction accuracy vs voyage progress");
+  const std::vector<int> w = {12, 12, 12};
+  bench::PrintRow({"progress", "top-1", "top-3"}, w);
+  for (int checkpoint = 0; checkpoint < kCheckpoints; ++checkpoint) {
+    char progress[16];
+    std::snprintf(progress, sizeof(progress), "%d%%",
+                  (checkpoint + 1) * 100 / kCheckpoints);
+    bench::PrintRow(
+        {progress,
+         bench::FormatPercent(
+             static_cast<double>(top1_hits[checkpoint]) /
+             std::max(1, evaluated), 0),
+         bench::FormatPercent(
+             static_cast<double>(top3_hits[checkpoint]) /
+             std::max(1, evaluated), 0)},
+        w);
+  }
+  std::printf("(%d held-out voyages; chance is ~%.1f%% over %zu ports)\n",
+              evaluated, 100.0 / sim::PortDatabase::Global().size(),
+              sim::PortDatabase::Global().size());
+
+  // --- Route forecasting. ---
+  const uc::RouteForecaster forecaster(&inv, &sim::PortDatabase::Global());
+  int attempted = 0;
+  int succeeded = 0;
+  double ratio_sum = 0;
+  for (const auto& voyage : sim_output.voyages) {
+    if (voyage.departure >= split || voyage.distance_km < 2000) continue;
+    // Forecast from one third into the (training-period) voyage.
+    std::vector<const ais::PositionReport*> reports;
+    for (const auto& report : sim_output.reports) {
+      if (report.mmsi == voyage.mmsi &&
+          report.timestamp >= voyage.departure &&
+          report.timestamp <= voyage.arrival) {
+        reports.push_back(&report);
+      }
+    }
+    if (reports.size() < 30) continue;
+    ++attempted;
+    const auto& mid = *reports[reports.size() / 3];
+    const auto forecast = forecaster.Forecast(
+        {mid.lat_deg, mid.lng_deg}, voyage.origin, voyage.destination,
+        segments[voyage.mmsi]);
+    if (forecast.ok()) {
+      ++succeeded;
+      // Compare the forecast length to the actually remaining distance.
+      const sim::Port& dest =
+          **sim::PortDatabase::Global().Find(voyage.destination);
+      const double remaining_direct =
+          geo::HaversineKm({mid.lat_deg, mid.lng_deg}, dest.position);
+      if (remaining_direct > 100) {
+        ratio_sum += forecast->distance_km / remaining_direct;
+      }
+    }
+    if (attempted >= 60) break;
+  }
+
+  bench::PrintHeader("Route forecast (A* over the transition graph)");
+  std::printf("forecasts attempted:      %d\n", attempted);
+  std::printf("forecasts produced:       %d (%.0f%%)\n", succeeded,
+              100.0 * succeeded / std::max(1, attempted));
+  std::printf("path length / great-circle remaining: %.2fx mean\n",
+              succeeded == 0 ? 0.0 : ratio_sum / succeeded);
+
+  bench::PrintHeader("Shape checks");
+  std::printf("top-3 accuracy rises along the voyage: %s (%d -> %d hits)\n",
+              top3_hits[kCheckpoints - 1] >= top3_hits[0] ? "PASS" : "FAIL",
+              top3_hits[0], top3_hits[kCheckpoints - 1]);
+  std::printf("late top-3 well above chance:          %s\n",
+              top3_hits[kCheckpoints - 1] >
+                      evaluated * 5 / 100  // 5x chance of ~1%.
+                  ? "PASS"
+                  : "FAIL");
+  std::printf("most route forecasts succeed:          %s\n",
+              succeeded * 2 > attempted ? "PASS" : "FAIL");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pol
+
+int main() { return pol::Run(); }

@@ -1,0 +1,150 @@
+// The paper's motivating scenario, reproduced end to end: "we build a
+// model of normalcy that can then be used to identify any outliers from
+// this e.g. Covid-19 or Suez Canal" (section 2), referencing the 2021
+// Ever Given grounding that forced re-routing around the Cape of Good
+// Hope (+7000 nm, introduction).
+//
+// Setup: two simulated months of normal traffic train the normalcy
+// inventory; then the Suez Canal leg is removed from the sea-lane
+// network for a month. The disruption must be visible in the inventory
+// deltas (Suez cells empty out, Cape corridor lights up) and the
+// anomaly detector must flag the re-routed traffic as off-lane.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "geo/geodesic.h"
+#include "hexgrid/hexgrid.h"
+#include "usecases/anomaly.h"
+
+namespace pol {
+namespace {
+
+// Records within `km` of a reference point.
+uint64_t RecordsNear(const core::Inventory& inv, const geo::LatLng& center,
+                     double km) {
+  uint64_t records = 0;
+  for (const auto& [key, summary] : inv.summaries()) {
+    if (key.grouping_set != 0) continue;
+    if (geo::HaversineKm(hex::CellToLatLng(key.cell), center) <= km) {
+      records += summary.record_count();
+    }
+  }
+  return records;
+}
+
+int Run() {
+  bench::PrintHeader("Disruption scenario: the Suez Canal closure");
+
+  // Normal period.
+  sim::FleetConfig normal = bench::GlobalYearConfig(20210301);
+  normal.noncommercial_vessels = 0;
+  normal.commercial_vessels = 80;
+  normal.start_time = 1609459200;  // 2021-01-01.
+  normal.end_time = normal.start_time + 60 * kSecondsPerDay;
+  const sim::SimulationOutput before = sim::FleetSimulator(normal).Run();
+
+  // Disrupted period: the canal leg is gone; Dijkstra re-routes
+  // Asia-Europe traffic around the Cape of Good Hope.
+  const sim::RouteNetwork closed_suez(
+      &sim::PortDatabase::Global(),
+      {{"port-said-approach", "suez-south"}});
+  sim::FleetConfig disrupted = normal;
+  disrupted.seed = 20210323;
+  disrupted.start_time = normal.end_time;
+  // Long enough for Cape-routed Asia-Europe voyages (~36 days at sea) to
+  // complete and enter the inventory.
+  disrupted.end_time = disrupted.start_time + 60 * kSecondsPerDay;
+  disrupted.routes = &closed_suez;
+  const sim::SimulationOutput during = sim::FleetSimulator(disrupted).Run();
+
+  core::PipelineConfig config;
+  config.partitions = 8;
+  config.resolution = 6;
+  config.extractor.gi_cell_route_type = false;
+  core::PipelineResult normal_result =
+      core::RunPipeline(before.reports, before.fleet, config);
+  core::PipelineResult disrupted_result =
+      core::RunPipeline(during.reports, during.fleet, config);
+  const core::Inventory& inv_before = *normal_result.inventory;
+  const core::Inventory& inv_during = *disrupted_result.inventory;
+  std::printf("normal period: %s records; disruption period: %s records\n",
+              bench::FormatCount(normal_result.aggregated_records).c_str(),
+              bench::FormatCount(disrupted_result.aggregated_records).c_str());
+
+  // Region probes (daily rates normalize the different period lengths).
+  const geo::LatLng suez{30.5, 32.4};
+  const geo::LatLng cape{-35.2, 18.3};
+  const double suez_before =
+      static_cast<double>(RecordsNear(inv_before, suez, 400)) / 60.0;
+  const double suez_during =
+      static_cast<double>(RecordsNear(inv_during, suez, 400)) / 60.0;
+  const double cape_before =
+      static_cast<double>(RecordsNear(inv_before, cape, 700)) / 60.0;
+  const double cape_during =
+      static_cast<double>(RecordsNear(inv_during, cape, 700)) / 60.0;
+
+  bench::PrintHeader("Regional traffic rates (records/day in the inventory)");
+  const std::vector<int> w = {26, 14, 14, 10};
+  bench::PrintRow({"region", "normal", "disrupted", "change"}, w);
+  char change[16];
+  std::snprintf(change, sizeof(change), "%+.0f%%",
+                100.0 * (suez_during - suez_before) /
+                    std::max(1.0, suez_before));
+  bench::PrintRow({"Suez Canal (400 km)",
+                   std::to_string(static_cast<int>(suez_before)),
+                   std::to_string(static_cast<int>(suez_during)), change},
+                  w);
+  std::snprintf(change, sizeof(change), "%+.0f%%",
+                100.0 * (cape_during - cape_before) /
+                    std::max(1.0, cape_before));
+  bench::PrintRow({"Cape of Good Hope (700 km)",
+                   std::to_string(static_cast<int>(cape_before)),
+                   std::to_string(static_cast<int>(cape_during)), change},
+                  w);
+
+  // Anomaly screening: during the disruption, traffic in the Cape
+  // corridor is off the normalcy model's lanes.
+  uc::AnomalyConfig anomaly_config;
+  anomaly_config.min_support = 3;
+  const uc::AnomalyDetector detector(&inv_before, anomaly_config);
+  uint64_t cape_reports = 0;
+  uint64_t cape_flagged = 0;
+  for (const auto& report : during.reports) {
+    if (!ais::ValidatePositionReport(report).ok()) continue;
+    const geo::LatLng p{report.lat_deg, report.lng_deg};
+    if (geo::HaversineKm(p, cape) > 700) continue;
+    ++cape_reports;
+    if (detector.Assess(p, report.sog_knots, report.cog_deg,
+                        ais::MarketSegment::kContainer)
+            .score > 0) {
+      ++cape_flagged;
+    }
+  }
+
+  bench::PrintHeader("Shape checks");
+  std::printf("Suez traffic collapses during closure:   %s (%.0f -> %.0f "
+              "records/day)\n",
+              suez_during < suez_before * 0.35 ? "PASS" : "FAIL",
+              suez_before, suez_during);
+  std::printf("Cape traffic surges during closure:      %s (%.0f -> %.0f "
+              "records/day)\n",
+              cape_during > cape_before * 1.8 ? "PASS" : "FAIL", cape_before,
+              cape_during);
+  const double flagged_share =
+      cape_reports == 0
+          ? 0.0
+          : static_cast<double>(cape_flagged) /
+                static_cast<double>(cape_reports);
+  std::printf("re-routed traffic flagged vs normalcy:   %s (%.0f%% of %s "
+              "Cape-area reports)\n",
+              flagged_share > 0.5 ? "PASS" : "FAIL", flagged_share * 100,
+              bench::FormatCount(cape_reports).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pol
+
+int main() { return pol::Run(); }

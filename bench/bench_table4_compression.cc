@@ -1,0 +1,101 @@
+// Table 4 reproduction: "Coverage and Compression results for 2022
+// commercial fleet AIS dataset".
+//
+// Paper (full scale):
+//   res 6:  7.30 M cells   99.73% compression   51.69% H3 utilization
+//   res 7: 42.47 M cells   98.44% compression   42.96% H3 utilization
+//
+// Reproduced shape: compression far above 90% at both resolutions and
+// decreasing with finer cells; utilization DECREASING from res 6 to
+// res 7 (gaps appear as the cell size shrinks — the paper's key
+// observation). Absolute utilization is much lower here because the
+// simulated fleet is ~600x smaller than the real one.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+
+namespace pol {
+namespace {
+
+int Run() {
+  bench::PrintHeader("Table 4: coverage and compression (simulated year)");
+  sim::FleetConfig config = bench::GlobalYearConfig();
+  config.noncommercial_vessels = 0;  // The table covers the commercial fleet.
+  // Denser reception than the default scenario: Table 4's compression is
+  // records-per-cell, and the real archive averages ~64 records/cell at
+  // res 7; this keeps the simulated ratio in a comparable regime.
+  config.coastal_interval_s = 240;
+  config.ocean_interval_s = 720;
+  sim::SimulationOutput sim_output;
+  const double sim_s = bench::TimeSeconds(
+      [&] { sim_output = sim::FleetSimulator(config).Run(); });
+  std::printf("simulated %s raw reports in %.1fs\n",
+              bench::FormatCount(sim_output.reports.size()).c_str(), sim_s);
+
+  const std::vector<int> w = {14, 14, 14, 14, 16, 12};
+  bench::PrintRow({"H3 resolution", "#Cells", "Compression", "Utilization",
+                   "Inventory size", "Build (s)"},
+                  w);
+
+  struct RowResult {
+    int res;
+    core::CompressionReport report;
+  };
+  std::vector<RowResult> rows;
+  for (const int res : {5, 6, 7}) {
+    core::PipelineConfig pipeline_config;
+    pipeline_config.partitions = 8;
+    pipeline_config.resolution = res;
+    // Table 4's quantities (#cells, compression, utilization) all derive
+    // from the (cell) grouping set; the finer sets are disabled here to
+    // keep the res-7 run inside a laptop's memory budget.
+    pipeline_config.extractor.gi_cell_type = false;
+    pipeline_config.extractor.gi_cell_route_type = false;
+    core::PipelineResult result;
+    const double build_s = bench::TimeSeconds([&] {
+      result = core::RunPipeline(sim_output.reports, sim_output.fleet,
+                                 pipeline_config);
+    });
+    const core::CompressionReport report = result.Compression();
+    rows.push_back({res, report});
+    char build_buf[16];
+    std::snprintf(build_buf, sizeof(build_buf), "%.1f", build_s);
+    bench::PrintRow({std::to_string(res), bench::FormatCount(report.cells),
+                     bench::FormatPercent(report.compression),
+                     bench::FormatPercent(report.utilization, 4),
+                     bench::FormatBytes(report.serialized_bytes), build_buf},
+                    w);
+  }
+
+  bench::PrintHeader("Paper reference (full scale)");
+  bench::PrintRow({"6", "7.3 million", "99.73%", "51.69%", "-", "-"}, w);
+  bench::PrintRow({"7", "42.47 million", "98.44%", "42.96%", "-", "-"}, w);
+
+  bench::PrintHeader("Shape checks");
+  const auto& r6 = rows[1].report;
+  const auto& r7 = rows[2].report;
+  std::printf("compression > 90%% at res 6:            %s (%.2f%%)\n",
+              r6.compression > 0.9 ? "PASS" : "FAIL", r6.compression * 100);
+  std::printf("compression > 90%% at res 7:            %s (%.2f%%)\n",
+              r7.compression > 0.9 ? "PASS" : "FAIL", r7.compression * 100);
+  std::printf("finer res has more cells:              %s (%llu -> %llu)\n",
+              r7.cells > r6.cells ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(r6.cells),
+              static_cast<unsigned long long>(r7.cells));
+  std::printf("finer res has lower compression:       %s\n",
+              r7.compression < r6.compression ? "PASS" : "FAIL");
+  std::printf("finer res has lower utilization:       %s (%.4f%% -> %.4f%%)\n",
+              r7.utilization < r6.utilization ? "PASS" : "FAIL",
+              r6.utilization * 100, r7.utilization * 100);
+  std::printf(
+      "\n(only the (cell) grouping set is materialized here — the Table 4 "
+      "quantities derive from it alone)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pol
+
+int main() { return pol::Run(); }

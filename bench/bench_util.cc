@@ -1,0 +1,207 @@
+#include "bench/bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "hexgrid/hexgrid.h"
+
+namespace pol::bench {
+
+sim::FleetConfig GlobalYearConfig(uint64_t seed) {
+  sim::FleetConfig config;
+  config.seed = seed;
+  config.commercial_vessels = 100;
+  config.noncommercial_vessels = 220;
+  config.start_time = 1640995200;  // 2022-01-01.
+  config.end_time = 1672531200;    // 2023-01-01.
+  config.coastal_interval_s = 600;
+  config.ocean_interval_s = 2400;
+  return config;
+}
+
+RegionalScenario::RegionalScenario(std::vector<sim::Port> region_ports,
+                                   const sim::FleetConfig& base)
+    : ports(std::move(region_ports)), routes(&ports), config(base) {
+  config.ports = &ports;
+  config.routes = &routes;
+}
+
+std::vector<sim::Port> PortsInBox(double lat_min, double lat_max,
+                                  double lng_min, double lng_max) {
+  std::vector<sim::Port> selected;
+  for (const sim::Port& port : sim::PortDatabase::Global().ports()) {
+    if (port.position.lat_deg >= lat_min && port.position.lat_deg <= lat_max &&
+        port.position.lng_deg >= lng_min && port.position.lng_deg <= lng_max) {
+      selected.push_back(port);
+    }
+  }
+  return selected;
+}
+
+double TimeSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 16;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-*s", width, cells[i].c_str());
+    line += buf;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string FormatCount(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter > 0 && counter % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counter;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+namespace {
+
+// Collects the per-character aggregate for a map box.
+template <typename CellValue>
+void ForEachMapChar(double lat_min, double lat_max, double lng_min,
+                    double lng_max, int width, int height, int resolution,
+                    const CellValue& value,
+                    const std::function<void(int, int, double, bool)>& emit) {
+  const double dlat = (lat_max - lat_min) / height;
+  const double dlng = (lng_max - lng_min) / width;
+  // Sample a few points per character box (enough to hit res-6 cells).
+  const int subsamples = 3;
+  for (int row = 0; row < height; ++row) {
+    for (int col = 0; col < width; ++col) {
+      double sum = 0.0;
+      int hits = 0;
+      for (int sy = 0; sy < subsamples; ++sy) {
+        for (int sx = 0; sx < subsamples; ++sx) {
+          const double lat = lat_max - (row + (sy + 0.5) / subsamples) * dlat;
+          const double lng = lng_min + (col + (sx + 0.5) / subsamples) * dlng;
+          const hex::CellIndex cell = hex::LatLngToCell({lat, lng}, resolution);
+          const double v = value(cell);
+          if (!std::isnan(v)) {
+            sum += v;
+            ++hits;
+          }
+        }
+      }
+      emit(row, col, hits > 0 ? sum / hits : 0.0, hits > 0);
+    }
+  }
+}
+
+}  // namespace
+
+void RenderAsciiMap(const std::string& title, double lat_min, double lat_max,
+                    double lng_min, double lng_max, int width, int height,
+                    int resolution,
+                    const std::function<double(hex::CellIndex)>& value) {
+  // First pass: range.
+  double lo = 1e300;
+  double hi = -1e300;
+  std::vector<std::vector<double>> grid(
+      static_cast<size_t>(height),
+      std::vector<double>(static_cast<size_t>(width), std::nan("")));
+  ForEachMapChar(lat_min, lat_max, lng_min, lng_max, width, height,
+                 resolution, value,
+                 [&](int row, int col, double v, bool has) {
+                   if (!has) return;
+                   grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = v;
+                   lo = std::min(lo, v);
+                   hi = std::max(hi, v);
+                 });
+  std::printf("%s", ("\n" + title).c_str());
+  if (lo > hi) {
+    std::printf(" (no data)\n");
+    return;
+  }
+  std::printf("  [low %.1f .. high %.1f]\n", lo, hi);
+  static const char kScale[] = " .:-=+*#%@";
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (int row = 0; row < height; ++row) {
+    std::string line;
+    for (int col = 0; col < width; ++col) {
+      const double v = grid[static_cast<size_t>(row)][static_cast<size_t>(col)];
+      if (std::isnan(v)) {
+        line.push_back(' ');
+      } else {
+        const int idx = 1 + static_cast<int>((v - lo) / span * 8.999);
+        line.push_back(kScale[std::min(9, std::max(1, idx))]);
+      }
+    }
+    std::printf("|%s|\n", line.c_str());
+  }
+}
+
+void RenderCourseMap(const std::string& title, double lat_min,
+                     double lat_max, double lng_min, double lng_max,
+                     int width, int height, int resolution,
+                     const std::function<double(hex::CellIndex)>& course) {
+  std::printf("%s", ("\n" + title + "\n").c_str());
+  // Eight compass sectors rendered with distinct glyphs.
+  static const char kGlyphs[8] = {'^', '/', '>', 'L', 'v', 'J', '<', '\\'};
+  // One centre sample per character: directions are circular, so the
+  // box-mean used for scalar maps would corrupt values near north.
+  std::vector<std::vector<char>> grid(
+      static_cast<size_t>(height),
+      std::vector<char>(static_cast<size_t>(width), ' '));
+  const double dlat = (lat_max - lat_min) / height;
+  const double dlng = (lng_max - lng_min) / width;
+  for (int row = 0; row < height; ++row) {
+    for (int col = 0; col < width; ++col) {
+      const double lat = lat_max - (row + 0.5) * dlat;
+      const double lng = lng_min + (col + 0.5) * dlng;
+      const double deg =
+          course(hex::LatLngToCell({lat, lng}, resolution));
+      if (std::isnan(deg)) continue;
+      const int sector =
+          static_cast<int>(std::fmod(deg + 22.5 + 360.0, 360.0) / 45.0) % 8;
+      grid[static_cast<size_t>(row)][static_cast<size_t>(col)] =
+          kGlyphs[sector];
+    }
+  }
+  for (int row = 0; row < height; ++row) {
+    std::printf("|%s|\n",
+                std::string(grid[static_cast<size_t>(row)].begin(),
+                            grid[static_cast<size_t>(row)].end())
+                    .c_str());
+  }
+  std::printf("(glyphs: ^ north, > east, v south, < west, diagonals /L J\\)\n");
+}
+
+}  // namespace pol::bench

@@ -1,0 +1,70 @@
+#ifndef POL_BENCH_BENCH_UTIL_H_
+#define POL_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "sim/fleet.h"
+
+// Shared plumbing for the reproduction benches: standard simulated
+// scenarios, wall-clock timing, table and ASCII-map rendering. Every
+// bench binary prints the paper's reference numbers next to the
+// measured ones so the reproduced *shape* is visible at a glance.
+
+namespace pol::bench {
+
+// The standard full-year global scenario (scaled for a single-core run;
+// see DESIGN.md section 6 for the scale calibration).
+sim::FleetConfig GlobalYearConfig(uint64_t seed = 20221231);
+
+// A denser regional scenario over the Baltic/North-Sea ports only
+// (drives the Figure 4 local-patterns bench).
+struct RegionalScenario {
+  sim::PortDatabase ports;
+  sim::RouteNetwork routes;
+  sim::FleetConfig config;
+
+  RegionalScenario(std::vector<sim::Port> region_ports,
+                   const sim::FleetConfig& base);
+};
+
+// Ports of the built-in table within a bounding box.
+std::vector<sim::Port> PortsInBox(double lat_min, double lat_max,
+                                  double lng_min, double lng_max);
+
+// Wall-clock seconds of a callable.
+double TimeSeconds(const std::function<void()>& fn);
+
+// Section header / table row helpers (fixed-width, plain ASCII).
+void PrintHeader(const std::string& title);
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+// Human-readable quantities.
+std::string FormatCount(uint64_t n);      // 12,345,678
+std::string FormatBytes(uint64_t bytes);  // 1.23 GB
+std::string FormatPercent(double fraction, int decimals = 2);
+
+// Renders an ASCII heat map of per-cell values over a lat/lng box.
+// `value(cell)` returns NaN for cells without data. Cells are sampled at
+// the inventory resolution; each character aggregates the mean of the
+// values inside its box. The scale uses the characters " .:-=+*#%@".
+void RenderAsciiMap(const std::string& title, double lat_min, double lat_max,
+                    double lng_min, double lng_max, int width, int height,
+                    int resolution,
+                    const std::function<double(hex::CellIndex)>& value);
+
+// As above, but the value is a direction in degrees rendered as one of
+// eight arrow-ish characters (the Figure 1 right-panel analogue).
+void RenderCourseMap(const std::string& title, double lat_min,
+                     double lat_max, double lng_min, double lng_max,
+                     int width, int height, int resolution,
+                     const std::function<double(hex::CellIndex)>& course);
+
+}  // namespace pol::bench
+
+#endif  // POL_BENCH_BENCH_UTIL_H_

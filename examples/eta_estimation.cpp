@@ -1,0 +1,94 @@
+// ETA estimation example (paper section 4.1.2): follow one voyage and
+// print the inventory-based arrival estimate as the vessel advances,
+// next to the actual remaining time.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/time_util.h"
+#include "core/pipeline.h"
+#include "sim/fleet.h"
+#include "usecases/eta.h"
+
+int main() {
+  using namespace pol;
+
+  // Train an inventory on four months of simulated traffic.
+  sim::FleetConfig fleet_config;
+  fleet_config.seed = 777;
+  fleet_config.commercial_vessels = 40;
+  fleet_config.noncommercial_vessels = 0;
+  fleet_config.start_time = 1640995200;
+  fleet_config.end_time = fleet_config.start_time + 120 * kSecondsPerDay;
+  const sim::SimulationOutput archive =
+      sim::FleetSimulator(fleet_config).Run();
+
+  core::PipelineConfig config;
+  config.resolution = 6;
+  const core::PipelineResult result =
+      core::RunPipeline(archive.reports, archive.fleet, config);
+  const uc::EtaEstimator estimator(result.inventory.get());
+
+  // Pick a long completed voyage to replay.
+  const sim::VoyageTruth* voyage = nullptr;
+  for (const auto& candidate : archive.voyages) {
+    if (candidate.distance_km > 4000 &&
+        (voyage == nullptr || candidate.distance_km > voyage->distance_km)) {
+      voyage = &candidate;
+    }
+  }
+  if (voyage == nullptr) {
+    std::printf("no long voyage in the sample\n");
+    return 1;
+  }
+  ais::MarketSegment segment = ais::MarketSegment::kOther;
+  for (const auto& vessel : archive.fleet) {
+    if (vessel.mmsi == voyage->mmsi) segment = vessel.segment;
+  }
+  const sim::Port& origin = **sim::PortDatabase::Global().Find(voyage->origin);
+  const sim::Port& dest =
+      **sim::PortDatabase::Global().Find(voyage->destination);
+  std::printf("voyage %s -> %s (%.0f km), departed %s\n",
+              origin.name.c_str(), dest.name.c_str(), voyage->distance_km,
+              FormatUnixSeconds(voyage->departure).c_str());
+
+  std::printf("\n%-10s %-14s %-22s %-22s %s\n", "progress", "position",
+              "estimated remaining", "actual remaining", "source");
+  int printed = 0;
+  UnixSeconds next_print = voyage->departure;
+  for (const auto& report : archive.reports) {
+    if (report.mmsi != voyage->mmsi || report.timestamp < voyage->departure ||
+        report.timestamp > voyage->arrival) {
+      continue;
+    }
+    if (report.timestamp < next_print) continue;
+    next_print = report.timestamp +
+                 (voyage->arrival - voyage->departure) / 12;
+    const auto estimate = estimator.Estimate(
+        {report.lat_deg, report.lng_deg}, segment, voyage->origin,
+        voyage->destination);
+    const double progress =
+        100.0 * static_cast<double>(report.timestamp - voyage->departure) /
+        static_cast<double>(voyage->arrival - voyage->departure);
+    char position[32];
+    std::snprintf(position, sizeof(position), "%.1f,%.1f", report.lat_deg,
+                  report.lng_deg);
+    if (estimate.ok()) {
+      static const char* kSources[] = {"(cell)", "(cell,type)",
+                                       "(cell,o,d,type)"};
+      std::printf("%8.0f%%  %-14s %-22s %-22s %s\n", progress, position,
+                  FormatDuration(static_cast<int64_t>(estimate->seconds))
+                      .c_str(),
+                  FormatDuration(voyage->arrival - report.timestamp).c_str(),
+                  kSources[estimate->grouping_set]);
+    } else {
+      std::printf("%8.0f%%  %-14s %-22s %-22s %s\n", progress, position,
+                  "(no history)",
+                  FormatDuration(voyage->arrival - report.timestamp).c_str(),
+                  "-");
+    }
+    ++printed;
+  }
+  if (printed == 0) std::printf("(voyage had no usable reports)\n");
+  return 0;
+}

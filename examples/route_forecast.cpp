@@ -1,0 +1,90 @@
+// Route forecasting example (paper section 4.1.3 / Figure 2.f): build
+// the transition graph for an (origin, destination, vessel-type) key and
+// run A* to forecast the remaining route of a vessel mid-voyage.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "geo/geodesic.h"
+#include "hexgrid/hexgrid.h"
+#include "sim/fleet.h"
+#include "usecases/destination.h"
+#include "usecases/route_forecast.h"
+
+int main() {
+  using namespace pol;
+
+  sim::FleetConfig fleet_config;
+  fleet_config.seed = 31415;
+  fleet_config.commercial_vessels = 50;
+  fleet_config.noncommercial_vessels = 0;
+  fleet_config.start_time = 1640995200;
+  fleet_config.end_time = fleet_config.start_time + 150 * kSecondsPerDay;
+  const sim::SimulationOutput archive =
+      sim::FleetSimulator(fleet_config).Run();
+
+  core::PipelineConfig config;
+  config.resolution = 6;
+  const core::PipelineResult result =
+      core::RunPipeline(archive.reports, archive.fleet, config);
+
+  const uc::RouteForecaster forecaster(result.inventory.get(),
+                                       &sim::PortDatabase::Global());
+
+  // Replay one voyage: forecast from a mid-voyage position.
+  for (const auto& voyage : archive.voyages) {
+    if (voyage.distance_km < 3000) continue;
+    ais::MarketSegment segment = ais::MarketSegment::kOther;
+    for (const auto& vessel : archive.fleet) {
+      if (vessel.mmsi == voyage.mmsi) segment = vessel.segment;
+    }
+    // Find a report one third into the voyage.
+    const ais::PositionReport* mid = nullptr;
+    const UnixSeconds t_mid =
+        voyage.departure + (voyage.arrival - voyage.departure) / 3;
+    for (const auto& report : archive.reports) {
+      if (report.mmsi == voyage.mmsi && report.timestamp >= t_mid) {
+        mid = &report;
+        break;
+      }
+    }
+    if (mid == nullptr) continue;
+
+    const sim::Port& origin =
+        **sim::PortDatabase::Global().Find(voyage.origin);
+    const sim::Port& dest =
+        **sim::PortDatabase::Global().Find(voyage.destination);
+    const auto forecast =
+        forecaster.Forecast({mid->lat_deg, mid->lng_deg}, voyage.origin,
+                            voyage.destination, segment);
+    if (!forecast.ok()) continue;
+
+    std::printf("voyage %s -> %s (%s traffic)\n", origin.name.c_str(),
+                dest.name.c_str(), ais::MarketSegmentName(segment).data());
+    std::printf("vessel now at (%.2f, %.2f); transition graph: %zu cells, "
+                "%zu edges\n",
+                mid->lat_deg, mid->lng_deg, forecast->graph_cells,
+                forecast->graph_edges);
+    std::printf("forecast route: %zu cells, %.0f km remaining\n\n",
+                forecast->cells.size(), forecast->distance_km);
+    std::printf("%-6s %-24s %-12s\n", "step", "cell centre", "to-go (km)");
+    double to_go = forecast->distance_km;
+    for (size_t i = 0; i < forecast->cells.size(); ++i) {
+      const geo::LatLng p = hex::CellToLatLng(forecast->cells[i]);
+      // Print every few steps to keep the table short.
+      if (i % std::max<size_t>(1, forecast->cells.size() / 15) == 0 ||
+          i + 1 == forecast->cells.size()) {
+        std::printf("%-6zu (%8.2f, %9.2f)   %8.0f\n", i, p.lat_deg,
+                    p.lng_deg, to_go);
+      }
+      if (i + 1 < forecast->cells.size()) {
+        to_go -= geo::HaversineKm(p, hex::CellToLatLng(forecast->cells[i + 1]));
+      }
+    }
+    std::printf("\n(destination port at (%.2f, %.2f))\n",
+                dest.position.lat_deg, dest.position.lng_deg);
+    return 0;
+  }
+  std::printf("no forecastable voyage found in the sample\n");
+  return 1;
+}

@@ -1,0 +1,129 @@
+#include "ais/bit_buffer.h"
+
+#include "common/logging.h"
+
+namespace pol::ais {
+namespace {
+
+// Table 44 of ITU-R M.1371: values 0-31 map to '@'..'_', 32-63 to
+// ' '..'?'.
+constexpr char kSixBitAlphabet[] =
+    "@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_ !\"#$%&'()*+,-./0123456789:;<=>?";
+
+}  // namespace
+
+char SixBitToChar(uint8_t value) {
+  return kSixBitAlphabet[value & 0x3f];
+}
+
+uint8_t CharToSixBit(char c) {
+  if (c >= '@' && c <= '_') return static_cast<uint8_t>(c - '@');
+  if (c >= ' ' && c <= '?') return static_cast<uint8_t>(c - ' ' + 32);
+  return 0xff;
+}
+
+void BitWriter::WriteUint(uint64_t value, int width) {
+  POL_CHECK(width >= 0 && width <= 64);
+  for (int bit = width - 1; bit >= 0; --bit) {
+    bits_.push_back(((value >> bit) & 1) != 0);
+  }
+}
+
+void BitWriter::WriteInt(int64_t value, int width) {
+  WriteUint(static_cast<uint64_t>(value), width);
+}
+
+void BitWriter::WriteString6(const std::string& text, int chars) {
+  for (int i = 0; i < chars; ++i) {
+    uint8_t symbol = 0;  // '@' padding.
+    if (i < static_cast<int>(text.size())) {
+      symbol = CharToSixBit(text[static_cast<size_t>(i)]);
+      if (symbol == 0xff) symbol = CharToSixBit('?');
+    }
+    WriteUint(symbol, 6);
+  }
+}
+
+std::vector<uint8_t> BitWriter::ToSixBitSymbols(int* fill_bits) const {
+  std::vector<uint8_t> symbols;
+  symbols.reserve((bits_.size() + 5) / 6);
+  uint8_t current = 0;
+  int used = 0;
+  for (const bool bit : bits_) {
+    current = static_cast<uint8_t>((current << 1) | (bit ? 1 : 0));
+    if (++used == 6) {
+      symbols.push_back(current);
+      current = 0;
+      used = 0;
+    }
+  }
+  int fill = 0;
+  if (used > 0) {
+    fill = 6 - used;
+    symbols.push_back(static_cast<uint8_t>(current << fill));
+  }
+  if (fill_bits != nullptr) *fill_bits = fill;
+  return symbols;
+}
+
+BitReader BitReader::FromSixBitSymbols(const std::vector<uint8_t>& symbols,
+                                       int fill_bits) {
+  std::vector<bool> bits;
+  bits.reserve(symbols.size() * 6);
+  for (const uint8_t symbol : symbols) {
+    for (int bit = 5; bit >= 0; --bit) {
+      bits.push_back(((symbol >> bit) & 1) != 0);
+    }
+  }
+  if (fill_bits > 0 && fill_bits <= 5 &&
+      bits.size() >= static_cast<size_t>(fill_bits)) {
+    bits.resize(bits.size() - static_cast<size_t>(fill_bits));
+  }
+  return BitReader(std::move(bits));
+}
+
+uint64_t BitReader::ReadUint(int width, bool* ok) {
+  if (width < 0 || width > 64 || Remaining() < width) {
+    if (ok != nullptr) *ok = false;
+    return 0;
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    value = (value << 1) | (bits_[static_cast<size_t>(cursor_++)] ? 1 : 0);
+  }
+  if (ok != nullptr) *ok = true;
+  return value;
+}
+
+int64_t BitReader::ReadInt(int width, bool* ok) {
+  const uint64_t raw = ReadUint(width, ok);
+  if (width == 0 || width == 64) return static_cast<int64_t>(raw);
+  // Sign-extend.
+  const uint64_t sign_bit = uint64_t{1} << (width - 1);
+  if (raw & sign_bit) {
+    return static_cast<int64_t>(raw | ~((uint64_t{1} << width) - 1));
+  }
+  return static_cast<int64_t>(raw);
+}
+
+std::string BitReader::ReadString6(int chars, bool* ok) {
+  std::string out;
+  out.reserve(static_cast<size_t>(chars));
+  for (int i = 0; i < chars; ++i) {
+    bool field_ok = false;
+    const uint64_t symbol = ReadUint(6, &field_ok);
+    if (!field_ok) {
+      if (ok != nullptr) *ok = false;
+      return out;
+    }
+    out.push_back(SixBitToChar(static_cast<uint8_t>(symbol)));
+  }
+  // Trim trailing '@' padding and spaces.
+  while (!out.empty() && (out.back() == '@' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  if (ok != nullptr) *ok = true;
+  return out;
+}
+
+}  // namespace pol::ais

@@ -1,0 +1,76 @@
+#ifndef POL_AIS_BIT_BUFFER_H_
+#define POL_AIS_BIT_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Bit-level packing for AIS payloads. AIS messages are defined as
+// big-endian bit fields of arbitrary width (ITU-R M.1371 table layouts);
+// strings use a 6-bit character set.
+
+namespace pol::ais {
+
+// Writes big-endian bit fields into a growing bit string.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  // Appends the low `width` bits of `value`, most significant first.
+  // width in [0, 64].
+  void WriteUint(uint64_t value, int width);
+
+  // Appends a signed value in two's complement.
+  void WriteInt(int64_t value, int width);
+
+  // Appends `chars` characters of 6-bit ASCII, padding with '@' (0).
+  // Characters outside the 6-bit set are mapped to '?'.
+  void WriteString6(const std::string& text, int chars);
+
+  int BitCount() const { return static_cast<int>(bits_.size()); }
+
+  // The accumulated bits as 6-bit symbols (values 0..63), padded with
+  // zero fill bits; *fill_bits receives the pad amount (0..5).
+  std::vector<uint8_t> ToSixBitSymbols(int* fill_bits) const;
+
+ private:
+  std::vector<bool> bits_;
+};
+
+// Reads big-endian bit fields from a fixed bit string.
+class BitReader {
+ public:
+  explicit BitReader(std::vector<bool> bits) : bits_(std::move(bits)) {}
+
+  // Builds a reader from 6-bit symbols (values 0..63).
+  static BitReader FromSixBitSymbols(const std::vector<uint8_t>& symbols,
+                                     int fill_bits);
+
+  // Reads `width` bits as an unsigned value; sets *ok false on overrun
+  // (and returns 0) instead of failing hard.
+  uint64_t ReadUint(int width, bool* ok);
+
+  // Reads a two's-complement signed value.
+  int64_t ReadInt(int width, bool* ok);
+
+  // Reads `chars` 6-bit characters; trailing '@' padding and spaces are
+  // trimmed.
+  std::string ReadString6(int chars, bool* ok);
+
+  int Remaining() const { return static_cast<int>(bits_.size()) - cursor_; }
+
+ private:
+  std::vector<bool> bits_;
+  int cursor_ = 0;
+};
+
+// The 6-bit ASCII alphabet used by AIS strings.
+char SixBitToChar(uint8_t value);
+// Returns 0xff for characters outside the alphabet.
+uint8_t CharToSixBit(char c);
+
+}  // namespace pol::ais
+
+#endif  // POL_AIS_BIT_BUFFER_H_

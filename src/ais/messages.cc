@@ -1,0 +1,55 @@
+#include "ais/messages.h"
+
+#include <cmath>
+
+namespace pol::ais {
+
+Status ValidatePositionReport(const PositionReport& report) {
+  if (!IsPlausibleMmsi(report.mmsi)) {
+    return Status::InvalidArgument("implausible MMSI");
+  }
+  if (report.message_type != 1 && report.message_type != 2 &&
+      report.message_type != 3 && report.message_type != 18) {
+    return Status::InvalidArgument("not a positional report type");
+  }
+  if (!std::isfinite(report.lat_deg) || report.lat_deg < -90.0 ||
+      report.lat_deg > 90.0) {
+    return Status::OutOfRange("latitude outside [-90, 90]");
+  }
+  if (!std::isfinite(report.lng_deg) || report.lng_deg < -180.0 ||
+      report.lng_deg > 180.0) {
+    return Status::OutOfRange("longitude outside [-180, 180]");
+  }
+  if (!std::isfinite(report.sog_knots) || report.sog_knots < 0.0 ||
+      report.sog_knots > kSogUnavailable) {
+    return Status::OutOfRange("speed over ground outside [0, 102.3]");
+  }
+  if (!std::isfinite(report.cog_deg) || report.cog_deg < 0.0 ||
+      report.cog_deg > kCogUnavailable) {
+    return Status::OutOfRange("course over ground outside [0, 360]");
+  }
+  if (!std::isfinite(report.heading_deg) ||
+      (report.heading_deg != kHeadingUnavailable &&
+       (report.heading_deg < 0.0 || report.heading_deg >= 360.0))) {
+    return Status::OutOfRange("heading outside [0, 360) and not 511");
+  }
+  if (static_cast<uint8_t>(report.nav_status) > 15) {
+    return Status::OutOfRange("navigational status outside [0, 15]");
+  }
+  if (report.timestamp < 0) {
+    return Status::OutOfRange("negative timestamp");
+  }
+  return Status::OK();
+}
+
+bool HasFullKinematics(const PositionReport& report) {
+  return report.sog_knots < kSogUnavailable &&
+         report.cog_deg < kCogUnavailable &&
+         report.heading_deg != kHeadingUnavailable;
+}
+
+bool IsPlausibleMmsi(Mmsi mmsi) {
+  return mmsi >= 100000000u && mmsi <= 999999999u;
+}
+
+}  // namespace pol::ais

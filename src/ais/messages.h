@@ -1,0 +1,102 @@
+#ifndef POL_AIS_MESSAGES_H_
+#define POL_AIS_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ais/types.h"
+#include "common/status.h"
+#include "common/time_util.h"
+
+// In-memory message model. Positional reports (types 1-3 for class A,
+// 18 for class B) are the rows of the paper's main dataset; static and
+// voyage data (type 5) feed the enrichment join.
+
+namespace pol::ais {
+
+// Unavailable-value sentinels defined by ITU-R M.1371.
+inline constexpr double kSogUnavailable = 102.3;   // 1023 in 0.1-knot units.
+inline constexpr double kCogUnavailable = 360.0;   // 3600 in 0.1-deg units.
+inline constexpr double kHeadingUnavailable = 511.0;
+inline constexpr double kLatUnavailable = 91.0;
+inline constexpr double kLngUnavailable = 181.0;
+
+// One positional report, timestamped with the archive receive time
+// (the on-air message only carries the UTC second within the minute).
+struct PositionReport {
+  Mmsi mmsi = 0;
+  UnixSeconds timestamp = 0;
+  double lat_deg = kLatUnavailable;
+  double lng_deg = kLngUnavailable;
+  double sog_knots = kSogUnavailable;
+  double cog_deg = kCogUnavailable;
+  double heading_deg = kHeadingUnavailable;
+  NavStatus nav_status = NavStatus::kNotDefined;
+  uint8_t message_type = 1;  // 1, 2, 3 (class A) or 18 (class B).
+};
+
+// Static and voyage-related data (message type 5).
+struct StaticVoyageReport {
+  Mmsi mmsi = 0;
+  uint32_t imo_number = 0;
+  std::string callsign;
+  std::string name;
+  uint8_t ship_type_code = 0;
+  // Dimensions from the reference point, metres.
+  int to_bow = 0;
+  int to_stern = 0;
+  int to_port = 0;
+  int to_starboard = 0;
+  // Declared ETA (month/day/hour/minute, zeros when unavailable).
+  int eta_month = 0;
+  int eta_day = 0;
+  int eta_hour = 24;
+  int eta_minute = 60;
+  double draught_m = 0.0;
+  std::string destination;
+};
+
+// Base station report (message type 4): a shore station broadcasting
+// UTC time and its surveyed position.
+struct BaseStationReport {
+  Mmsi mmsi = 0;
+  int year = 0;  // 1-9999; 0 = unavailable.
+  int month = 0;
+  int day = 0;
+  int hour = 24;
+  int minute = 60;
+  int second = 60;
+  double lat_deg = kLatUnavailable;
+  double lng_deg = kLngUnavailable;
+};
+
+// Class B static data report (message type 24). Transmitted in two
+// parts; part A carries the name, part B type/callsign/dimensions.
+struct ClassBStaticReport {
+  Mmsi mmsi = 0;
+  int part = 0;  // 0 = A, 1 = B.
+  std::string name;           // Part A.
+  uint8_t ship_type_code = 0; // Part B.
+  std::string callsign;       // Part B.
+  int to_bow = 0;
+  int to_stern = 0;
+  int to_port = 0;
+  int to_starboard = 0;
+};
+
+// Field-level validation per the protocol's legal ranges — the first
+// filter of the cleaning stage (paper section 3.3.1). Reports carrying
+// "unavailable" sentinels in position fields are rejected too, since
+// they cannot be projected onto the grid; unavailable SOG/COG/heading
+// are tolerated (the feature extractor skips them).
+Status ValidatePositionReport(const PositionReport& report);
+
+// True when every kinematic field carries a real (available) value.
+bool HasFullKinematics(const PositionReport& report);
+
+// MMSI sanity: nine digits, leading digit rules relaxed to non-zero.
+bool IsPlausibleMmsi(Mmsi mmsi);
+
+}  // namespace pol::ais
+
+#endif  // POL_AIS_MESSAGES_H_

@@ -1,0 +1,95 @@
+#ifndef POL_AIS_NMEA_H_
+#define POL_AIS_NMEA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ais/messages.h"
+#include "common/status.h"
+
+// NMEA 0183 AIVDM framing: 6-bit payload armouring, checksums and
+// multi-sentence assembly, plus the ITU-R M.1371 bit layouts for
+// message types 1-3 (class A position), 18 (class B position) and 5
+// (static and voyage data).
+//
+// This is the wire format terrestrial and satellite AIS receivers emit
+// and what an archive ingestion service decodes; the quickstart example
+// exercises the full path sentence -> report -> inventory.
+
+namespace pol::ais {
+
+// XOR checksum over the characters between '!' and '*'.
+uint8_t NmeaChecksum(std::string_view body);
+
+// Encodes a positional report as a single !AIVDM sentence. Class A
+// reports use the report's message_type (1-3); message_type 18 selects
+// the class B layout. The on-air timestamp field carries only
+// timestamp % 60 (the UTC second), as in the real protocol.
+Result<std::string> EncodePositionNmea(const PositionReport& report);
+
+// Encodes a static/voyage report as one or more sentences (type 5 spans
+// 424 bits, which does not fit one sentence). `sequence_id` in [0, 9]
+// tags the parts of one message.
+Result<std::vector<std::string>> EncodeStaticVoyageNmea(
+    const StaticVoyageReport& report, int sequence_id = 0);
+
+// A decoded message. For positional types the report's timestamp holds
+// ONLY the UTC second (0-59); ingestion overlays the receive minute.
+struct Decoded {
+  int message_type = 0;
+  PositionReport position;            // Types 1-3, 18.
+  StaticVoyageReport static_voyage;   // Type 5.
+  BaseStationReport base_station;     // Type 4.
+  ClassBStaticReport class_b_static;  // Type 24.
+};
+
+// Encodes an extended class B position report (type 19): position plus
+// the static name/type/dimensions in one 312-bit message. On decode the
+// position lands in `position` (message_type 19) and the static fields
+// in `class_b_static`.
+Result<std::string> EncodeExtendedClassBNmea(
+    const PositionReport& position, const ClassBStaticReport& statics);
+
+// Encodes a base station report (type 4).
+Result<std::string> EncodeBaseStationNmea(const BaseStationReport& report);
+
+// Encodes one part of a class B static report (type 24); the part field
+// selects A (name) or B (type/callsign/dimensions).
+Result<std::string> EncodeClassBStaticNmea(const ClassBStaticReport& report);
+
+// Stateful decoder: feeds sentences one at a time, assembling
+// multi-sentence messages keyed by (sequence id, channel).
+class NmeaDecoder {
+ public:
+  NmeaDecoder() = default;
+
+  // Returns the decoded message when `sentence` completes one, or a
+  // Decoded with message_type == 0 when more parts are pending.
+  // Malformed sentences and checksum failures are errors.
+  Result<Decoded> Feed(std::string_view sentence);
+
+  // Messages types seen but not supported by the decoder (counted, not
+  // errors — a live feed interleaves many types).
+  uint64_t unsupported_count() const { return unsupported_; }
+
+ private:
+  struct Pending {
+    int total = 0;
+    int received = 0;
+    std::vector<std::vector<uint8_t>> parts;
+    int last_fill_bits = 0;
+  };
+
+  Result<Decoded> DecodePayload(const std::vector<uint8_t>& symbols,
+                                int fill_bits);
+
+  std::map<std::string, Pending> pending_;
+  uint64_t unsupported_ = 0;
+};
+
+}  // namespace pol::ais
+
+#endif  // POL_AIS_NMEA_H_

@@ -1,0 +1,113 @@
+#include "ais/types.h"
+
+namespace pol::ais {
+
+std::string_view NavStatusName(NavStatus status) {
+  switch (status) {
+    case NavStatus::kUnderWayUsingEngine:
+      return "under way using engine";
+    case NavStatus::kAtAnchor:
+      return "at anchor";
+    case NavStatus::kNotUnderCommand:
+      return "not under command";
+    case NavStatus::kRestrictedManoeuvrability:
+      return "restricted manoeuvrability";
+    case NavStatus::kConstrainedByDraught:
+      return "constrained by draught";
+    case NavStatus::kMoored:
+      return "moored";
+    case NavStatus::kAground:
+      return "aground";
+    case NavStatus::kEngagedInFishing:
+      return "engaged in fishing";
+    case NavStatus::kUnderWaySailing:
+      return "under way sailing";
+    case NavStatus::kAisSartActive:
+      return "AIS-SART active";
+    default:
+      return "not defined";
+  }
+}
+
+std::string_view MarketSegmentName(MarketSegment segment) {
+  switch (segment) {
+    case MarketSegment::kContainer:
+      return "container";
+    case MarketSegment::kDryBulk:
+      return "dry bulk";
+    case MarketSegment::kTanker:
+      return "tanker";
+    case MarketSegment::kGeneralCargo:
+      return "general cargo";
+    case MarketSegment::kPassenger:
+      return "passenger";
+    case MarketSegment::kFishing:
+      return "fishing";
+    case MarketSegment::kTugAndService:
+      return "tug/service";
+    case MarketSegment::kPleasure:
+      return "pleasure";
+    case MarketSegment::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+MarketSegment SegmentFromShipTypeCode(uint8_t type_code) {
+  if (type_code == 30) return MarketSegment::kFishing;
+  if (type_code == 31 || type_code == 32 || type_code == 52) {
+    return MarketSegment::kTugAndService;
+  }
+  if (type_code == 36 || type_code == 37) return MarketSegment::kPleasure;
+  if (type_code >= 60 && type_code <= 69) return MarketSegment::kPassenger;
+  if (type_code >= 70 && type_code <= 79) {
+    // The AIS code block 70-79 covers all cargo; the registry refines it.
+    return MarketSegment::kGeneralCargo;
+  }
+  if (type_code >= 80 && type_code <= 89) return MarketSegment::kTanker;
+  return MarketSegment::kOther;
+}
+
+uint8_t ShipTypeCodeForSegment(MarketSegment segment) {
+  switch (segment) {
+    case MarketSegment::kContainer:
+      return 71;  // Cargo, hazardous category A — conventional stand-in.
+    case MarketSegment::kDryBulk:
+      return 70;
+    case MarketSegment::kGeneralCargo:
+      return 70;
+    case MarketSegment::kTanker:
+      return 80;
+    case MarketSegment::kPassenger:
+      return 60;
+    case MarketSegment::kFishing:
+      return 30;
+    case MarketSegment::kTugAndService:
+      return 52;
+    case MarketSegment::kPleasure:
+      return 37;
+    case MarketSegment::kOther:
+      return 90;
+  }
+  return 90;
+}
+
+bool IsLogisticsSegment(MarketSegment segment) {
+  switch (segment) {
+    case MarketSegment::kContainer:
+    case MarketSegment::kDryBulk:
+    case MarketSegment::kTanker:
+    case MarketSegment::kGeneralCargo:
+    case MarketSegment::kPassenger:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCommercialFleet(const VesselInfo& vessel) {
+  return IsLogisticsSegment(vessel.segment) && vessel.gross_tonnage > 5000 &&
+         vessel.transceiver == TransceiverClass::kClassA;
+}
+
+}  // namespace pol::ais

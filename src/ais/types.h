@@ -1,0 +1,91 @@
+#ifndef POL_AIS_TYPES_H_
+#define POL_AIS_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+// AIS domain vocabulary: identifiers, navigational status, ship type
+// codes and the market segments the paper groups statistics by.
+
+namespace pol::ais {
+
+// Maritime Mobile Service Identity: nine decimal digits.
+using Mmsi = uint32_t;
+
+// Navigational status (ITU-R M.1371, message types 1-3, 4 bits).
+enum class NavStatus : uint8_t {
+  kUnderWayUsingEngine = 0,
+  kAtAnchor = 1,
+  kNotUnderCommand = 2,
+  kRestrictedManoeuvrability = 3,
+  kConstrainedByDraught = 4,
+  kMoored = 5,
+  kAground = 6,
+  kEngagedInFishing = 7,
+  kUnderWaySailing = 8,
+  kReserved9 = 9,
+  kReserved10 = 10,
+  kReserved11 = 11,
+  kReserved12 = 12,
+  kReserved13 = 13,
+  kAisSartActive = 14,
+  kNotDefined = 15,
+};
+
+std::string_view NavStatusName(NavStatus status);
+
+// Transceiver class. Class A is compulsory for vessels over 299 GT;
+// class B is the low-cost option for smaller craft.
+enum class TransceiverClass : uint8_t { kClassA = 0, kClassB = 1 };
+
+// Market segments used by the inventory's grouping sets. The AIS ship
+// type code only distinguishes coarse classes; the finer commercial
+// segments (container vs dry bulk) come from the vessel registry, as in
+// the paper (MarineTraffic's static vessel database).
+enum class MarketSegment : uint8_t {
+  kContainer = 0,
+  kDryBulk = 1,
+  kTanker = 2,
+  kGeneralCargo = 3,
+  kPassenger = 4,
+  kFishing = 5,
+  kTugAndService = 6,
+  kPleasure = 7,
+  kOther = 8,
+};
+
+inline constexpr int kNumMarketSegments = 9;
+
+std::string_view MarketSegmentName(MarketSegment segment);
+
+// Coarse market segment implied by an AIS ship type code (message 5).
+MarketSegment SegmentFromShipTypeCode(uint8_t type_code);
+
+// A representative AIS ship type code for a market segment (used when
+// synthesizing static reports).
+uint8_t ShipTypeCodeForSegment(MarketSegment segment);
+
+// Static registry record for one vessel (the paper's "vessel static
+// information" dataset of Table 1).
+struct VesselInfo {
+  Mmsi mmsi = 0;
+  std::string name;
+  MarketSegment segment = MarketSegment::kOther;
+  uint8_t ship_type_code = 0;
+  TransceiverClass transceiver = TransceiverClass::kClassA;
+  int gross_tonnage = 0;
+  double length_m = 0.0;
+  double design_speed_knots = 0.0;
+};
+
+// The paper's commercial-fleet filter: logistics-chain segments with a
+// tonnage above 5000 GT and a class A transceiver (section 3.1.1).
+bool IsCommercialFleet(const VesselInfo& vessel);
+
+// True for the cargo-carrying segments of the logistics chain.
+bool IsLogisticsSegment(MarketSegment segment);
+
+}  // namespace pol::ais
+
+#endif  // POL_AIS_TYPES_H_

@@ -1,0 +1,17 @@
+#ifndef POL_COMMON_CRC32_H_
+#define POL_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used to checksum inventory
+// file blocks so corruption is detected on load.
+
+namespace pol {
+
+// Computes the CRC of `data`, optionally continuing from a prior value.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace pol
+
+#endif  // POL_COMMON_CRC32_H_

@@ -1,0 +1,75 @@
+#ifndef POL_COMMON_LOGGING_H_
+#define POL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+// Minimal leveled logging for the library and its tools.
+//
+//   POL_LOG(INFO) << "loaded " << n << " ports";
+//   POL_CHECK(ptr != nullptr) << "missing summary";
+//
+// FATAL (and failed POL_CHECK) aborts the process after printing; the
+// library otherwise reports errors via pol::Status, so logging is only
+// for progress reporting and invariant violations.
+
+namespace pol {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Messages below this level are discarded. Default: kInfo.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace pol
+
+#define POL_LOG(severity)                                               \
+  (::pol::LogLevel::k##severity < ::pol::MinLogLevel())                 \
+      ? void(0)                                                         \
+      : ::pol::internal_logging::Voidify() &                            \
+            ::pol::internal_logging::LogMessage(                        \
+                ::pol::LogLevel::k##severity, __FILE__, __LINE__)       \
+                .stream()
+
+#define POL_CHECK(condition)                                              \
+  (condition) ? void(0)                                                   \
+              : ::pol::internal_logging::Voidify() &                      \
+                    ::pol::internal_logging::LogMessage(                  \
+                        ::pol::LogLevel::kFatal, __FILE__, __LINE__)      \
+                        .stream()                                         \
+                        << "Check failed: " #condition " "
+
+namespace pol::internal_logging {
+// Lowest-precedence operand that converts the stream expression to void.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace pol::internal_logging
+
+#endif  // POL_COMMON_LOGGING_H_

@@ -1,0 +1,103 @@
+#ifndef POL_COMMON_RNG_H_
+#define POL_COMMON_RNG_H_
+
+#include <cstdint>
+
+// Deterministic pseudo-random number generation.
+//
+// Simulation and property tests must be reproducible across platforms and
+// standard-library versions, so we use our own generators rather than
+// <random> distributions (whose outputs are implementation-defined).
+
+namespace pol {
+
+// SplitMix64: used to seed Xoshiro and for cheap hashing of seeds.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) {
+    // Rejection-free modulo bias is negligible for n << 2^64; use Lemire's
+    // multiply-shift reduction for speed and near-uniformity.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(NextUint64()) * n) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Standard normal via Marsaglia polar method.
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = Sqrt(-2.0 * Log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+  // Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate) { return -Log(1.0 - NextDouble()) / rate; }
+
+  // Forks an independent generator; deterministic given this RNG's state.
+  Rng Fork() { return Rng(NextUint64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  // Thin wrappers avoid including <cmath> in this widely-included header.
+  static double Sqrt(double x);
+  static double Log(double x);
+
+  uint64_t s_[4] = {};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace pol
+
+#endif  // POL_COMMON_RNG_H_

@@ -1,0 +1,100 @@
+#include "common/time_util.h"
+
+#include <cstdio>
+
+namespace pol {
+namespace {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+// Days since 1970-01-01 for a UTC calendar date.
+int64_t DaysFromCivil(int year, int month, int day) {
+  // Howard Hinnant's algorithm, restricted to the int64 range we need.
+  year -= month <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+}  // namespace
+
+std::string FormatDuration(int64_t seconds) {
+  const bool negative = seconds < 0;
+  if (negative) seconds = -seconds;
+  const int64_t days = seconds / kSecondsPerDay;
+  const int64_t hours = (seconds % kSecondsPerDay) / kSecondsPerHour;
+  const int64_t minutes = (seconds % kSecondsPerHour) / kSecondsPerMinute;
+  const int64_t secs = seconds % kSecondsPerMinute;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02lldh %02lldm",
+                  negative ? "-" : "", static_cast<long long>(days),
+                  static_cast<long long>(hours),
+                  static_cast<long long>(minutes));
+  } else if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%02lldh %02lldm", negative ? "-" : "",
+                  static_cast<long long>(hours),
+                  static_cast<long long>(minutes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lldm %02llds", negative ? "-" : "",
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(secs));
+  }
+  return buf;
+}
+
+std::string FormatUnixSeconds(UnixSeconds t) {
+  // Convert days-since-epoch back to a civil date (inverse of
+  // DaysFromCivil), then append the time of day.
+  int64_t days = t / kSecondsPerDay;
+  int64_t rem = t % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    days -= 1;
+  }
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  const int64_t year = y + (m <= 2);
+
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u %02lld:%02lld:%02lld",
+                static_cast<long long>(year), m, d,
+                static_cast<long long>(rem / kSecondsPerHour),
+                static_cast<long long>((rem % kSecondsPerHour) / 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+UnixSeconds UnixFromUtc(int year, int month, int day, int hour, int minute,
+                        int second) {
+  // Clamp nonsensical calendar inputs instead of failing: callers build
+  // timestamps from validated simulation schedules.
+  if (month < 1) month = 1;
+  if (month > 12) month = 12;
+  if (day < 1) day = 1;
+  if (day > DaysInMonth(year, month)) day = DaysInMonth(year, month);
+  return DaysFromCivil(year, month, day) * kSecondsPerDay +
+         hour * kSecondsPerHour + minute * kSecondsPerMinute + second;
+}
+
+}  // namespace pol

@@ -1,0 +1,35 @@
+#ifndef POL_COMMON_TIME_UTIL_H_
+#define POL_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+// Time representation used throughout the library.
+//
+// AIS archives timestamp each received message; the paper's features (ETO,
+// ATA) are second-granularity durations. We use plain Unix seconds in
+// int64 rather than std::chrono types at module boundaries to keep the
+// serialized formats and the flow-engine records trivially copyable.
+
+namespace pol {
+
+// Seconds since the Unix epoch (UTC).
+using UnixSeconds = int64_t;
+
+constexpr int64_t kSecondsPerMinute = 60;
+constexpr int64_t kSecondsPerHour = 3600;
+constexpr int64_t kSecondsPerDay = 86400;
+
+// Formats a duration as "3d 04h 25m" / "04h 25m" / "25m 10s".
+std::string FormatDuration(int64_t seconds);
+
+// Formats Unix seconds as "YYYY-MM-DD hh:mm:ss" UTC.
+std::string FormatUnixSeconds(UnixSeconds t);
+
+// Builds a Unix timestamp from a UTC calendar date. Months/days 1-based.
+UnixSeconds UnixFromUtc(int year, int month, int day, int hour = 0,
+                        int minute = 0, int second = 0);
+
+}  // namespace pol
+
+#endif  // POL_COMMON_TIME_UTIL_H_

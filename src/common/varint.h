@@ -1,0 +1,47 @@
+#ifndef POL_COMMON_VARINT_H_
+#define POL_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+// LEB128-style variable-length integer coding, used by the inventory's
+// binary serialization format. Unsigned values use plain varint; signed
+// values use zigzag coding so small magnitudes stay short.
+
+namespace pol {
+
+// Appends `value` to `*out` as a varint (1..10 bytes).
+void PutVarint64(std::string* out, uint64_t value);
+
+// Appends a zigzag-coded signed value.
+void PutVarintSigned64(std::string* out, int64_t value);
+
+// Reads a varint from the front of `*input`, advancing it past the
+// consumed bytes. Returns Corruption on truncated or overlong input.
+Status GetVarint64(std::string_view* input, uint64_t* value);
+
+// Reads a zigzag-coded signed value.
+Status GetVarintSigned64(std::string_view* input, int64_t* value);
+
+// Appends a raw little-endian double (8 bytes).
+void PutDouble(std::string* out, double value);
+Status GetDouble(std::string_view* input, double* value);
+
+// Appends a length-prefixed string.
+void PutLengthPrefixed(std::string* out, std::string_view value);
+Status GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace pol
+
+#endif  // POL_COMMON_VARINT_H_

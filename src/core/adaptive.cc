@@ -1,0 +1,120 @@
+#include "core/adaptive.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "hexgrid/hexgrid.h"
+
+namespace pol::core {
+
+AdaptiveInventory AdaptiveInventory::Build(const Inventory& fine,
+                                           int coarse_res,
+                                           uint64_t dense_threshold) {
+  const int fine_res = fine.resolution();
+  POL_CHECK(coarse_res >= 0 && coarse_res <= fine_res);
+
+  // Bottom-up: per-level summary maps, each level the merge of the one
+  // below. levels[r - coarse_res] holds resolution r.
+  const int num_levels = fine_res - coarse_res + 1;
+  std::vector<std::unordered_map<hex::CellIndex, CellSummary>> levels(
+      static_cast<size_t>(num_levels));
+  // Children of each cell, per level (for the top-down cut).
+  std::vector<std::unordered_map<hex::CellIndex, std::vector<hex::CellIndex>>>
+      children(static_cast<size_t>(num_levels));
+
+  // Seed the finest level from the (cell) grouping set.
+  auto& finest = levels[static_cast<size_t>(num_levels - 1)];
+  for (const auto& [key, summary] : fine.summaries()) {
+    if (key.grouping_set != static_cast<uint8_t>(GroupingSet::kCell)) {
+      continue;
+    }
+    finest.emplace(key.cell, summary);  // CellSummary is copyable.
+  }
+
+  // Merge upward level by level.
+  for (int level = num_levels - 1; level > 0; --level) {
+    auto& lower = levels[static_cast<size_t>(level)];
+    auto& upper = levels[static_cast<size_t>(level - 1)];
+    auto& kids = children[static_cast<size_t>(level - 1)];
+    const int upper_res = coarse_res + level - 1;
+    for (auto& [cell, summary] : lower) {
+      const hex::CellIndex parent = hex::CellToParent(cell, upper_res);
+      // The lower-level summary must stay intact (it may be emitted by
+      // the cut), so the parent gets a copy.
+      CellSummary copy = summary;
+      auto [it, inserted] = upper.try_emplace(parent);
+      if (inserted) {
+        it->second = std::move(copy);
+      } else {
+        it->second.Merge(std::move(copy));
+      }
+      kids[parent].push_back(cell);
+    }
+  }
+
+  // Top-down cut: keep a cell when it is sparse or already finest;
+  // otherwise descend into its children.
+  std::unordered_map<hex::CellIndex, CellSummary> result;
+  std::vector<std::pair<int, hex::CellIndex>> stack;
+  for (const auto& [cell, summary] : levels[0]) {
+    stack.push_back({0, cell});
+  }
+  while (!stack.empty()) {
+    const auto [level, cell] = stack.back();
+    stack.pop_back();
+    auto& level_map = levels[static_cast<size_t>(level)];
+    const auto it = level_map.find(cell);
+    if (it == level_map.end()) continue;
+    const bool can_split = level + 1 < num_levels;
+    if (can_split && it->second.record_count() >= dense_threshold) {
+      for (const hex::CellIndex child :
+           children[static_cast<size_t>(level)][cell]) {
+        stack.push_back({level + 1, child});
+      }
+    } else {
+      result.emplace(cell, std::move(it->second));
+    }
+  }
+  return AdaptiveInventory(coarse_res, fine_res, std::move(result));
+}
+
+const CellSummary* AdaptiveInventory::Lookup(const geo::LatLng& position,
+                                             int* resolution) const {
+  // Probe coarse to fine along the point's own ancestor chain.
+  for (int res = coarse_res_; res <= fine_res_; ++res) {
+    const hex::CellIndex cell = hex::LatLngToCell(position, res);
+    const auto it = cells_.find(cell);
+    if (it != cells_.end()) {
+      if (resolution != nullptr) *resolution = res;
+      return &it->second;
+    }
+  }
+  // Containment is approximate near boundaries: fall back to the finest
+  // level's immediate neighbours.
+  const hex::CellIndex fine_cell = hex::LatLngToCell(position, fine_res_);
+  for (const hex::CellIndex neighbor : hex::Neighbors(fine_cell)) {
+    const auto it = cells_.find(neighbor);
+    if (it != cells_.end()) {
+      if (resolution != nullptr) *resolution = fine_res_;
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+AdaptiveStats AdaptiveInventory::Stats(uint64_t fine_cells) const {
+  AdaptiveStats stats;
+  stats.cells = cells_.size();
+  for (const auto& [cell, summary] : cells_) {
+    stats.records += summary.record_count();
+    ++stats.cells_per_resolution[hex::CellResolution(cell)];
+  }
+  stats.cell_reduction =
+      fine_cells == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(stats.cells) /
+                      static_cast<double>(fine_cells);
+  return stats;
+}
+
+}  // namespace pol::core

@@ -1,0 +1,80 @@
+#ifndef POL_CORE_ADAPTIVE_H_
+#define POL_CORE_ADAPTIVE_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/inventory.h"
+
+// Adaptive (non-uniform) inventory — the paper's stated future work
+// ("using larger cells in open sea areas which are known to have low
+// vessel traffic density, preserving at the same time high resolution in
+// dense areas, such as the ones near the ports", section 5), implemented
+// here on top of the hierarchical grid.
+//
+// Construction is bottom-up from a uniform fine-resolution inventory:
+// summaries are merged into parents level by level (all Table-3
+// statistics are mergeable), then the tree is cut top-down — a cell is
+// split into its children only while it carries at least
+// `dense_threshold` records and has not reached the fine resolution.
+// The emitted cells form a (near-)partition of the covered area at mixed
+// resolutions.
+//
+// Note on exactness: parent/child containment in the grid is
+// approximate (as in H3), so a point close to a cell boundary can fall
+// into a sibling at the finer level; Lookup therefore probes the
+// coarse-to-fine ancestor chain and falls back to the point's immediate
+// neighbours at the finest level.
+
+namespace pol::core {
+
+struct AdaptiveStats {
+  uint64_t cells = 0;
+  uint64_t records = 0;
+  // Cells per resolution level.
+  std::map<int, uint64_t> cells_per_resolution;
+  // Size relative to the uniform fine inventory it was built from.
+  double cell_reduction = 0.0;  // 1 - adaptive_cells / fine_cells.
+};
+
+class AdaptiveInventory {
+ public:
+  // Builds from the (cell) grouping set of a uniform inventory at
+  // `fine.resolution()`. Cells coarser than `coarse_res` are never
+  // produced; `dense_threshold` is the record count above which a cell
+  // keeps its children.
+  static AdaptiveInventory Build(const Inventory& fine, int coarse_res,
+                                 uint64_t dense_threshold);
+
+  // The summary of the (variable-resolution) cell containing `position`,
+  // and the resolution it was answered at; nullptr when uncovered.
+  const CellSummary* Lookup(const geo::LatLng& position,
+                            int* resolution = nullptr) const;
+
+  size_t size() const { return cells_.size(); }
+  int coarse_res() const { return coarse_res_; }
+  int fine_res() const { return fine_res_; }
+
+  AdaptiveStats Stats(uint64_t fine_cells) const;
+
+  // All cells (mixed resolutions) with their summaries.
+  const std::unordered_map<hex::CellIndex, CellSummary>& cells() const {
+    return cells_;
+  }
+
+ private:
+  AdaptiveInventory(int coarse_res, int fine_res,
+                    std::unordered_map<hex::CellIndex, CellSummary> cells)
+      : coarse_res_(coarse_res),
+        fine_res_(fine_res),
+        cells_(std::move(cells)) {}
+
+  int coarse_res_;
+  int fine_res_;
+  std::unordered_map<hex::CellIndex, CellSummary> cells_;
+};
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_ADAPTIVE_H_

@@ -1,0 +1,86 @@
+#include "core/cleaning.h"
+
+#include <atomic>
+
+#include "geo/geodesic.h"
+
+namespace pol::core {
+
+flow::Dataset<PipelineRecord> CleanReports(
+    const std::vector<ais::PositionReport>& reports,
+    const CleaningConfig& config, flow::ThreadPool* pool,
+    CleaningStats* stats) {
+  std::atomic<uint64_t> invalid{0};
+  std::atomic<uint64_t> duplicates{0};
+  std::atomic<uint64_t> jumps{0};
+
+  // Field-range validation, then vessel partitioning and time ordering.
+  flow::Dataset<ais::PositionReport> raw =
+      flow::Dataset<ais::PositionReport>::FromVector(reports,
+                                                     config.partitions, pool);
+  flow::Dataset<ais::PositionReport> valid =
+      raw.Filter([&invalid](const ais::PositionReport& report) {
+        if (ais::ValidatePositionReport(report).ok()) return true;
+        invalid.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      });
+  flow::Dataset<ais::PositionReport> by_vessel =
+      valid
+          .PartitionByKey(
+              [](const ais::PositionReport& r) { return r.mmsi; },
+              config.partitions)
+          .SortWithinPartitions(
+              [](const ais::PositionReport& a, const ais::PositionReport& b) {
+                if (a.mmsi != b.mmsi) return a.mmsi < b.mmsi;
+                return a.timestamp < b.timestamp;
+              });
+
+  // Per-vessel scan: duplicates and kinematically infeasible jumps.
+  const double max_speed = config.max_speed_knots;
+  flow::Dataset<PipelineRecord> cleaned = by_vessel.MapPartitions(
+      [&duplicates, &jumps,
+       max_speed](const std::vector<ais::PositionReport>& part) {
+        std::vector<PipelineRecord> out;
+        out.reserve(part.size());
+        ais::Mmsi current = 0;
+        const ais::PositionReport* last_kept = nullptr;
+        for (const ais::PositionReport& report : part) {
+          if (report.mmsi != current) {
+            current = report.mmsi;
+            last_kept = nullptr;
+          }
+          if (last_kept != nullptr) {
+            // Exact duplicate: same instant and position.
+            if (report.timestamp == last_kept->timestamp &&
+                report.lat_deg == last_kept->lat_deg &&
+                report.lng_deg == last_kept->lng_deg) {
+              duplicates.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            const double implied = geo::ImpliedSpeedKnots(
+                {last_kept->lat_deg, last_kept->lng_deg},
+                {report.lat_deg, report.lng_deg},
+                static_cast<double>(report.timestamp -
+                                    last_kept->timestamp));
+            if (implied > max_speed) {
+              jumps.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+          }
+          out.push_back(MakeRecord(report));
+          last_kept = &report;
+        }
+        return out;
+      });
+
+  if (stats != nullptr) {
+    stats->input = reports.size();
+    stats->invalid_fields = invalid.load();
+    stats->duplicates = duplicates.load();
+    stats->infeasible_jumps = jumps.load();
+    stats->kept = cleaned.Count();
+  }
+  return cleaned;
+}
+
+}  // namespace pol::core

@@ -1,0 +1,43 @@
+#ifndef POL_CORE_CLEANING_H_
+#define POL_CORE_CLEANING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ais/messages.h"
+#include "core/records.h"
+#include "flow/dataset.h"
+
+// Data cleaning and preprocessing (paper section 3.3.1):
+//   1. protocol range validation of every field;
+//   2. per-vessel partitioning and time-ordering;
+//   3. exact-duplicate removal;
+//   4. kinematic feasibility: transitions implying more than
+//      `max_speed_knots` (default 50 kn) are discarded.
+
+namespace pol::core {
+
+struct CleaningConfig {
+  int partitions = 8;
+  double max_speed_knots = 50.0;
+};
+
+struct CleaningStats {
+  uint64_t input = 0;
+  uint64_t invalid_fields = 0;
+  uint64_t duplicates = 0;
+  uint64_t infeasible_jumps = 0;
+  uint64_t kept = 0;
+};
+
+// Runs the cleaning stage. The result is partitioned by vessel and
+// time-sorted within each vessel (each vessel's records are contiguous),
+// ready for trip extraction.
+flow::Dataset<PipelineRecord> CleanReports(
+    const std::vector<ais::PositionReport>& reports,
+    const CleaningConfig& config, flow::ThreadPool* pool,
+    CleaningStats* stats);
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_CLEANING_H_

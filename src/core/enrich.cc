@@ -1,0 +1,61 @@
+#include "core/enrich.h"
+
+#include <atomic>
+
+namespace pol::core {
+
+Enricher::Enricher(const std::vector<ais::VesselInfo>& registry) {
+  registry_.reserve(registry.size());
+  for (const ais::VesselInfo& vessel : registry) {
+    registry_.emplace(vessel.mmsi, vessel);
+  }
+}
+
+const ais::VesselInfo* Enricher::Find(ais::Mmsi mmsi) const {
+  const auto it = registry_.find(mmsi);
+  return it == registry_.end() ? nullptr : &it->second;
+}
+
+flow::Dataset<PipelineRecord> Enricher::Enrich(
+    const flow::Dataset<PipelineRecord>& records, bool commercial_only,
+    EnrichmentStats* stats) const {
+  std::atomic<uint64_t> unknown{0};
+  std::atomic<uint64_t> non_commercial{0};
+  flow::Dataset<PipelineRecord> enriched = records.MapPartitions(
+      [this, commercial_only, &unknown,
+       &non_commercial](const std::vector<PipelineRecord>& part) {
+        std::vector<PipelineRecord> out;
+        out.reserve(part.size());
+        ais::Mmsi current = 0;
+        const ais::VesselInfo* vessel = nullptr;
+        for (const PipelineRecord& record : part) {
+          if (record.mmsi != current) {
+            current = record.mmsi;
+            vessel = Find(current);
+          }
+          if (vessel == nullptr) {
+            unknown.fetch_add(1, std::memory_order_relaxed);
+            if (commercial_only) continue;
+            out.push_back(record);
+            continue;
+          }
+          if (commercial_only && !ais::IsCommercialFleet(*vessel)) {
+            non_commercial.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          PipelineRecord annotated = record;
+          annotated.segment = vessel->segment;
+          out.push_back(annotated);
+        }
+        return out;
+      });
+  if (stats != nullptr) {
+    stats->input = records.Count();
+    stats->unknown_vessel = unknown.load();
+    stats->non_commercial = non_commercial.load();
+    stats->kept = enriched.Count();
+  }
+  return enriched;
+}
+
+}  // namespace pol::core

@@ -1,0 +1,95 @@
+#include "core/extractor.h"
+
+#include <vector>
+
+#include "hexgrid/hexgrid.h"
+
+namespace pol::core {
+
+flow::Dataset<PipelineRecord> ProjectToGrid(
+    const flow::Dataset<PipelineRecord>& records, int resolution) {
+  return records.MapPartitions(
+      [resolution](const std::vector<PipelineRecord>& part) {
+        std::vector<PipelineRecord> out;
+        out.reserve(part.size());
+        for (const PipelineRecord& record : part) {
+          PipelineRecord projected = record;
+          projected.cell =
+              hex::LatLngToCell({record.lat_deg, record.lng_deg}, resolution);
+          projected.next_cell = hex::kInvalidCell;
+          out.push_back(projected);
+        }
+        // Transitions: consecutive in-trip records of the same vessel
+        // landing in different cells (order within the partition is the
+        // vessel's time order).
+        for (size_t i = 0; i + 1 < out.size(); ++i) {
+          if (out[i].mmsi == out[i + 1].mmsi &&
+              out[i].trip_id == out[i + 1].trip_id && out[i].trip_id != 0 &&
+              out[i].cell != out[i + 1].cell &&
+              out[i + 1].cell != hex::kInvalidCell) {
+            out[i].next_cell = out[i + 1].cell;
+          }
+        }
+        return out;
+      });
+}
+
+SummaryMap ExtractFeatures(const flow::Dataset<PipelineRecord>& projected,
+                           const ExtractorConfig& config) {
+  const size_t partitions =
+      static_cast<size_t>(projected.num_partitions());
+  const SummaryParams& params = config.summary_params;
+
+  // Map phase: per-partition grouping. Each record feeds up to three
+  // grouping sets (Table 2).
+  std::vector<SummaryMap> locals(partitions);
+  projected.pool()->ParallelFor(partitions, [&](size_t p) {
+    SummaryMap& local = locals[p];
+    for (const PipelineRecord& record :
+         projected.partition(static_cast<int>(p))) {
+      if (record.cell == hex::kInvalidCell) continue;
+      if (config.gi_cell) {
+        auto [it, inserted] =
+            local.try_emplace(KeyCell(record.cell), params);
+        (void)inserted;
+        it->second.Add(record);
+      }
+      if (config.gi_cell_type) {
+        auto [it, inserted] = local.try_emplace(
+            KeyCellType(record.cell, record.segment), params);
+        (void)inserted;
+        it->second.Add(record);
+      }
+      if (config.gi_cell_route_type && record.trip_id != 0) {
+        auto [it, inserted] = local.try_emplace(
+            KeyCellRouteType(record.cell, record.origin, record.destination,
+                             record.segment),
+            params);
+        (void)inserted;
+        it->second.Add(record);
+      }
+    }
+  });
+
+  // Reduce phase: fold partials into the result in ascending partition
+  // order (deterministic; summaries are mergeable by construction).
+  // Deliberately sequential: inventories hold millions of summaries and
+  // the dominant cost is memory, so each local map is released the
+  // moment it has been folded — a bucket-parallel merge would pin every
+  // partial until the end. The map phase above carries the parallelism.
+  SummaryMap result = std::move(locals[0]);
+  for (size_t p = 1; p < partitions; ++p) {
+    for (auto& [key, summary] : locals[p]) {
+      auto [it, inserted] = result.try_emplace(key, params);
+      if (inserted) {
+        it->second = std::move(summary);
+      } else {
+        it->second.Merge(std::move(summary));
+      }
+    }
+    SummaryMap().swap(locals[p]);  // Free before touching the next one.
+  }
+  return result;
+}
+
+}  // namespace pol::core

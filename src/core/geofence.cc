@@ -1,0 +1,46 @@
+#include "core/geofence.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "geo/geodesic.h"
+
+namespace pol::core {
+
+Geofencer::Geofencer(const sim::PortDatabase* ports, int res)
+    : ports_(ports), res_(res) {
+  POL_CHECK(ports_ != nullptr);
+  for (const sim::Port& port : ports_->ports()) {
+    // Cover the geofence disk plus one cell of slack (a point near the
+    // cell edge can belong to a fence whose centre cell is adjacent).
+    const double cover_km =
+        port.geofence_radius_km + hex::EdgeLengthKm(res_) * 2.0;
+    for (const hex::CellIndex cell :
+         hex::CellsWithinDistanceKm(port.position, cover_km, res_)) {
+      index_[cell].push_back(port.id);
+    }
+  }
+}
+
+sim::PortId Geofencer::PortAt(const geo::LatLng& position) const {
+  const hex::CellIndex cell = hex::LatLngToCell(position, res_);
+  const auto it = index_.find(cell);
+  if (it == index_.end()) return sim::kNoPort;
+  sim::PortId best = sim::kNoPort;
+  double best_km = std::numeric_limits<double>::max();
+  for (const sim::PortId id : it->second) {
+    const sim::Port& port = **ports_->Find(id);
+    const double d = geo::HaversineKm(position, port.position);
+    if (d <= port.geofence_radius_km && d < best_km) {
+      best_km = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+sim::PortId Geofencer::PortAtExhaustive(const geo::LatLng& position) const {
+  return ports_->GeofenceContaining(position);
+}
+
+}  // namespace pol::core

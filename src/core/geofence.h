@@ -1,0 +1,43 @@
+#ifndef POL_CORE_GEOFENCE_H_
+#define POL_CORE_GEOFENCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "hexgrid/hexgrid.h"
+#include "sim/ports.h"
+
+// Port geofencing (paper section 3.3.2): the spatial technique that
+// detects records inside port areas. A naive implementation tests every
+// point against every port; this one pre-indexes port geofences on the
+// hexagonal grid, so a lookup is one cell hash probe plus exact distance
+// checks against the handful of candidate ports sharing the cell.
+
+namespace pol::core {
+
+class Geofencer {
+ public:
+  // Indexes the geofences of `ports` at grid resolution `res` (cells
+  // must be comfortably smaller than a geofence; 6 or 7 both work).
+  explicit Geofencer(const sim::PortDatabase* ports, int res = 6);
+
+  // The port whose geofence contains `position`, or kNoPort.
+  sim::PortId PortAt(const geo::LatLng& position) const;
+
+  // Exhaustive (non-indexed) lookup, for verification and benchmarks.
+  sim::PortId PortAtExhaustive(const geo::LatLng& position) const;
+
+  int resolution() const { return res_; }
+  size_t IndexedCellCount() const { return index_.size(); }
+
+ private:
+  const sim::PortDatabase* ports_;
+  int res_;
+  // Cell -> ports whose geofence intersects the cell.
+  std::unordered_map<hex::CellIndex, std::vector<sim::PortId>> index_;
+};
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_GEOFENCE_H_

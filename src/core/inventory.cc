@@ -1,0 +1,223 @@
+#include "core/inventory.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/crc32.h"
+#include "common/varint.h"
+#include "hexgrid/hex_math.h"
+#include "hexgrid/hexgrid.h"
+
+namespace pol::core {
+namespace {
+
+constexpr char kMagic[] = "POLINV01";
+constexpr size_t kMagicLen = 8;
+
+}  // namespace
+
+Inventory::Inventory(int resolution, SummaryMap summaries)
+    : resolution_(resolution), summaries_(std::move(summaries)) {}
+
+const CellSummary* Inventory::Cell(hex::CellIndex cell) const {
+  const auto it = summaries_.find(KeyCell(cell));
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+const CellSummary* Inventory::CellType(hex::CellIndex cell,
+                                       ais::MarketSegment segment) const {
+  const auto it = summaries_.find(KeyCellType(cell, segment));
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+const CellSummary* Inventory::CellRouteType(
+    hex::CellIndex cell, sim::PortId origin, sim::PortId destination,
+    ais::MarketSegment segment) const {
+  const auto it = summaries_.find(
+      KeyCellRouteType(cell, origin, destination, segment));
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+const CellSummary* Inventory::AtPosition(const geo::LatLng& position) const {
+  return Cell(hex::LatLngToCell(position, resolution_));
+}
+
+sim::PortId Inventory::TopDestination(hex::CellIndex cell,
+                                      ais::MarketSegment segment,
+                                      bool any_segment) const {
+  const CellSummary* summary =
+      any_segment ? Cell(cell) : CellType(cell, segment);
+  if (summary == nullptr) return sim::kNoPort;
+  const auto top = summary->destinations().TopN(1);
+  if (top.empty()) return sim::kNoPort;
+  return static_cast<sim::PortId>(top[0].key);
+}
+
+std::vector<hex::CellIndex> Inventory::CellsForRoute(
+    sim::PortId origin, sim::PortId destination,
+    ais::MarketSegment segment) const {
+  std::vector<hex::CellIndex> cells;
+  for (const auto& [key, summary] : summaries_) {
+    if (key.grouping_set !=
+        static_cast<uint8_t>(GroupingSet::kCellRouteType)) {
+      continue;
+    }
+    if (key.origin == origin && key.destination == destination &&
+        key.segment == static_cast<uint8_t>(segment)) {
+      cells.push_back(key.cell);
+    }
+  }
+  return cells;
+}
+
+uint64_t Inventory::DistinctCells() const {
+  uint64_t cells = 0;
+  for (const auto& [key, summary] : summaries_) {
+    if (key.grouping_set == static_cast<uint8_t>(GroupingSet::kCell)) {
+      ++cells;
+    }
+  }
+  return cells;
+}
+
+CompressionReport Inventory::Compression(uint64_t records) const {
+  CompressionReport report;
+  report.resolution = resolution_;
+  report.records = records;
+  report.cells = DistinctCells();
+  report.summaries = summaries_.size();
+  report.compression =
+      records == 0 ? 0.0
+                   : 1.0 - static_cast<double>(report.cells) /
+                               static_cast<double>(records);
+  report.utilization = static_cast<double>(report.cells) /
+                       static_cast<double>(hex::NumCells(resolution_));
+  std::string bytes;
+  SerializeTo(&bytes);
+  report.serialized_bytes = bytes.size();
+  return report;
+}
+
+Status Inventory::MergeFrom(Inventory&& other) {
+  if (other.resolution_ != resolution_) {
+    return Status::FailedPrecondition(
+        "cannot merge inventories of different resolutions");
+  }
+  for (auto& [key, summary] : other.summaries_) {
+    auto [it, inserted] = summaries_.try_emplace(key);
+    if (inserted) {
+      it->second = std::move(summary);
+    } else {
+      it->second.Merge(std::move(summary));
+    }
+  }
+  other.summaries_.clear();
+  return Status::OK();
+}
+
+void Inventory::SerializeTo(std::string* out) const {
+  out->append(kMagic, kMagicLen);
+  std::string body;
+  PutVarint64(&body, static_cast<uint64_t>(resolution_));
+  PutVarint64(&body, summaries_.size());
+  // Deterministic order: sort keys. (The map is unordered; canonical
+  // bytes make file-level comparisons and CRCs meaningful.)
+  std::vector<const GroupKey*> keys;
+  keys.reserve(summaries_.size());
+  for (const auto& [key, summary] : summaries_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const GroupKey* a, const GroupKey* b) {
+              if (a->cell != b->cell) return a->cell < b->cell;
+              return GroupKeyDimsPacked(*a) < GroupKeyDimsPacked(*b);
+            });
+  for (const GroupKey* key : keys) {
+    PutVarint64(&body, key->cell);
+    PutVarint64(&body, GroupKeyDimsPacked(*key));
+    std::string summary_bytes;
+    summaries_.at(*key).Serialize(&summary_bytes);
+    PutLengthPrefixed(&body, summary_bytes);
+  }
+  // Footer: body size + CRC of the body.
+  PutVarint64(out, body.size());
+  out->append(body);
+  const uint32_t crc = Crc32(body);
+  out->push_back(static_cast<char>(crc & 0xff));
+  out->push_back(static_cast<char>((crc >> 8) & 0xff));
+  out->push_back(static_cast<char>((crc >> 16) & 0xff));
+  out->push_back(static_cast<char>((crc >> 24) & 0xff));
+}
+
+Result<Inventory> Inventory::DeserializeFrom(std::string_view input) {
+  if (input.size() < kMagicLen ||
+      input.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen)) {
+    return Status::Corruption("bad inventory magic");
+  }
+  input.remove_prefix(kMagicLen);
+  uint64_t body_size = 0;
+  POL_RETURN_IF_ERROR(GetVarint64(&input, &body_size));
+  if (input.size() < body_size + 4) {
+    return Status::Corruption("truncated inventory body");
+  }
+  const std::string_view body_bytes = input.substr(0, body_size);
+  const std::string_view crc_bytes = input.substr(body_size, 4);
+  uint32_t declared = 0;
+  for (int i = 3; i >= 0; --i) {
+    declared = (declared << 8) | static_cast<uint8_t>(crc_bytes[static_cast<size_t>(i)]);
+  }
+  if (Crc32(body_bytes) != declared) {
+    return Status::Corruption("inventory checksum mismatch");
+  }
+
+  std::string_view body = body_bytes;
+  uint64_t resolution = 0;
+  uint64_t count = 0;
+  POL_RETURN_IF_ERROR(GetVarint64(&body, &resolution));
+  POL_RETURN_IF_ERROR(GetVarint64(&body, &count));
+  if (resolution > hex::kMaxResolution) {
+    return Status::Corruption("bad inventory resolution");
+  }
+  SummaryMap summaries;
+  summaries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t cell = 0;
+    uint64_t dims = 0;
+    POL_RETURN_IF_ERROR(GetVarint64(&body, &cell));
+    POL_RETURN_IF_ERROR(GetVarint64(&body, &dims));
+    GroupKey key;
+    key.cell = cell;
+    key.grouping_set = static_cast<uint8_t>(dims & 0xff);
+    key.segment = static_cast<uint8_t>((dims >> 8) & 0xff);
+    key.origin = static_cast<uint16_t>((dims >> 16) & 0xffff);
+    key.destination = static_cast<uint16_t>((dims >> 32) & 0xffff);
+    std::string_view summary_bytes;
+    POL_RETURN_IF_ERROR(GetLengthPrefixed(&body, &summary_bytes));
+    CellSummary summary;
+    POL_RETURN_IF_ERROR(summary.Deserialize(&summary_bytes));
+    if (!summary_bytes.empty()) {
+      return Status::Corruption("trailing bytes in summary");
+    }
+    summaries.emplace(key, std::move(summary));
+  }
+  return Inventory(static_cast<int>(resolution), std::move(summaries));
+}
+
+Status Inventory::SaveToFile(const std::string& path) const {
+  std::string bytes;
+  SerializeTo(&bytes);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<Inventory> Inventory::LoadFromFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeFrom(bytes);
+}
+
+}  // namespace pol::core

@@ -1,0 +1,87 @@
+#ifndef POL_CORE_INVENTORY_H_
+#define POL_CORE_INVENTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+
+// The global inventory — the paper's end product: a keyed store of
+// per-cell statistical summaries for all grouping sets, queryable by
+// location (and segment, and port pair), serializable to a checksummed
+// binary file.
+
+namespace pol::core {
+
+// Table 4 quantities for one built inventory.
+struct CompressionReport {
+  int resolution = 0;
+  uint64_t records = 0;        // Records aggregated.
+  uint64_t cells = 0;          // Distinct cells touched (GI 1).
+  uint64_t summaries = 0;      // Summaries across all grouping sets.
+  double compression = 0.0;    // 1 - cells / records.
+  double utilization = 0.0;    // cells / NumCells(resolution).
+  uint64_t serialized_bytes = 0;
+};
+
+class Inventory {
+ public:
+  Inventory(int resolution, SummaryMap summaries);
+
+  int resolution() const { return resolution_; }
+  size_t size() const { return summaries_.size(); }
+  const SummaryMap& summaries() const { return summaries_; }
+
+  // Point lookups per grouping set; nullptr when the group is absent.
+  const CellSummary* Cell(hex::CellIndex cell) const;
+  const CellSummary* CellType(hex::CellIndex cell,
+                              ais::MarketSegment segment) const;
+  const CellSummary* CellRouteType(hex::CellIndex cell, sim::PortId origin,
+                                   sim::PortId destination,
+                                   ais::MarketSegment segment) const;
+
+  // Location-based convenience (the "query for a specific location" of
+  // the paper's abstract): summary of the cell containing a position.
+  const CellSummary* AtPosition(const geo::LatLng& position) const;
+
+  // The most frequent destination port for a cell (optionally per
+  // segment); kNoPort when unknown.
+  sim::PortId TopDestination(hex::CellIndex cell,
+                             ais::MarketSegment segment,
+                             bool any_segment) const;
+
+  // All cells carrying a summary for a given (origin, destination,
+  // segment) key — the route-forecasting query of section 4.1.3.
+  std::vector<hex::CellIndex> CellsForRoute(sim::PortId origin,
+                                            sim::PortId destination,
+                                            ais::MarketSegment segment) const;
+
+  // Distinct cells in grouping set 1 (the Table 4 "#Cells").
+  uint64_t DistinctCells() const;
+
+  // Table 4 numbers for this inventory given the aggregated record count.
+  CompressionReport Compression(uint64_t records) const;
+
+  // Incremental updates: folds another inventory (e.g. the next day's
+  // batch) into this one. Summaries merge exactly (every Table-3
+  // statistic is mergeable), so building per-period inventories and
+  // merging equals one build over the concatenated archive. Fails on
+  // resolution mismatch.
+  Status MergeFrom(Inventory&& other);
+
+  // Checksummed binary serialization.
+  Status SaveToFile(const std::string& path) const;
+  static Result<Inventory> LoadFromFile(const std::string& path);
+
+  void SerializeTo(std::string* out) const;
+  static Result<Inventory> DeserializeFrom(std::string_view input);
+
+ private:
+  int resolution_;
+  SummaryMap summaries_;
+};
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_INVENTORY_H_

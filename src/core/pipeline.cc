@@ -1,0 +1,63 @@
+#include "core/pipeline.h"
+
+#include <optional>
+
+#include "core/extractor.h"
+
+namespace pol::core {
+
+PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
+                           const std::vector<ais::VesselInfo>& registry,
+                           const PipelineConfig& config) {
+  PipelineResult result;
+  const sim::PortDatabase* ports =
+      config.ports != nullptr ? config.ports : &sim::PortDatabase::Global();
+
+  flow::ThreadPool pool(config.threads);
+
+  // Stages run inside scopes so each intermediate dataset is released as
+  // soon as the next stage has consumed it (a year of records is held at
+  // most twice at any moment).
+  std::optional<flow::Dataset<PipelineRecord>> current;
+  {
+    // Stage 1: cleaning and preprocessing.
+    CleaningConfig cleaning_config;
+    cleaning_config.partitions = config.partitions;
+    cleaning_config.max_speed_knots = config.max_speed_knots;
+    current.emplace(
+        CleanReports(reports, cleaning_config, &pool, &result.cleaning));
+  }
+  {
+    // Stage 2: enrichment with static vessel data + commercial filter.
+    const Enricher enricher(registry);
+    flow::Dataset<PipelineRecord> enriched = enricher.Enrich(
+        *current, config.commercial_only, &result.enrichment);
+    current.emplace(std::move(enriched));
+  }
+  {
+    // Stage 3: trip semantics via port geofencing.
+    const Geofencer geofencer(ports, config.geofence_resolution);
+    flow::Dataset<PipelineRecord> with_trips =
+        ExtractTrips(*current, geofencer, &result.trips);
+    current.emplace(std::move(with_trips));
+  }
+  {
+    // Stage 4: projection to the hexagonal grid.
+    flow::Dataset<PipelineRecord> projected =
+        ProjectToGrid(*current, config.resolution);
+    current.emplace(std::move(projected));
+  }
+  result.aggregated_records = current->Count();
+
+  // Stage 5: feature extraction over the grouping sets.
+  ExtractorConfig extractor_config = config.extractor;
+  extractor_config.resolution = config.resolution;
+  SummaryMap summaries = ExtractFeatures(*current, extractor_config);
+  current.reset();
+
+  result.inventory = std::make_unique<Inventory>(config.resolution,
+                                                 std::move(summaries));
+  return result;
+}
+
+}  // namespace pol::core

@@ -1,0 +1,50 @@
+#ifndef POL_CORE_PIPELINE_H_
+#define POL_CORE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cleaning.h"
+#include "core/enrich.h"
+#include "core/inventory.h"
+#include "core/trips.h"
+#include "flow/threadpool.h"
+#include "sim/ports.h"
+
+// The end-to-end Patterns-of-Life pipeline (Figures 2 and 3 of the
+// paper): cleaning -> enrichment -> trip extraction -> grid projection
+// -> feature extraction -> global inventory.
+
+namespace pol::core {
+
+struct PipelineConfig {
+  int partitions = 8;
+  int threads = 0;  // 0 = hardware concurrency.
+  double max_speed_knots = 50.0;
+  bool commercial_only = true;
+  int resolution = 6;
+  int geofence_resolution = 6;
+  ExtractorConfig extractor;  // resolution is overwritten from above.
+  const sim::PortDatabase* ports = nullptr;  // Default: the world table.
+};
+
+struct PipelineResult {
+  std::unique_ptr<Inventory> inventory;
+  CleaningStats cleaning;
+  EnrichmentStats enrichment;
+  TripStats trips;
+  uint64_t aggregated_records = 0;  // Records folded into the inventory.
+
+  CompressionReport Compression() const {
+    return inventory->Compression(aggregated_records);
+  }
+};
+
+// Runs the whole pipeline over an AIS archive and a vessel registry.
+PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
+                           const std::vector<ais::VesselInfo>& registry,
+                           const PipelineConfig& config);
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_PIPELINE_H_

@@ -1,0 +1,84 @@
+#include "core/port_calls.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace pol::core {
+namespace {
+
+// True when the record is a stationary fence hit (same condition the
+// trip extractor uses for stops).
+bool IsStop(const PipelineRecord& record, const Geofencer& geofencer,
+            const PortCallConfig& config, sim::PortId* port) {
+  *port = geofencer.PortAt({record.lat_deg, record.lng_deg});
+  if (*port == sim::kNoPort) return false;
+  if (record.nav_status == ais::NavStatus::kMoored ||
+      record.nav_status == ais::NavStatus::kAtAnchor ||
+      record.nav_status == ais::NavStatus::kAground) {
+    return true;
+  }
+  return record.sog_knots < config.trip.stop_speed_knots;
+}
+
+}  // namespace
+
+std::vector<PortCall> ExtractPortCalls(
+    const flow::Dataset<PipelineRecord>& records, const Geofencer& geofencer,
+    const PortCallConfig& config) {
+  std::mutex mutex;
+  std::vector<PortCall> calls;
+
+  records.pool()->ParallelFor(
+      static_cast<size_t>(records.num_partitions()), [&](size_t p) {
+        std::vector<PortCall> local;
+        PortCall open;  // open.port == kNoPort means no call in progress.
+        auto close_call = [&local, &config](PortCall* call) {
+          if (call->port != sim::kNoPort &&
+              call->DurationSeconds() >= config.min_duration_s) {
+            local.push_back(*call);
+          }
+          call->port = sim::kNoPort;
+        };
+        for (const PipelineRecord& record :
+             records.partition(static_cast<int>(p))) {
+          if (open.port != sim::kNoPort && record.mmsi != open.mmsi) {
+            close_call(&open);
+          }
+          sim::PortId port = sim::kNoPort;
+          const bool stop = IsStop(record, geofencer, config, &port);
+          if (!stop) {
+            // A call stays open across non-stop records until the merge
+            // gap expires (a vessel shifting berth keeps its call).
+            if (open.port != sim::kNoPort &&
+                record.timestamp - open.departure > config.merge_gap_s) {
+              close_call(&open);
+            }
+            continue;
+          }
+          if (open.port == port && open.mmsi == record.mmsi &&
+              record.timestamp - open.departure <= config.merge_gap_s) {
+            open.departure = record.timestamp;
+            ++open.records;
+            continue;
+          }
+          close_call(&open);
+          open.mmsi = record.mmsi;
+          open.port = port;
+          open.arrival = record.timestamp;
+          open.departure = record.timestamp;
+          open.records = 1;
+        }
+        close_call(&open);
+        const std::lock_guard<std::mutex> lock(mutex);
+        calls.insert(calls.end(), local.begin(), local.end());
+      });
+
+  std::sort(calls.begin(), calls.end(),
+            [](const PortCall& a, const PortCall& b) {
+              if (a.mmsi != b.mmsi) return a.mmsi < b.mmsi;
+              return a.arrival < b.arrival;
+            });
+  return calls;
+}
+
+}  // namespace pol::core

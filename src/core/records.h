@@ -1,0 +1,65 @@
+#ifndef POL_CORE_RECORDS_H_
+#define POL_CORE_RECORDS_H_
+
+#include <cstdint>
+
+#include "ais/messages.h"
+#include "ais/types.h"
+#include "common/time_util.h"
+#include "hexgrid/cell_index.h"
+#include "sim/ports.h"
+
+// The record types flowing through the pipeline stages (Figure 3 of the
+// paper): a positional report is progressively annotated with static
+// vessel data, trip semantics and its grid cell.
+
+namespace pol::core {
+
+// One fully annotated positional report. Fields are filled in stage
+// order; a default-initialized tail means the stage has not run.
+struct PipelineRecord {
+  // From the positional report (cleaning stage).
+  ais::Mmsi mmsi = 0;
+  UnixSeconds timestamp = 0;
+  double lat_deg = 0.0;
+  double lng_deg = 0.0;
+  double sog_knots = ais::kSogUnavailable;
+  double cog_deg = ais::kCogUnavailable;
+  double heading_deg = ais::kHeadingUnavailable;
+  ais::NavStatus nav_status = ais::NavStatus::kNotDefined;
+
+  // Enrichment stage.
+  ais::MarketSegment segment = ais::MarketSegment::kOther;
+
+  // Trip semantics stage. trip_id == 0 means "no trip" (the record is
+  // inside a port, or before the first / after the last known call).
+  uint64_t trip_id = 0;
+  sim::PortId origin = sim::kNoPort;
+  sim::PortId destination = sim::kNoPort;
+  int64_t eto_s = 0;  // Elapsed time from origin at this report.
+  int64_t ata_s = 0;  // Actual (remaining) time to arrival.
+
+  // Projection stage.
+  hex::CellIndex cell = hex::kInvalidCell;
+  // Cell of the next in-trip report when it differs (a transition);
+  // kInvalidCell otherwise.
+  hex::CellIndex next_cell = hex::kInvalidCell;
+};
+
+// Builds the cleaned base record from a raw report.
+inline PipelineRecord MakeRecord(const ais::PositionReport& report) {
+  PipelineRecord record;
+  record.mmsi = report.mmsi;
+  record.timestamp = report.timestamp;
+  record.lat_deg = report.lat_deg;
+  record.lng_deg = report.lng_deg;
+  record.sog_knots = report.sog_knots;
+  record.cog_deg = report.cog_deg;
+  record.heading_deg = report.heading_deg;
+  record.nav_status = report.nav_status;
+  return record;
+}
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_RECORDS_H_

@@ -1,0 +1,270 @@
+#ifndef POL_FLOW_DATASET_H_
+#define POL_FLOW_DATASET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "flow/threadpool.h"
+
+// Dataset<T>: an in-memory partitioned collection with the MapReduce
+// operations the paper's methodology is written in (map / filter /
+// key-based shuffle / per-partition sort / mergeable aggregation).
+//
+// This is the in-process stand-in for Apache Spark used by the original
+// system. Operations parallelize over partitions on a ThreadPool, and —
+// the property that matters for correctness — every aggregation result
+// is independent of the number of partitions and worker threads, as
+// long as the accumulator's Merge is order-insensitive for the queried
+// statistics (all sketches in pol::stats are; see the merge property
+// tests). Merging across partitions always proceeds in ascending
+// partition order, so results are bit-for-bit reproducible run to run.
+
+namespace pol::flow {
+
+template <typename T>
+class Dataset {
+ public:
+  // Wraps existing partitions. The pool must outlive the dataset.
+  Dataset(std::vector<std::vector<T>> partitions, ThreadPool* pool)
+      : partitions_(std::move(partitions)), pool_(pool) {
+    POL_CHECK(pool_ != nullptr);
+    POL_CHECK(!partitions_.empty()) << "datasets have at least one partition";
+  }
+
+  // Splits `data` into `num_partitions` contiguous chunks.
+  static Dataset FromVector(std::vector<T> data, int num_partitions,
+                            ThreadPool* pool) {
+    POL_CHECK(num_partitions >= 1);
+    const size_t p = static_cast<size_t>(num_partitions);
+    std::vector<std::vector<T>> partitions(p);
+    const size_t chunk = (data.size() + p - 1) / p;
+    for (size_t i = 0; i < p; ++i) {
+      const size_t begin = std::min(data.size(), i * chunk);
+      const size_t end = std::min(data.size(), begin + chunk);
+      partitions[i].assign(std::make_move_iterator(data.begin() + begin),
+                           std::make_move_iterator(data.begin() + end));
+    }
+    return Dataset(std::move(partitions), pool);
+  }
+
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+
+  const std::vector<T>& partition(int index) const {
+    return partitions_[static_cast<size_t>(index)];
+  }
+
+  size_t Count() const {
+    size_t total = 0;
+    for (const auto& p : partitions_) total += p.size();
+    return total;
+  }
+
+  // Concatenation of all partitions in partition order.
+  std::vector<T> Collect() const {
+    std::vector<T> out;
+    out.reserve(Count());
+    for (const auto& p : partitions_) {
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  // Element-wise transform. U = fn(const T&).
+  template <typename F>
+  auto Map(F fn) const -> Dataset<std::decay_t<std::invoke_result_t<F, const T&>>> {
+    using U = std::decay_t<std::invoke_result_t<F, const T&>>;
+    std::vector<std::vector<U>> out(partitions_.size());
+    pool_->ParallelFor(partitions_.size(), [&](size_t i) {
+      out[i].reserve(partitions_[i].size());
+      for (const T& item : partitions_[i]) out[i].push_back(fn(item));
+    });
+    return Dataset<U>(std::move(out), pool_);
+  }
+
+  // Keeps elements satisfying the predicate.
+  template <typename Pred>
+  Dataset<T> Filter(Pred pred) const {
+    std::vector<std::vector<T>> out(partitions_.size());
+    pool_->ParallelFor(partitions_.size(), [&](size_t i) {
+      for (const T& item : partitions_[i]) {
+        if (pred(item)) out[i].push_back(item);
+      }
+    });
+    return Dataset<T>(std::move(out), pool_);
+  }
+
+  // One-to-many transform. fn returns a container of U.
+  template <typename F>
+  auto FlatMap(F fn) const
+      -> Dataset<typename std::decay_t<std::invoke_result_t<F, const T&>>::value_type> {
+    using U = typename std::decay_t<std::invoke_result_t<F, const T&>>::value_type;
+    std::vector<std::vector<U>> out(partitions_.size());
+    pool_->ParallelFor(partitions_.size(), [&](size_t i) {
+      for (const T& item : partitions_[i]) {
+        for (auto& produced : fn(item)) out[i].push_back(std::move(produced));
+      }
+    });
+    return Dataset<U>(std::move(out), pool_);
+  }
+
+  // Whole-partition transform: fn(const std::vector<T>&) -> std::vector<U>.
+  // The workhorse for per-vessel sequence logic after a key shuffle +
+  // sort (runs of one vessel are contiguous within a partition).
+  template <typename F>
+  auto MapPartitions(F fn) const
+      -> Dataset<typename std::decay_t<
+          std::invoke_result_t<F, const std::vector<T>&>>::value_type> {
+    using U = typename std::decay_t<
+        std::invoke_result_t<F, const std::vector<T>&>>::value_type;
+    std::vector<std::vector<U>> out(partitions_.size());
+    pool_->ParallelFor(partitions_.size(),
+                       [&](size_t i) { out[i] = fn(partitions_[i]); });
+    return Dataset<U>(std::move(out), pool_);
+  }
+
+  // Hash-shuffles elements so that equal keys land in the same target
+  // partition. key_fn(const T&) must return a hashable value. Output
+  // order within a partition follows (source partition, source position),
+  // so the shuffle is deterministic for a fixed input partitioning.
+  template <typename KeyFn>
+  Dataset<T> PartitionByKey(KeyFn key_fn, int num_target_partitions) const {
+    POL_CHECK(num_target_partitions >= 1);
+    const size_t targets = static_cast<size_t>(num_target_partitions);
+    using Key = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
+    // Per-source bucketing in parallel, then ordered concatenation.
+    std::vector<std::vector<std::vector<T>>> buckets(partitions_.size());
+    pool_->ParallelFor(partitions_.size(), [&](size_t src) {
+      buckets[src].assign(targets, {});
+      for (const T& item : partitions_[src]) {
+        const size_t target =
+            std::hash<Key>{}(key_fn(item)) % targets;
+        buckets[src][target].push_back(item);
+      }
+    });
+    std::vector<std::vector<T>> out(targets);
+    pool_->ParallelFor(targets, [&](size_t target) {
+      size_t total = 0;
+      for (const auto& src : buckets) total += src[target].size();
+      out[target].reserve(total);
+      for (auto& src : buckets) {
+        out[target].insert(out[target].end(),
+                           std::make_move_iterator(src[target].begin()),
+                           std::make_move_iterator(src[target].end()));
+      }
+    });
+    return Dataset<T>(std::move(out), pool_);
+  }
+
+  // Concatenates two datasets (Spark's union): the result holds the
+  // partitions of both, in order. Both must share a pool.
+  Dataset<T> Union(const Dataset<T>& other) const {
+    POL_CHECK(other.pool_ == pool_) << "union across thread pools";
+    std::vector<std::vector<T>> partitions = partitions_;
+    partitions.insert(partitions.end(), other.partitions_.begin(),
+                      other.partitions_.end());
+    return Dataset<T>(std::move(partitions), pool_);
+  }
+
+  // Reduces to `num_partitions` by concatenating whole partitions in
+  // order (Spark's coalesce: no shuffle, order preserved).
+  Dataset<T> Coalesce(int num_partitions) const {
+    POL_CHECK(num_partitions >= 1);
+    const size_t targets = static_cast<size_t>(
+        std::min<int>(num_partitions, this->num_partitions()));
+    std::vector<std::vector<T>> out(targets);
+    // Contiguous groups keep global order: partition i goes to bucket
+    // floor(i * targets / P).
+    const size_t p = partitions_.size();
+    for (size_t i = 0; i < p; ++i) {
+      auto& target = out[i * targets / p];
+      target.insert(target.end(), partitions_[i].begin(),
+                    partitions_[i].end());
+    }
+    return Dataset<T>(std::move(out), pool_);
+  }
+
+  // Stable-sorts every partition independently (Spark's
+  // sortWithinPartitions).
+  template <typename Less>
+  Dataset<T> SortWithinPartitions(Less less) const {
+    std::vector<std::vector<T>> out(partitions_.size());
+    pool_->ParallelFor(partitions_.size(), [&](size_t i) {
+      out[i] = partitions_[i];
+      std::stable_sort(out[i].begin(), out[i].end(), less);
+    });
+    return Dataset<T>(std::move(out), pool_);
+  }
+
+  // Grouped aggregation with mergeable accumulators — the reduce phase
+  // of the paper's feature extraction.
+  //
+  //   key_fn(const T&)            -> Key (hashable, equality-comparable)
+  //   init_fn()                   -> Acc
+  //   add_fn(Acc&, const T&)      folds one element
+  //   merge_fn(Acc&, Acc&&)       folds a partial accumulator
+  //
+  // Each partition aggregates locally; partials are then combined per
+  // key in ascending partition order (deterministic).
+  template <typename KeyFn, typename InitFn, typename AddFn, typename MergeFn>
+  auto AggregateByKey(KeyFn key_fn, InitFn init_fn, AddFn add_fn,
+                      MergeFn merge_fn) const
+      -> std::unordered_map<std::decay_t<std::invoke_result_t<KeyFn, const T&>>,
+                            std::decay_t<std::invoke_result_t<InitFn>>> {
+    using Key = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
+    using Acc = std::decay_t<std::invoke_result_t<InitFn>>;
+    using LocalMap = std::unordered_map<Key, Acc>;
+
+    // Map phase: local aggregation per partition.
+    std::vector<LocalMap> locals(partitions_.size());
+    pool_->ParallelFor(partitions_.size(), [&](size_t i) {
+      LocalMap& local = locals[i];
+      for (const T& item : partitions_[i]) {
+        auto [it, inserted] = local.try_emplace(key_fn(item), init_fn());
+        (void)inserted;
+        add_fn(it->second, item);
+      }
+    });
+
+    // Reduce phase: merge partials bucket-parallel, partition-ordered.
+    const size_t buckets = partitions_.size();
+    std::vector<LocalMap> merged(buckets);
+    pool_->ParallelFor(buckets, [&](size_t b) {
+      for (LocalMap& local : locals) {
+        for (auto& [key, acc] : local) {
+          if (std::hash<Key>{}(key) % buckets != b) continue;
+          auto [it, inserted] = merged[b].try_emplace(key, init_fn());
+          if (inserted) {
+            it->second = std::move(acc);
+          } else {
+            merge_fn(it->second, std::move(acc));
+          }
+        }
+      }
+    });
+
+    std::unordered_map<Key, Acc> result;
+    size_t total = 0;
+    for (const auto& m : merged) total += m.size();
+    result.reserve(total);
+    for (LocalMap& m : merged) {
+      for (auto& [key, acc] : m) result.emplace(key, std::move(acc));
+    }
+    return result;
+  }
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  std::vector<std::vector<T>> partitions_;
+  ThreadPool* pool_;
+};
+
+}  // namespace pol::flow
+
+#endif  // POL_FLOW_DATASET_H_

@@ -1,0 +1,55 @@
+#ifndef POL_FLOW_THREADPOOL_H_
+#define POL_FLOW_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Fixed-size worker pool driving the dataflow engine. Tasks are
+// fire-and-forget closures; Wait() blocks until everything submitted so
+// far has finished. The pool is the only concurrency primitive in the
+// library — Dataset operations express all parallelism through it.
+
+namespace pol::flow {
+
+class ThreadPool {
+ public:
+  // `num_threads` <= 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Safe from any thread, including from inside tasks.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is running. Do not call
+  // from inside a task.
+  void Wait();
+
+  // Runs `fn(i)` for i in [0, n) across the pool and waits. Convenience
+  // for the ubiquitous parallel-for over partitions.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pol::flow
+
+#endif  // POL_FLOW_THREADPOOL_H_

@@ -1,0 +1,105 @@
+#include "geo/geodesic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pol::geo {
+
+double HaversineKm(const LatLng& a, const LatLng& b) {
+  const double lat1 = a.lat_rad();
+  const double lat2 = b.lat_rad();
+  const double dlat = lat2 - lat1;
+  const double dlng = b.lng_rad() - a.lng_rad();
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlng = std::sin(dlng / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlng * sin_dlng;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double DistanceNm(const LatLng& a, const LatLng& b) {
+  return HaversineKm(a, b) / kKmPerNauticalMile;
+}
+
+double InitialBearingDeg(const LatLng& a, const LatLng& b) {
+  const double lat1 = a.lat_rad();
+  const double lat2 = b.lat_rad();
+  const double dlng = b.lng_rad() - a.lng_rad();
+  const double y = std::sin(dlng) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlng);
+  if (x == 0.0 && y == 0.0) return 0.0;
+  double bearing = RadToDeg(std::atan2(y, x));
+  if (bearing < 0.0) bearing += 360.0;
+  if (bearing >= 360.0) bearing -= 360.0;
+  return bearing;
+}
+
+LatLng DestinationPoint(const LatLng& origin, double bearing_deg,
+                        double distance_km) {
+  const double delta = distance_km / kEarthRadiusKm;
+  const double theta = DegToRad(bearing_deg);
+  const double lat1 = origin.lat_rad();
+  const double lng1 = origin.lng_rad();
+  const double sin_lat2 = std::sin(lat1) * std::cos(delta) +
+                          std::cos(lat1) * std::sin(delta) * std::cos(theta);
+  const double lat2 = std::asin(std::clamp(sin_lat2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(lat1);
+  const double x = std::cos(delta) - std::sin(lat1) * sin_lat2;
+  const double lng2 = lng1 + std::atan2(y, x);
+  return LatLng{RadToDeg(lat2), RadToDeg(lng2)}.Normalized();
+}
+
+LatLng Interpolate(const LatLng& a, const LatLng& b, double t) {
+  const Vec3 va = LatLngToVec3(a);
+  const Vec3 vb = LatLngToVec3(b);
+  const double omega = AngleBetween(va, vb);
+  if (omega < 1e-12) return a;
+  const double sin_omega = std::sin(omega);
+  const double wa = std::sin((1.0 - t) * omega) / sin_omega;
+  const double wb = std::sin(t * omega) / sin_omega;
+  return Vec3ToLatLng(va * wa + vb * wb);
+}
+
+std::vector<LatLng> SampleGreatCircle(const LatLng& a, const LatLng& b,
+                                      double step_km) {
+  const double total_km = HaversineKm(a, b);
+  std::vector<LatLng> points;
+  if (total_km < 1e-9) {
+    points.push_back(a);
+    return points;
+  }
+  const int segments =
+      std::max(1, static_cast<int>(std::ceil(total_km / step_km)));
+  points.reserve(static_cast<size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    points.push_back(Interpolate(a, b, static_cast<double>(i) / segments));
+  }
+  return points;
+}
+
+double CrossTrackKm(const LatLng& a, const LatLng& b, const LatLng& p) {
+  const Vec3 va = LatLngToVec3(a);
+  const Vec3 vb = LatLngToVec3(b);
+  const Vec3 vp = LatLngToVec3(p);
+  const Vec3 normal = va.Cross(vb);
+  const double n = normal.Norm();
+  if (n < 1e-15) return 0.0;  // Degenerate great circle.
+  const double sin_xt = std::clamp(vp.Dot(normal) / n, -1.0, 1.0);
+  return std::asin(sin_xt) * kEarthRadiusKm;
+}
+
+double ImpliedSpeedKnots(const LatLng& from, const LatLng& to,
+                         double elapsed_seconds) {
+  if (elapsed_seconds <= 0.0) return 0.0;
+  const double nm = DistanceNm(from, to);
+  return nm / (elapsed_seconds / 3600.0);
+}
+
+double AngularDifferenceDeg(double a_deg, double b_deg) {
+  double diff = std::fmod(std::fabs(a_deg - b_deg), 360.0);
+  if (diff > 180.0) diff = 360.0 - diff;
+  return diff;
+}
+
+}  // namespace pol::geo

@@ -1,0 +1,53 @@
+#ifndef POL_GEO_GEODESIC_H_
+#define POL_GEO_GEODESIC_H_
+
+#include <vector>
+
+#include "geo/latlng.h"
+
+// Great-circle geometry on the authalic sphere: the kinematic checks of
+// the cleaning stage (haversine speed filter, paper §3.3.1), the
+// simulator's vessel movement, and the hex grid's metric all use these.
+
+namespace pol::geo {
+
+// Great-circle distance in kilometres (haversine formula).
+double HaversineKm(const LatLng& a, const LatLng& b);
+
+// Distance in nautical miles.
+double DistanceNm(const LatLng& a, const LatLng& b);
+
+// Initial bearing from `a` to `b`, degrees clockwise from true north in
+// [0, 360). Undefined (returns 0) when the points coincide.
+double InitialBearingDeg(const LatLng& a, const LatLng& b);
+
+// The point reached by travelling `distance_km` from `origin` along the
+// given initial bearing.
+LatLng DestinationPoint(const LatLng& origin, double bearing_deg,
+                        double distance_km);
+
+// Point at fraction `t` in [0,1] along the great circle from `a` to `b`
+// (spherical linear interpolation).
+LatLng Interpolate(const LatLng& a, const LatLng& b, double t);
+
+// Samples the great circle from `a` to `b` every `step_km` (inclusive of
+// both endpoints). Returns at least two points for distinct endpoints.
+std::vector<LatLng> SampleGreatCircle(const LatLng& a, const LatLng& b,
+                                      double step_km);
+
+// Signed cross-track distance (km) of `p` from the great circle through
+// `a` -> `b`; positive to the left of the direction of travel.
+double CrossTrackKm(const LatLng& a, const LatLng& b, const LatLng& p);
+
+// Speed in knots implied by moving between two timed positions. Returns 0
+// for non-positive elapsed time.
+double ImpliedSpeedKnots(const LatLng& from, const LatLng& to,
+                         double elapsed_seconds);
+
+// Absolute angular difference of two headings/courses in degrees, in
+// [0, 180].
+double AngularDifferenceDeg(double a_deg, double b_deg);
+
+}  // namespace pol::geo
+
+#endif  // POL_GEO_GEODESIC_H_

@@ -1,0 +1,40 @@
+#include "geo/gnomonic.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pol::geo {
+
+Gnomonic::Gnomonic(const Vec3& center, const Vec3& reference_up)
+    : center_(center.Normalized()) {
+  // Gram-Schmidt: v axis is the component of reference_up orthogonal to
+  // the centre direction.
+  const Vec3 up_ortho = reference_up - center_ * reference_up.Dot(center_);
+  const double n = up_ortho.Norm();
+  POL_CHECK(n > 1e-12) << "reference_up parallel to center";
+  axis_v_ = up_ortho * (1.0 / n);
+  axis_u_ = axis_v_.Cross(center_);  // Right-handed: u x v = center.
+}
+
+PlanePoint Gnomonic::Forward(const Vec3& point, bool* ok) const {
+  const Vec3 p = point.Normalized();
+  const double d = p.Dot(center_);
+  // cos(89.9 deg) ~= 1.745e-3; beyond that the plane coordinates exceed
+  // ~573 Earth radii and are numerically useless.
+  if (d < 1.8e-3) {
+    if (ok != nullptr) *ok = false;
+    return {};
+  }
+  if (ok != nullptr) *ok = true;
+  const Vec3 scaled = p * (1.0 / d);  // Intersection with tangent plane.
+  const Vec3 offset = scaled - center_;
+  return {offset.Dot(axis_u_), offset.Dot(axis_v_)};
+}
+
+Vec3 Gnomonic::Inverse(const PlanePoint& p) const {
+  const Vec3 on_plane = center_ + axis_u_ * p.u + axis_v_ * p.v;
+  return on_plane.Normalized();
+}
+
+}  // namespace pol::geo

@@ -1,0 +1,47 @@
+#ifndef POL_GEO_GNOMONIC_H_
+#define POL_GEO_GNOMONIC_H_
+
+#include "geo/latlng.h"
+
+// Gnomonic (central) projection onto the tangent plane at a given centre.
+//
+// The hexagonal grid lays a planar lattice on each icosahedron face; the
+// gnomonic projection is the canonical face projection for such grids
+// (great circles map to straight lines, so lattice axes stay straight).
+// Distortion grows with distance from the centre, which is why the grid
+// uses twenty faces rather than one plane.
+
+namespace pol::geo {
+
+// A 2D point in the tangent plane, in units of Earth radii.
+struct PlanePoint {
+  double u = 0.0;
+  double v = 0.0;
+};
+
+class Gnomonic {
+ public:
+  // `center` is the tangent point. `reference_up` fixes the plane's +v
+  // axis: it is the projection of this direction onto the tangent plane.
+  // `reference_up` must not be (anti)parallel to `center`.
+  Gnomonic(const Vec3& center, const Vec3& reference_up);
+
+  // Projects a unit vector. Points on the hemisphere opposite the centre
+  // have no gnomonic image; `ok` is set false for them (and for points
+  // more than ~89.9 degrees away, where the projection blows up).
+  PlanePoint Forward(const Vec3& point, bool* ok = nullptr) const;
+
+  // Inverse projection back to a unit vector on the sphere.
+  Vec3 Inverse(const PlanePoint& p) const;
+
+  const Vec3& center() const { return center_; }
+
+ private:
+  Vec3 center_;  // Unit normal of the tangent plane.
+  Vec3 axis_u_;  // Unit vector of the +u direction (in the plane).
+  Vec3 axis_v_;  // Unit vector of the +v direction (in the plane).
+};
+
+}  // namespace pol::geo
+
+#endif  // POL_GEO_GNOMONIC_H_

@@ -1,0 +1,45 @@
+#include "geo/latlng.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pol::geo {
+
+LatLng LatLng::Normalized() const {
+  double lat = lat_deg;
+  double lng = lng_deg;
+  if (lat > 90.0) lat = 90.0;
+  if (lat < -90.0) lat = -90.0;
+  // Wrap longitude into [-180, 180).
+  lng = std::fmod(lng + 180.0, 360.0);
+  if (lng < 0.0) lng += 360.0;
+  lng -= 180.0;
+  return {lat, lng};
+}
+
+std::string LatLng::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "(%.6f, %.6f)", lat_deg, lng_deg);
+  return buf;
+}
+
+Vec3 LatLngToVec3(const LatLng& p) {
+  const double lat = p.lat_rad();
+  const double lng = p.lng_rad();
+  const double cos_lat = std::cos(lat);
+  return {cos_lat * std::cos(lng), cos_lat * std::sin(lng), std::sin(lat)};
+}
+
+LatLng Vec3ToLatLng(const Vec3& v) {
+  const Vec3 u = v.Normalized();
+  const double lat = std::asin(std::clamp(u.z, -1.0, 1.0));
+  const double lng = std::atan2(u.y, u.x);
+  return {RadToDeg(lat), RadToDeg(lng)};
+}
+
+double AngleBetween(const Vec3& a, const Vec3& b) {
+  // atan2 of cross/dot is stable for both tiny and near-pi angles.
+  return std::atan2(a.Cross(b).Norm(), a.Dot(b));
+}
+
+}  // namespace pol::geo

@@ -1,0 +1,96 @@
+#ifndef POL_GEO_LATLNG_H_
+#define POL_GEO_LATLNG_H_
+
+#include <cmath>
+#include <string>
+
+// Geographic coordinate types shared by the grid, the simulator and the
+// pipeline. All angles at API boundaries are degrees; internal spherical
+// trigonometry uses radians. The Earth is modelled as a sphere with the
+// authalic radius, which is the convention of discrete global grid
+// systems (cell areas are quoted on the authalic sphere).
+
+namespace pol::geo {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kDegToRad = kPi / 180.0;
+inline constexpr double kRadToDeg = 180.0 / kPi;
+
+// Authalic Earth radius in kilometres (sphere of equal area to WGS84).
+inline constexpr double kEarthRadiusKm = 6371.0072;
+
+// Total surface area of the authalic sphere, km^2.
+inline constexpr double kEarthAreaKm2 =
+    4.0 * kPi * kEarthRadiusKm * kEarthRadiusKm;
+
+// Nautical miles per kilometre.
+inline constexpr double kKmPerNauticalMile = 1.852;
+
+inline double DegToRad(double deg) { return deg * kDegToRad; }
+inline double RadToDeg(double rad) { return rad * kRadToDeg; }
+
+// A point on the sphere in degrees. Latitude in [-90, 90], longitude in
+// [-180, 180). Construction does not normalize; call Normalized() when
+// the inputs may be out of range.
+struct LatLng {
+  double lat_deg = 0.0;
+  double lng_deg = 0.0;
+
+  constexpr LatLng() = default;
+  constexpr LatLng(double lat, double lng) : lat_deg(lat), lng_deg(lng) {}
+
+  double lat_rad() const { return DegToRad(lat_deg); }
+  double lng_rad() const { return DegToRad(lng_deg); }
+
+  // True when latitude and longitude are within protocol bounds.
+  bool IsValid() const {
+    return std::isfinite(lat_deg) && std::isfinite(lng_deg) &&
+           lat_deg >= -90.0 && lat_deg <= 90.0 && lng_deg >= -180.0 &&
+           lng_deg <= 180.0;
+  }
+
+  // Returns a copy with longitude wrapped to [-180, 180) and latitude
+  // clamped to [-90, 90].
+  LatLng Normalized() const;
+
+  std::string ToString() const;
+};
+
+inline bool operator==(const LatLng& a, const LatLng& b) {
+  return a.lat_deg == b.lat_deg && a.lng_deg == b.lng_deg;
+}
+
+// A unit vector on the sphere; the internal representation used by the
+// icosahedral grid math.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double px, double py, double pz) : x(px), y(py), z(pz) {}
+
+  double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double Norm() const { return std::sqrt(Dot(*this)); }
+  Vec3 Normalized() const {
+    const double n = Norm();
+    return {x / n, y / n, z / n};
+  }
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+};
+
+// Conversions between geographic and Cartesian unit-sphere coordinates.
+Vec3 LatLngToVec3(const LatLng& p);
+LatLng Vec3ToLatLng(const Vec3& v);
+
+// Angle between two unit vectors, radians (numerically stable near 0/pi).
+double AngleBetween(const Vec3& a, const Vec3& b);
+
+}  // namespace pol::geo
+
+#endif  // POL_GEO_LATLNG_H_

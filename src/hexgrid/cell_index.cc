@@ -1,0 +1,60 @@
+#include "hexgrid/cell_index.h"
+
+#include <cstdio>
+
+#include "hexgrid/icosahedron.h"
+
+namespace pol::hex {
+namespace {
+
+constexpr int64_t kBias = int64_t{1} << 26;
+constexpr uint64_t kCoordMask = (uint64_t{1} << 27) - 1;
+
+}  // namespace
+
+CellIndex PackCell(int res, int face, int64_t i, int64_t j) {
+  if (res < 0 || res > kMaxResolution || face < 0 || face >= kNumFaces ||
+      i < -kMaxAxialCoord || i > kMaxAxialCoord || j < -kMaxAxialCoord ||
+      j > kMaxAxialCoord) {
+    return kInvalidCell;
+  }
+  const uint64_t bj = static_cast<uint64_t>(j + kBias);
+  const uint64_t bi = static_cast<uint64_t>(i + kBias);
+  return bj | (bi << 27) | (static_cast<uint64_t>(face) << 54) |
+         (static_cast<uint64_t>(res) << 59);
+}
+
+bool UnpackCell(CellIndex cell, CellParts* parts) {
+  if ((cell >> 63) != 0) return false;
+  const int res = static_cast<int>((cell >> 59) & 0xf);
+  const int face = static_cast<int>((cell >> 54) & 0x1f);
+  if (face >= kNumFaces) return false;
+  parts->res = res;
+  parts->face = face;
+  parts->i = static_cast<int64_t>((cell >> 27) & kCoordMask) - kBias;
+  parts->j = static_cast<int64_t>(cell & kCoordMask) - kBias;
+  return true;
+}
+
+bool IsValidCell(CellIndex cell) {
+  CellParts parts;
+  return UnpackCell(cell, &parts);
+}
+
+int CellResolution(CellIndex cell) {
+  CellParts parts;
+  if (!UnpackCell(cell, &parts)) return -1;
+  return parts.res;
+}
+
+std::string CellToString(CellIndex cell) {
+  CellParts parts;
+  if (!UnpackCell(cell, &parts)) return "invalid-cell";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "r%d:f%d:(%lld,%lld)", parts.res, parts.face,
+                static_cast<long long>(parts.i),
+                static_cast<long long>(parts.j));
+  return buf;
+}
+
+}  // namespace pol::hex

@@ -1,0 +1,60 @@
+#ifndef POL_HEXGRID_CELL_INDEX_H_
+#define POL_HEXGRID_CELL_INDEX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hexgrid/hex_math.h"
+
+// 64-bit packed cell identifiers.
+//
+// A cell is identified by (resolution, owning face, axial i, axial j).
+// Layout, low to high bit:
+//
+//   bits  0..26  biased axial j   (j + 2^26)
+//   bits 27..53  biased axial i   (i + 2^26)
+//   bits 54..58  face             (0..19)
+//   bits 59..62  resolution       (0..15)
+//   bit  63      invalid flag     (0 for every valid cell)
+//
+// The packed form sorts by resolution, then face, then lattice position,
+// which keeps cells of one region contiguous in sorted containers and in
+// the serialized inventory.
+
+namespace pol::hex {
+
+using CellIndex = uint64_t;
+
+// The reserved invalid identifier (invalid flag set).
+inline constexpr CellIndex kInvalidCell = ~0ull;
+
+// Components of a packed index.
+struct CellParts {
+  int res = 0;
+  int face = 0;
+  int64_t i = 0;
+  int64_t j = 0;
+};
+
+// Largest |i| / |j| representable.
+inline constexpr int64_t kMaxAxialCoord = (int64_t{1} << 26) - 1;
+
+// Packs the components; returns kInvalidCell when out of range.
+CellIndex PackCell(int res, int face, int64_t i, int64_t j);
+
+// Unpacks `cell`; returns false (leaving *parts untouched) when the
+// index is invalid.
+bool UnpackCell(CellIndex cell, CellParts* parts);
+
+// True for a well-formed cell index.
+bool IsValidCell(CellIndex cell);
+
+// Resolution of a valid cell; -1 for invalid input.
+int CellResolution(CellIndex cell);
+
+// "r6:f12:(103,-25)" style debug representation.
+std::string CellToString(CellIndex cell);
+
+}  // namespace pol::hex
+
+#endif  // POL_HEXGRID_CELL_INDEX_H_

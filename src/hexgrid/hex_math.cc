@@ -1,0 +1,147 @@
+#include "hexgrid/hex_math.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "geo/latlng.h"
+#include "hexgrid/icosahedron.h"
+
+namespace pol::hex {
+namespace {
+
+constexpr double kSqrt3 = 1.7320508075688772;
+
+// Hex circumradius for resolution 0, in tangent-plane units. Chosen so
+// that the planar face triangles tile into NumCells(0) hexes globally,
+// which calibrates the mean spherical cell area to EarthArea/NumCells(r)
+// at every resolution.
+double Res0HexSize() {
+  const double face_area = Icosahedron::Get().PlanarFaceArea();
+  const double target_cells = static_cast<double>(NumCells(0));
+  const double hex_area = 20.0 * face_area / target_cells;
+  // Planar hexagon area = (3*sqrt(3)/2) * s^2.
+  return std::sqrt(2.0 * hex_area / (3.0 * kSqrt3));
+}
+
+const LatticeParams* BuildTable() {
+  const double s0 = Res0HexSize();
+  const double rot_step = ApertureRotationRad();
+  // Leaked intentionally: lives for the process lifetime (static table).
+  auto* table = new std::vector<LatticeParams>();
+  table->reserve(kMaxResolution + 1);
+  double size = s0;
+  double rot = 0.0;
+  for (int r = 0; r <= kMaxResolution; ++r) {
+    table->push_back(LatticeParams(size, rot));
+    size /= std::sqrt(7.0);
+    rot += rot_step;
+  }
+  return table->data();
+}
+
+}  // namespace
+
+double ApertureRotationRad() { return std::atan(kSqrt3 / 5.0); }
+
+const std::array<Axial, 6>& NeighborOffsets() {
+  static constexpr std::array<Axial, 6> kOffsets = {
+      Axial{1, 0}, Axial{1, -1}, Axial{0, -1},
+      Axial{-1, 0}, Axial{-1, 1}, Axial{0, 1}};
+  return kOffsets;
+}
+
+Axial AxialRound(double qi, double qj) {
+  // Cube rounding: x + y + z == 0 must hold after rounding; fix the
+  // component with the largest rounding error.
+  const double x = qi;
+  const double z = qj;
+  const double y = -x - z;
+  double rx = std::round(x);
+  double ry = std::round(y);
+  double rz = std::round(z);
+  const double dx = std::fabs(rx - x);
+  const double dy = std::fabs(ry - y);
+  const double dz = std::fabs(rz - z);
+  if (dx > dy && dx > dz) {
+    rx = -ry - rz;
+  } else if (dy > dz) {
+    // y is implicit in axial coordinates; nothing to fix.
+  } else {
+    rz = -rx - ry;
+  }
+  return Axial{static_cast<int64_t>(rx), static_cast<int64_t>(rz)};
+}
+
+int64_t AxialDistance(const Axial& a, const Axial& b) {
+  const int64_t di = a.i - b.i;
+  const int64_t dj = a.j - b.j;
+  return (std::llabs(di) + std::llabs(dj) + std::llabs(di + dj)) / 2;
+}
+
+LatticeParams::LatticeParams(double hex_size, double rotation_rad)
+    : hex_size_(hex_size),
+      cos_rot_(std::cos(rotation_rad)),
+      sin_rot_(std::sin(rotation_rad)) {}
+
+const LatticeParams& LatticeParams::Get(int res) {
+  POL_CHECK(res >= 0 && res <= kMaxResolution) << "bad resolution " << res;
+  static const LatticeParams* table = BuildTable();
+  return table[res];
+}
+
+geo::PlanePoint LatticeParams::AxialToPlane(double i, double j) const {
+  const double u = hex_size_ * (kSqrt3 * i + kSqrt3 / 2.0 * j);
+  const double v = hex_size_ * (1.5 * j);
+  // Apply the per-resolution rotation.
+  return {u * cos_rot_ - v * sin_rot_, u * sin_rot_ + v * cos_rot_};
+}
+
+void LatticeParams::PlaneToAxialFrac(const geo::PlanePoint& p, double* qi,
+                                     double* qj) const {
+  // Undo the rotation, then invert the axial basis.
+  const double u = p.u * cos_rot_ + p.v * sin_rot_;
+  const double v = -p.u * sin_rot_ + p.v * cos_rot_;
+  *qj = (2.0 / 3.0) * v / hex_size_;
+  *qi = (u / kSqrt3 - v / 3.0) / hex_size_;
+}
+
+Axial LatticeParams::PlaneToAxial(const geo::PlanePoint& p) const {
+  double qi = 0.0;
+  double qj = 0.0;
+  PlaneToAxialFrac(p, &qi, &qj);
+  return AxialRound(qi, qj);
+}
+
+std::array<geo::PlanePoint, 6> LatticeParams::CellCorners(
+    const Axial& cell) const {
+  const geo::PlanePoint center =
+      AxialToPlane(static_cast<double>(cell.i), static_cast<double>(cell.j));
+  std::array<geo::PlanePoint, 6> corners;
+  const double rot = std::atan2(sin_rot_, cos_rot_);
+  for (int k = 0; k < 6; ++k) {
+    // Pointy-top hexagon: first corner at 30 degrees, then every 60.
+    const double angle = rot + geo::kPi / 6.0 + k * geo::kPi / 3.0;
+    corners[static_cast<size_t>(k)] = {center.u + hex_size_ * std::cos(angle),
+                                       center.v + hex_size_ * std::sin(angle)};
+  }
+  return corners;
+}
+
+uint64_t NumCells(int res) {
+  uint64_t pow7 = 1;
+  for (int r = 0; r < res; ++r) pow7 *= 7;
+  return 2 + 120 * pow7;
+}
+
+double MeanCellAreaKm2(int res) {
+  return geo::kEarthAreaKm2 / static_cast<double>(NumCells(res));
+}
+
+double EdgeLengthKm(int res) {
+  // Edge length equals the circumradius for a regular hexagon; plane
+  // units are Earth radii at the face centre.
+  return LatticeParams::Get(res).hex_size() * geo::kEarthRadiusKm;
+}
+
+}  // namespace pol::hex

@@ -1,0 +1,93 @@
+#ifndef POL_HEXGRID_HEX_MATH_H_
+#define POL_HEXGRID_HEX_MATH_H_
+
+#include <array>
+#include <cstdint>
+
+#include "geo/gnomonic.h"
+
+// Planar hexagonal-lattice mathematics.
+//
+// Each resolution r lays a pointy-top hexagonal lattice in every face's
+// tangent plane. The lattice origin (axial (0,0)) is the face centre at
+// every resolution, and resolution r+1 is the resolution-r lattice scaled
+// by 1/sqrt(7) and rotated by atan(sqrt(3)/5) ~= 19.107 degrees — the
+// aperture-7 construction used by H3 (each cell has ~7 children).
+//
+// Axial coordinates (i, j) follow the standard convention: the hex centre
+// of cell (i, j) sits at  s * (sqrt(3)*i + sqrt(3)/2*j,  3/2*j)  before
+// the per-resolution rotation, where s is the hex circumradius.
+
+namespace pol::hex {
+
+inline constexpr int kMaxResolution = 15;
+
+// Rotation between consecutive resolutions: atan(sqrt(3)/5).
+double ApertureRotationRad();
+
+// Axial lattice coordinates of a hex cell within one face plane.
+struct Axial {
+  int64_t i = 0;
+  int64_t j = 0;
+
+  bool operator==(const Axial& o) const { return i == o.i && j == o.j; }
+};
+
+// The six axial offsets of a hexagon's neighbours, in counter-clockwise
+// order starting from +i.
+const std::array<Axial, 6>& NeighborOffsets();
+
+// Rounds fractional axial coordinates to the nearest hex centre (cube
+// rounding).
+Axial AxialRound(double qi, double qj);
+
+// Hex-grid distance between two axial coordinates (number of steps).
+int64_t AxialDistance(const Axial& a, const Axial& b);
+
+// Per-resolution lattice geometry: hex size and lattice rotation.
+class LatticeParams {
+ public:
+  // Parameters of resolution `res` in [0, kMaxResolution].
+  static const LatticeParams& Get(int res);
+
+  // Hex circumradius (centre to vertex) in tangent-plane units (Earth
+  // radii at the face centre).
+  double hex_size() const { return hex_size_; }
+
+  // Plane position of the centre of cell (i, j); accepts fractional
+  // coordinates for interpolation.
+  geo::PlanePoint AxialToPlane(double i, double j) const;
+
+  // Fractional axial coordinates of a plane point.
+  void PlaneToAxialFrac(const geo::PlanePoint& p, double* qi, double* qj) const;
+
+  // Nearest hex cell to a plane point.
+  Axial PlaneToAxial(const geo::PlanePoint& p) const;
+
+  // Plane positions of the six corners of cell (i, j), counter-clockwise.
+  std::array<geo::PlanePoint, 6> CellCorners(const Axial& cell) const;
+
+  // Used by the internal resolution table; prefer Get().
+  LatticeParams(double hex_size, double rotation_rad);
+
+ private:
+  double hex_size_;
+  double cos_rot_;
+  double sin_rot_;
+};
+
+// Number of cells in the global grid at a resolution. Matches the H3
+// cell-count formula 2 + 120 * 7^res, which our lattice is calibrated to
+// (the hex size is chosen so the mean cell area is Earth area divided by
+// this count).
+uint64_t NumCells(int res);
+
+// Mean cell area at a resolution, km^2 (res 6 ~= 36 km^2, res 7 ~= 5 km^2).
+double MeanCellAreaKm2(int res);
+
+// Approximate hexagon edge length at a resolution, km.
+double EdgeLengthKm(int res);
+
+}  // namespace pol::hex
+
+#endif  // POL_HEXGRID_HEX_MATH_H_

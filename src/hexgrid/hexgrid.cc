@@ -1,0 +1,326 @@
+#include "hexgrid/hexgrid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "geo/geodesic.h"
+#include "hexgrid/icosahedron.h"
+
+namespace pol::hex {
+namespace {
+
+// Cell ownership (this construction makes LatLngToCell an exact,
+// deterministic partition of the sphere with an exact round-trip):
+//
+//  * A lattice cell (f, i, j) is CANONICAL iff the nearest face to its
+//    own centre is f. Canonical cells of all faces together form a
+//    single locally-uniform set of centres over the whole sphere (every
+//    location has exactly one face's lattice "active"), which is what
+//    keeps the global cell count at the calibrated NumCells(res).
+//  * A point maps to the nearest canonical centre, searched over the
+//    rounded cell and its six lattice neighbours on every face whose
+//    centre is within (nearest-face angle + 6 hex radii) of the point.
+//    Ties go to the first candidate in a fixed enumeration order.
+//
+// Round-trip: for a canonical cell c with centre x, FindFace(x) is c's
+// face (canonicality), x rounds to itself there at distance zero, and no
+// other candidate can beat distance zero — so LatLngToCell(x) == c.
+//
+// Existence: if the rounded cell on the point's own face is not
+// canonical (its centre fell just across a seam), one of its six
+// neighbours has a centre at least 0.7 hex radii back toward the face
+// interior, which is canonical; so a candidate always exists.
+constexpr double kCandidateSlackHexRadii = 6.0;
+
+struct Candidate {
+  int face;
+  Axial axial;
+  geo::Vec3 center;  // Sphere position of the candidate hex centre.
+};
+
+// Rounds `p` in the lattice of `face`; returns false when the point has
+// no valid gnomonic image on that face (never happens for candidate
+// faces, which are < ~40 degrees away).
+bool RoundOnFace(const geo::Vec3& p, int face, const LatticeParams& params,
+                 Candidate* out) {
+  const Icosahedron& ico = Icosahedron::Get();
+  const geo::Gnomonic& proj = ico.FaceProjection(face);
+  bool ok = false;
+  const geo::PlanePoint pp = proj.Forward(p, &ok);
+  if (!ok) return false;
+  const Axial axial = params.PlaneToAxial(pp);
+  const geo::PlanePoint center_pp = params.AxialToPlane(
+      static_cast<double>(axial.i), static_cast<double>(axial.j));
+  out->face = face;
+  out->axial = axial;
+  out->center = proj.Inverse(center_pp);
+  return true;
+}
+
+}  // namespace
+
+CellIndex LatLngToCell(const geo::LatLng& point, int res) {
+  if (!point.IsValid() || res < 0 || res > kMaxResolution) {
+    return kInvalidCell;
+  }
+  const Icosahedron& ico = Icosahedron::Get();
+  const LatticeParams& params = LatticeParams::Get(res);
+  const geo::Vec3 p = geo::LatLngToVec3(point);
+
+  // Nearest and second-nearest face by centre angle.
+  double dots[kNumFaces];
+  int face0 = 0;
+  double best_dot = -2.0;
+  double second_dot = -2.0;
+  for (int f = 0; f < kNumFaces; ++f) {
+    dots[f] = p.Dot(ico.FaceCenter(f));
+    if (dots[f] > best_dot) {
+      second_dot = best_dot;
+      best_dot = dots[f];
+      face0 = f;
+    } else if (dots[f] > second_dot) {
+      second_dot = dots[f];
+    }
+  }
+  const double best_angle = std::acos(std::clamp(best_dot, -1.0, 1.0));
+  const double candidate_angle =
+      best_angle + kCandidateSlackHexRadii * params.hex_size();
+  const double candidate_min_dot =
+      std::cos(std::min(candidate_angle, geo::kPi));
+
+  // Fast path (face interior): only one candidate face, and the rounded
+  // cell on it is canonical.
+  Candidate c0;
+  if (second_dot < candidate_min_dot && RoundOnFace(p, face0, params, &c0) &&
+      ico.FindFace(c0.center) == face0) {
+    return PackCell(res, face0, c0.axial.i, c0.axial.j);
+  }
+
+  // Vertex cells. Within ~2 hex radii of the 12 icosahedron vertices the
+  // five incident faces' lattices form an exact 5-fold symmetric orbit
+  // in which every near-vertex cell centre lands in a *different* face's
+  // territory — no cell is canonical there (the analogue of H3's
+  // pentagon corner case). The vertex-owner face (lowest incident id)
+  // therefore contributes additional VALID cells: its lattice cells
+  // whose centre is within kVertexCellHexRadii of the vertex.
+  constexpr double kVertexCellHexRadii = 3.0;
+  const int vertex = ico.NearestVertex(p);
+  const double vertex_radius = kVertexCellHexRadii * params.hex_size();
+  const bool near_vertex =
+      geo::AngleBetween(p, ico.Vertex(vertex)) <=
+      vertex_radius + 2.0 * params.hex_size();
+  const int vertex_face = ico.VertexOwnerFace(vertex);
+  const double vertex_min_dot = std::cos(vertex_radius);
+
+  // Full path (seams, vertices): nearest valid centre over the rounded
+  // cell and its lattice neighbours on every candidate face.
+  bool have_best = false;
+  Candidate best{};
+  double best_center_dot = -2.0;
+  for (int f = 0; f < kNumFaces; ++f) {
+    if (dots[f] < candidate_min_dot) continue;
+    Candidate rounded;
+    if (!RoundOnFace(p, f, params, &rounded)) continue;
+    const geo::Gnomonic& proj = ico.FaceProjection(f);
+    for (int k = -1; k < 6; ++k) {
+      Axial cell = rounded.axial;
+      geo::Vec3 center = rounded.center;
+      if (k >= 0) {
+        const Axial& offset = NeighborOffsets()[static_cast<size_t>(k)];
+        cell = Axial{rounded.axial.i + offset.i, rounded.axial.j + offset.j};
+        center = proj.Inverse(params.AxialToPlane(static_cast<double>(cell.i),
+                                                  static_cast<double>(cell.j)));
+      }
+      bool valid = ico.FindFace(center) == f;  // Canonical cell.
+      if (!valid && near_vertex && f == vertex_face) {
+        valid = center.Dot(ico.Vertex(vertex)) >= vertex_min_dot;
+      }
+      if (!valid) continue;
+      const double center_dot = p.Dot(center);
+      if (!have_best || center_dot > best_center_dot + 1e-15) {
+        have_best = true;
+        best = Candidate{f, cell, center};
+        best_center_dot = center_dot;
+      }
+    }
+  }
+  if (!have_best) return kInvalidCell;
+  return PackCell(res, best.face, best.axial.i, best.axial.j);
+}
+
+geo::LatLng CellToLatLng(CellIndex cell) {
+  CellParts parts;
+  if (!UnpackCell(cell, &parts)) return {};
+  const Icosahedron& ico = Icosahedron::Get();
+  const LatticeParams& params = LatticeParams::Get(parts.res);
+  const geo::PlanePoint pp = params.AxialToPlane(static_cast<double>(parts.i),
+                                                 static_cast<double>(parts.j));
+  return geo::Vec3ToLatLng(ico.FaceProjection(parts.face).Inverse(pp));
+}
+
+std::vector<geo::LatLng> CellToBoundary(CellIndex cell) {
+  CellParts parts;
+  if (!UnpackCell(cell, &parts)) return {};
+  const Icosahedron& ico = Icosahedron::Get();
+  const LatticeParams& params = LatticeParams::Get(parts.res);
+  const auto corners = params.CellCorners({parts.i, parts.j});
+  std::vector<geo::LatLng> boundary;
+  boundary.reserve(6);
+  for (const auto& corner : corners) {
+    boundary.push_back(geo::Vec3ToLatLng(
+        ico.FaceProjection(parts.face).Inverse(corner)));
+  }
+  return boundary;
+}
+
+namespace {
+
+// Raw neighbour enumeration: the six lattice-step centres re-indexed
+// through LatLngToCell (which canonicalizes across seams). Not
+// necessarily symmetric near icosahedron seams.
+std::vector<CellIndex> RawNeighbors(CellIndex cell, const CellParts& parts) {
+  const Icosahedron& ico = Icosahedron::Get();
+  const LatticeParams& params = LatticeParams::Get(parts.res);
+  const geo::Gnomonic& proj = ico.FaceProjection(parts.face);
+
+  std::vector<CellIndex> out;
+  out.reserve(6);
+  for (const Axial& offset : NeighborOffsets()) {
+    const geo::PlanePoint pp =
+        params.AxialToPlane(static_cast<double>(parts.i + offset.i),
+                            static_cast<double>(parts.j + offset.j));
+    const CellIndex neighbor =
+        LatLngToCell(geo::Vec3ToLatLng(proj.Inverse(pp)), parts.res);
+    if (neighbor == kInvalidCell || neighbor == cell) continue;
+    if (std::find(out.begin(), out.end(), neighbor) == out.end()) {
+      out.push_back(neighbor);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CellIndex> Neighbors(CellIndex cell) {
+  CellParts parts;
+  if (!UnpackCell(cell, &parts)) return {};
+  std::vector<CellIndex> raw = RawNeighbors(cell, parts);
+  // Keep only mutual adjacencies so that the neighbour relation is
+  // symmetric everywhere (lattice steps can be one-sided across seams).
+  std::vector<CellIndex> out;
+  out.reserve(raw.size());
+  for (const CellIndex n : raw) {
+    CellParts n_parts;
+    if (!UnpackCell(n, &n_parts)) continue;
+    if (n_parts.face == parts.face) {
+      out.push_back(n);  // Same-face lattice steps are always mutual.
+      continue;
+    }
+    const std::vector<CellIndex> back = RawNeighbors(n, n_parts);
+    if (std::find(back.begin(), back.end(), cell) != back.end()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+std::vector<CellIndex> GridDisk(CellIndex cell, int k) {
+  if (!IsValidCell(cell) || k < 0) return {};
+  std::unordered_set<CellIndex> seen = {cell};
+  std::vector<CellIndex> frontier = {cell};
+  std::vector<CellIndex> result = {cell};
+  for (int step = 0; step < k; ++step) {
+    std::vector<CellIndex> next;
+    for (const CellIndex c : frontier) {
+      for (const CellIndex n : Neighbors(c)) {
+        if (seen.insert(n).second) {
+          next.push_back(n);
+          result.push_back(n);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+std::vector<CellIndex> GridRing(CellIndex cell, int k) {
+  if (!IsValidCell(cell) || k < 0) return {};
+  if (k == 0) return {cell};
+  std::unordered_set<CellIndex> seen = {cell};
+  std::vector<CellIndex> frontier = {cell};
+  for (int step = 0; step < k; ++step) {
+    std::vector<CellIndex> next;
+    for (const CellIndex c : frontier) {
+      for (const CellIndex n : Neighbors(c)) {
+        if (seen.insert(n).second) next.push_back(n);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+CellIndex CellToParent(CellIndex cell, int parent_res) {
+  CellParts parts;
+  if (!UnpackCell(cell, &parts)) return kInvalidCell;
+  if (parent_res < 0 || parent_res > parts.res) return kInvalidCell;
+  if (parent_res == parts.res) return cell;
+  return LatLngToCell(CellToLatLng(cell), parent_res);
+}
+
+std::vector<CellIndex> CellToChildren(CellIndex cell, int child_res) {
+  CellParts parts;
+  if (!UnpackCell(cell, &parts)) return {};
+  if (child_res < parts.res || child_res > kMaxResolution) return {};
+  if (child_res == parts.res) return {cell};
+
+  // Candidate children: a lattice disk around the child cell at the
+  // parent's centre, wide enough to cover the parent hexagon.
+  const int diff = child_res - parts.res;
+  const int radius =
+      static_cast<int>(std::ceil(std::pow(std::sqrt(7.0), diff))) + 2;
+  const CellIndex center_child = LatLngToCell(CellToLatLng(cell), child_res);
+  std::vector<CellIndex> children;
+  for (const CellIndex candidate : GridDisk(center_child, radius)) {
+    if (CellToParent(candidate, parts.res) == cell) {
+      children.push_back(candidate);
+    }
+  }
+  std::sort(children.begin(), children.end());
+  return children;
+}
+
+std::vector<CellIndex> CellsWithinDistanceKm(const geo::LatLng& center,
+                                             double radius_km, int res) {
+  const CellIndex start = LatLngToCell(center, res);
+  if (start == kInvalidCell || radius_km < 0.0) return {};
+  // Dense point sampling rather than neighbour flood fill: sampling is
+  // immune to any adjacency raggedness along icosahedron seams. The
+  // spacing guarantees a sample in every cell: a hexagon with edge e
+  // contains a disk of radius (sqrt(3)/2)e, shrunk at worst ~0.63x by
+  // gnomonic distortion, so a square grid at 0.55e always hits it.
+  const double step_km = 0.55 * EdgeLengthKm(res);
+  std::unordered_set<CellIndex> seen = {start};
+  std::vector<CellIndex> result = {start};
+  for (double y = -radius_km; y <= radius_km; y += step_km) {
+    const geo::LatLng row = geo::DestinationPoint(center, 0.0, y);
+    for (double x = -radius_km; x <= radius_km; x += step_km) {
+      if (x * x + y * y > radius_km * radius_km) continue;
+      const geo::LatLng p = geo::DestinationPoint(row, 90.0, x);
+      const CellIndex cell = LatLngToCell(p, res);
+      if (cell != kInvalidCell && seen.insert(cell).second) {
+        result.push_back(cell);
+      }
+    }
+  }
+  return result;
+}
+
+double CellDistanceKm(CellIndex a, CellIndex b) {
+  return geo::HaversineKm(CellToLatLng(a), CellToLatLng(b));
+}
+
+}  // namespace pol::hex

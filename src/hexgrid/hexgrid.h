@@ -1,0 +1,83 @@
+#ifndef POL_HEXGRID_HEXGRID_H_
+#define POL_HEXGRID_HEXGRID_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "hexgrid/cell_index.h"
+#include "hexgrid/hex_math.h"
+
+// Public API of the hexagonal discrete global grid system (DGGS).
+//
+// This is the from-scratch H3 equivalent used by the Patterns-of-Life
+// inventory (the paper uses Uber's H3; its methodology only requires a
+// global, locally-uniform, hierarchical hexagonal grid — see §3.2.1).
+//
+// Construction: an icosahedron splits the sphere into 20 faces; each face
+// carries an aperture-7 hexagonal lattice in its gnomonic tangent plane
+// (hex_math.h). A point's cell is the lattice centre nearest to it,
+// considering the lattices of all faces whose centre is nearly as close
+// as the nearest face ("seam candidates"). This makes the assignment a
+// deterministic partition of the sphere and gives the exact round-trip
+// property LatLngToCell(CellToLatLng(c), res(c)) == c.
+//
+// Properties mirroring H3:
+//   * resolutions 0..15; mean cell area = EarthArea / (2 + 120 * 7^res)
+//     (res 6 ~= 36 km^2, res 7 ~= 5.2 km^2, matching H3's published
+//     averages);
+//   * every cell has six neighbours except along icosahedron seams;
+//   * parent/child containment is approximate, exactly as in H3;
+//   * the 12 icosahedron vertices get special "vertex cells" owned by
+//     the lowest-id incident face (the analogue of H3's 12 pentagons).
+//
+// The exact round-trip and neighbour-symmetry invariants hold for
+// resolutions >= 3. At resolutions 0-2 a hexagon is comparable in size
+// to an icosahedron face; assignment is still a deterministic total
+// partition, but near-seam cells are ragged and the round trip may land
+// in an adjacent cell. The paper's working resolutions are 5-8.
+
+namespace pol::hex {
+
+// Cell containing `point` at `res`. Returns kInvalidCell for invalid
+// coordinates or resolution.
+CellIndex LatLngToCell(const geo::LatLng& point, int res);
+
+// Centre of a cell. Returns (0,0) for invalid input.
+geo::LatLng CellToLatLng(CellIndex cell);
+
+// The six corners of the cell's hexagon, counter-clockwise.
+std::vector<geo::LatLng> CellToBoundary(CellIndex cell);
+
+// Distinct neighbouring cells (six in face interiors; possibly fewer
+// across icosahedron seams, where two planar neighbours can canonicalize
+// to the same cell).
+std::vector<CellIndex> Neighbors(CellIndex cell);
+
+// All cells within `k` neighbour steps of `cell`, including `cell`
+// itself (breadth-first over the neighbour graph, so it is seam-safe).
+std::vector<CellIndex> GridDisk(CellIndex cell, int k);
+
+// Cells at exactly `k` steps.
+std::vector<CellIndex> GridRing(CellIndex cell, int k);
+
+// Coarser cell containing this cell's centre. parent_res must not exceed
+// the cell's resolution. Returns kInvalidCell on bad input.
+CellIndex CellToParent(CellIndex cell, int parent_res);
+
+// Finer cells whose parent (per CellToParent) is `cell`. child_res must
+// be >= the cell's resolution; the expected count is ~7^(diff).
+std::vector<CellIndex> CellToChildren(CellIndex cell, int child_res);
+
+// Every cell containing some point within `radius_km` of `center` at
+// `res` — a disk polyfill used for geofencing (computed by dense point
+// sampling, so it is seam-safe). Always contains the centre cell.
+std::vector<CellIndex> CellsWithinDistanceKm(const geo::LatLng& center,
+                                             double radius_km, int res);
+
+// Great-circle distance between two cell centres, km.
+double CellDistanceKm(CellIndex a, CellIndex b);
+
+}  // namespace pol::hex
+
+#endif  // POL_HEXGRID_HEXGRID_H_

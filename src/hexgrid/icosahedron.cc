@@ -1,0 +1,138 @@
+#include "hexgrid/icosahedron.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pol::hex {
+namespace {
+
+// The 12 vertices of a regular icosahedron: cyclic permutations of
+// (0, +-1, +-phi), normalized to the unit sphere.
+std::array<geo::Vec3, kNumVertices> MakeVertices() {
+  const double phi = (1.0 + std::sqrt(5.0)) / 2.0;
+  const geo::Vec3 raw[kNumVertices] = {
+      {0, 1, phi},  {0, 1, -phi},  {0, -1, phi},  {0, -1, -phi},
+      {1, phi, 0},  {1, -phi, 0},  {-1, phi, 0},  {-1, -phi, 0},
+      {phi, 0, 1},  {phi, 0, -1},  {-phi, 0, 1},  {-phi, 0, -1},
+  };
+  std::array<geo::Vec3, kNumVertices> out;
+  for (int i = 0; i < kNumVertices; ++i) out[static_cast<size_t>(i)] = raw[i].Normalized();
+  return out;
+}
+
+}  // namespace
+
+Icosahedron::Icosahedron() : vertices_(MakeVertices()) {
+  // Derive the face list from the geometry: a face is any vertex triple
+  // whose pairwise distances all equal the (minimum) edge length.
+  // Iterating i<j<k ascending fixes a deterministic face order.
+  double edge = 1e9;
+  for (int i = 0; i < kNumVertices; ++i) {
+    for (int j = i + 1; j < kNumVertices; ++j) {
+      const double d =
+          (vertices_[static_cast<size_t>(i)] - vertices_[static_cast<size_t>(j)]).Norm();
+      if (d < edge) edge = d;
+    }
+  }
+  const double tolerance = edge * 1e-6;
+  int face_count = 0;
+  for (int i = 0; i < kNumVertices && face_count < kNumFaces; ++i) {
+    for (int j = i + 1; j < kNumVertices; ++j) {
+      if (std::fabs((vertices_[static_cast<size_t>(i)] - vertices_[static_cast<size_t>(j)]).Norm() -
+                    edge) > tolerance) {
+        continue;
+      }
+      for (int k = j + 1; k < kNumVertices; ++k) {
+        if (std::fabs((vertices_[static_cast<size_t>(i)] - vertices_[static_cast<size_t>(k)]).Norm() -
+                      edge) > tolerance ||
+            std::fabs((vertices_[static_cast<size_t>(j)] - vertices_[static_cast<size_t>(k)]).Norm() -
+                      edge) > tolerance) {
+          continue;
+        }
+        faces_[static_cast<size_t>(face_count)] = {i, j, k};
+        ++face_count;
+      }
+    }
+  }
+  POL_CHECK(face_count == kNumFaces) << "expected 20 icosahedron faces, got "
+                                     << face_count;
+
+  // Owner face of each vertex: lowest face id incident to it.
+  vertex_owner_face_.fill(-1);
+  for (int f = 0; f < kNumFaces; ++f) {
+    for (const int v : faces_[static_cast<size_t>(f)]) {
+      if (vertex_owner_face_[static_cast<size_t>(v)] < 0) {
+        vertex_owner_face_[static_cast<size_t>(v)] = f;
+      }
+    }
+  }
+
+  projections_.reserve(kNumFaces);
+  for (int f = 0; f < kNumFaces; ++f) {
+    const auto& idx = faces_[static_cast<size_t>(f)];
+    const geo::Vec3 center = (vertices_[static_cast<size_t>(idx[0])] +
+                              vertices_[static_cast<size_t>(idx[1])] +
+                              vertices_[static_cast<size_t>(idx[2])])
+                                 .Normalized();
+    centers_[static_cast<size_t>(f)] = center;
+    // Orient each face plane toward its first vertex so the lattice
+    // orientation is deterministic.
+    projections_.emplace_back(center, vertices_[static_cast<size_t>(idx[0])]);
+  }
+
+  // Planar area of a projected face triangle (congruent across faces).
+  {
+    const geo::Gnomonic& proj = projections_[0];
+    geo::PlanePoint p[3];
+    for (int v = 0; v < 3; ++v) {
+      bool ok = false;
+      p[v] = proj.Forward(vertices_[static_cast<size_t>(faces_[0][static_cast<size_t>(v)])], &ok);
+      POL_CHECK(ok);
+    }
+    planar_face_area_ = 0.5 * std::fabs((p[1].u - p[0].u) * (p[2].v - p[0].v) -
+                                        (p[2].u - p[0].u) * (p[1].v - p[0].v));
+    face_circumradius_rad_ = geo::AngleBetween(
+        centers_[0], vertices_[static_cast<size_t>(faces_[0][0])]);
+  }
+}
+
+const Icosahedron& Icosahedron::Get() {
+  static const Icosahedron& instance = *new Icosahedron();
+  return instance;
+}
+
+int Icosahedron::NearestVertex(const geo::Vec3& p) const {
+  int best = 0;
+  double best_dot = -2.0;
+  for (int v = 0; v < kNumVertices; ++v) {
+    const double d = p.Dot(vertices_[static_cast<size_t>(v)]);
+    if (d > best_dot) {
+      best_dot = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+int Icosahedron::FindFace(const geo::Vec3& p) const {
+  int best = 0;
+  double best_dot = -2.0;
+  for (int f = 0; f < kNumFaces; ++f) {
+    const double d = p.Dot(centers_[static_cast<size_t>(f)]);
+    if (d > best_dot) {
+      best_dot = d;
+      best = f;
+    }
+  }
+  return best;
+}
+
+std::array<geo::Vec3, 3> Icosahedron::FaceVertices(int face) const {
+  const auto& idx = faces_[static_cast<size_t>(face)];
+  return {vertices_[static_cast<size_t>(idx[0])],
+          vertices_[static_cast<size_t>(idx[1])],
+          vertices_[static_cast<size_t>(idx[2])]};
+}
+
+}  // namespace pol::hex

@@ -1,0 +1,78 @@
+#ifndef POL_HEXGRID_ICOSAHEDRON_H_
+#define POL_HEXGRID_ICOSAHEDRON_H_
+
+#include <array>
+#include <vector>
+
+#include "geo/gnomonic.h"
+#include "geo/latlng.h"
+
+// The icosahedral base of the hexagonal grid.
+//
+// The sphere is split into 20 regions, one per icosahedron face; each
+// region carries a gnomonic projection centred on the face. The grid lays
+// a hexagonal lattice in each face's tangent plane (see hex_math.h). A
+// point belongs to the face whose centre is nearest (maximum dot
+// product); ties — points equidistant from several centres — go to the
+// lowest face id, which makes the assignment a total function.
+
+namespace pol::hex {
+
+inline constexpr int kNumFaces = 20;
+inline constexpr int kNumVertices = 12;
+
+class Icosahedron {
+ public:
+  // The process-wide instance (construction is cheap but the projections
+  // should be shared).
+  static const Icosahedron& Get();
+
+  // Face whose centre is nearest to `p` (unit vector).
+  int FindFace(const geo::Vec3& p) const;
+
+  const geo::Gnomonic& FaceProjection(int face) const {
+    return projections_[static_cast<size_t>(face)];
+  }
+
+  const geo::Vec3& FaceCenter(int face) const {
+    return centers_[static_cast<size_t>(face)];
+  }
+
+  // The three vertices of a face (unit vectors).
+  std::array<geo::Vec3, 3> FaceVertices(int face) const;
+
+  // Index of the icosahedron vertex nearest to `p`.
+  int NearestVertex(const geo::Vec3& p) const;
+
+  const geo::Vec3& Vertex(int v) const {
+    return vertices_[static_cast<size_t>(v)];
+  }
+
+  // The lowest-id face incident to a vertex: the deterministic owner of
+  // the vertex neighbourhood (see hexgrid.cc's vertex fallback).
+  int VertexOwnerFace(int vertex) const {
+    return vertex_owner_face_[static_cast<size_t>(vertex)];
+  }
+
+  // Planar area of one projected face triangle in the tangent plane, in
+  // units of Earth radii squared. All faces are congruent.
+  double PlanarFaceArea() const { return planar_face_area_; }
+
+  // Angular radius (radians) from a face centre to its vertices.
+  double FaceCircumradiusRad() const { return face_circumradius_rad_; }
+
+ private:
+  Icosahedron();
+
+  std::array<geo::Vec3, kNumVertices> vertices_;
+  std::array<std::array<int, 3>, kNumFaces> faces_;
+  std::array<geo::Vec3, kNumFaces> centers_;
+  std::array<int, kNumVertices> vertex_owner_face_;
+  std::vector<geo::Gnomonic> projections_;
+  double planar_face_area_ = 0.0;
+  double face_circumradius_rad_ = 0.0;
+};
+
+}  // namespace pol::hex
+
+#endif  // POL_HEXGRID_ICOSAHEDRON_H_

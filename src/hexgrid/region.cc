@@ -1,0 +1,150 @@
+#include "hexgrid/region.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geo/geodesic.h"
+#include "hexgrid/hex_math.h"
+#include "hexgrid/hexgrid.h"
+
+namespace pol::hex {
+namespace {
+
+// Sampling step that guarantees hitting every cell: a hexagon with edge
+// e contains a disk of radius (sqrt(3)/2)e, shrunk at worst ~0.63x by
+// gnomonic distortion (see CellsWithinDistanceKm).
+double SampleStepKm(int res) { return 0.55 * EdgeLengthKm(res); }
+
+}  // namespace
+
+std::vector<CellIndex> BoxToCells(double lat_min, double lat_max,
+                                  double lng_min, double lng_max, int res) {
+  std::vector<CellIndex> out;
+  if (!(lat_max > lat_min) || !(lng_max > lng_min)) return out;
+  const double step_km = SampleStepKm(res);
+  const double dlat = step_km / 111.2;
+  std::unordered_set<CellIndex> seen;
+  for (double lat = lat_min; lat <= lat_max + dlat; lat += dlat) {
+    const double clamped_lat = std::min(lat, lat_max);
+    // Longitude step shrinks with latitude.
+    const double cos_lat =
+        std::max(0.05, std::cos(geo::DegToRad(clamped_lat)));
+    const double dlng = dlat / cos_lat;
+    for (double lng = lng_min; lng <= lng_max + dlng; lng += dlng) {
+      const geo::LatLng p{clamped_lat, std::min(lng, lng_max)};
+      const CellIndex cell = LatLngToCell(p, res);
+      if (cell != kInvalidCell && seen.insert(cell).second) {
+        out.push_back(cell);
+      }
+    }
+  }
+  return out;
+}
+
+bool PointInPolygon(const std::vector<geo::LatLng>& ring,
+                    const geo::LatLng& p) {
+  // Even-odd ray casting in plate-carree coordinates.
+  bool inside = false;
+  const size_t n = ring.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const double yi = ring[i].lat_deg;
+    const double yj = ring[j].lat_deg;
+    const double xi = ring[i].lng_deg;
+    const double xj = ring[j].lng_deg;
+    const bool crosses = (yi > p.lat_deg) != (yj > p.lat_deg);
+    if (crosses) {
+      const double x_at =
+          xi + (p.lat_deg - yi) / (yj - yi) * (xj - xi);
+      if (p.lng_deg < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+std::vector<CellIndex> PolygonToCells(const std::vector<geo::LatLng>& ring,
+                                      int res) {
+  std::vector<CellIndex> out;
+  if (ring.size() < 3) return out;
+  double lat_min = 90, lat_max = -90, lng_min = 180, lng_max = -180;
+  for (const geo::LatLng& v : ring) {
+    lat_min = std::min(lat_min, v.lat_deg);
+    lat_max = std::max(lat_max, v.lat_deg);
+    lng_min = std::min(lng_min, v.lng_deg);
+    lng_max = std::max(lng_max, v.lng_deg);
+  }
+  for (const CellIndex cell : BoxToCells(lat_min, lat_max, lng_min, lng_max,
+                                         res)) {
+    if (PointInPolygon(ring, CellToLatLng(cell))) out.push_back(cell);
+  }
+  return out;
+}
+
+std::vector<CellIndex> CompactCells(const std::vector<CellIndex>& cells) {
+  std::unordered_set<CellIndex> current(cells.begin(), cells.end());
+  if (current.empty()) return {};
+  const int res = CellResolution(*current.begin());
+  for (int level = res; level > 0; --level) {
+    // Group by parent; replace complete sibling sets.
+    std::unordered_map<CellIndex, std::vector<CellIndex>> by_parent;
+    for (const CellIndex cell : current) {
+      if (CellResolution(cell) != level) continue;
+      by_parent[CellToParent(cell, level - 1)].push_back(cell);
+    }
+    bool changed = false;
+    for (const auto& [parent, members] : by_parent) {
+      const std::vector<CellIndex> expected =
+          CellToChildren(parent, level);
+      if (expected.empty() || members.size() != expected.size()) continue;
+      std::vector<CellIndex> sorted = members;
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted != expected) continue;  // expected is already sorted.
+      for (const CellIndex member : members) current.erase(member);
+      current.insert(parent);
+      changed = true;
+    }
+    if (!changed) break;  // Higher levels cannot complete either.
+  }
+  std::vector<CellIndex> out(current.begin(), current.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<CellIndex> UncompactCells(const std::vector<CellIndex>& cells,
+                                      int res) {
+  std::unordered_set<CellIndex> seen;
+  std::vector<CellIndex> out;
+  for (const CellIndex cell : cells) {
+    const int cell_res = CellResolution(cell);
+    if (cell_res < 0 || cell_res > res) continue;
+    if (cell_res == res) {
+      if (seen.insert(cell).second) out.push_back(cell);
+      continue;
+    }
+    for (const CellIndex child : CellToChildren(cell, res)) {
+      if (seen.insert(child).second) out.push_back(child);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<CellIndex> GridPathCells(const geo::LatLng& a,
+                                     const geo::LatLng& b, int res) {
+  std::vector<CellIndex> out;
+  const double step_km = SampleStepKm(res);
+  const std::vector<geo::LatLng> samples =
+      geo::SampleGreatCircle(a, b, step_km);
+  for (const geo::LatLng& p : samples) {
+    const CellIndex cell = LatLngToCell(p, res);
+    if (cell == kInvalidCell) continue;
+    if (out.empty() || out.back() != cell) {
+      // Deduplicate only consecutive repeats: a path may legitimately
+      // revisit no cell on a great circle, so this keeps order exact.
+      out.push_back(cell);
+    }
+  }
+  return out;
+}
+
+}  // namespace pol::hex

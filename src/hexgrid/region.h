@@ -1,0 +1,54 @@
+#ifndef POL_HEXGRID_REGION_H_
+#define POL_HEXGRID_REGION_H_
+
+#include <vector>
+
+#include "geo/latlng.h"
+#include "hexgrid/cell_index.h"
+
+// Region operations over the grid: polygon/box fills, cell-set
+// compaction across the hierarchy, and line tracing. These mirror the
+// corresponding H3 API surface (polygonToCells, compactCells,
+// uncompactCells, gridPathCells) and back the regional queries of the
+// benches and the adaptive inventory.
+
+namespace pol::hex {
+
+// Cells at `res` covering the given lat/lng box (any cell containing
+// some point of the box). The box must not wrap the antimeridian; split
+// wrapping boxes into two calls.
+std::vector<CellIndex> BoxToCells(double lat_min, double lat_max,
+                                  double lng_min, double lng_max, int res);
+
+// Cells at `res` whose centre lies inside the simple polygon `ring`
+// (vertices in order, implicitly closed; no antimeridian wrap).
+std::vector<CellIndex> PolygonToCells(const std::vector<geo::LatLng>& ring,
+                                      int res);
+
+// Point-in-polygon test used by PolygonToCells (exposed for tests):
+// even-odd rule in lat/lng space.
+bool PointInPolygon(const std::vector<geo::LatLng>& ring,
+                    const geo::LatLng& p);
+
+// Replaces every complete sibling set by its parent, recursively: the
+// smallest mixed-resolution set covering exactly the same fine cells.
+// Because parent/child containment is approximate (as in our aperture-7
+// construction), "complete" is defined through CellToChildren: a parent
+// is emitted when ALL of its children (per CellToChildren) are present.
+// Input cells must all share one resolution.
+std::vector<CellIndex> CompactCells(const std::vector<CellIndex>& cells);
+
+// Expands a mixed-resolution set back to uniform `res` (every cell's
+// descendants at `res`, per CellToChildren). Inverse of CompactCells.
+std::vector<CellIndex> UncompactCells(const std::vector<CellIndex>& cells,
+                                      int res);
+
+// The chain of cells a great-circle segment from `a` to `b` passes
+// through at `res`, in order, deduplicated. Both endpoints' cells are
+// included.
+std::vector<CellIndex> GridPathCells(const geo::LatLng& a,
+                                     const geo::LatLng& b, int res);
+
+}  // namespace pol::hex
+
+#endif  // POL_HEXGRID_REGION_H_

@@ -1,0 +1,463 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "geo/geodesic.h"
+#include "sim/movement.h"
+
+namespace pol::sim {
+namespace {
+
+// Segment mix of the commercial fleet (rough world-fleet proportions).
+constexpr ais::MarketSegment kCommercialMix[] = {
+    ais::MarketSegment::kContainer,    ais::MarketSegment::kContainer,
+    ais::MarketSegment::kContainer,    ais::MarketSegment::kContainer,
+    ais::MarketSegment::kContainer,    ais::MarketSegment::kDryBulk,
+    ais::MarketSegment::kDryBulk,      ais::MarketSegment::kDryBulk,
+    ais::MarketSegment::kDryBulk,      ais::MarketSegment::kDryBulk,
+    ais::MarketSegment::kDryBulk,      ais::MarketSegment::kTanker,
+    ais::MarketSegment::kTanker,       ais::MarketSegment::kTanker,
+    ais::MarketSegment::kTanker,       ais::MarketSegment::kTanker,
+    ais::MarketSegment::kGeneralCargo, ais::MarketSegment::kGeneralCargo,
+    ais::MarketSegment::kGeneralCargo, ais::MarketSegment::kPassenger,
+};
+
+struct SegmentSpec {
+  double min_gt;
+  double max_gt;
+  double min_cruise;
+  double max_cruise;
+};
+
+SegmentSpec SpecFor(ais::MarketSegment segment) {
+  switch (segment) {
+    case ais::MarketSegment::kContainer:
+      return {20000, 220000, 16.0, 22.0};
+    case ais::MarketSegment::kDryBulk:
+      return {15000, 200000, 11.0, 14.5};
+    case ais::MarketSegment::kTanker:
+      return {10000, 300000, 11.0, 15.5};
+    case ais::MarketSegment::kGeneralCargo:
+      return {5500, 40000, 12.0, 16.0};
+    case ais::MarketSegment::kPassenger:
+      return {20000, 150000, 17.0, 22.0};
+    case ais::MarketSegment::kFishing:
+      return {100, 2500, 8.0, 12.0};
+    case ais::MarketSegment::kTugAndService:
+      return {200, 3000, 8.0, 13.0};
+    case ais::MarketSegment::kPleasure:
+      return {50, 500, 5.0, 20.0};
+    case ais::MarketSegment::kOther:
+      return {300, 4000, 8.0, 14.0};
+  }
+  return {300, 4000, 8.0, 14.0};
+}
+
+std::string MakeName(const char* prefix, int index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s %04d", prefix, index);
+  return buf;
+}
+
+}  // namespace
+
+FleetSimulator::FleetSimulator(FleetConfig config) : config_(config) {
+  if (config_.ports == nullptr) config_.ports = &PortDatabase::Global();
+  if (config_.routes == nullptr) config_.routes = &RouteNetwork::Global();
+  POL_CHECK(config_.end_time > config_.start_time);
+}
+
+ais::VesselInfo FleetSimulator::MakeCommercialVessel(int index,
+                                                     Rng& rng) const {
+  ais::VesselInfo vessel;
+  vessel.mmsi = static_cast<ais::Mmsi>(200000000 + index * 37 + 13);
+  vessel.segment = kCommercialMix[rng.NextBelow(std::size(kCommercialMix))];
+  const SegmentSpec spec = SpecFor(vessel.segment);
+  // Log-uniform tonnage: fleets have many mid-size and few giant ships.
+  const double log_gt = rng.Uniform(std::log(spec.min_gt), std::log(spec.max_gt));
+  vessel.gross_tonnage = static_cast<int>(std::exp(log_gt));
+  vessel.design_speed_knots = rng.Uniform(spec.min_cruise, spec.max_cruise);
+  vessel.length_m = 60.0 + std::pow(vessel.gross_tonnage, 0.38);
+  vessel.ship_type_code = ais::ShipTypeCodeForSegment(vessel.segment);
+  vessel.transceiver = ais::TransceiverClass::kClassA;
+  vessel.name = MakeName("POLARIS", index);
+  return vessel;
+}
+
+ais::VesselInfo FleetSimulator::MakeNoncommercialVessel(int index,
+                                                        Rng& rng) const {
+  ais::VesselInfo vessel;
+  vessel.mmsi = static_cast<ais::Mmsi>(500000000 + index * 41 + 7);
+  const double pick = rng.NextDouble();
+  vessel.segment = pick < 0.5   ? ais::MarketSegment::kFishing
+                   : pick < 0.75 ? ais::MarketSegment::kTugAndService
+                                 : ais::MarketSegment::kPleasure;
+  const SegmentSpec spec = SpecFor(vessel.segment);
+  vessel.gross_tonnage =
+      static_cast<int>(rng.Uniform(spec.min_gt, spec.max_gt));
+  vessel.design_speed_knots = rng.Uniform(spec.min_cruise, spec.max_cruise);
+  vessel.length_m = 8.0 + std::pow(vessel.gross_tonnage, 0.4);
+  vessel.ship_type_code = ais::ShipTypeCodeForSegment(vessel.segment);
+  // Small craft mostly carry class B transceivers.
+  vessel.transceiver = rng.Bernoulli(0.8) ? ais::TransceiverClass::kClassB
+                                          : ais::TransceiverClass::kClassA;
+  vessel.name = MakeName("LOCAL", index);
+  return vessel;
+}
+
+PortId FleetSimulator::SamplePort(ais::MarketSegment segment, PortId exclude,
+                                  const geo::LatLng* near, Rng& rng) const {
+  const auto& ports = config_.ports->ports();
+  double total = 0.0;
+  std::vector<double> weights(ports.size(), 0.0);
+  for (size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].id == exclude) continue;
+    double w = ports[i].segment_weight[static_cast<int>(segment)];
+    if (w <= 0.0) continue;
+    if (near != nullptr) {
+      // Regional bias: real rotations favour nearby ports, with a tail
+      // of long-haul legs.
+      const double km = geo::HaversineKm(*near, ports[i].position);
+      w /= 1.0 + km / 5000.0;
+    }
+    weights[i] = w;
+    total += w;
+  }
+  if (total <= 0.0) return kNoPort;
+  double target = rng.NextDouble() * total;
+  for (size_t i = 0; i < ports.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0.0 && weights[i] > 0.0) return ports[i].id;
+  }
+  for (size_t i = ports.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return ports[i - 1].id;
+  }
+  return kNoPort;
+}
+
+void FleetSimulator::Emit(ais::PositionReport report, Rng& rng,
+                          SimulationOutput* out) {
+  // Late delivery: the archive timestamps by reception, and satellite
+  // passes deliver batches late, so a slice of messages lands with a
+  // timestamp earlier than the previously emitted one.
+  if (rng.Bernoulli(config_.late_delivery_rate)) {
+    report.timestamp -= rng.UniformInt(60, 900);
+    if (report.timestamp < config_.start_time) {
+      report.timestamp = config_.start_time;
+    }
+    ++out->injected_late;
+  }
+  // GPS jumps: a single wildly wrong fix.
+  if (rng.Bernoulli(config_.position_jump_rate)) {
+    ais::PositionReport jump = report;
+    jump.lat_deg =
+        std::clamp(jump.lat_deg + rng.Uniform(-8.0, 8.0), -89.9, 89.9);
+    jump.lng_deg = geo::LatLng(0.0, jump.lng_deg + rng.Uniform(-8.0, 8.0))
+                       .Normalized()
+                       .lng_deg;
+    ++out->injected_jumps;
+    out->reports.push_back(jump);
+    return;  // The jump replaces the true fix.
+  }
+  // Field corruption: decoder bugs, truncation, bad transceivers.
+  if (rng.Bernoulli(config_.corrupt_field_rate)) {
+    switch (rng.NextBelow(5)) {
+      case 0:
+        report.lat_deg = ais::kLatUnavailable;
+        break;
+      case 1:
+        report.lng_deg = ais::kLngUnavailable;
+        break;
+      case 2:
+        report.sog_knots = 170.0;
+        break;
+      case 3:
+        report.cog_deg = 404.0;
+        break;
+      case 4:
+        report.heading_deg = 720.0;
+        break;
+    }
+    ++out->injected_corrupt;
+  }
+  out->reports.push_back(report);
+  // Duplicates: the same message received by several stations.
+  if (rng.Bernoulli(config_.duplicate_rate)) {
+    out->reports.push_back(report);
+    ++out->injected_duplicates;
+  }
+}
+
+void FleetSimulator::SimulateCommercialVessel(const ais::VesselInfo& vessel,
+                                              Rng rng,
+                                              SimulationOutput* out) {
+  PortId current = SamplePort(vessel.segment, kNoPort, nullptr, rng);
+  if (current == kNoPort) return;
+  UnixSeconds now =
+      config_.start_time + rng.UniformInt(0, 5 * kSecondsPerDay);
+
+  // The vessel is alongside before its first departure: emit an initial
+  // berth period so the first voyage has a known origin (otherwise the
+  // trip extractor rightly discards it as a leading leg).
+  {
+    const Port* home = *config_.ports->Find(current);
+    const geo::LatLng berth = geo::DestinationPoint(
+        home->position, rng.Uniform(0, 360), rng.Uniform(0.0, 3.0));
+    const UnixSeconds berth_end = now + static_cast<UnixSeconds>(
+        rng.Uniform(0.15, 0.8) * static_cast<double>(kSecondsPerDay));
+    while (now < berth_end && now < config_.end_time) {
+      now += static_cast<UnixSeconds>(std::clamp(
+          rng.Exponential(1.0 / (config_.coastal_interval_s * 3.0)), 30.0,
+          config_.coastal_interval_s * 12.0));
+      ais::PositionReport report;
+      report.mmsi = vessel.mmsi;
+      report.timestamp = now;
+      report.lat_deg = berth.lat_deg;
+      report.lng_deg = berth.lng_deg;
+      report.sog_knots = rng.Uniform(0.0, 0.3);
+      report.cog_deg = rng.Uniform(0.0, 359.9);
+      report.heading_deg = ais::kHeadingUnavailable;
+      report.nav_status = ais::NavStatus::kMoored;
+      report.message_type = static_cast<uint8_t>(1 + rng.NextBelow(3));
+      Emit(report, rng, out);
+    }
+  }
+
+  while (now < config_.end_time) {
+    // Pick the next leg of the rotation.
+    const Port* current_port = *config_.ports->Find(current);
+    PortId next = kNoPort;
+    std::vector<geo::LatLng> route;
+    for (int attempt = 0; attempt < 10 && next == kNoPort; ++attempt) {
+      const PortId candidate =
+          SamplePort(vessel.segment, current, &current_port->position, rng);
+      if (candidate == kNoPort) break;
+      auto routed = config_.routes->Route(current, candidate);
+      if (routed.ok()) {
+        next = candidate;
+        route = std::move(routed).value();
+      }
+    }
+    if (next == kNoPort) return;
+
+    const RoutePath path(route, 15.0);
+    SpeedProfile profile;
+    profile.cruise_knots =
+        vessel.design_speed_knots * rng.Uniform(0.92, 1.02);
+    const double total_km = path.length_km();
+
+    VoyageTruth truth;
+    truth.mmsi = vessel.mmsi;
+    truth.origin = current;
+    truth.destination = next;
+    truth.departure = now;
+    truth.distance_km = total_km;
+
+    // Sail the leg, sampling reports at reception-model intervals.
+    double d = 0.0;
+    bool completed = true;
+    // Per-voyage systematic heading drift (current/wind leeway).
+    const double drift_deg = rng.NextGaussian() * 3.0;
+    // Traffic separation: vessels keep to the starboard side of the
+    // lane, so opposite directions sail parallel offset tracks (the
+    // separation schema visible in the paper's Figure 4).
+    const double lane_offset_km = rng.Uniform(2.5, 5.0);
+    while (d < total_km) {
+      const bool coastal = d < config_.coastal_band_km ||
+                           total_km - d < config_.coastal_band_km;
+      const double mean_interval =
+          coastal ? config_.coastal_interval_s : config_.ocean_interval_s;
+      const double interval =
+          std::clamp(rng.Exponential(1.0 / mean_interval), 10.0, 4.0 * mean_interval);
+      const double speed =
+          std::max(0.5, ProfileSpeedKnots(profile, d, total_km) +
+                            rng.NextGaussian() * 0.3);
+      now += static_cast<UnixSeconds>(interval);
+      d += speed * (interval / 3600.0) * geo::kKmPerNauticalMile;
+      if (now >= config_.end_time) {
+        completed = false;
+        break;
+      }
+      if (d >= total_km) break;  // Arrival; the port stay reports follow.
+
+      geo::LatLng position;
+      double course = 0.0;
+      path.At(d, &position, &course);
+      // Keep right of the lane centreline (except in harbour approaches,
+      // where pilots converge on the fairway).
+      if (d > 20.0 && total_km - d > 20.0) {
+        position = geo::DestinationPoint(position, course + 90.0,
+                                         lane_offset_km);
+      }
+
+      ais::PositionReport report;
+      report.mmsi = vessel.mmsi;
+      report.timestamp = now;
+      report.lat_deg = position.lat_deg;
+      report.lng_deg = position.lng_deg;
+      report.sog_knots = std::min(102.2, speed + rng.NextGaussian() * 0.2);
+      report.cog_deg =
+          std::fmod(course + rng.NextGaussian() * 1.5 + 360.0, 360.0);
+      report.heading_deg =
+          std::fmod(course + drift_deg + rng.NextGaussian() * 1.0 + 360.0,
+                    360.0);
+      report.nav_status = ais::NavStatus::kUnderWayUsingEngine;
+      report.message_type = static_cast<uint8_t>(1 + rng.NextBelow(3));
+      Emit(report, rng, out);
+    }
+    if (!completed) return;
+
+    const Port* dest_port = *config_.ports->Find(next);
+
+    // Congestion: a share of arrivals waits at the anchorage outside the
+    // port limits before proceeding in — the "loitering areas" visible
+    // in the paper's Figure 4 speed panel. Anchorage reports are at sea
+    // (outside the geofence), so they stay part of the trip.
+    if (rng.Bernoulli(0.35)) {
+      const geo::LatLng anchorage = geo::DestinationPoint(
+          dest_port->position, rng.Uniform(0, 360),
+          dest_port->geofence_radius_km + rng.Uniform(3.0, 12.0));
+      const UnixSeconds anchor_end =
+          now + static_cast<UnixSeconds>(rng.Uniform(4.0, 36.0) * 3600.0);
+      while (now < anchor_end && now < config_.end_time) {
+        now += static_cast<UnixSeconds>(std::clamp(
+            rng.Exponential(1.0 / config_.coastal_interval_s), 30.0,
+            4.0 * config_.coastal_interval_s));
+        const geo::LatLng swing = geo::DestinationPoint(
+            anchorage, rng.Uniform(0, 360), rng.Uniform(0.0, 0.4));
+        ais::PositionReport report;
+        report.mmsi = vessel.mmsi;
+        report.timestamp = now;
+        report.lat_deg = swing.lat_deg;
+        report.lng_deg = swing.lng_deg;
+        report.sog_knots = rng.Uniform(0.0, 0.8);
+        report.cog_deg = rng.Uniform(0.0, 359.9);
+        report.heading_deg = ais::kHeadingUnavailable;
+        report.nav_status = ais::NavStatus::kAtAnchor;
+        report.message_type = static_cast<uint8_t>(1 + rng.NextBelow(3));
+        Emit(report, rng, out);
+      }
+      if (now >= config_.end_time) return;
+    }
+
+    truth.arrival = now;
+    out->voyages.push_back(truth);
+
+    // Port stay: moored reports at the destination berth.
+    const UnixSeconds stay_end =
+        now + static_cast<UnixSeconds>(
+                  rng.Uniform(0.5, 3.5) * static_cast<double>(kSecondsPerDay));
+    const geo::LatLng berth = geo::DestinationPoint(
+        dest_port->position, rng.Uniform(0, 360), rng.Uniform(0.0, 3.0));
+    while (now < stay_end && now < config_.end_time) {
+      now += static_cast<UnixSeconds>(std::clamp(
+          rng.Exponential(1.0 / (config_.coastal_interval_s * 3.0)), 30.0,
+          config_.coastal_interval_s * 12.0));
+      ais::PositionReport report;
+      report.mmsi = vessel.mmsi;
+      report.timestamp = now;
+      const geo::LatLng swing =
+          geo::DestinationPoint(berth, rng.Uniform(0, 360),
+                                rng.Uniform(0.0, 0.05));
+      report.lat_deg = swing.lat_deg;
+      report.lng_deg = swing.lng_deg;
+      report.sog_knots = rng.Uniform(0.0, 0.3);
+      report.cog_deg = rng.Uniform(0.0, 359.9);
+      report.heading_deg = ais::kHeadingUnavailable;
+      report.nav_status = ais::NavStatus::kMoored;
+      report.message_type = static_cast<uint8_t>(1 + rng.NextBelow(3));
+      Emit(report, rng, out);
+    }
+    current = next;
+  }
+}
+
+void FleetSimulator::SimulateNoncommercialVessel(const ais::VesselInfo& vessel,
+                                                 Rng rng,
+                                                 SimulationOutput* out) {
+  // Home port: any port attracts some local traffic.
+  const auto& ports = config_.ports->ports();
+  const Port& home = ports[rng.NextBelow(ports.size())];
+  const double range_km =
+      vessel.segment == ais::MarketSegment::kFishing ? 80.0 : 40.0;
+
+  UnixSeconds now = config_.start_time;
+  while (now < config_.end_time) {
+    // Next working session starts after an idle gap of 0.5 - 4 days.
+    now += static_cast<UnixSeconds>(
+        rng.Uniform(0.5, 4.0) * static_cast<double>(kSecondsPerDay));
+    if (now >= config_.end_time) break;
+    const UnixSeconds session_end =
+        now + static_cast<UnixSeconds>(rng.Uniform(2.0, 10.0) * 3600.0);
+
+    geo::LatLng position = geo::DestinationPoint(
+        home.position, rng.Uniform(0, 360), rng.Uniform(0.0, 10.0));
+    double course = rng.Uniform(0, 360);
+    while (now < session_end && now < config_.end_time) {
+      const double interval = std::clamp(
+          rng.Exponential(1.0 / config_.noncommercial_interval_s), 10.0,
+          4.0 * config_.noncommercial_interval_s);
+      now += static_cast<UnixSeconds>(interval);
+      const double speed =
+          std::max(0.0, rng.Uniform(0.3, vessel.design_speed_knots));
+      // Meandering track; pulled back toward home when straying.
+      course += rng.NextGaussian() * 25.0;
+      if (geo::HaversineKm(position, home.position) > range_km) {
+        course = geo::InitialBearingDeg(position, home.position) +
+                 rng.NextGaussian() * 10.0;
+      }
+      course = std::fmod(course + 360.0, 360.0);
+      position = geo::DestinationPoint(
+          position, course, speed * (interval / 3600.0) * geo::kKmPerNauticalMile);
+
+      ais::PositionReport report;
+      report.mmsi = vessel.mmsi;
+      report.timestamp = now;
+      report.lat_deg = position.lat_deg;
+      report.lng_deg = position.lng_deg;
+      report.sog_knots = speed;
+      report.cog_deg = course;
+      report.heading_deg = std::fmod(course + rng.NextGaussian() * 5.0 + 360.0, 360.0);
+      report.nav_status = vessel.segment == ais::MarketSegment::kFishing
+                              ? ais::NavStatus::kEngagedInFishing
+                              : ais::NavStatus::kUnderWayUsingEngine;
+      report.message_type =
+          vessel.transceiver == ais::TransceiverClass::kClassB ? 18 : 1;
+      Emit(report, rng, out);
+    }
+  }
+}
+
+SimulationOutput FleetSimulator::Run() {
+  SimulationOutput out;
+  Rng master(config_.seed);
+
+  // Registry first: vessel identities are independent of traffic RNG.
+  Rng registry_rng = master.Fork();
+  for (int i = 0; i < config_.commercial_vessels; ++i) {
+    out.fleet.push_back(MakeCommercialVessel(i, registry_rng));
+  }
+  for (int i = 0; i < config_.noncommercial_vessels; ++i) {
+    out.fleet.push_back(MakeNoncommercialVessel(i, registry_rng));
+  }
+
+  // Each vessel gets an independent deterministic stream.
+  for (int i = 0; i < config_.commercial_vessels; ++i) {
+    uint64_t state = config_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    SimulateCommercialVessel(out.fleet[static_cast<size_t>(i)],
+                             Rng(SplitMix64(state)), &out);
+  }
+  for (int i = 0; i < config_.noncommercial_vessels; ++i) {
+    uint64_t state =
+        config_.seed ^ (0xc2b2ae3d27d4eb4fULL * (i + 1));
+    SimulateNoncommercialVessel(
+        out.fleet[static_cast<size_t>(config_.commercial_vessels + i)],
+        Rng(SplitMix64(state)), &out);
+  }
+  return out;
+}
+
+}  // namespace pol::sim

@@ -1,0 +1,69 @@
+#include "sim/movement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "geo/geodesic.h"
+
+namespace pol::sim {
+
+RoutePath::RoutePath(const std::vector<geo::LatLng>& waypoints,
+                     double sample_km) {
+  POL_CHECK(!waypoints.empty());
+  points_.push_back(waypoints[0]);
+  for (size_t i = 1; i < waypoints.size(); ++i) {
+    // Sample each leg along the great circle; skip the first point of
+    // every leg (it duplicates the previous leg's last point).
+    const std::vector<geo::LatLng> leg =
+        geo::SampleGreatCircle(waypoints[i - 1], waypoints[i], sample_km);
+    for (size_t j = 1; j < leg.size(); ++j) points_.push_back(leg[j]);
+  }
+  cumulative_km_.resize(points_.size(), 0.0);
+  for (size_t i = 1; i < points_.size(); ++i) {
+    cumulative_km_[i] =
+        cumulative_km_[i - 1] + geo::HaversineKm(points_[i - 1], points_[i]);
+  }
+  length_km_ = cumulative_km_.back();
+}
+
+void RoutePath::At(double distance_km, geo::LatLng* position,
+                   double* course_deg) const {
+  const double d = std::clamp(distance_km, 0.0, length_km_);
+  // Find the segment containing d.
+  const auto it =
+      std::upper_bound(cumulative_km_.begin(), cumulative_km_.end(), d);
+  size_t hi = static_cast<size_t>(it - cumulative_km_.begin());
+  if (hi >= points_.size()) hi = points_.size() - 1;
+  if (hi == 0) hi = 1;
+  const size_t lo = hi - 1;
+  const double seg_len = cumulative_km_[hi] - cumulative_km_[lo];
+  const double t = seg_len <= 1e-12 ? 0.0 : (d - cumulative_km_[lo]) / seg_len;
+  if (position != nullptr) {
+    *position = geo::Interpolate(points_[lo], points_[hi], t);
+  }
+  if (course_deg != nullptr) {
+    *course_deg = geo::InitialBearingDeg(points_[lo], points_[hi]);
+  }
+}
+
+double ProfileSpeedKnots(const SpeedProfile& profile, double distance_km,
+                         double total_km) {
+  if (total_km <= 0.0) return profile.harbour_knots;
+  const double d = std::clamp(distance_km, 0.0, total_km);
+  // Short hops may not have room for full ramps.
+  const double ramp = std::min(profile.ramp_km, total_km / 3.0);
+  double speed = profile.cruise_knots;
+  if (d < ramp) {
+    const double t = d / ramp;
+    speed = profile.harbour_knots +
+            (profile.cruise_knots - profile.harbour_knots) * t;
+  } else if (total_km - d < ramp) {
+    const double t = (total_km - d) / ramp;
+    speed = profile.harbour_knots +
+            (profile.cruise_knots - profile.harbour_knots) * t;
+  }
+  return speed;
+}
+
+}  // namespace pol::sim

@@ -1,0 +1,51 @@
+#ifndef POL_SIM_MOVEMENT_H_
+#define POL_SIM_MOVEMENT_H_
+
+#include <vector>
+
+#include "geo/latlng.h"
+
+// Kinematics along a route: densified polylines addressable by distance,
+// and the speed profile of a commercial voyage (harbour manoeuvring,
+// acceleration to sea speed, cruise, approach deceleration).
+
+namespace pol::sim {
+
+// A route polyline densified to ~`sample_km` spacing, addressable by
+// cumulative distance from the origin.
+class RoutePath {
+ public:
+  explicit RoutePath(const std::vector<geo::LatLng>& waypoints,
+                     double sample_km = 15.0);
+
+  double length_km() const { return length_km_; }
+
+  // Position and course (degrees true) at `distance_km` along the route;
+  // distances are clamped to [0, length].
+  void At(double distance_km, geo::LatLng* position,
+          double* course_deg) const;
+
+  const std::vector<geo::LatLng>& points() const { return points_; }
+
+ private:
+  std::vector<geo::LatLng> points_;
+  std::vector<double> cumulative_km_;  // Same size as points_.
+  double length_km_ = 0.0;
+};
+
+// Voyage speed profile. Vessels leave the berth at harbour speed, reach
+// cruise speed after the acceleration stretch, and slow down over the
+// approach stretch before the destination.
+struct SpeedProfile {
+  double harbour_knots = 6.0;
+  double cruise_knots = 14.0;
+  double ramp_km = 40.0;  // Length of the acceleration/deceleration zones.
+};
+
+// Target speed at `distance_km` along a voyage of `total_km`.
+double ProfileSpeedKnots(const SpeedProfile& profile, double distance_km,
+                         double total_km);
+
+}  // namespace pol::sim
+
+#endif  // POL_SIM_MOVEMENT_H_

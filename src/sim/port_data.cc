@@ -1,0 +1,220 @@
+// The embedded world port table: the ~140 largest commercial ports with
+// real coordinates, which carry the overwhelming majority of global
+// commercial port calls. Substitutes the paper's proprietary 20k-port
+// database (see DESIGN.md, substitution table).
+
+#include "sim/ports.h"
+
+namespace pol::sim {
+namespace {
+
+struct PortRow {
+  const char* name;
+  const char* country;
+  double lat;
+  double lng;
+  PortSize size;
+  bool container;
+  bool tanker;
+  bool bulk;
+  bool passenger;
+};
+
+constexpr PortSize L = PortSize::kLarge;
+constexpr PortSize M = PortSize::kMedium;
+constexpr PortSize S = PortSize::kSmall;
+
+constexpr PortRow kWorldPorts[] = {
+    // East Asia.
+    {"Shanghai", "CN", 31.23, 121.60, L, true, false, true, false},
+    {"Ningbo-Zhoushan", "CN", 29.94, 121.85, L, true, true, true, false},
+    {"Shenzhen", "CN", 22.49, 113.87, L, true, false, false, false},
+    {"Guangzhou", "CN", 22.80, 113.60, L, true, false, true, false},
+    {"Hong Kong", "HK", 22.30, 114.17, L, true, false, false, true},
+    {"Qingdao", "CN", 36.08, 120.32, L, true, false, true, false},
+    {"Tianjin", "CN", 38.97, 117.80, L, true, false, true, false},
+    {"Dalian", "CN", 38.93, 121.65, M, true, true, false, false},
+    {"Xiamen", "CN", 24.45, 118.07, M, true, false, false, false},
+    {"Busan", "KR", 35.08, 128.83, L, true, false, false, true},
+    {"Gwangyang", "KR", 34.90, 127.70, M, false, true, true, false},
+    {"Ulsan", "KR", 35.50, 129.38, M, false, true, false, false},
+    {"Incheon", "KR", 37.45, 126.60, M, true, false, false, true},
+    {"Tokyo", "JP", 35.60, 139.80, L, true, false, false, true},
+    {"Yokohama", "JP", 35.45, 139.65, L, true, false, false, false},
+    {"Nagoya", "JP", 35.03, 136.85, L, true, false, true, false},
+    {"Kobe", "JP", 34.67, 135.20, M, true, false, false, false},
+    {"Osaka", "JP", 34.63, 135.43, M, true, false, false, true},
+    {"Kaohsiung", "TW", 22.61, 120.28, L, true, false, false, false},
+    {"Keelung", "TW", 25.13, 121.75, M, true, false, false, false},
+    // Southeast Asia.
+    {"Singapore", "SG", 1.26, 103.84, L, true, true, false, true},
+    {"Port Klang", "MY", 3.00, 101.35, L, true, false, false, false},
+    {"Tanjung Pelepas", "MY", 1.36, 103.55, L, true, false, false, false},
+    {"Penang", "MY", 5.40, 100.33, M, true, false, false, false},
+    {"Laem Chabang", "TH", 13.08, 100.88, L, true, false, false, false},
+    {"Bangkok", "TH", 13.53, 100.58, M, true, false, false, false},
+    {"Cai Mep", "VN", 10.58, 107.03, M, true, false, false, false},
+    {"Haiphong", "VN", 20.85, 106.75, M, true, false, false, false},
+    {"Manila", "PH", 14.60, 120.95, M, true, false, false, true},
+    {"Tanjung Priok", "ID", -6.10, 106.88, L, true, false, false, false},
+    {"Surabaya", "ID", -7.20, 112.73, M, true, false, true, false},
+    {"Balikpapan", "ID", -1.27, 116.80, S, false, true, false, false},
+    // South Asia.
+    {"Colombo", "LK", 6.95, 79.84, L, true, false, false, false},
+    {"Nhava Sheva", "IN", 18.95, 72.95, L, true, false, false, false},
+    {"Mundra", "IN", 22.74, 69.70, M, true, false, true, false},
+    {"Chennai", "IN", 13.10, 80.30, M, true, false, false, false},
+    {"Visakhapatnam", "IN", 17.68, 83.28, M, false, false, true, false},
+    {"Chittagong", "BD", 22.25, 91.80, M, true, false, false, false},
+    {"Karachi", "PK", 24.80, 66.97, M, true, false, false, false},
+    // Middle East.
+    {"Jebel Ali", "AE", 25.01, 55.06, L, true, false, false, false},
+    {"Fujairah", "AE", 25.17, 56.37, M, false, true, false, false},
+    {"Ras Tanura", "SA", 26.64, 50.16, L, false, true, false, false},
+    {"Jubail", "SA", 27.05, 49.60, M, false, true, false, false},
+    {"Jeddah", "SA", 21.47, 39.17, L, true, false, false, false},
+    {"Mina Al Ahmadi", "KW", 29.07, 48.17, M, false, true, false, false},
+    {"Bandar Abbas", "IR", 27.14, 56.21, M, true, false, false, false},
+    {"Umm Qasr", "IQ", 30.03, 47.95, S, false, true, false, false},
+    {"Salalah", "OM", 16.94, 54.00, L, true, false, false, false},
+    {"Sohar", "OM", 24.52, 56.63, M, false, true, true, false},
+    {"Hamad", "QA", 25.00, 51.61, M, true, false, false, false},
+    {"Ras Laffan", "QA", 25.91, 51.58, M, false, true, false, false},
+    // Europe.
+    {"Rotterdam", "NL", 51.95, 4.05, L, true, true, true, false},
+    {"Antwerp", "BE", 51.28, 4.30, L, true, true, false, false},
+    {"Hamburg", "DE", 53.54, 9.93, L, true, false, false, false},
+    {"Bremerhaven", "DE", 53.56, 8.55, L, true, false, false, false},
+    {"Amsterdam", "NL", 52.41, 4.80, M, false, true, true, false},
+    {"Le Havre", "FR", 49.47, 0.15, L, true, true, false, false},
+    {"Marseille", "FR", 43.33, 5.33, M, false, true, false, true},
+    {"Algeciras", "ES", 36.13, -5.43, L, true, false, false, false},
+    {"Valencia", "ES", 39.45, -0.32, L, true, false, false, false},
+    {"Barcelona", "ES", 41.35, 2.16, M, true, false, false, true},
+    {"Piraeus", "GR", 37.94, 23.62, L, true, false, false, true},
+    {"Genoa", "IT", 44.40, 8.92, M, true, false, false, true},
+    {"Gioia Tauro", "IT", 38.45, 15.90, M, true, false, false, false},
+    {"Trieste", "IT", 45.62, 13.77, M, false, true, false, false},
+    {"Civitavecchia", "IT", 42.09, 11.79, M, false, false, false, true},
+    {"Felixstowe", "GB", 51.95, 1.35, L, true, false, false, false},
+    {"Southampton", "GB", 50.90, -1.40, M, true, false, false, true},
+    {"London Gateway", "GB", 51.50, 0.45, M, true, false, false, false},
+    {"Immingham", "GB", 53.63, -0.19, M, false, true, true, false},
+    {"Zeebrugge", "BE", 51.35, 3.20, M, true, false, false, true},
+    {"Gdansk", "PL", 54.40, 18.67, M, true, false, true, false},
+    {"Gothenburg", "SE", 57.68, 11.85, M, true, true, false, false},
+    {"Aarhus", "DK", 56.15, 10.25, M, true, false, false, false},
+    {"Oslo", "NO", 59.90, 10.73, S, false, false, false, true},
+    {"Bergen", "NO", 60.40, 5.30, S, false, true, false, true},
+    {"St Petersburg", "RU", 59.88, 30.20, M, true, false, false, false},
+    {"Primorsk", "RU", 60.34, 28.71, M, false, true, false, false},
+    {"Klaipeda", "LT", 55.70, 21.13, S, false, false, true, false},
+    {"Riga", "LV", 57.03, 24.02, S, false, false, true, false},
+    {"Tallinn", "EE", 59.44, 24.77, S, false, false, false, true},
+    {"Helsinki", "FI", 60.15, 24.95, M, true, false, false, true},
+    {"Constanta", "RO", 44.10, 28.65, M, true, false, true, false},
+    {"Ambarli", "TR", 40.97, 28.68, M, true, false, false, false},
+    {"Izmir", "TR", 38.44, 27.15, S, true, false, false, false},
+    {"Novorossiysk", "RU", 44.72, 37.80, M, false, true, true, false},
+    {"Odesa", "UA", 46.50, 30.75, M, false, false, true, false},
+    // Africa.
+    {"Port Said", "EG", 31.26, 32.30, L, true, false, false, false},
+    {"Alexandria", "EG", 31.18, 29.87, M, true, false, true, false},
+    {"Damietta", "EG", 31.47, 31.76, M, true, false, false, false},
+    {"Tanger Med", "MA", 35.88, -5.50, L, true, false, false, false},
+    {"Casablanca", "MA", 33.61, -7.62, M, true, false, false, false},
+    {"Dakar", "SN", 14.68, -17.43, S, true, false, false, false},
+    {"Abidjan", "CI", 5.25, -4.00, M, true, false, false, false},
+    {"Tema", "GH", 5.63, 0.01, M, true, false, false, false},
+    {"Lagos", "NG", 6.43, 3.38, M, true, false, false, false},
+    {"Lome", "TG", 6.13, 1.28, M, true, false, false, false},
+    {"Durban", "ZA", -29.87, 31.03, L, true, false, false, false},
+    {"Richards Bay", "ZA", -28.80, 32.04, M, false, false, true, false},
+    {"Cape Town", "ZA", -33.91, 18.43, M, true, false, false, false},
+    {"Mombasa", "KE", -4.07, 39.67, M, true, false, false, false},
+    {"Dar es Salaam", "TZ", -6.82, 39.30, S, true, false, false, false},
+    {"Djibouti", "DJ", 11.60, 43.14, M, true, false, false, false},
+    // North America.
+    {"Los Angeles", "US", 33.74, -118.26, L, true, false, false, false},
+    {"Long Beach", "US", 33.76, -118.21, L, true, true, false, false},
+    {"Oakland", "US", 37.80, -122.32, M, true, false, false, false},
+    {"Seattle", "US", 47.60, -122.35, M, true, false, false, false},
+    {"Tacoma", "US", 47.27, -122.41, M, true, false, false, false},
+    {"Vancouver", "CA", 49.29, -123.11, L, true, false, true, false},
+    {"Prince Rupert", "CA", 54.30, -130.33, M, true, false, true, false},
+    {"Houston", "US", 29.73, -94.98, L, true, true, false, false},
+    {"Corpus Christi", "US", 27.81, -97.40, M, false, true, false, false},
+    {"New Orleans", "US", 29.93, -90.06, M, false, false, true, false},
+    {"Mobile", "US", 30.69, -88.04, S, false, false, true, false},
+    {"Savannah", "US", 32.08, -81.09, L, true, false, false, false},
+    {"Charleston", "US", 32.78, -79.92, M, true, false, false, false},
+    {"Norfolk", "US", 36.90, -76.33, M, true, false, false, false},
+    {"New York-New Jersey", "US", 40.67, -74.05, L, true, false, false, true},
+    {"Boston", "US", 42.35, -71.02, S, true, false, false, true},
+    {"Montreal", "CA", 45.50, -73.55, M, true, false, false, false},
+    {"Halifax", "CA", 44.65, -63.57, M, true, false, false, false},
+    {"Miami", "US", 25.77, -80.17, L, false, false, false, true},
+    {"Port Everglades", "US", 26.09, -80.12, M, false, true, false, true},
+    {"Nassau", "BS", 25.08, -77.35, M, false, false, false, true},
+    {"Cozumel", "MX", 20.51, -86.95, M, false, false, false, true},
+    // Latin America.
+    {"Veracruz", "MX", 19.21, -96.13, M, true, false, false, false},
+    {"Manzanillo MX", "MX", 19.05, -104.31, M, true, false, false, false},
+    {"Lazaro Cardenas", "MX", 17.94, -102.18, M, true, false, false, false},
+    {"Colon", "PA", 9.37, -79.88, L, true, false, false, false},
+    {"Balboa", "PA", 8.95, -79.57, L, true, false, false, false},
+    {"Cartagena", "CO", 10.40, -75.53, M, true, false, false, false},
+    {"Callao", "PE", -12.05, -77.15, M, true, false, true, false},
+    {"Valparaiso", "CL", -33.03, -71.63, M, true, false, false, false},
+    {"San Antonio", "CL", -33.59, -71.62, M, true, false, false, false},
+    {"Santos", "BR", -23.98, -46.30, L, true, false, true, false},
+    {"Rio de Janeiro", "BR", -22.89, -43.18, M, true, true, false, false},
+    {"Paranagua", "BR", -25.50, -48.52, M, false, false, true, false},
+    {"Itaqui", "BR", -2.57, -44.37, M, false, false, true, false},
+    {"Tubarao", "BR", -20.28, -40.24, L, false, false, true, false},
+    {"Buenos Aires", "AR", -34.58, -58.37, M, true, false, true, false},
+    {"Montevideo", "UY", -34.90, -56.21, S, true, false, false, false},
+    // Oceania.
+    {"Port Botany", "AU", -33.97, 151.22, M, true, false, false, true},
+    {"Melbourne", "AU", -37.83, 144.92, L, true, false, false, false},
+    {"Brisbane", "AU", -27.38, 153.17, M, true, false, true, false},
+    {"Fremantle", "AU", -32.05, 115.74, M, true, false, false, false},
+    {"Port Hedland", "AU", -20.31, 118.58, L, false, false, true, false},
+    {"Dampier", "AU", -20.66, 116.71, M, false, true, true, false},
+    {"Newcastle", "AU", -32.92, 151.78, L, false, false, true, false},
+    {"Gladstone", "AU", -23.83, 151.25, M, false, false, true, false},
+    {"Hay Point", "AU", -21.28, 149.30, M, false, false, true, false},
+    {"Auckland", "NZ", -36.84, 174.78, M, true, false, false, true},
+    {"Tauranga", "NZ", -37.64, 176.18, M, true, false, true, false},
+};
+
+std::vector<Port> BuildWorldPorts() {
+  std::vector<Port> ports;
+  ports.reserve(std::size(kWorldPorts));
+  for (const PortRow& row : kWorldPorts) {
+    Port port;
+    port.name = row.name;
+    port.country = row.country;
+    port.position = {row.lat, row.lng};
+    port.size = row.size;
+    port.geofence_radius_km = row.size == PortSize::kLarge    ? 20.0
+                              : row.size == PortSize::kMedium ? 12.0
+                                                              : 8.0;
+    for (int s = 0; s < ais::kNumMarketSegments; ++s) {
+      port.segment_weight[s] = DefaultSegmentWeight(
+          static_cast<ais::MarketSegment>(s), row.size, row.container,
+          row.tanker, row.bulk, row.passenger);
+    }
+    ports.push_back(std::move(port));
+  }
+  return ports;
+}
+
+}  // namespace
+
+const PortDatabase& PortDatabase::Global() {
+  static const PortDatabase& instance = *new PortDatabase(BuildWorldPorts());
+  return instance;
+}
+
+}  // namespace pol::sim

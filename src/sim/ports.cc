@@ -1,0 +1,81 @@
+#include "sim/ports.h"
+
+#include <limits>
+
+#include "geo/geodesic.h"
+
+namespace pol::sim {
+
+PortDatabase::PortDatabase(std::vector<Port> ports)
+    : ports_(std::move(ports)) {
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    ports_[i].id = static_cast<PortId>(i + 1);
+  }
+}
+
+Result<const Port*> PortDatabase::Find(PortId id) const {
+  if (id == kNoPort || id > ports_.size()) {
+    return Status::NotFound("unknown port id");
+  }
+  return &ports_[id - 1];
+}
+
+Result<const Port*> PortDatabase::FindByName(const std::string& name) const {
+  for (const Port& port : ports_) {
+    if (port.name == name) return &port;
+  }
+  return Status::NotFound("unknown port name: " + name);
+}
+
+const Port* PortDatabase::Nearest(const geo::LatLng& p) const {
+  const Port* best = nullptr;
+  double best_km = std::numeric_limits<double>::max();
+  for (const Port& port : ports_) {
+    const double d = geo::HaversineKm(p, port.position);
+    if (d < best_km) {
+      best_km = d;
+      best = &port;
+    }
+  }
+  return best;
+}
+
+PortId PortDatabase::GeofenceContaining(const geo::LatLng& p) const {
+  PortId best = kNoPort;
+  double best_km = std::numeric_limits<double>::max();
+  for (const Port& port : ports_) {
+    const double d = geo::HaversineKm(p, port.position);
+    if (d <= port.geofence_radius_km && d < best_km) {
+      best_km = d;
+      best = port.id;
+    }
+  }
+  return best;
+}
+
+double DefaultSegmentWeight(ais::MarketSegment segment, PortSize size,
+                            bool container_hub, bool tanker_terminal,
+                            bool bulk_terminal, bool passenger_hub) {
+  const double size_factor =
+      size == PortSize::kLarge ? 3.0 : (size == PortSize::kMedium ? 1.5 : 1.0);
+  switch (segment) {
+    case ais::MarketSegment::kContainer:
+      return container_hub ? 4.0 * size_factor : 0.0;
+    case ais::MarketSegment::kDryBulk:
+      return bulk_terminal ? 3.0 * size_factor : 0.2 * size_factor;
+    case ais::MarketSegment::kTanker:
+      return tanker_terminal ? 3.0 * size_factor : 0.2 * size_factor;
+    case ais::MarketSegment::kGeneralCargo:
+      return 1.0 * size_factor;
+    case ais::MarketSegment::kPassenger:
+      return passenger_hub ? 2.0 * size_factor : 0.0;
+    case ais::MarketSegment::kFishing:
+    case ais::MarketSegment::kTugAndService:
+    case ais::MarketSegment::kPleasure:
+    case ais::MarketSegment::kOther:
+      return 0.5 * size_factor;  // Local traffic around any port.
+  }
+  return 0.0;
+}
+
+}  // namespace pol::sim

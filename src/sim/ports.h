@@ -1,0 +1,75 @@
+#ifndef POL_SIM_PORTS_H_
+#define POL_SIM_PORTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ais/types.h"
+#include "common/status.h"
+#include "geo/latlng.h"
+
+// The world port database — the stand-in for the paper's external port
+// information dataset (Table 1: ~20k ports; we embed the ~120 largest,
+// which carry the overwhelming share of commercial calls). Coordinates
+// are real; geofence radii are realistic approximations of the port
+// approach areas used for port-call reconstruction.
+
+namespace pol::sim {
+
+using PortId = uint32_t;
+
+inline constexpr PortId kNoPort = 0;  // Valid port ids start at 1.
+
+// Size classes scale call frequency and geofence radius.
+enum class PortSize : uint8_t { kSmall = 0, kMedium = 1, kLarge = 2 };
+
+struct Port {
+  PortId id = kNoPort;
+  std::string name;
+  std::string country;
+  geo::LatLng position;
+  double geofence_radius_km = 10.0;
+  PortSize size = PortSize::kMedium;
+  // Relative attractiveness per market segment (0 = never calls here).
+  double segment_weight[ais::kNumMarketSegments] = {};
+};
+
+class PortDatabase {
+ public:
+  // The built-in world port table.
+  static const PortDatabase& Global();
+
+  // Builds a database from explicit ports (tests use small synthetic
+  // sets). Ids are reassigned to 1..n in input order.
+  explicit PortDatabase(std::vector<Port> ports);
+
+  size_t size() const { return ports_.size(); }
+  const std::vector<Port>& ports() const { return ports_; }
+
+  // Port by id; NotFound when the id is unknown.
+  Result<const Port*> Find(PortId id) const;
+
+  // Port whose name matches exactly (case-sensitive); NotFound otherwise.
+  Result<const Port*> FindByName(const std::string& name) const;
+
+  // The nearest port to `p`, or nullptr for an empty database.
+  const Port* Nearest(const geo::LatLng& p) const;
+
+  // The port whose geofence contains `p`, or kNoPort. When geofences
+  // overlap the nearest port wins.
+  PortId GeofenceContaining(const geo::LatLng& p) const;
+
+ private:
+  std::vector<Port> ports_;
+};
+
+// Convenience: a weight table for how often each segment calls at each
+// port size (large container hubs dominate container rotations, etc.).
+double DefaultSegmentWeight(ais::MarketSegment segment, PortSize size,
+                            bool container_hub, bool tanker_terminal,
+                            bool bulk_terminal, bool passenger_hub);
+
+}  // namespace pol::sim
+
+#endif  // POL_SIM_PORTS_H_

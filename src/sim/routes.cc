@@ -1,0 +1,344 @@
+#include "sim/routes.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "common/logging.h"
+#include "geo/geodesic.h"
+
+namespace pol::sim {
+namespace {
+
+struct WaypointRow {
+  const char* name;
+  double lat;
+  double lng;
+};
+
+// Named corners of the world's sea lanes.
+constexpr WaypointRow kWaypoints[] = {
+    {"dover", 51.0, 1.4},
+    {"north-sea-south", 52.5, 3.0},
+    {"skagerrak", 57.8, 10.5},
+    {"baltic-south", 55.0, 14.0},
+    {"gulf-of-finland", 59.8, 26.0},
+    {"ushant", 48.5, -5.5},
+    {"finisterre", 43.5, -9.5},
+    {"gibraltar", 35.95, -5.6},
+    {"sicily-channel", 37.2, 11.3},
+    {"crete-south", 34.5, 24.0},
+    {"aegean-south", 36.5, 25.0},
+    {"bosphorus", 41.2, 29.1},
+    {"black-sea", 43.0, 32.0},
+    {"port-said-approach", 31.6, 32.4},
+    {"suez-south", 29.5, 32.6},
+    {"red-sea-north", 27.5, 34.5},
+    {"red-sea-mid", 20.0, 38.5},
+    {"bab-el-mandeb", 12.5, 43.3},
+    {"gulf-of-aden", 12.8, 48.0},
+    {"arabian-sea", 12.0, 60.0},
+    {"gulf-of-oman", 24.5, 59.0},
+    {"hormuz", 26.4, 56.6},
+    {"persian-gulf", 27.0, 51.5},
+    {"dondra-head", 5.5, 80.6},
+    {"bay-of-bengal", 13.0, 85.0},
+    {"malacca-northwest", 5.5, 97.0},
+    {"malacca-mid", 3.2, 100.2},
+    {"singapore-strait", 1.2, 103.9},
+    {"gulf-of-thailand", 9.5, 101.5},
+    {"south-china-sea-south", 5.0, 108.0},
+    {"south-china-sea-north", 15.0, 113.5},
+    {"luzon-strait", 21.0, 120.8},
+    {"taiwan-strait", 24.5, 119.5},
+    {"east-china-sea", 29.0, 124.0},
+    {"korea-strait", 34.2, 129.0},
+    {"tokyo-approach", 34.8, 139.8},
+    {"java-sea", -5.5, 110.0},
+    {"lombok-strait", -9.0, 115.7},
+    {"makassar-strait", 0.5, 118.0},
+    {"celebes-sea", 5.5, 122.0},
+    {"cape-of-good-hope", -35.2, 18.3},
+    {"durban-approach", -30.8, 31.5},
+    {"mozambique-north", -12.0, 41.5},
+    {"canary", 28.0, -15.0},
+    {"west-africa", 10.0, -18.0},
+    {"gulf-of-guinea", 3.0, 3.0},
+    {"angola-coast", -15.0, 8.0},
+    {"northeast-brazil", -5.0, -34.5},
+    {"south-brazil", -27.0, -46.5},
+    {"rio-de-la-plata", -36.0, -54.0},
+    {"cape-horn", -56.5, -67.0},
+    {"chile-coast", -30.0, -72.5},
+    {"panama-pacific", 8.8, -79.5},
+    {"panama-caribbean", 9.5, -79.9},
+    {"caribbean-east", 15.0, -68.0},
+    {"yucatan-channel", 21.8, -85.5},
+    {"gulf-of-mexico", 26.5, -90.0},
+    {"florida-strait", 24.4, -81.5},
+    {"hatteras", 35.0, -75.0},
+    {"new-york-approach", 40.4, -73.5},
+    {"baja-california", 23.0, -110.5},
+    {"california-coast", 34.0, -121.0},
+    {"juan-de-fuca", 48.4, -124.8},
+    {"bass-strait", -39.5, 145.5},
+    {"australian-bight", -35.5, 130.0},
+    {"coral-sea", -18.0, 152.5},
+    {"north-pacific", 45.0, 175.0},
+};
+
+// Navigable legs between waypoints, by name.
+constexpr const char* kEdges[][2] = {
+    {"dover", "north-sea-south"},
+    {"north-sea-south", "skagerrak"},
+    {"skagerrak", "baltic-south"},
+    {"baltic-south", "gulf-of-finland"},
+    {"dover", "ushant"},
+    {"ushant", "finisterre"},
+    {"finisterre", "gibraltar"},
+    {"gibraltar", "sicily-channel"},
+    {"sicily-channel", "crete-south"},
+    {"crete-south", "port-said-approach"},
+    {"crete-south", "aegean-south"},
+    {"aegean-south", "bosphorus"},
+    {"bosphorus", "black-sea"},
+    {"port-said-approach", "suez-south"},  // The Suez Canal.
+    {"suez-south", "red-sea-north"},
+    {"red-sea-north", "red-sea-mid"},
+    {"red-sea-mid", "bab-el-mandeb"},
+    {"bab-el-mandeb", "gulf-of-aden"},
+    {"gulf-of-aden", "arabian-sea"},
+    {"arabian-sea", "gulf-of-oman"},
+    {"gulf-of-oman", "hormuz"},
+    {"hormuz", "persian-gulf"},
+    {"arabian-sea", "dondra-head"},
+    {"dondra-head", "bay-of-bengal"},
+    {"bay-of-bengal", "malacca-northwest"},
+    {"dondra-head", "malacca-northwest"},
+    {"malacca-northwest", "malacca-mid"},
+    {"malacca-mid", "singapore-strait"},
+    {"singapore-strait", "south-china-sea-south"},
+    {"singapore-strait", "gulf-of-thailand"},
+    {"gulf-of-thailand", "south-china-sea-south"},
+    {"south-china-sea-south", "south-china-sea-north"},
+    {"south-china-sea-north", "luzon-strait"},
+    {"south-china-sea-north", "taiwan-strait"},
+    {"taiwan-strait", "east-china-sea"},
+    {"luzon-strait", "east-china-sea"},
+    {"east-china-sea", "korea-strait"},
+    {"east-china-sea", "tokyo-approach"},
+    {"korea-strait", "tokyo-approach"},
+    {"singapore-strait", "java-sea"},
+    {"java-sea", "lombok-strait"},
+    {"lombok-strait", "makassar-strait"},
+    {"makassar-strait", "celebes-sea"},
+    {"celebes-sea", "luzon-strait"},
+    {"gibraltar", "canary"},
+    {"canary", "west-africa"},
+    {"west-africa", "gulf-of-guinea"},
+    {"gulf-of-guinea", "angola-coast"},
+    {"angola-coast", "cape-of-good-hope"},
+    {"cape-of-good-hope", "durban-approach"},
+    {"durban-approach", "mozambique-north"},
+    {"mozambique-north", "gulf-of-aden"},
+    {"west-africa", "northeast-brazil"},
+    {"cape-of-good-hope", "northeast-brazil"},
+    {"northeast-brazil", "caribbean-east"},
+    {"northeast-brazil", "south-brazil"},
+    {"south-brazil", "rio-de-la-plata"},
+    {"rio-de-la-plata", "cape-horn"},
+    {"cape-horn", "chile-coast"},
+    {"chile-coast", "panama-pacific"},
+    {"panama-pacific", "panama-caribbean"},  // The Panama Canal.
+    {"panama-caribbean", "caribbean-east"},
+    {"panama-caribbean", "yucatan-channel"},
+    {"caribbean-east", "florida-strait"},
+    {"yucatan-channel", "gulf-of-mexico"},
+    {"yucatan-channel", "florida-strait"},
+    {"gulf-of-mexico", "florida-strait"},
+    {"florida-strait", "hatteras"},
+    {"hatteras", "new-york-approach"},
+    {"new-york-approach", "ushant"},   // North Atlantic crossing.
+    {"new-york-approach", "finisterre"},
+    {"panama-pacific", "baja-california"},
+    {"baja-california", "california-coast"},
+    {"california-coast", "juan-de-fuca"},
+    {"california-coast", "north-pacific"},  // Transpacific great circle.
+    {"juan-de-fuca", "north-pacific"},
+    {"north-pacific", "tokyo-approach"},
+    {"bass-strait", "australian-bight"},
+    {"bass-strait", "coral-sea"},
+    {"coral-sea", "celebes-sea"},
+    {"australian-bight", "cape-of-good-hope"},  // Southern Indian Ocean.
+    {"australian-bight", "dondra-head"},
+    {"australian-bight", "lombok-strait"},
+    {"coral-sea", "lombok-strait"},
+};
+
+// Ports attach to their nearest waypoint unconditionally, plus up to two
+// more that are near-ties (within this factor of the nearest distance).
+// The near-tie rule keeps attachments in the port's own basin — a
+// distance cap alone would attach Mediterranean ports to Dover straight
+// across France.
+constexpr int kPortAttachCount = 3;
+constexpr double kAttachTieFactor = 1.5;
+
+// Ports sharing a bay or harbour approach get direct legs (Los Angeles /
+// Long Beach, Kobe / Osaka). Longer direct legs are deliberately NOT
+// created: with no coastline model they would cut across continents
+// (e.g. Le Havre - Marseille through France); regional hops instead run
+// via the attached waypoints.
+constexpr double kDirectPortLegKm = 300.0;
+
+}  // namespace
+
+RouteNetwork::RouteNetwork(
+    const PortDatabase* ports,
+    const std::vector<std::pair<std::string, std::string>>& disabled_legs)
+    : ports_(ports) {
+  POL_CHECK(ports_ != nullptr);
+  waypoints_.reserve(std::size(kWaypoints));
+  std::map<std::string, int> index;
+  for (const WaypointRow& row : kWaypoints) {
+    index[row.name] = static_cast<int>(waypoints_.size());
+    waypoints_.push_back({row.name, {row.lat, row.lng}});
+  }
+  const int num_nodes =
+      static_cast<int>(waypoints_.size() + ports_->size());
+  adjacency_.assign(static_cast<size_t>(num_nodes), {});
+
+  auto is_disabled = [&disabled_legs](const char* a, const char* b) {
+    for (const auto& [x, y] : disabled_legs) {
+      if ((x == a && y == b) || (x == b && y == a)) return true;
+    }
+    return false;
+  };
+  for (const auto& edge : kEdges) {
+    if (is_disabled(edge[0], edge[1])) continue;
+    const auto a = index.find(edge[0]);
+    const auto b = index.find(edge[1]);
+    POL_CHECK(a != index.end() && b != index.end())
+        << edge[0] << " - " << edge[1];
+    AddEdge(a->second, b->second);
+  }
+
+  // Attach every port to its nearest waypoints.
+  for (const Port& port : ports_->ports()) {
+    std::vector<std::pair<double, int>> distances;
+    for (size_t w = 0; w < waypoints_.size(); ++w) {
+      distances.push_back(
+          {geo::HaversineKm(port.position, waypoints_[w].position),
+           static_cast<int>(w)});
+    }
+    std::sort(distances.begin(), distances.end());
+    const double nearest_km = distances.front().first;
+    int attached = 0;
+    for (const auto& [km, node] : distances) {
+      if (attached >= kPortAttachCount) break;
+      if (attached > 0 && km > nearest_km * kAttachTieFactor) break;
+      AddEdge(PortNode(port.id), node);
+      ++attached;
+    }
+  }
+
+  // Direct coastal legs between nearby ports.
+  for (const Port& a : ports_->ports()) {
+    for (const Port& b : ports_->ports()) {
+      if (b.id <= a.id) continue;
+      if (geo::HaversineKm(a.position, b.position) <= kDirectPortLegKm) {
+        AddEdge(PortNode(a.id), PortNode(b.id));
+      }
+    }
+  }
+}
+
+const RouteNetwork& RouteNetwork::Global() {
+  static const RouteNetwork& instance =
+      *new RouteNetwork(&PortDatabase::Global());
+  return instance;
+}
+
+geo::LatLng RouteNetwork::NodePosition(int node) const {
+  if (node < static_cast<int>(waypoints_.size())) {
+    return waypoints_[static_cast<size_t>(node)].position;
+  }
+  const size_t port_index =
+      static_cast<size_t>(node) - waypoints_.size();
+  return ports_->ports()[port_index].position;
+}
+
+void RouteNetwork::AddEdge(int a, int b) {
+  const double km = geo::HaversineKm(NodePosition(a), NodePosition(b));
+  adjacency_[static_cast<size_t>(a)].push_back({b, km});
+  adjacency_[static_cast<size_t>(b)].push_back({a, km});
+}
+
+Result<std::vector<int>> RouteNetwork::ShortestPath(int from, int to) const {
+  const size_t n = adjacency_.size();
+  std::vector<double> dist(n, std::numeric_limits<double>::max());
+  std::vector<int> prev(n, -1);
+  using QueueEntry = std::pair<double, int>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  dist[static_cast<size_t>(from)] = 0.0;
+  queue.push({0.0, from});
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<size_t>(node)]) continue;
+    if (node == to) break;
+    // Ports are terminals, never transit nodes: routing through a port
+    // would exploit its attachment edges as land-crossing shortcuts.
+    if (node != from && node >= static_cast<int>(waypoints_.size())) {
+      continue;
+    }
+    for (const auto& [next, km] : adjacency_[static_cast<size_t>(node)]) {
+      const double candidate = d + km;
+      if (candidate < dist[static_cast<size_t>(next)]) {
+        dist[static_cast<size_t>(next)] = candidate;
+        prev[static_cast<size_t>(next)] = node;
+        queue.push({candidate, next});
+      }
+    }
+  }
+  if (dist[static_cast<size_t>(to)] == std::numeric_limits<double>::max()) {
+    return Status::NotFound("no sea route between nodes");
+  }
+  std::vector<int> path;
+  for (int node = to; node != -1; node = prev[static_cast<size_t>(node)]) {
+    path.push_back(node);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Result<std::vector<geo::LatLng>> RouteNetwork::Route(PortId from,
+                                                     PortId to) const {
+  POL_RETURN_IF_ERROR(ports_->Find(from).status());
+  POL_RETURN_IF_ERROR(ports_->Find(to).status());
+  if (from == to) return Status::InvalidArgument("route to the same port");
+  POL_ASSIGN_OR_RETURN(const std::vector<int> path,
+                       ShortestPath(PortNode(from), PortNode(to)));
+  std::vector<geo::LatLng> polyline;
+  polyline.reserve(path.size());
+  for (const int node : path) polyline.push_back(NodePosition(node));
+  return polyline;
+}
+
+double RouteNetwork::PolylineLengthKm(
+    const std::vector<geo::LatLng>& polyline) {
+  double total = 0.0;
+  for (size_t i = 1; i < polyline.size(); ++i) {
+    total += geo::HaversineKm(polyline[i - 1], polyline[i]);
+  }
+  return total;
+}
+
+Result<double> RouteNetwork::SeaDistanceKm(PortId from, PortId to) const {
+  POL_ASSIGN_OR_RETURN(const std::vector<geo::LatLng> route, Route(from, to));
+  return PolylineLengthKm(route);
+}
+
+}  // namespace pol::sim

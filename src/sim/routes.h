@@ -1,0 +1,74 @@
+#ifndef POL_SIM_ROUTES_H_
+#define POL_SIM_ROUTES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/latlng.h"
+#include "sim/ports.h"
+
+// The global sea-lane network: a hand-authored graph of ~60 named
+// waypoints (straits, canals, capes, coastal corners) connected by
+// navigable legs, with every port attached to its nearby waypoints.
+// Port-to-port routes are shortest paths over this graph, which is what
+// concentrates simulated traffic into realistic lanes (Dover-Gibraltar-
+// Suez-Malacca and friends) instead of great circles through land.
+//
+// There is no coastline model; a few legs cut close to shore. That is an
+// accepted approximation (documented in DESIGN.md): the reproduced
+// results depend on traffic being concentrated and lane-like, not on
+// hydrographic fidelity.
+
+namespace pol::sim {
+
+struct SeaWaypoint {
+  std::string name;
+  geo::LatLng position;
+};
+
+class RouteNetwork {
+ public:
+  // Builds the network over `ports` (not owned; must outlive this).
+  // `disabled_legs` removes waypoint legs by name pair (order-agnostic):
+  // e.g. {{"port-said-approach", "suez-south"}} closes the Suez Canal —
+  // the disruption scenario of the paper's introduction.
+  explicit RouteNetwork(
+      const PortDatabase* ports,
+      const std::vector<std::pair<std::string, std::string>>&
+          disabled_legs = {});
+
+  // The network over the built-in world port table.
+  static const RouteNetwork& Global();
+
+  // Shortest sea route between two ports: a polyline starting at the
+  // origin port and ending at the destination. NotFound when either id
+  // is unknown or no path exists.
+  Result<std::vector<geo::LatLng>> Route(PortId from, PortId to) const;
+
+  // Total length of a polyline, km.
+  static double PolylineLengthKm(const std::vector<geo::LatLng>& polyline);
+
+  // Sea distance between two ports (shortest path over the network).
+  Result<double> SeaDistanceKm(PortId from, PortId to) const;
+
+  const std::vector<SeaWaypoint>& waypoints() const { return waypoints_; }
+
+ private:
+  // Node ids: [0, W) waypoints, [W, W + P) ports (port id - 1 + W).
+  int PortNode(PortId id) const {
+    return static_cast<int>(waypoints_.size()) + static_cast<int>(id) - 1;
+  }
+  geo::LatLng NodePosition(int node) const;
+  void AddEdge(int a, int b);
+
+  Result<std::vector<int>> ShortestPath(int from, int to) const;
+
+  const PortDatabase* ports_;
+  std::vector<SeaWaypoint> waypoints_;
+  std::vector<std::vector<std::pair<int, double>>> adjacency_;
+};
+
+}  // namespace pol::sim
+
+#endif  // POL_SIM_ROUTES_H_

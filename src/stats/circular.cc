@@ -1,0 +1,56 @@
+#include "stats/circular.h"
+
+#include <cmath>
+
+#include "common/varint.h"
+
+namespace pol::stats {
+namespace {
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+void CircularMean::Add(double degrees) {
+  const double rad = degrees * kDegToRad;
+  sum_sin_ += std::sin(rad);
+  sum_cos_ += std::cos(rad);
+  ++count_;
+}
+
+void CircularMean::Merge(const CircularMean& other) {
+  sum_sin_ += other.sum_sin_;
+  sum_cos_ += other.sum_cos_;
+  count_ += other.count_;
+}
+
+double CircularMean::MeanDeg() const {
+  if (count_ == 0) return 0.0;
+  if (sum_sin_ == 0.0 && sum_cos_ == 0.0) return 0.0;
+  double deg = std::atan2(sum_sin_, sum_cos_) / kDegToRad;
+  if (deg < 0.0) deg += 360.0;
+  if (deg >= 360.0) deg -= 360.0;
+  return deg;
+}
+
+double CircularMean::ResultantLength() const {
+  if (count_ == 0) return 0.0;
+  return std::sqrt(sum_sin_ * sum_sin_ + sum_cos_ * sum_cos_) /
+         static_cast<double>(count_);
+}
+
+void CircularMean::Serialize(std::string* out) const {
+  PutVarint64(out, count_);
+  if (count_ == 0) return;
+  PutDouble(out, sum_sin_);
+  PutDouble(out, sum_cos_);
+}
+
+Status CircularMean::Deserialize(std::string_view* input) {
+  *this = CircularMean();
+  POL_RETURN_IF_ERROR(GetVarint64(input, &count_));
+  if (count_ == 0) return Status::OK();
+  POL_RETURN_IF_ERROR(GetDouble(input, &sum_sin_));
+  POL_RETURN_IF_ERROR(GetDouble(input, &sum_cos_));
+  return Status::OK();
+}
+
+}  // namespace pol::stats

@@ -1,0 +1,50 @@
+#ifndef POL_STATS_CIRCULAR_H_
+#define POL_STATS_CIRCULAR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+// Circular (directional) mean for course and heading.
+//
+// Angles cannot be averaged arithmetically (359 deg and 1 deg average to
+// 180 deg instead of 0), so the paper's course/heading "mean" (marked X*
+// in Table 3) is the direction of the vector sum of unit headings. The
+// resultant length in [0, 1] doubles as a concentration measure: ~1 for
+// a traffic lane with one direction, ~0 for a roundabout or anchorage.
+
+namespace pol::stats {
+
+class CircularMean {
+ public:
+  CircularMean() = default;
+
+  // Adds an angle in degrees (any range; normalized internally).
+  void Add(double degrees);
+  void Merge(const CircularMean& other);
+
+  uint64_t count() const { return count_; }
+
+  // Mean direction in [0, 360); 0 when empty or fully balanced.
+  double MeanDeg() const;
+
+  // Mean resultant length in [0, 1]; 0 when empty.
+  double ResultantLength() const;
+
+  // Circular variance = 1 - resultant length, in [0, 1].
+  double CircularVariance() const { return 1.0 - ResultantLength(); }
+
+  void Serialize(std::string* out) const;
+  Status Deserialize(std::string_view* input);
+
+ private:
+  uint64_t count_ = 0;
+  double sum_sin_ = 0.0;
+  double sum_cos_ = 0.0;
+};
+
+}  // namespace pol::stats
+
+#endif  // POL_STATS_CIRCULAR_H_

@@ -1,0 +1,91 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/varint.h"
+
+namespace pol::stats {
+
+Histogram::Histogram(double lo, double hi, int num_bins, bool wrap)
+    : lo_(lo), hi_(hi), width_((hi - lo) / num_bins), wrap_(wrap) {
+  POL_CHECK(num_bins >= 1 && hi > lo) << "bad histogram configuration";
+  counts_.assign(static_cast<size_t>(num_bins), 0);
+}
+
+int Histogram::BinOf(double value) const {
+  if (wrap_) {
+    const double span = hi_ - lo_;
+    double v = std::fmod(value - lo_, span);
+    if (v < 0.0) v += span;
+    int bin = static_cast<int>(v / width_);
+    if (bin >= num_bins()) bin = num_bins() - 1;  // Guard v == span-eps.
+    return bin;
+  }
+  if (value < lo_) return 0;
+  if (value >= hi_) return num_bins() - 1;
+  int bin = static_cast<int>((value - lo_) / width_);
+  if (bin >= num_bins()) bin = num_bins() - 1;
+  return bin;
+}
+
+void Histogram::Add(double value) {
+  ++counts_[static_cast<size_t>(BinOf(value))];
+  ++total_;
+}
+
+Status Histogram::Merge(const Histogram& other) {
+  if (other.num_bins() != num_bins() || other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.wrap_ != wrap_) {
+    return Status::FailedPrecondition("histogram configurations differ");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  return Status::OK();
+}
+
+int Histogram::ModeBin() const {
+  if (total_ == 0) return -1;
+  int best = 0;
+  for (int i = 1; i < num_bins(); ++i) {
+    if (counts_[static_cast<size_t>(i)] > counts_[static_cast<size_t>(best)]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Histogram::Fraction(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[static_cast<size_t>(bin)]) /
+         static_cast<double>(total_);
+}
+
+void Histogram::Serialize(std::string* out) const {
+  PutDouble(out, lo_);
+  PutDouble(out, hi_);
+  PutVarint64(out, static_cast<uint64_t>(num_bins()));
+  PutVarint64(out, wrap_ ? 1 : 0);
+  for (const uint64_t c : counts_) PutVarint64(out, c);
+}
+
+Status Histogram::Deserialize(std::string_view* input) {
+  double lo = 0, hi = 0;
+  uint64_t bins = 0, wrap = 0;
+  POL_RETURN_IF_ERROR(GetDouble(input, &lo));
+  POL_RETURN_IF_ERROR(GetDouble(input, &hi));
+  POL_RETURN_IF_ERROR(GetVarint64(input, &bins));
+  POL_RETURN_IF_ERROR(GetVarint64(input, &wrap));
+  if (bins == 0 || bins > 100000 || !(hi > lo)) {
+    return Status::Corruption("bad histogram header");
+  }
+  *this = Histogram(lo, hi, static_cast<int>(bins), wrap != 0);
+  total_ = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    POL_RETURN_IF_ERROR(GetVarint64(input, &counts_[i]));
+    total_ += counts_[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace pol::stats

@@ -1,0 +1,59 @@
+#ifndef POL_STATS_HYPERLOGLOG_H_
+#define POL_STATS_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+// Distinct counting — the "Dist" statistic of Table 3 (distinct ships
+// and trips per cell).
+//
+// Two-mode sketch: small cardinalities are kept as an exact sorted set
+// of 64-bit hashes (most grid cells see tens to hundreds of vessels, so
+// this stays exact and tiny); past a threshold the set is folded into
+// dense HyperLogLog registers (Flajolet et al., with linear-counting
+// small-range correction). Both modes merge with each other.
+
+namespace pol::stats {
+
+class HyperLogLog {
+ public:
+  // `precision` in [4, 16]: 2^precision registers once dense; the
+  // standard error in dense mode is ~1.04 / sqrt(2^precision).
+  explicit HyperLogLog(int precision = 12);
+
+  // Adds a key (already-unique identifier such as an MMSI or trip id).
+  void Add(uint64_t key);
+
+  void Merge(const HyperLogLog& other);
+
+  // Estimated number of distinct keys (exact while in sparse mode).
+  double Estimate() const;
+
+  // True while the sketch still stores the exact hash set.
+  bool IsSparse() const { return dense_.empty(); }
+
+  int precision() const { return precision_; }
+
+  void Serialize(std::string* out) const;
+  Status Deserialize(std::string_view* input);
+
+ private:
+  // Number of exact hashes kept before switching to dense registers.
+  static constexpr size_t kSparseLimit = 256;
+
+  void InsertHash(uint64_t hash);
+  void Densify();
+  void DenseAdd(uint64_t hash);
+
+  int precision_;
+  std::vector<uint64_t> sparse_;  // Sorted unique hashes (sparse mode).
+  std::vector<uint8_t> dense_;    // 2^precision registers (dense mode).
+};
+
+}  // namespace pol::stats
+
+#endif  // POL_STATS_HYPERLOGLOG_H_

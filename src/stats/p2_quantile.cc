@@ -1,0 +1,127 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/varint.h"
+
+namespace pol::stats {
+
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.001, 0.999)) {
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::Add(double value) {
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) {
+        positions_[i] = i + 1;
+        desired_[i] = 1.0 + 4.0 * increments_[i];
+      }
+    }
+    return;
+  }
+
+  // Find the cell containing the value; stretch the extremes if needed.
+  int cell;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    cell = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && value >= heights_[cell + 1]) ++cell;
+  }
+  for (int i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust the three interior markers.
+  for (int i = 1; i <= 3; ++i) {
+    const double gap = desired_[i] - positions_[i];
+    if ((gap >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (gap <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const double direction = gap >= 1.0 ? 1.0 : -1.0;
+      const double candidate = Parabolic(i, direction);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = Linear(i, direction);
+      }
+      positions_[i] += direction;
+    }
+  }
+}
+
+double P2Quantile::Parabolic(int i, double d) const {
+  const double np = positions_[i + 1];
+  const double nm = positions_[i - 1];
+  const double n = positions_[i];
+  return heights_[i] +
+         d / (np - nm) *
+             ((n - nm + d) * (heights_[i + 1] - heights_[i]) / (np - n) +
+              (np - n - d) * (heights_[i] - heights_[i - 1]) / (n - nm));
+}
+
+double P2Quantile::Linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile (nearest rank on the sorted prefix).
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const size_t rank = static_cast<size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min<size_t>(rank, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+void P2Quantile::Serialize(std::string* out) const {
+  PutDouble(out, q_);
+  PutVarint64(out, count_);
+  const size_t markers = count_ < 5 ? count_ : 5;
+  for (size_t i = 0; i < markers; ++i) PutDouble(out, heights_[i]);
+  if (count_ >= 5) {
+    for (int i = 0; i < 5; ++i) PutDouble(out, positions_[i]);
+    for (int i = 0; i < 5; ++i) PutDouble(out, desired_[i]);
+  }
+}
+
+Status P2Quantile::Deserialize(std::string_view* input) {
+  double q = 0;
+  POL_RETURN_IF_ERROR(GetDouble(input, &q));
+  if (!(q > 0.0 && q < 1.0)) return Status::Corruption("bad P2 quantile");
+  *this = P2Quantile(q);
+  POL_RETURN_IF_ERROR(GetVarint64(input, &count_));
+  const size_t markers = count_ < 5 ? count_ : 5;
+  for (size_t i = 0; i < markers; ++i) {
+    POL_RETURN_IF_ERROR(GetDouble(input, &heights_[i]));
+  }
+  if (count_ >= 5) {
+    for (int i = 0; i < 5; ++i) {
+      POL_RETURN_IF_ERROR(GetDouble(input, &positions_[i]));
+    }
+    for (int i = 0; i < 5; ++i) {
+      POL_RETURN_IF_ERROR(GetDouble(input, &desired_[i]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pol::stats

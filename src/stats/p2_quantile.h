@@ -1,0 +1,52 @@
+#ifndef POL_STATS_P2_QUANTILE_H_
+#define POL_STATS_P2_QUANTILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+// P-square (P2) single-quantile estimator (Jain & Chlamtac 1985): five
+// markers, O(1) memory, no buffers.
+//
+// This is the DESIGN.md ablation partner of the t-digest: the inventory
+// uses the t-digest because the reduce phase needs a MERGEABLE sketch —
+// P2 is cheaper per update and per byte but two P2 states cannot be
+// combined, so it only works for single-pass, single-partition
+// aggregation. The ablation bench quantifies the cost difference the
+// mergeability requirement buys.
+
+namespace pol::stats {
+
+class P2Quantile {
+ public:
+  // Estimates the q-th quantile, q in (0, 1).
+  explicit P2Quantile(double q = 0.5);
+
+  void Add(double value);
+
+  uint64_t count() const { return count_; }
+
+  // Current estimate; exact while fewer than five observations.
+  double Value() const;
+
+  void Serialize(std::string* out) const;
+  Status Deserialize(std::string_view* input);
+
+ private:
+  double Parabolic(int i, double direction) const;
+  double Linear(int i, double direction) const;
+
+  double q_;
+  uint64_t count_ = 0;
+  // Marker heights, positions and desired positions (five each).
+  double heights_[5] = {};
+  double positions_[5] = {};
+  double desired_[5] = {};
+  double increments_[5] = {};
+};
+
+}  // namespace pol::stats
+
+#endif  // POL_STATS_P2_QUANTILE_H_

@@ -1,0 +1,206 @@
+#include "stats/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/varint.h"
+
+namespace pol::stats {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// The k1 scale function: k(q) = (compression / 2pi) * asin(2q - 1).
+// Centroids may only merge while their k-span stays below 1, which
+// concentrates resolution in the tails.
+double ScaleK(double q, double compression) {
+  return compression / (2.0 * kPi) * std::asin(2.0 * std::clamp(q, 0.0, 1.0) - 1.0);
+}
+
+}  // namespace
+
+TDigest::TDigest(double compression)
+    : compression_(std::max(20.0, compression)) {
+  // No eager reservation: inventories hold millions of mostly-tiny
+  // digests, so the buffer grows on demand.
+}
+
+void TDigest::Add(double value, uint64_t weight) {
+  if (weight == 0 || std::isnan(value)) return;
+  if (count() == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buffer_.push_back({value, weight});
+  buffered_weight_ += weight;
+  if (buffer_.size() >= static_cast<size_t>(compression_) * 4) Flush();
+}
+
+void TDigest::Merge(const TDigest& other) {
+  if (other.count() == 0) return;
+  if (count() == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (const Centroid& c : other.centroids_) {
+    buffer_.push_back(c);
+    buffered_weight_ += c.weight;
+  }
+  for (const Centroid& c : other.buffer_) {
+    buffer_.push_back(c);
+    buffered_weight_ += c.weight;
+  }
+  Flush();
+}
+
+double TDigest::min() const { return count() == 0 ? 0.0 : min_; }
+double TDigest::max() const { return count() == 0 ? 0.0 : max_; }
+
+void TDigest::Flush() const {
+  if (buffer_.empty()) return;
+  std::vector<Centroid> all;
+  all.reserve(centroids_.size() + buffer_.size());
+  all.insert(all.end(), centroids_.begin(), centroids_.end());
+  all.insert(all.end(), buffer_.begin(), buffer_.end());
+  std::sort(all.begin(), all.end(), [](const Centroid& a, const Centroid& b) {
+    return a.mean < b.mean;
+  });
+  buffer_.clear();
+  total_weight_ += buffered_weight_;
+  buffered_weight_ = 0;
+
+  const double total = static_cast<double>(total_weight_);
+  centroids_.clear();
+  Centroid current = all[0];
+  double weight_so_far = 0.0;
+  double k_lower = ScaleK(0.0, compression_);
+  for (size_t i = 1; i < all.size(); ++i) {
+    const double proposed =
+        static_cast<double>(current.weight + all[i].weight);
+    const double q_upper = (weight_so_far + proposed) / total;
+    if (ScaleK(q_upper, compression_) - k_lower <= 1.0) {
+      // Merge into the current centroid (weighted mean).
+      const double w_cur = static_cast<double>(current.weight);
+      const double w_new = static_cast<double>(all[i].weight);
+      current.mean =
+          (current.mean * w_cur + all[i].mean * w_new) / (w_cur + w_new);
+      current.weight += all[i].weight;
+    } else {
+      centroids_.push_back(current);
+      weight_so_far += static_cast<double>(current.weight);
+      k_lower = ScaleK(weight_so_far / total, compression_);
+      current = all[i];
+    }
+  }
+  centroids_.push_back(current);
+}
+
+size_t TDigest::CentroidCount() const {
+  Flush();
+  return centroids_.size();
+}
+
+double TDigest::Quantile(double q) const {
+  if (count() == 0) return 0.0;
+  Flush();
+  q = std::clamp(q, 0.0, 1.0);
+  const double total = static_cast<double>(total_weight_);
+  const double target = q * total;
+
+  // Cumulative weight at each centroid's midpoint; linear interpolation
+  // between midpoints, and between min/max and the extreme centroids.
+  double cumulative = 0.0;
+  double prev_midpoint = 0.0;
+  double prev_mean = min_;
+  for (size_t i = 0; i < centroids_.size(); ++i) {
+    const double w = static_cast<double>(centroids_[i].weight);
+    const double midpoint = cumulative + w / 2.0;
+    if (target < midpoint) {
+      const double span = midpoint - prev_midpoint;
+      if (span <= 0.0) return centroids_[i].mean;
+      const double t = (target - prev_midpoint) / span;
+      return prev_mean + t * (centroids_[i].mean - prev_mean);
+    }
+    prev_midpoint = midpoint;
+    prev_mean = centroids_[i].mean;
+    cumulative += w;
+  }
+  // Beyond the last midpoint: interpolate toward the maximum.
+  const double span = total - prev_midpoint;
+  if (span <= 0.0) return max_;
+  const double t = (target - prev_midpoint) / span;
+  return prev_mean + std::clamp(t, 0.0, 1.0) * (max_ - prev_mean);
+}
+
+double TDigest::Rank(double value) const {
+  if (count() == 0) return 0.0;
+  Flush();
+  if (value <= min_) return 0.0;
+  if (value >= max_) return 1.0;
+  const double total = static_cast<double>(total_weight_);
+  double cumulative = 0.0;
+  double prev_midpoint = 0.0;
+  double prev_mean = min_;
+  for (size_t i = 0; i < centroids_.size(); ++i) {
+    const double w = static_cast<double>(centroids_[i].weight);
+    const double midpoint = cumulative + w / 2.0;
+    if (value < centroids_[i].mean) {
+      const double span = centroids_[i].mean - prev_mean;
+      const double t = span <= 0.0 ? 0.0 : (value - prev_mean) / span;
+      return (prev_midpoint + t * (midpoint - prev_midpoint)) / total;
+    }
+    prev_midpoint = midpoint;
+    prev_mean = centroids_[i].mean;
+    cumulative += w;
+  }
+  const double span = max_ - prev_mean;
+  const double t = span <= 0.0 ? 1.0 : (value - prev_mean) / span;
+  return (prev_midpoint + t * (total - prev_midpoint)) / total;
+}
+
+void TDigest::Serialize(std::string* out) const {
+  Flush();
+  PutDouble(out, compression_);
+  PutVarint64(out, static_cast<uint64_t>(centroids_.size()));
+  if (centroids_.empty()) return;
+  PutDouble(out, min_);
+  PutDouble(out, max_);
+  for (const Centroid& c : centroids_) {
+    PutDouble(out, c.mean);
+    PutVarint64(out, c.weight);
+  }
+}
+
+Status TDigest::Deserialize(std::string_view* input) {
+  double compression = 0.0;
+  POL_RETURN_IF_ERROR(GetDouble(input, &compression));
+  if (!(compression >= 20.0 && compression <= 1e6)) {
+    return Status::Corruption("bad t-digest compression");
+  }
+  uint64_t n = 0;
+  POL_RETURN_IF_ERROR(GetVarint64(input, &n));
+  if (n > 1000000) return Status::Corruption("bad t-digest size");
+  *this = TDigest(compression);
+  if (n == 0) return Status::OK();
+  POL_RETURN_IF_ERROR(GetDouble(input, &min_));
+  POL_RETURN_IF_ERROR(GetDouble(input, &max_));
+  centroids_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Centroid c{};
+    POL_RETURN_IF_ERROR(GetDouble(input, &c.mean));
+    POL_RETURN_IF_ERROR(GetVarint64(input, &c.weight));
+    if (c.weight == 0) return Status::Corruption("zero-weight centroid");
+    centroids_.push_back(c);
+    total_weight_ += c.weight;
+  }
+  return Status::OK();
+}
+
+}  // namespace pol::stats

@@ -1,0 +1,68 @@
+#include "stats/welford.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/varint.h"
+
+namespace pol::stats {
+
+void Welford::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void Welford::Merge(const Welford& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination.
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Welford::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double Welford::StdDev() const { return std::sqrt(Variance()); }
+
+void Welford::Serialize(std::string* out) const {
+  PutVarint64(out, count_);
+  if (count_ == 0) return;
+  PutDouble(out, mean_);
+  PutDouble(out, m2_);
+  PutDouble(out, min_);
+  PutDouble(out, max_);
+}
+
+Status Welford::Deserialize(std::string_view* input) {
+  *this = Welford();
+  POL_RETURN_IF_ERROR(GetVarint64(input, &count_));
+  if (count_ == 0) return Status::OK();
+  POL_RETURN_IF_ERROR(GetDouble(input, &mean_));
+  POL_RETURN_IF_ERROR(GetDouble(input, &m2_));
+  POL_RETURN_IF_ERROR(GetDouble(input, &min_));
+  POL_RETURN_IF_ERROR(GetDouble(input, &max_));
+  return Status::OK();
+}
+
+}  // namespace pol::stats

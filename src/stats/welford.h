@@ -1,0 +1,53 @@
+#ifndef POL_STATS_WELFORD_H_
+#define POL_STATS_WELFORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+// Streaming mean / standard deviation (Welford's online algorithm, with
+// Chan's parallel update for Merge). Provides the Mean and Std columns
+// of the paper's feature set (Table 3) for speed, ETO and ATA.
+//
+// All sketches in pol::stats share the same contract:
+//   * Add(value) streams one observation;
+//   * Merge(other) combines two partial sketches, and the result is
+//     independent of how observations were split between them (this is
+//     what makes the reduce phase of the flow engine correct);
+//   * Serialize/Deserialize round-trip the state through the inventory's
+//     binary format.
+
+namespace pol::stats {
+
+class Welford {
+ public:
+  Welford() = default;
+
+  void Add(double value);
+  void Merge(const Welford& other);
+
+  uint64_t count() const { return count_; }
+  // Mean of the observations; 0 when empty.
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Population variance; 0 for fewer than two observations.
+  double Variance() const;
+  double StdDev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void Serialize(std::string* out) const;
+  Status Deserialize(std::string_view* input);
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pol::stats
+
+#endif  // POL_STATS_WELFORD_H_

@@ -1,0 +1,55 @@
+#ifndef POL_USECASES_ANOMALY_H_
+#define POL_USECASES_ANOMALY_H_
+
+#include "core/inventory.h"
+#include "core/records.h"
+
+// Anomaly detection against the model of normalcy (the paper's stated
+// motivation: "a model of normalcy that can then be used to identify any
+// outliers ... e.g. Covid-19 or Suez Canal"). A live report is scored
+// against the historical per-cell behaviour of its market segment.
+
+namespace pol::uc {
+
+struct AnomalyAssessment {
+  // The individual signals.
+  bool off_lane = false;       // The cell has (almost) no history.
+  bool speed_anomaly = false;  // |v - mean| > threshold_sigmas * std.
+  bool course_anomaly = false; // Far from the dominant direction of a
+                               // strongly-directional lane.
+  // Composite score in [0, 3]: number of raised signals.
+  int score = 0;
+  // Supporting numbers for explanations.
+  double speed_z = 0.0;
+  double course_deviation_deg = 0.0;
+  uint64_t cell_support = 0;
+};
+
+struct AnomalyConfig {
+  // Cells with fewer records than this are "unvisited" -> off-lane.
+  uint64_t min_support = 25;
+  double speed_sigmas = 3.0;
+  // Course checks apply only where traffic is strongly directional.
+  double min_course_concentration = 0.9;
+  double course_tolerance_deg = 60.0;
+};
+
+class AnomalyDetector {
+ public:
+  AnomalyDetector(const core::Inventory* inventory,
+                  const AnomalyConfig& config = AnomalyConfig())
+      : inventory_(inventory), config_(config) {}
+
+  // Scores one observation. Missing kinematic fields skip their checks.
+  AnomalyAssessment Assess(const geo::LatLng& position, double sog_knots,
+                           double cog_deg,
+                           ais::MarketSegment segment) const;
+
+ private:
+  const core::Inventory* inventory_;
+  AnomalyConfig config_;
+};
+
+}  // namespace pol::uc
+
+#endif  // POL_USECASES_ANOMALY_H_

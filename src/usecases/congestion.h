@@ -1,0 +1,49 @@
+#ifndef POL_USECASES_CONGESTION_H_
+#define POL_USECASES_CONGESTION_H_
+
+#include <vector>
+
+#include "core/port_calls.h"
+#include "sim/ports.h"
+
+// Port congestion monitoring — the visibility the paper's introduction
+// motivates (COVID-era port disruptions, queue build-ups). Derived from
+// the reconstructed port-call table plus anchorage dwell detection: for
+// each port, how many calls, how long alongside, and how long vessels
+// waited at anchor in the approaches before berthing.
+
+namespace pol::uc {
+
+struct PortActivity {
+  sim::PortId port = sim::kNoPort;
+  uint64_t calls = 0;
+  double mean_stay_hours = 0.0;
+  double p90_stay_hours = 0.0;
+  // Pre-berth anchorage waits (0 when vessels berth directly).
+  uint64_t waits = 0;
+  double mean_wait_hours = 0.0;
+};
+
+struct CongestionConfig {
+  // An anchorage wait is a stationary period within this distance of
+  // the port, outside its fence, that ends with a berth call there.
+  double anchorage_reach_km = 40.0;
+  double stop_speed_knots = 1.5;
+  int64_t min_wait_s = 2 * 3600;
+  // A wait and the following call belong together when the gap is small.
+  int64_t link_gap_s = 24 * 3600;
+};
+
+// Aggregates port activity from the call table and (for waits) the
+// cleaned record stream. `records` must be vessel-partitioned and
+// time-sorted; `calls` sorted by (mmsi, arrival) as ExtractPortCalls
+// returns them. Results are sorted by call count, busiest first.
+std::vector<PortActivity> AnalyzePortActivity(
+    const std::vector<core::PortCall>& calls,
+    const flow::Dataset<core::PipelineRecord>& records,
+    const sim::PortDatabase& ports,
+    const CongestionConfig& config = CongestionConfig());
+
+}  // namespace pol::uc
+
+#endif  // POL_USECASES_CONGESTION_H_

@@ -1,0 +1,52 @@
+#ifndef POL_USECASES_DESTINATION_H_
+#define POL_USECASES_DESTINATION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/inventory.h"
+
+// Streaming destination prediction (paper section 4.1.3): for each AIS
+// message of a vessel whose destination is undisclosed, query the
+// inventory for the Top-N destinations of same-type traffic that sailed
+// nearby in the past, and keep a running vote tally; the most probable
+// destination is the current leader.
+
+namespace pol::uc {
+
+struct DestinationGuess {
+  sim::PortId port = sim::kNoPort;
+  double share = 0.0;  // Fraction of total votes.
+};
+
+class DestinationPredictor {
+ public:
+  // `decay` in (0, 1]: per-observation multiplicative decay of older
+  // votes. 1.0 accumulates forever; lower values adapt faster when a
+  // vessel commits to one corridor.
+  DestinationPredictor(const core::Inventory* inventory, double decay = 0.98)
+      : inventory_(inventory), decay_(decay) {}
+
+  // Feeds one observed position. Returns true when the cell had history.
+  bool Observe(const geo::LatLng& position, ais::MarketSegment segment);
+
+  // Current ranking (best first). Empty before any informative
+  // observation.
+  std::vector<DestinationGuess> Ranking(size_t n = 3) const;
+
+  // Leader, or kNoPort.
+  sim::PortId Predict() const;
+
+  void Reset() { votes_.clear(); }
+  uint64_t observations() const { return observations_; }
+
+ private:
+  const core::Inventory* inventory_;
+  double decay_;
+  uint64_t observations_ = 0;
+  std::unordered_map<sim::PortId, double> votes_;
+};
+
+}  // namespace pol::uc
+
+#endif  // POL_USECASES_DESTINATION_H_

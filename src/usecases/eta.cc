@@ -1,0 +1,48 @@
+#include "usecases/eta.h"
+
+#include "hexgrid/hexgrid.h"
+
+namespace pol::uc {
+namespace {
+
+EtaEstimate FromSummary(const core::CellSummary& summary, int grouping_set) {
+  EtaEstimate estimate;
+  estimate.seconds = summary.ata().Mean();
+  estimate.p10_seconds = summary.ata_percentiles().Quantile(0.1);
+  estimate.p90_seconds = summary.ata_percentiles().Quantile(0.9);
+  estimate.support = summary.ata().count();
+  estimate.grouping_set = grouping_set;
+  return estimate;
+}
+
+}  // namespace
+
+Result<EtaEstimate> EtaEstimator::Estimate(const geo::LatLng& position,
+                                           ais::MarketSegment segment,
+                                           sim::PortId origin,
+                                           sim::PortId destination) const {
+  const hex::CellIndex cell =
+      hex::LatLngToCell(position, inventory_->resolution());
+  if (cell == hex::kInvalidCell) {
+    return Status::InvalidArgument("bad position");
+  }
+  // Most-specific-first fallback chain.
+  if (origin != sim::kNoPort && destination != sim::kNoPort) {
+    const core::CellSummary* summary =
+        inventory_->CellRouteType(cell, origin, destination, segment);
+    if (summary != nullptr && summary->ata().count() > 0) {
+      return FromSummary(*summary, 2);
+    }
+  }
+  if (const core::CellSummary* summary = inventory_->CellType(cell, segment);
+      summary != nullptr && summary->ata().count() > 0) {
+    return FromSummary(*summary, 1);
+  }
+  if (const core::CellSummary* summary = inventory_->Cell(cell);
+      summary != nullptr && summary->ata().count() > 0) {
+    return FromSummary(*summary, 0);
+  }
+  return Status::NotFound("no historical arrivals for this cell");
+}
+
+}  // namespace pol::uc

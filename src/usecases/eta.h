@@ -1,0 +1,46 @@
+#ifndef POL_USECASES_ETA_H_
+#define POL_USECASES_ETA_H_
+
+#include "core/inventory.h"
+
+// Estimated time of arrival from the inventory's historical ATA
+// statistics (paper section 4.1.2): the per-cell actual-time-to-arrival
+// distribution of past voyages is itself a baseline ETA estimator for a
+// vessel observed in that cell.
+
+namespace pol::uc {
+
+struct EtaEstimate {
+  // Remaining seconds to destination.
+  double seconds = 0.0;
+  // 10th / 90th percentile band of historical arrivals.
+  double p10_seconds = 0.0;
+  double p90_seconds = 0.0;
+  // How many historical records back the estimate.
+  uint64_t support = 0;
+  // Which grouping set answered (2 = route-specific, 1 = per-type,
+  // 0 = all-traffic: decreasing specificity).
+  int grouping_set = -1;
+};
+
+class EtaEstimator {
+ public:
+  explicit EtaEstimator(const core::Inventory* inventory)
+      : inventory_(inventory) {}
+
+  // Estimates the remaining time for a vessel at `position`. The most
+  // specific available summary answers: (cell, origin, destination,
+  // segment) when the route is declared, then (cell, segment), then the
+  // whole cell. NotFound when the cell has no history at all.
+  Result<EtaEstimate> Estimate(const geo::LatLng& position,
+                               ais::MarketSegment segment,
+                               sim::PortId origin = sim::kNoPort,
+                               sim::PortId destination = sim::kNoPort) const;
+
+ private:
+  const core::Inventory* inventory_;
+};
+
+}  // namespace pol::uc
+
+#endif  // POL_USECASES_ETA_H_

@@ -1,0 +1,76 @@
+#include "usecases/lane_analysis.h"
+
+namespace pol::uc {
+
+const char* CellClassName(CellClass c) {
+  switch (c) {
+    case CellClass::kSparse:
+      return "sparse";
+    case CellClass::kLane:
+      return "lane";
+    case CellClass::kBidirectional:
+      return "bidirectional";
+    case CellClass::kLoitering:
+      return "loitering";
+    case CellClass::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+CellClass LaneAnalyzer::Classify(const core::CellSummary& summary) const {
+  if (summary.record_count() < config_.min_records ||
+      summary.course_mean().count() < config_.min_records / 2) {
+    return CellClass::kSparse;
+  }
+  // Loitering first: slow traffic has meaningless courses.
+  if (summary.speed().count() > 0 &&
+      summary.speed().Mean() < config_.loiter_speed_knots) {
+    return CellClass::kLoitering;
+  }
+  if (summary.course_mean().ResultantLength() >=
+      config_.lane_concentration) {
+    return CellClass::kLane;
+  }
+  // Bidirectional: the dominant course bin plus its opposite bin carry
+  // most of the traffic (12 bins of 30 degrees; the opposite is +6).
+  const auto& bins = summary.course_bins();
+  if (bins.total() > 0) {
+    const int mode = bins.ModeBin();
+    const int opposite = (mode + 6) % 12;
+    const double share = bins.Fraction(mode) + bins.Fraction(opposite);
+    if (share >= config_.bidirectional_share &&
+        bins.bin_count(opposite) > 0) {
+      return CellClass::kBidirectional;
+    }
+  }
+  return CellClass::kMixed;
+}
+
+LaneAnalysisReport LaneAnalyzer::AnalyzeAll() const {
+  LaneAnalysisReport report;
+  for (const auto& [key, summary] : inventory_->summaries()) {
+    if (key.grouping_set !=
+        static_cast<uint8_t>(core::GroupingSet::kCell)) {
+      continue;
+    }
+    const CellClass c = Classify(summary);
+    ++report.cells_per_class[c];
+    if (c != CellClass::kSparse) ++report.classified;
+  }
+  return report;
+}
+
+std::vector<hex::CellIndex> LaneAnalyzer::CellsOfClass(CellClass c) const {
+  std::vector<hex::CellIndex> cells;
+  for (const auto& [key, summary] : inventory_->summaries()) {
+    if (key.grouping_set !=
+        static_cast<uint8_t>(core::GroupingSet::kCell)) {
+      continue;
+    }
+    if (Classify(summary) == c) cells.push_back(key.cell);
+  }
+  return cells;
+}
+
+}  // namespace pol::uc

@@ -1,0 +1,63 @@
+#ifndef POL_USECASES_LANE_ANALYSIS_H_
+#define POL_USECASES_LANE_ANALYSIS_H_
+
+#include <map>
+#include <vector>
+
+#include "core/inventory.h"
+
+// Knowledge extraction over the inventory (paper section 4.1.1): the
+// Figure 4 panels are read by a human; this module extracts the same
+// structures programmatically — which cells are directional lanes,
+// which are bidirectional corridors (traffic separation pairs), which
+// are loitering/anchorage areas.
+
+namespace pol::uc {
+
+enum class CellClass {
+  kSparse = 0,        // Not enough records for a verdict.
+  kLane = 1,          // One dominant direction (high concentration).
+  kBidirectional = 2, // Two opposite direction modes (separation schema).
+  kLoitering = 3,     // Slow, direction-less traffic (anchorages).
+  kMixed = 4,         // Everything else (port basins, junctions).
+};
+
+const char* CellClassName(CellClass c);
+
+struct LaneAnalysisConfig {
+  uint64_t min_records = 20;
+  double lane_concentration = 0.85;   // Resultant length for kLane.
+  double loiter_speed_knots = 3.0;
+  // Bidirectional: two opposite 30-degree course bins together hold at
+  // least this share of records.
+  double bidirectional_share = 0.6;
+};
+
+struct LaneAnalysisReport {
+  std::map<CellClass, uint64_t> cells_per_class;
+  uint64_t classified = 0;  // Cells with enough records.
+};
+
+class LaneAnalyzer {
+ public:
+  LaneAnalyzer(const core::Inventory* inventory,
+               const LaneAnalysisConfig& config = LaneAnalysisConfig())
+      : inventory_(inventory), config_(config) {}
+
+  // Classifies one cell's all-traffic summary.
+  CellClass Classify(const core::CellSummary& summary) const;
+
+  // Classifies every (cell) summary of the inventory.
+  LaneAnalysisReport AnalyzeAll() const;
+
+  // Cells of a given class (for rendering / downstream filters).
+  std::vector<hex::CellIndex> CellsOfClass(CellClass c) const;
+
+ private:
+  const core::Inventory* inventory_;
+  LaneAnalysisConfig config_;
+};
+
+}  // namespace pol::uc
+
+#endif  // POL_USECASES_LANE_ANALYSIS_H_

@@ -1,0 +1,48 @@
+#ifndef POL_USECASES_ROUTE_FORECAST_H_
+#define POL_USECASES_ROUTE_FORECAST_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/inventory.h"
+
+// Route forecasting (paper section 4.1.3, Figure 2.f): for a vessel on a
+// declared (origin, destination) voyage, the inventory's cells for that
+// route key form a graph — vertices are cell indices, edges the recorded
+// cell-to-cell transitions — and the forecast route is an A* shortest
+// path from the vessel's current cell toward the destination.
+
+namespace pol::uc {
+
+struct RouteForecast {
+  // Cell path from the current cell to the final cell near the
+  // destination port.
+  std::vector<hex::CellIndex> cells;
+  double distance_km = 0.0;
+  // Vertices/edges of the transition graph that backed the forecast.
+  size_t graph_cells = 0;
+  size_t graph_edges = 0;
+};
+
+class RouteForecaster {
+ public:
+  explicit RouteForecaster(const core::Inventory* inventory,
+                           const sim::PortDatabase* ports)
+      : inventory_(inventory), ports_(ports) {}
+
+  // Forecasts the remaining route of a vessel at `position` sailing
+  // (origin -> destination) as `segment` traffic. Fails when the route
+  // key has no cells, the current position is outside the historical
+  // corridor, or the graph does not connect to the destination area.
+  Result<RouteForecast> Forecast(const geo::LatLng& position,
+                                 sim::PortId origin, sim::PortId destination,
+                                 ais::MarketSegment segment) const;
+
+ private:
+  const core::Inventory* inventory_;
+  const sim::PortDatabase* ports_;
+};
+
+}  // namespace pol::uc
+
+#endif  // POL_USECASES_ROUTE_FORECAST_H_

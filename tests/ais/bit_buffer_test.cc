@@ -1,0 +1,134 @@
+#include "ais/bit_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pol::ais {
+namespace {
+
+TEST(SixBitAlphabetTest, RoundTripAllValues) {
+  for (uint8_t v = 0; v < 64; ++v) {
+    const char c = SixBitToChar(v);
+    EXPECT_EQ(CharToSixBit(c), v) << int{v};
+  }
+}
+
+TEST(SixBitAlphabetTest, KnownMappings) {
+  EXPECT_EQ(SixBitToChar(0), '@');
+  EXPECT_EQ(SixBitToChar(1), 'A');
+  EXPECT_EQ(SixBitToChar(32), ' ');
+  EXPECT_EQ(SixBitToChar(48), '0');
+  EXPECT_EQ(CharToSixBit('Z'), 26);
+  EXPECT_EQ(CharToSixBit('9'), 57);
+  EXPECT_EQ(CharToSixBit('a'), 0xff);  // Lowercase is not in the set.
+}
+
+TEST(BitWriterTest, WritesBigEndianFields) {
+  BitWriter w;
+  w.WriteUint(0b101, 3);
+  w.WriteUint(0b0011, 4);
+  // Bits: 1010011 -> padded to 12 with 5 fill bits: 101001 100000.
+  int fill = 0;
+  const auto symbols = w.ToSixBitSymbols(&fill);
+  ASSERT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(fill, 5);
+  EXPECT_EQ(symbols[0], 0b101001);
+  EXPECT_EQ(symbols[1], 0b100000);
+}
+
+TEST(BitRoundTripTest, UnsignedFields) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<uint64_t, int>> fields;
+    for (int i = 0; i < 20; ++i) {
+      const int width = 1 + static_cast<int>(rng.NextBelow(30));
+      const uint64_t value = rng.NextUint64() & ((1ull << width) - 1);
+      fields.push_back({value, width});
+      w.WriteUint(value, width);
+    }
+    int fill = 0;
+    const auto symbols = w.ToSixBitSymbols(&fill);
+    BitReader r = BitReader::FromSixBitSymbols(symbols, fill);
+    for (const auto& [value, width] : fields) {
+      bool ok = false;
+      EXPECT_EQ(r.ReadUint(width, &ok), value);
+      EXPECT_TRUE(ok);
+    }
+  }
+}
+
+TEST(BitRoundTripTest, SignedFields) {
+  BitWriter w;
+  w.WriteInt(-1, 8);
+  w.WriteInt(-128, 8);
+  w.WriteInt(127, 8);
+  w.WriteInt(-54600000, 27);  // Latitude quantization extreme.
+  w.WriteInt(108600000, 28);  // Longitude "unavailable".
+  int fill = 0;
+  BitReader r = BitReader::FromSixBitSymbols(w.ToSixBitSymbols(&fill), fill);
+  bool ok = false;
+  EXPECT_EQ(r.ReadInt(8, &ok), -1);
+  EXPECT_EQ(r.ReadInt(8, &ok), -128);
+  EXPECT_EQ(r.ReadInt(8, &ok), 127);
+  EXPECT_EQ(r.ReadInt(27, &ok), -54600000);
+  EXPECT_EQ(r.ReadInt(28, &ok), 108600000);
+  EXPECT_TRUE(ok);
+}
+
+TEST(BitRoundTripTest, Strings) {
+  BitWriter w;
+  w.WriteString6("EVER GIVEN", 20);
+  w.WriteString6("SINGAPORE", 20);
+  int fill = 0;
+  BitReader r = BitReader::FromSixBitSymbols(w.ToSixBitSymbols(&fill), fill);
+  bool ok = false;
+  EXPECT_EQ(r.ReadString6(20, &ok), "EVER GIVEN");
+  EXPECT_EQ(r.ReadString6(20, &ok), "SINGAPORE");
+  EXPECT_TRUE(ok);
+}
+
+TEST(BitWriterTest, StringTruncatesAndPads) {
+  BitWriter w;
+  w.WriteString6("ABCDEFGHIJ", 4);  // Truncates to 4 chars.
+  int fill = 0;
+  BitReader r = BitReader::FromSixBitSymbols(w.ToSixBitSymbols(&fill), fill);
+  bool ok = false;
+  EXPECT_EQ(r.ReadString6(4, &ok), "ABCD");
+}
+
+TEST(BitWriterTest, UnsupportedCharactersBecomeQuestionMark) {
+  BitWriter w;
+  w.WriteString6("a", 1);  // Lowercase not representable.
+  int fill = 0;
+  BitReader r = BitReader::FromSixBitSymbols(w.ToSixBitSymbols(&fill), fill);
+  bool ok = false;
+  EXPECT_EQ(r.ReadString6(1, &ok), "?");
+}
+
+TEST(BitReaderTest, OverrunSetsOkFalse) {
+  BitWriter w;
+  w.WriteUint(7, 3);
+  int fill = 0;
+  BitReader r = BitReader::FromSixBitSymbols(w.ToSixBitSymbols(&fill), fill);
+  bool ok = true;
+  r.ReadUint(3, &ok);
+  ASSERT_TRUE(ok);
+  r.ReadUint(10, &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(BitReaderTest, RemainingTracksCursor) {
+  BitWriter w;
+  w.WriteUint(0, 12);
+  int fill = 0;
+  BitReader r = BitReader::FromSixBitSymbols(w.ToSixBitSymbols(&fill), fill);
+  EXPECT_EQ(r.Remaining(), 12);
+  bool ok = false;
+  r.ReadUint(5, &ok);
+  EXPECT_EQ(r.Remaining(), 7);
+}
+
+}  // namespace
+}  // namespace pol::ais

@@ -1,0 +1,124 @@
+#include "ais/messages.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pol::ais {
+namespace {
+
+PositionReport GoodReport() {
+  PositionReport r;
+  r.mmsi = 215123456;
+  r.timestamp = 1650000000;
+  r.lat_deg = 51.9;
+  r.lng_deg = 4.1;
+  r.sog_knots = 14.2;
+  r.cog_deg = 230.5;
+  r.heading_deg = 231.0;
+  r.nav_status = NavStatus::kUnderWayUsingEngine;
+  r.message_type = 1;
+  return r;
+}
+
+TEST(ValidateTest, AcceptsGoodReport) {
+  EXPECT_TRUE(ValidatePositionReport(GoodReport()).ok());
+}
+
+TEST(ValidateTest, RejectsBadMmsi) {
+  PositionReport r = GoodReport();
+  r.mmsi = 0;
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.mmsi = 99999999;  // Eight digits.
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+}
+
+TEST(ValidateTest, RejectsBadMessageType) {
+  PositionReport r = GoodReport();
+  r.message_type = 5;
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.message_type = 0;
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  for (uint8_t type : {1, 2, 3, 18}) {
+    r.message_type = type;
+    EXPECT_TRUE(ValidatePositionReport(r).ok()) << int{type};
+  }
+}
+
+TEST(ValidateTest, RejectsOutOfRangeLatitude) {
+  PositionReport r = GoodReport();
+  r.lat_deg = 90.0001;
+  EXPECT_EQ(ValidatePositionReport(r).code(), StatusCode::kOutOfRange);
+  r.lat_deg = -90.0001;
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.lat_deg = kLatUnavailable;  // The protocol's "unavailable" 91.
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.lat_deg = std::nan("");
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.lat_deg = 90.0;
+  EXPECT_TRUE(ValidatePositionReport(r).ok());
+}
+
+TEST(ValidateTest, RejectsOutOfRangeLongitude) {
+  PositionReport r = GoodReport();
+  r.lng_deg = 180.0001;
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.lng_deg = kLngUnavailable;
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.lng_deg = -180.0;
+  EXPECT_TRUE(ValidatePositionReport(r).ok());
+}
+
+TEST(ValidateTest, SpeedRange) {
+  PositionReport r = GoodReport();
+  r.sog_knots = -0.1;
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.sog_knots = 102.4;
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.sog_knots = kSogUnavailable;  // 102.3 "unavailable" is in range.
+  EXPECT_TRUE(ValidatePositionReport(r).ok());
+  r.sog_knots = 0.0;
+  EXPECT_TRUE(ValidatePositionReport(r).ok());
+}
+
+TEST(ValidateTest, CourseAndHeadingRanges) {
+  PositionReport r = GoodReport();
+  r.cog_deg = 360.1;
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.cog_deg = kCogUnavailable;
+  EXPECT_TRUE(ValidatePositionReport(r).ok());
+  r.cog_deg = 10;
+  r.heading_deg = 360.0;  // Only 0..359 and 511 are legal.
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+  r.heading_deg = kHeadingUnavailable;
+  EXPECT_TRUE(ValidatePositionReport(r).ok());
+}
+
+TEST(ValidateTest, RejectsNegativeTimestamp) {
+  PositionReport r = GoodReport();
+  r.timestamp = -1;
+  EXPECT_FALSE(ValidatePositionReport(r).ok());
+}
+
+TEST(KinematicsTest, FullKinematicsDetection) {
+  PositionReport r = GoodReport();
+  EXPECT_TRUE(HasFullKinematics(r));
+  r.sog_knots = kSogUnavailable;
+  EXPECT_FALSE(HasFullKinematics(r));
+  r = GoodReport();
+  r.cog_deg = kCogUnavailable;
+  EXPECT_FALSE(HasFullKinematics(r));
+  r = GoodReport();
+  r.heading_deg = kHeadingUnavailable;
+  EXPECT_FALSE(HasFullKinematics(r));
+}
+
+TEST(MmsiTest, PlausibilityBounds) {
+  EXPECT_TRUE(IsPlausibleMmsi(100000000));
+  EXPECT_TRUE(IsPlausibleMmsi(999999999));
+  EXPECT_FALSE(IsPlausibleMmsi(99999999));
+  EXPECT_FALSE(IsPlausibleMmsi(0));
+}
+
+}  // namespace
+}  // namespace pol::ais

@@ -1,0 +1,140 @@
+// Robustness sweeps for the NMEA decoder: a live AIS feed contains
+// garbage, truncations and bit errors; the decoder must never crash and
+// must either decode or return a Status for every input.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ais/nmea.h"
+#include "common/rng.h"
+
+namespace pol::ais {
+namespace {
+
+std::string ValidSentence() {
+  PositionReport report;
+  report.mmsi = 244123456;
+  report.timestamp = 1651234567;
+  report.lat_deg = 51.92;
+  report.lng_deg = 4.12;
+  report.sog_knots = 13.7;
+  report.cog_deg = 211.3;
+  report.heading_deg = 212;
+  report.message_type = 1;
+  return *EncodePositionNmea(report);
+}
+
+TEST(NmeaFuzzTest, SingleCharacterMutationsNeverCrash) {
+  const std::string valid = ValidSentence();
+  NmeaDecoder decoder;
+  int decoded = 0;
+  int rejected = 0;
+  for (size_t pos = 0; pos < valid.size(); ++pos) {
+    for (const char replacement : {'\0', '!', ',', '*', 'z', '~', ' ', '0'}) {
+      std::string mutated = valid;
+      mutated[pos] = replacement;
+      const auto result = decoder.Feed(mutated);
+      if (result.ok()) {
+        ++decoded;  // Mutation kept the checksum valid (e.g. no-op).
+      } else {
+        ++rejected;
+      }
+    }
+  }
+  // Virtually every mutation breaks the checksum.
+  EXPECT_GT(rejected, decoded * 10);
+}
+
+TEST(NmeaFuzzTest, TruncationsNeverCrash) {
+  const std::string valid = ValidSentence();
+  NmeaDecoder decoder;
+  for (size_t len = 0; len < valid.size(); ++len) {
+    const auto result = decoder.Feed(valid.substr(0, len));
+    EXPECT_FALSE(result.ok()) << "prefix of length " << len;
+  }
+}
+
+TEST(NmeaFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(2024);
+  NmeaDecoder decoder;
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string noise;
+    const size_t length = rng.NextBelow(100);
+    for (size_t i = 0; i < length; ++i) {
+      noise.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    // Must not crash; result may be an error or (vanishingly unlikely) a
+    // decode.
+    decoder.Feed(noise);
+  }
+  SUCCEED();
+}
+
+TEST(NmeaFuzzTest, RandomPrintableSentencesNeverCrash) {
+  Rng rng(77);
+  NmeaDecoder decoder;
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string s = "!AIVDM,";
+    const size_t length = rng.NextBelow(80);
+    for (size_t i = 0; i < length; ++i) {
+      s.push_back(static_cast<char>(' ' + rng.NextBelow(95)));
+    }
+    decoder.Feed(s);
+  }
+  SUCCEED();
+}
+
+TEST(NmeaFuzzTest, PayloadBitFlipsDecodeOrReject) {
+  // Flip payload characters and FIX the checksum: the decoder then sees
+  // a "valid" frame with corrupted field content. It must either decode
+  // (fields may be out of protocol range — that is the cleaner's job)
+  // or reject with a Status; never crash.
+  const std::string valid = ValidSentence();
+  const size_t star = valid.rfind('*');
+  NmeaDecoder decoder;
+  Rng rng(31);
+  int processed = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid;
+    const size_t pos = 14 + rng.NextBelow(star - 15);  // Inside payload.
+    mutated[pos] = static_cast<char>('0' + rng.NextBelow(40));
+    // Recompute checksum over the body.
+    const std::string body = mutated.substr(1, star - 1);
+    char checksum[3];
+    std::snprintf(checksum, sizeof(checksum), "%02X", NmeaChecksum(body));
+    mutated[star + 1] = checksum[0];
+    mutated[star + 2] = checksum[1];
+    const auto result = decoder.Feed(mutated);
+    if (result.ok()) ++processed;
+  }
+  // With a fixed checksum, most frames now decode.
+  EXPECT_GT(processed, 1500);
+}
+
+TEST(NmeaFuzzTest, InterleavedMultipartStreamsResolve) {
+  // Two multi-sentence messages with different sequence ids interleaved:
+  // both must assemble.
+  StaticVoyageReport a;
+  a.mmsi = 311000111;
+  a.name = "ALPHA";
+  StaticVoyageReport b;
+  b.mmsi = 311000222;
+  b.name = "BRAVO";
+  const auto sa = *EncodeStaticVoyageNmea(a, 1);
+  const auto sb = *EncodeStaticVoyageNmea(b, 2);
+  ASSERT_EQ(sa.size(), 2u);
+  ASSERT_EQ(sb.size(), 2u);
+  NmeaDecoder decoder;
+  EXPECT_EQ(decoder.Feed(sa[0])->message_type, 0);
+  EXPECT_EQ(decoder.Feed(sb[0])->message_type, 0);
+  const auto da = decoder.Feed(sa[1]);
+  ASSERT_TRUE(da.ok());
+  EXPECT_EQ(da->static_voyage.name, "ALPHA");
+  const auto db = decoder.Feed(sb[1]);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->static_voyage.name, "BRAVO");
+}
+
+}  // namespace
+}  // namespace pol::ais

@@ -1,0 +1,343 @@
+#include "ais/nmea.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pol::ais {
+namespace {
+
+PositionReport SampleReport() {
+  PositionReport r;
+  r.mmsi = 244123456;
+  r.timestamp = 1651234567;
+  r.lat_deg = 51.923456;
+  r.lng_deg = 4.123456;
+  r.sog_knots = 13.7;
+  r.cog_deg = 211.3;
+  r.heading_deg = 212.0;
+  r.nav_status = NavStatus::kUnderWayUsingEngine;
+  r.message_type = 1;
+  return r;
+}
+
+TEST(ChecksumTest, KnownValue) {
+  // XOR of "AIVDM" = 'A'^'I'^'V'^'D'^'M'.
+  const uint8_t expected = 'A' ^ 'I' ^ 'V' ^ 'D' ^ 'M';
+  EXPECT_EQ(NmeaChecksum("AIVDM"), expected);
+}
+
+TEST(EncodeTest, ProducesWellFormedSentence) {
+  const auto result = EncodePositionNmea(SampleReport());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string& sentence = *result;
+  EXPECT_EQ(sentence.substr(0, 7), "!AIVDM,");
+  EXPECT_NE(sentence.find('*'), std::string::npos);
+  // A 168-bit payload armours to exactly 28 characters with 0 fill.
+  EXPECT_NE(sentence.find(",0*"), std::string::npos);
+}
+
+TEST(EncodeTest, RejectsInvalidReport) {
+  PositionReport bad = SampleReport();
+  bad.lat_deg = 95.0;
+  EXPECT_FALSE(EncodePositionNmea(bad).ok());
+}
+
+TEST(RoundTripTest, ClassAPositionReport) {
+  const PositionReport original = SampleReport();
+  const auto encoded = EncodePositionNmea(original);
+  ASSERT_TRUE(encoded.ok());
+  NmeaDecoder decoder;
+  const auto decoded = decoder.Feed(*encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->message_type, 1);
+  const PositionReport& r = decoded->position;
+  EXPECT_EQ(r.mmsi, original.mmsi);
+  EXPECT_EQ(r.message_type, original.message_type);
+  EXPECT_EQ(r.nav_status, original.nav_status);
+  // Quantization: position to 1/600000 deg, speed to 0.1 kn, course to
+  // 0.1 deg, heading to 1 deg.
+  EXPECT_NEAR(r.lat_deg, original.lat_deg, 1e-6);
+  EXPECT_NEAR(r.lng_deg, original.lng_deg, 1e-6);
+  EXPECT_NEAR(r.sog_knots, original.sog_knots, 0.05);
+  EXPECT_NEAR(r.cog_deg, original.cog_deg, 0.05);
+  EXPECT_NEAR(r.heading_deg, original.heading_deg, 0.5);
+  // The wire carries only the UTC second.
+  EXPECT_EQ(r.timestamp, original.timestamp % 60);
+}
+
+TEST(RoundTripTest, ClassBPositionReport) {
+  PositionReport original = SampleReport();
+  original.message_type = 18;
+  const auto encoded = EncodePositionNmea(original);
+  ASSERT_TRUE(encoded.ok());
+  NmeaDecoder decoder;
+  const auto decoded = decoder.Feed(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->message_type, 18);
+  EXPECT_EQ(decoded->position.mmsi, original.mmsi);
+  EXPECT_NEAR(decoded->position.lat_deg, original.lat_deg, 1e-6);
+  // Class B has no navigational status field.
+  EXPECT_EQ(decoded->position.nav_status, NavStatus::kNotDefined);
+}
+
+TEST(RoundTripTest, UnavailableKinematics) {
+  PositionReport original = SampleReport();
+  original.sog_knots = kSogUnavailable;
+  original.cog_deg = kCogUnavailable;
+  original.heading_deg = kHeadingUnavailable;
+  const auto encoded = EncodePositionNmea(original);
+  ASSERT_TRUE(encoded.ok());
+  NmeaDecoder decoder;
+  const auto decoded = decoder.Feed(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->position.sog_knots, kSogUnavailable);
+  EXPECT_EQ(decoded->position.cog_deg, kCogUnavailable);
+  EXPECT_EQ(decoded->position.heading_deg, kHeadingUnavailable);
+}
+
+TEST(RoundTripTest, ExtremeCoordinates) {
+  for (const auto& [lat, lng] : std::vector<std::pair<double, double>>{
+           {89.999, 179.999}, {-89.999, -179.999}, {0.0, 0.0}}) {
+    PositionReport original = SampleReport();
+    original.lat_deg = lat;
+    original.lng_deg = lng;
+    const auto encoded = EncodePositionNmea(original);
+    ASSERT_TRUE(encoded.ok());
+    NmeaDecoder decoder;
+    const auto decoded = decoder.Feed(*encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_NEAR(decoded->position.lat_deg, lat, 1e-6);
+    EXPECT_NEAR(decoded->position.lng_deg, lng, 1e-6);
+  }
+}
+
+TEST(RoundTripTest, RandomizedPositionSweep) {
+  Rng rng(2024);
+  NmeaDecoder decoder;
+  for (int i = 0; i < 500; ++i) {
+    PositionReport original;
+    original.mmsi = static_cast<Mmsi>(100000000 + rng.NextBelow(899999999));
+    original.timestamp = static_cast<UnixSeconds>(rng.NextBelow(2000000000));
+    original.lat_deg = rng.Uniform(-90, 90);
+    original.lng_deg = rng.Uniform(-180, 180);
+    original.sog_knots = rng.Uniform(0, 102.2);
+    original.cog_deg = rng.Uniform(0, 359.9);
+    original.heading_deg = static_cast<double>(rng.NextBelow(360));
+    original.nav_status = static_cast<NavStatus>(rng.NextBelow(9));
+    original.message_type = static_cast<uint8_t>(
+        rng.Bernoulli(0.8) ? 1 + rng.NextBelow(3) : 18);
+    const auto encoded = EncodePositionNmea(original);
+    ASSERT_TRUE(encoded.ok()) << i;
+    const auto decoded = decoder.Feed(*encoded);
+    ASSERT_TRUE(decoded.ok()) << i;
+    EXPECT_EQ(decoded->position.mmsi, original.mmsi);
+    EXPECT_NEAR(decoded->position.lat_deg, original.lat_deg, 1e-6);
+    EXPECT_NEAR(decoded->position.lng_deg, original.lng_deg, 1e-6);
+    EXPECT_NEAR(decoded->position.sog_knots, original.sog_knots, 0.051);
+    EXPECT_NEAR(decoded->position.cog_deg, original.cog_deg, 0.051);
+  }
+}
+
+TEST(RoundTripTest, StaticVoyageMultiSentence) {
+  StaticVoyageReport original;
+  original.mmsi = 311000999;
+  original.imo_number = 9321483;
+  original.callsign = "C6XS7";
+  original.name = "EVER GIVEN";
+  original.ship_type_code = 71;
+  original.to_bow = 200;
+  original.to_stern = 200;
+  original.to_port = 29;
+  original.to_starboard = 30;
+  original.eta_month = 3;
+  original.eta_day = 23;
+  original.eta_hour = 5;
+  original.eta_minute = 30;
+  original.draught_m = 15.7;
+  original.destination = "ROTTERDAM";
+
+  const auto sentences = EncodeStaticVoyageNmea(original, 3);
+  ASSERT_TRUE(sentences.ok());
+  ASSERT_GE(sentences->size(), 2u);  // 424 bits never fit one sentence.
+
+  NmeaDecoder decoder;
+  for (size_t i = 0; i + 1 < sentences->size(); ++i) {
+    const auto partial = decoder.Feed((*sentences)[i]);
+    ASSERT_TRUE(partial.ok());
+    EXPECT_EQ(partial->message_type, 0);  // Waiting for the rest.
+  }
+  const auto decoded = decoder.Feed(sentences->back());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->message_type, 5);
+  const StaticVoyageReport& r = decoded->static_voyage;
+  EXPECT_EQ(r.mmsi, original.mmsi);
+  EXPECT_EQ(r.imo_number, original.imo_number);
+  EXPECT_EQ(r.callsign, original.callsign);
+  EXPECT_EQ(r.name, original.name);
+  EXPECT_EQ(r.ship_type_code, original.ship_type_code);
+  EXPECT_EQ(r.to_bow, original.to_bow);
+  EXPECT_EQ(r.to_starboard, original.to_starboard);
+  EXPECT_EQ(r.eta_month, original.eta_month);
+  EXPECT_EQ(r.eta_minute, original.eta_minute);
+  EXPECT_NEAR(r.draught_m, original.draught_m, 0.05);
+  EXPECT_EQ(r.destination, original.destination);
+}
+
+TEST(RoundTripTest, MultiSentenceOutOfOrder) {
+  StaticVoyageReport original;
+  original.mmsi = 311000999;
+  original.name = "TEST VESSEL";
+  original.destination = "SINGAPORE";
+  const auto sentences = EncodeStaticVoyageNmea(original, 1);
+  ASSERT_TRUE(sentences.ok());
+  ASSERT_EQ(sentences->size(), 2u);
+  NmeaDecoder decoder;
+  const auto first = decoder.Feed((*sentences)[1]);  // Part 2 first.
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->message_type, 0);
+  const auto second = decoder.Feed((*sentences)[0]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->message_type, 5);
+  EXPECT_EQ(second->static_voyage.name, original.name);
+}
+
+TEST(DecodeTest, RejectsChecksumMismatch) {
+  const auto encoded = EncodePositionNmea(SampleReport());
+  ASSERT_TRUE(encoded.ok());
+  std::string corrupted = *encoded;
+  // Flip a payload character (not the checksum digits).
+  corrupted[10] = corrupted[10] == '0' ? '1' : '0';
+  NmeaDecoder decoder;
+  EXPECT_EQ(decoder.Feed(corrupted).status().code(), StatusCode::kCorruption);
+}
+
+TEST(DecodeTest, RejectsMalformedFrames) {
+  NmeaDecoder decoder;
+  EXPECT_FALSE(decoder.Feed("").ok());
+  EXPECT_FALSE(decoder.Feed("garbage").ok());
+  EXPECT_FALSE(decoder.Feed("!AIVDM,1,1,,A,nopayload").ok());
+  EXPECT_FALSE(decoder.Feed("$GPGGA,123519,4807.038,N*47").ok());
+}
+
+TEST(DecodeTest, UnsupportedTypesAreCountedNotErrors) {
+  // Hand-build a type 9 (SAR aircraft) payload: type bits 001001 ->
+  // symbol 9 -> armoured char '9'; pad to a plausible length.
+  std::string payload(28, '0');
+  payload[0] = '9';
+  char body[64];
+  std::snprintf(body, sizeof(body), "AIVDM,1,1,,A,%s,0", payload.c_str());
+  char sentence[96];
+  std::snprintf(sentence, sizeof(sentence), "!%s*%02X", body,
+                NmeaChecksum(body));
+  NmeaDecoder decoder;
+  const auto decoded = decoder.Feed(sentence);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->message_type, 9);
+  EXPECT_EQ(decoder.unsupported_count(), 1u);
+}
+
+TEST(RoundTripTest, BaseStationReport) {
+  BaseStationReport original;
+  original.mmsi = 2655437;  // Base stations use 00-prefixed MMSIs...
+  original.mmsi = 265543700;  // ...but keep plausibility for the codec.
+  original.year = 2022;
+  original.month = 7;
+  original.day = 15;
+  original.hour = 12;
+  original.minute = 34;
+  original.second = 56;
+  original.lat_deg = 57.7;
+  original.lng_deg = 11.9;
+  const auto sentence = EncodeBaseStationNmea(original);
+  ASSERT_TRUE(sentence.ok());
+  NmeaDecoder decoder;
+  const auto decoded = decoder.Feed(*sentence);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->message_type, 4);
+  const BaseStationReport& r = decoded->base_station;
+  EXPECT_EQ(r.mmsi, original.mmsi);
+  EXPECT_EQ(r.year, 2022);
+  EXPECT_EQ(r.month, 7);
+  EXPECT_EQ(r.day, 15);
+  EXPECT_EQ(r.hour, 12);
+  EXPECT_EQ(r.minute, 34);
+  EXPECT_EQ(r.second, 56);
+  EXPECT_NEAR(r.lat_deg, 57.7, 1e-6);
+  EXPECT_NEAR(r.lng_deg, 11.9, 1e-6);
+  EXPECT_EQ(decoder.unsupported_count(), 0u);
+}
+
+TEST(RoundTripTest, ClassBStaticBothParts) {
+  ClassBStaticReport part_a;
+  part_a.mmsi = 511000777;
+  part_a.part = 0;
+  part_a.name = "LITTLE TERN";
+  const auto sa = EncodeClassBStaticNmea(part_a);
+  ASSERT_TRUE(sa.ok());
+
+  ClassBStaticReport part_b;
+  part_b.mmsi = 511000777;
+  part_b.part = 1;
+  part_b.ship_type_code = 30;  // Fishing.
+  part_b.callsign = "ZM1234";
+  part_b.to_bow = 8;
+  part_b.to_stern = 4;
+  part_b.to_port = 2;
+  part_b.to_starboard = 2;
+  const auto sb = EncodeClassBStaticNmea(part_b);
+  ASSERT_TRUE(sb.ok());
+
+  NmeaDecoder decoder;
+  const auto da = decoder.Feed(*sa);
+  ASSERT_TRUE(da.ok());
+  EXPECT_EQ(da->message_type, 24);
+  EXPECT_EQ(da->class_b_static.part, 0);
+  EXPECT_EQ(da->class_b_static.name, "LITTLE TERN");
+
+  const auto db = decoder.Feed(*sb);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->class_b_static.part, 1);
+  EXPECT_EQ(db->class_b_static.ship_type_code, 30);
+  EXPECT_EQ(db->class_b_static.callsign, "ZM1234");
+  EXPECT_EQ(db->class_b_static.to_bow, 8);
+  EXPECT_EQ(db->class_b_static.to_starboard, 2);
+}
+
+TEST(RoundTripTest, ExtendedClassBType19) {
+  PositionReport pos = SampleReport();
+  pos.message_type = 18;  // Will be emitted as 19 regardless.
+  ClassBStaticReport statics;
+  statics.mmsi = pos.mmsi;
+  statics.name = "HARBOUR QUEEN";
+  statics.ship_type_code = 60;
+  statics.to_bow = 20;
+  statics.to_stern = 8;
+  statics.to_port = 4;
+  statics.to_starboard = 4;
+  const auto sentence = EncodeExtendedClassBNmea(pos, statics);
+  ASSERT_TRUE(sentence.ok()) << sentence.status().ToString();
+  NmeaDecoder decoder;
+  const auto decoded = decoder.Feed(*sentence);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->message_type, 19);
+  EXPECT_EQ(decoded->position.mmsi, pos.mmsi);
+  EXPECT_NEAR(decoded->position.lat_deg, pos.lat_deg, 1e-6);
+  EXPECT_NEAR(decoded->position.lng_deg, pos.lng_deg, 1e-6);
+  EXPECT_NEAR(decoded->position.sog_knots, pos.sog_knots, 0.051);
+  EXPECT_EQ(decoded->class_b_static.name, "HARBOUR QUEEN");
+  EXPECT_EQ(decoded->class_b_static.ship_type_code, 60);
+  EXPECT_EQ(decoded->class_b_static.to_bow, 20);
+  EXPECT_EQ(decoded->class_b_static.to_starboard, 4);
+  EXPECT_EQ(decoder.unsupported_count(), 0u);
+}
+
+TEST(EncodeTest, ClassBStaticRejectsBadPart) {
+  ClassBStaticReport report;
+  report.mmsi = 511000777;
+  report.part = 2;
+  EXPECT_FALSE(EncodeClassBStaticNmea(report).ok());
+}
+
+}  // namespace
+}  // namespace pol::ais

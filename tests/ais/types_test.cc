@@ -1,0 +1,86 @@
+#include "ais/types.h"
+
+#include <gtest/gtest.h>
+
+namespace pol::ais {
+namespace {
+
+TEST(TypesTest, SegmentFromShipTypeCode) {
+  EXPECT_EQ(SegmentFromShipTypeCode(30), MarketSegment::kFishing);
+  EXPECT_EQ(SegmentFromShipTypeCode(31), MarketSegment::kTugAndService);
+  EXPECT_EQ(SegmentFromShipTypeCode(52), MarketSegment::kTugAndService);
+  EXPECT_EQ(SegmentFromShipTypeCode(37), MarketSegment::kPleasure);
+  EXPECT_EQ(SegmentFromShipTypeCode(60), MarketSegment::kPassenger);
+  EXPECT_EQ(SegmentFromShipTypeCode(69), MarketSegment::kPassenger);
+  EXPECT_EQ(SegmentFromShipTypeCode(70), MarketSegment::kGeneralCargo);
+  EXPECT_EQ(SegmentFromShipTypeCode(79), MarketSegment::kGeneralCargo);
+  EXPECT_EQ(SegmentFromShipTypeCode(80), MarketSegment::kTanker);
+  EXPECT_EQ(SegmentFromShipTypeCode(89), MarketSegment::kTanker);
+  EXPECT_EQ(SegmentFromShipTypeCode(0), MarketSegment::kOther);
+  EXPECT_EQ(SegmentFromShipTypeCode(99), MarketSegment::kOther);
+}
+
+TEST(TypesTest, SegmentCodeRoundTripIsConsistent) {
+  // Encoding a segment to a type code and mapping back must land in a
+  // compatible coarse class.
+  for (int s = 0; s < kNumMarketSegments; ++s) {
+    const MarketSegment segment = static_cast<MarketSegment>(s);
+    const uint8_t code = ShipTypeCodeForSegment(segment);
+    const MarketSegment coarse = SegmentFromShipTypeCode(code);
+    if (segment == MarketSegment::kContainer ||
+        segment == MarketSegment::kDryBulk ||
+        segment == MarketSegment::kGeneralCargo) {
+      EXPECT_EQ(coarse, MarketSegment::kGeneralCargo);
+    } else {
+      EXPECT_EQ(coarse, segment);
+    }
+  }
+}
+
+TEST(TypesTest, CommercialFleetFilter) {
+  VesselInfo vessel;
+  vessel.segment = MarketSegment::kContainer;
+  vessel.gross_tonnage = 90000;
+  vessel.transceiver = TransceiverClass::kClassA;
+  EXPECT_TRUE(IsCommercialFleet(vessel));
+
+  // Tonnage at or below 5000 GT is excluded (paper section 3.1.1).
+  vessel.gross_tonnage = 5000;
+  EXPECT_FALSE(IsCommercialFleet(vessel));
+  vessel.gross_tonnage = 5001;
+  EXPECT_TRUE(IsCommercialFleet(vessel));
+
+  // Class B is excluded regardless of size.
+  vessel.transceiver = TransceiverClass::kClassB;
+  EXPECT_FALSE(IsCommercialFleet(vessel));
+  vessel.transceiver = TransceiverClass::kClassA;
+
+  // Non-logistics segments are excluded.
+  vessel.segment = MarketSegment::kFishing;
+  EXPECT_FALSE(IsCommercialFleet(vessel));
+  vessel.segment = MarketSegment::kPleasure;
+  EXPECT_FALSE(IsCommercialFleet(vessel));
+}
+
+TEST(TypesTest, LogisticsSegments) {
+  EXPECT_TRUE(IsLogisticsSegment(MarketSegment::kContainer));
+  EXPECT_TRUE(IsLogisticsSegment(MarketSegment::kDryBulk));
+  EXPECT_TRUE(IsLogisticsSegment(MarketSegment::kTanker));
+  EXPECT_TRUE(IsLogisticsSegment(MarketSegment::kGeneralCargo));
+  EXPECT_TRUE(IsLogisticsSegment(MarketSegment::kPassenger));
+  EXPECT_FALSE(IsLogisticsSegment(MarketSegment::kFishing));
+  EXPECT_FALSE(IsLogisticsSegment(MarketSegment::kTugAndService));
+  EXPECT_FALSE(IsLogisticsSegment(MarketSegment::kPleasure));
+  EXPECT_FALSE(IsLogisticsSegment(MarketSegment::kOther));
+}
+
+TEST(TypesTest, NamesAreStable) {
+  EXPECT_EQ(MarketSegmentName(MarketSegment::kContainer), "container");
+  EXPECT_EQ(MarketSegmentName(MarketSegment::kTanker), "tanker");
+  EXPECT_EQ(NavStatusName(NavStatus::kMoored), "moored");
+  EXPECT_EQ(NavStatusName(NavStatus::kUnderWayUsingEngine),
+            "under way using engine");
+}
+
+}  // namespace
+}  // namespace pol::ais

@@ -1,0 +1,46 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pol {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32 (IEEE) test vectors.
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("a"), 0xe8b7be43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441c2u);
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414fa339u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementally) {
+  const std::string data = "patterns of life";
+  const uint32_t whole = Crc32(data);
+  const uint32_t part1 = Crc32(data.substr(0, 8));
+  const uint32_t chained = Crc32(data.substr(8), part1);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  const uint32_t original = Crc32(data);
+  for (size_t byte : {size_t{0}, size_t{100}, data.size() - 1}) {
+    std::string corrupted = data;
+    corrupted[byte] = static_cast<char>(corrupted[byte] ^ 0x01);
+    EXPECT_NE(Crc32(corrupted), original) << "flip at byte " << byte;
+  }
+}
+
+TEST(Crc32Test, BinaryDataWithEmbeddedNulls) {
+  const std::string a{"ab\0cd", 5};
+  const std::string b{"ab\0ce", 5};
+  EXPECT_NE(Crc32(a), Crc32(b));
+}
+
+}  // namespace
+}  // namespace pol

@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace pol {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kDebug);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, DisabledLevelsDoNotEvaluate) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  POL_LOG(Debug) << "never printed " << expensive();
+  POL_LOG(Info) << "never printed " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  POL_LOG(Error) << "printed once " << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  POL_CHECK(1 + 1 == 2) << "arithmetic holds";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH(POL_CHECK(false) << "boom", "Check failed: false");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(POL_LOG(Fatal) << "fatal message", "fatal message");
+}
+
+}  // namespace
+}  // namespace pol

@@ -1,0 +1,138 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace pol {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.Uniform(-5.0, 3.0);
+    EXPECT_GE(d, -5.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRangeUniformly) {
+  Rng rng(4242);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBelow(kBuckets)];
+  }
+  // Each bucket should be within 10% of the expected count.
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets / 10.0)
+        << "bucket " << b;
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All five values show up.
+}
+
+TEST(RngTest, GaussianMomentsAreStandard) {
+  Rng rng(31337);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(6);
+  constexpr int kSamples = 100000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kSamples), 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(8);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double e = rng.Exponential(0.5);
+    EXPECT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / kSamples, 2.0, 0.1);  // Mean = 1/rate.
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(1000);
+  Rng b(1000);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fa.NextUint64(), fb.NextUint64());
+  }
+  // The fork differs from the parent's continued stream.
+  Rng c(1000);
+  Rng fc = c.Fork();
+  EXPECT_NE(fc.NextUint64(), c.NextUint64());
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+  // Regression pin: the generator must never change silently, or every
+  // simulated dataset in the benchmarks changes with it.
+  uint64_t state2 = 0;
+  EXPECT_EQ(SplitMix64(state2), first);
+}
+
+}  // namespace
+}  // namespace pol

@@ -1,0 +1,71 @@
+#include "common/time_util.h"
+
+#include <gtest/gtest.h>
+
+namespace pol {
+namespace {
+
+TEST(TimeUtilTest, EpochIsZero) {
+  EXPECT_EQ(UnixFromUtc(1970, 1, 1), 0);
+}
+
+TEST(TimeUtilTest, KnownTimestamps) {
+  EXPECT_EQ(UnixFromUtc(2022, 1, 1), 1640995200);
+  EXPECT_EQ(UnixFromUtc(2022, 12, 31, 23, 59, 59), 1672531199);
+  EXPECT_EQ(UnixFromUtc(2000, 3, 1), 951868800);
+}
+
+TEST(TimeUtilTest, LeapYearFebruary29) {
+  const UnixSeconds feb28 = UnixFromUtc(2020, 2, 28);
+  const UnixSeconds feb29 = UnixFromUtc(2020, 2, 29);
+  const UnixSeconds mar01 = UnixFromUtc(2020, 3, 1);
+  EXPECT_EQ(feb29 - feb28, kSecondsPerDay);
+  EXPECT_EQ(mar01 - feb29, kSecondsPerDay);
+}
+
+TEST(TimeUtilTest, NonLeapCenturyYear) {
+  // 1900 was not a leap year; 2000 was.
+  EXPECT_EQ(UnixFromUtc(1900, 3, 1) - UnixFromUtc(1900, 2, 28),
+            kSecondsPerDay);
+  EXPECT_EQ(UnixFromUtc(2000, 3, 1) - UnixFromUtc(2000, 2, 28),
+            2 * kSecondsPerDay);
+}
+
+TEST(TimeUtilTest, FormatRoundTripsKnownDate) {
+  EXPECT_EQ(FormatUnixSeconds(UnixFromUtc(2022, 7, 15, 12, 34, 56)),
+            "2022-07-15 12:34:56");
+  EXPECT_EQ(FormatUnixSeconds(0), "1970-01-01 00:00:00");
+}
+
+TEST(TimeUtilTest, FormatConsistentWithConstruction) {
+  // Sweep a year of days: format(construct(d)) must show day d.
+  for (int day_offset = 0; day_offset < 365; day_offset += 13) {
+    const UnixSeconds t = UnixFromUtc(2022, 1, 1) + day_offset * kSecondsPerDay;
+    const std::string formatted = FormatUnixSeconds(t);
+    const int year = std::stoi(formatted.substr(0, 4));
+    const int month = std::stoi(formatted.substr(5, 2));
+    const int day = std::stoi(formatted.substr(8, 2));
+    EXPECT_EQ(UnixFromUtc(year, month, day), t) << formatted;
+  }
+}
+
+TEST(TimeUtilTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(25 * 60 + 10), "25m 10s");
+  EXPECT_EQ(FormatDuration(4 * 3600 + 25 * 60), "04h 25m");
+  EXPECT_EQ(FormatDuration(3 * 86400 + 4 * 3600 + 25 * 60), "3d 04h 25m");
+  EXPECT_EQ(FormatDuration(0), "00m 00s");
+}
+
+TEST(TimeUtilTest, FormatDurationNegative) {
+  EXPECT_EQ(FormatDuration(-90), "-01m 30s");
+}
+
+TEST(TimeUtilTest, ClampsBadCalendarInputs) {
+  // Day 32 of January clamps to January 31.
+  EXPECT_EQ(UnixFromUtc(2022, 1, 32), UnixFromUtc(2022, 1, 31));
+  EXPECT_EQ(UnixFromUtc(2022, 13, 1), UnixFromUtc(2022, 12, 1));
+  EXPECT_EQ(UnixFromUtc(2022, 0, 1), UnixFromUtc(2022, 1, 1));
+}
+
+}  // namespace
+}  // namespace pol

@@ -1,0 +1,172 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pol {
+namespace {
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  for (uint64_t v : {0ull, 1ull, 42ull, 127ull}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+    std::string_view in(buf);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(&in, &decoded).ok());
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(VarintTest, BoundaryValuesRoundTrip) {
+  const std::vector<uint64_t> values = {
+      0,       127,        128,         16383,
+      16384,   2097151,    2097152,     (1ull << 32) - 1,
+      1ull << 32, (1ull << 56) + 3, std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  std::string_view in(buf);
+  for (uint64_t v : values) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(&in, &decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(VarintTest, MaxValueIsTenBytes) {
+  std::string buf;
+  PutVarint64(&buf, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(VarintTest, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.pop_back();
+  std::string_view in(buf);
+  uint64_t decoded = 0;
+  EXPECT_EQ(GetVarint64(&in, &decoded).code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, OverlongInputIsCorruption) {
+  // Eleven continuation bytes can never be a valid 64-bit varint.
+  std::string buf(11, static_cast<char>(0x80));
+  std::string_view in(buf);
+  uint64_t decoded = 0;
+  EXPECT_EQ(GetVarint64(&in, &decoded).code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, SignedZigZagRoundTrip) {
+  const std::vector<int64_t> values = {0,
+                                       -1,
+                                       1,
+                                       -64,
+                                       63,
+                                       -65,
+                                       1000000,
+                                       -1000000,
+                                       std::numeric_limits<int64_t>::min(),
+                                       std::numeric_limits<int64_t>::max()};
+  std::string buf;
+  for (int64_t v : values) PutVarintSigned64(&buf, v);
+  std::string_view in(buf);
+  for (int64_t v : values) {
+    int64_t decoded = 0;
+    ASSERT_TRUE(GetVarintSigned64(&in, &decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, ZigZagKeepsSmallMagnitudesShort) {
+  std::string buf;
+  PutVarintSigned64(&buf, -3);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(VarintTest, RandomRoundTrip) {
+  Rng rng(20240325);
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Bias toward small values by masking with a random width.
+    const int width = static_cast<int>(rng.NextBelow(64)) + 1;
+    const uint64_t v =
+        rng.NextUint64() & (width == 64 ? ~0ull : ((1ull << width) - 1));
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  std::string_view in(buf);
+  for (uint64_t v : values) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(&in, &decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(DoubleCodecTest, RoundTripIncludingSpecials) {
+  const std::vector<double> values = {0.0,  -0.0, 1.5,   -273.15, 1e308,
+                                      5e-324, std::numeric_limits<double>::infinity()};
+  std::string buf;
+  for (double v : values) PutDouble(&buf, v);
+  std::string_view in(buf);
+  for (double v : values) {
+    double decoded = 0;
+    ASSERT_TRUE(GetDouble(&in, &decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(DoubleCodecTest, TruncatedIsCorruption) {
+  std::string buf;
+  PutDouble(&buf, 3.14);
+  buf.pop_back();
+  std::string_view in(buf);
+  double d = 0;
+  EXPECT_EQ(GetDouble(&in, &d).code(), StatusCode::kCorruption);
+}
+
+TEST(LengthPrefixedTest, RoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view in(buf);
+  std::string_view v;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v).ok());
+  EXPECT_EQ(v, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v).ok());
+  EXPECT_EQ(v, "");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v).ok());
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(LengthPrefixedTest, TruncatedBodyIsCorruption) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(buf.size() - 2);
+  std::string_view in(buf);
+  std::string_view v;
+  EXPECT_EQ(GetLengthPrefixed(&in, &v).code(), StatusCode::kCorruption);
+}
+
+TEST(ZigZagTest, EncodingIsCompactOrdering) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  for (int64_t v : {-5, 17, -100000, 123456789}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace pol

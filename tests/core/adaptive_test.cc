@@ -1,0 +1,154 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "hexgrid/hexgrid.h"
+#include "sim/fleet.h"
+
+namespace pol::core {
+namespace {
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::FleetConfig config;
+    config.seed = 606;
+    config.commercial_vessels = 15;
+    config.noncommercial_vessels = 0;
+    config.start_time = 1640995200;
+    config.end_time = config.start_time + 60 * kSecondsPerDay;
+    config.coastal_interval_s = 300;
+    config.ocean_interval_s = 900;
+    output_ = new sim::SimulationOutput(sim::FleetSimulator(config).Run());
+
+    PipelineConfig pipeline_config;
+    pipeline_config.partitions = 4;
+    pipeline_config.threads = 2;
+    pipeline_config.resolution = 7;
+    pipeline_config.extractor.gi_cell_type = false;
+    pipeline_config.extractor.gi_cell_route_type = false;
+    result_ = new PipelineResult(
+        RunPipeline(output_->reports, output_->fleet, pipeline_config));
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    delete output_;
+    result_ = nullptr;
+    output_ = nullptr;
+  }
+
+  static sim::SimulationOutput* output_;
+  static PipelineResult* result_;
+};
+
+constexpr uint64_t kThreshold = 20;
+
+sim::SimulationOutput* AdaptiveTest::output_ = nullptr;
+PipelineResult* AdaptiveTest::result_ = nullptr;
+
+TEST_F(AdaptiveTest, UsesFewerCellsThanUniform) {
+  const AdaptiveInventory adaptive =
+      AdaptiveInventory::Build(*result_->inventory, 4, kThreshold);
+  const uint64_t fine_cells = result_->inventory->DistinctCells();
+  EXPECT_GT(adaptive.size(), 0u);
+  EXPECT_LT(adaptive.size(), fine_cells);
+  const AdaptiveStats stats = adaptive.Stats(fine_cells);
+  EXPECT_GT(stats.cell_reduction, 0.3);  // Open ocean collapses hard.
+}
+
+TEST_F(AdaptiveTest, PreservesTotalRecordCount) {
+  const AdaptiveInventory adaptive =
+      AdaptiveInventory::Build(*result_->inventory, 4, kThreshold);
+  uint64_t fine_records = 0;
+  for (const auto& [key, summary] : result_->inventory->summaries()) {
+    if (key.grouping_set == 0) fine_records += summary.record_count();
+  }
+  const AdaptiveStats stats =
+      adaptive.Stats(result_->inventory->DistinctCells());
+  // The cut is a partition of the merged tree: no record lost or
+  // double-counted.
+  EXPECT_EQ(stats.records, fine_records);
+}
+
+TEST_F(AdaptiveTest, MixesResolutions) {
+  const AdaptiveInventory adaptive =
+      AdaptiveInventory::Build(*result_->inventory, 4, kThreshold);
+  const AdaptiveStats stats =
+      adaptive.Stats(result_->inventory->DistinctCells());
+  // Both coarse and fine levels must be present (dense lanes stay fine,
+  // open ocean collapses).
+  EXPECT_GE(stats.cells_per_resolution.size(), 2u);
+  EXPECT_TRUE(stats.cells_per_resolution.count(7));
+  EXPECT_TRUE(stats.cells_per_resolution.count(4) ||
+              stats.cells_per_resolution.count(5));
+}
+
+TEST_F(AdaptiveTest, DenseCellsStayFine) {
+  const AdaptiveInventory adaptive =
+      AdaptiveInventory::Build(*result_->inventory, 4, kThreshold);
+  // Every emitted non-finest cell must be below the threshold (it was
+  // not split), except cells already at the coarsest level whose parent
+  // chain ended.
+  for (const auto& [cell, summary] : adaptive.cells()) {
+    const int res = hex::CellResolution(cell);
+    if (res < adaptive.fine_res() && res > adaptive.coarse_res()) {
+      EXPECT_LT(summary.record_count(), kThreshold) << hex::CellToString(cell);
+    }
+  }
+}
+
+TEST_F(AdaptiveTest, LookupFindsCoveringCell) {
+  const AdaptiveInventory adaptive =
+      AdaptiveInventory::Build(*result_->inventory, 4, kThreshold);
+  // Sample traffic positions that the FINE inventory covers (raw
+  // reports include moored and non-trip records that never entered any
+  // inventory): the adaptive inventory must answer for almost all of
+  // them (boundary fuzz from approximate containment is allowed but
+  // rare).
+  int hits = 0;
+  int samples = 0;
+  for (size_t i = 0; i < output_->reports.size(); i += 501) {
+    const auto& report = output_->reports[i];
+    if (!ais::ValidatePositionReport(report).ok()) continue;
+    if (result_->inventory->AtPosition({report.lat_deg, report.lng_deg}) ==
+        nullptr) {
+      continue;
+    }
+    ++samples;
+    int res = -1;
+    const CellSummary* summary =
+        adaptive.Lookup({report.lat_deg, report.lng_deg}, &res);
+    if (summary != nullptr) {
+      ++hits;
+      EXPECT_GE(res, adaptive.coarse_res());
+      EXPECT_LE(res, adaptive.fine_res());
+      EXPECT_GT(summary->record_count(), 0u);
+    }
+  }
+  ASSERT_GT(samples, 50);
+  EXPECT_GT(hits, samples * 97 / 100);
+}
+
+TEST_F(AdaptiveTest, ThresholdControlsGranularity) {
+  const AdaptiveInventory aggressive =
+      AdaptiveInventory::Build(*result_->inventory, 4, 1000000);
+  const AdaptiveInventory fine_keeping =
+      AdaptiveInventory::Build(*result_->inventory, 4, 1);
+  // A huge threshold collapses everything to the coarse level; a tiny
+  // one keeps every fine cell.
+  EXPECT_LT(aggressive.size(), fine_keeping.size());
+  const AdaptiveStats coarse_stats =
+      aggressive.Stats(result_->inventory->DistinctCells());
+  EXPECT_EQ(coarse_stats.cells_per_resolution.count(7), 0u);
+}
+
+TEST_F(AdaptiveTest, DegenerateSameResolutionBuild) {
+  const AdaptiveInventory same =
+      AdaptiveInventory::Build(*result_->inventory, 7, kThreshold);
+  EXPECT_EQ(same.size(), result_->inventory->DistinctCells());
+}
+
+}  // namespace
+}  // namespace pol::core

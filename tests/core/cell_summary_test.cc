@@ -1,0 +1,183 @@
+#include "core/cell_summary.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pol::core {
+namespace {
+
+PipelineRecord TripRecord(ais::Mmsi mmsi, uint64_t trip, double sog,
+                          double cog, int64_t eto, int64_t ata) {
+  PipelineRecord r;
+  r.mmsi = mmsi;
+  r.trip_id = trip;
+  r.sog_knots = sog;
+  r.cog_deg = cog;
+  r.heading_deg = cog;
+  r.eto_s = eto;
+  r.ata_s = ata;
+  r.origin = 3;
+  r.destination = 7;
+  return r;
+}
+
+TEST(CellSummaryTest, EmptySummary) {
+  CellSummary summary;
+  EXPECT_EQ(summary.record_count(), 0u);
+  EXPECT_EQ(summary.ships().Estimate(), 0.0);
+  EXPECT_EQ(summary.speed().count(), 0u);
+  EXPECT_TRUE(summary.destinations().TopN(1).empty());
+}
+
+TEST(CellSummaryTest, TracksAllTableThreeFeatures) {
+  CellSummary summary;
+  for (int i = 0; i < 100; ++i) {
+    summary.Add(TripRecord(215000001 + (i % 5), 900 + (i % 10), 12.0 + i % 3,
+                           90.0, i * 60, (100 - i) * 60));
+  }
+  EXPECT_EQ(summary.record_count(), 100u);
+  EXPECT_DOUBLE_EQ(summary.ships().Estimate(), 5.0);
+  EXPECT_DOUBLE_EQ(summary.trips().Estimate(), 10.0);
+  EXPECT_NEAR(summary.speed().Mean(), 13.0, 0.2);
+  EXPECT_NEAR(summary.course_mean().MeanDeg(), 90.0, 1e-9);
+  EXPECT_EQ(summary.course_bins().ModeBin(), 3);  // 90 deg -> bin [90,120).
+  EXPECT_NEAR(summary.eto().Mean(), 49.5 * 60, 60);
+  EXPECT_NEAR(summary.ata().Mean(), 50.5 * 60, 60);
+  const auto origins = summary.origins().TopN(1);
+  ASSERT_EQ(origins.size(), 1u);
+  EXPECT_EQ(origins[0].key, 3u);
+  const auto dests = summary.destinations().TopN(1);
+  ASSERT_EQ(dests.size(), 1u);
+  EXPECT_EQ(dests[0].key, 7u);
+}
+
+TEST(CellSummaryTest, SkipsUnavailableKinematics) {
+  CellSummary summary;
+  PipelineRecord r = TripRecord(215000001, 1, 10.0, 45.0, 0, 0);
+  r.sog_knots = ais::kSogUnavailable;
+  r.cog_deg = ais::kCogUnavailable;
+  r.heading_deg = ais::kHeadingUnavailable;
+  summary.Add(r);
+  EXPECT_EQ(summary.record_count(), 1u);
+  EXPECT_EQ(summary.speed().count(), 0u);
+  EXPECT_EQ(summary.course_mean().count(), 0u);
+  EXPECT_EQ(summary.heading_bins().total(), 0u);
+}
+
+TEST(CellSummaryTest, NonTripRecordSkipsTripFeatures) {
+  CellSummary summary;
+  PipelineRecord r = TripRecord(215000001, 0, 10.0, 45.0, 100, 100);
+  summary.Add(r);
+  EXPECT_EQ(summary.record_count(), 1u);
+  EXPECT_EQ(summary.trips().Estimate(), 0.0);
+  EXPECT_EQ(summary.eto().count(), 0u);
+  EXPECT_TRUE(summary.origins().TopN(1).empty());
+}
+
+TEST(CellSummaryTest, TransitionsTracked) {
+  CellSummary summary;
+  PipelineRecord r = TripRecord(215000001, 1, 10.0, 45.0, 0, 0);
+  r.next_cell = 12345;
+  summary.Add(r);
+  r.next_cell = 12345;
+  summary.Add(r);
+  r.next_cell = 99999;
+  summary.Add(r);
+  const auto top = summary.transitions().TopN(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 12345u);
+  EXPECT_EQ(top[0].count, 2u);
+}
+
+TEST(CellSummaryTest, MergeMatchesSequential) {
+  Rng rng(5);
+  CellSummary whole;
+  CellSummary a;
+  CellSummary b;
+  for (int i = 0; i < 5000; ++i) {
+    const PipelineRecord r = TripRecord(
+        static_cast<ais::Mmsi>(215000001 + rng.NextBelow(50)),
+        1 + rng.NextBelow(200), rng.Uniform(5, 20), rng.Uniform(0, 360),
+        static_cast<int64_t>(rng.NextBelow(100000)),
+        static_cast<int64_t>(rng.NextBelow(100000)));
+    whole.Add(r);
+    if (i % 2 == 0) {
+      a.Add(r);
+    } else {
+      b.Add(r);
+    }
+  }
+  a.Merge(std::move(b));
+  EXPECT_EQ(a.record_count(), whole.record_count());
+  EXPECT_DOUBLE_EQ(a.ships().Estimate(), whole.ships().Estimate());
+  EXPECT_DOUBLE_EQ(a.trips().Estimate(), whole.trips().Estimate());
+  EXPECT_NEAR(a.speed().Mean(), whole.speed().Mean(), 1e-9);
+  EXPECT_NEAR(a.speed().StdDev(), whole.speed().StdDev(), 1e-9);
+  EXPECT_NEAR(a.course_mean().MeanDeg(), whole.course_mean().MeanDeg(), 1e-6);
+  for (int bin = 0; bin < 12; ++bin) {
+    EXPECT_EQ(a.course_bins().bin_count(bin),
+              whole.course_bins().bin_count(bin));
+  }
+  EXPECT_NEAR(a.eto_percentiles().Quantile(0.5),
+              whole.eto_percentiles().Quantile(0.5), 3000);
+}
+
+TEST(CellSummaryTest, SerializeRoundTrip) {
+  Rng rng(6);
+  CellSummary summary;
+  for (int i = 0; i < 2000; ++i) {
+    PipelineRecord r = TripRecord(
+        static_cast<ais::Mmsi>(215000001 + rng.NextBelow(30)),
+        1 + rng.NextBelow(100), rng.Uniform(5, 20), rng.Uniform(0, 360),
+        static_cast<int64_t>(rng.NextBelow(50000)),
+        static_cast<int64_t>(rng.NextBelow(50000)));
+    r.next_cell = 1000 + rng.NextBelow(5);
+    summary.Add(r);
+  }
+  std::string buffer;
+  summary.Serialize(&buffer);
+  CellSummary restored;
+  std::string_view input(buffer);
+  ASSERT_TRUE(restored.Deserialize(&input).ok());
+  EXPECT_TRUE(input.empty());
+  EXPECT_EQ(restored.record_count(), summary.record_count());
+  EXPECT_DOUBLE_EQ(restored.ships().Estimate(), summary.ships().Estimate());
+  EXPECT_DOUBLE_EQ(restored.speed().Mean(), summary.speed().Mean());
+  EXPECT_DOUBLE_EQ(restored.speed_percentiles().Quantile(0.9),
+                   summary.speed_percentiles().Quantile(0.9));
+  EXPECT_DOUBLE_EQ(restored.course_mean().MeanDeg(),
+                   summary.course_mean().MeanDeg());
+  const auto expected_top = summary.transitions().TopN(3);
+  const auto actual_top = restored.transitions().TopN(3);
+  ASSERT_EQ(actual_top.size(), expected_top.size());
+  for (size_t i = 0; i < actual_top.size(); ++i) {
+    EXPECT_EQ(actual_top[i].key, expected_top[i].key);
+    EXPECT_EQ(actual_top[i].count, expected_top[i].count);
+  }
+}
+
+TEST(CellSummaryTest, DeserializeRejectsTruncation) {
+  CellSummary summary;
+  summary.Add(TripRecord(215000001, 1, 10, 45, 100, 200));
+  std::string buffer;
+  summary.Serialize(&buffer);
+  for (const size_t cut : {buffer.size() / 4, buffer.size() / 2,
+                           buffer.size() - 1}) {
+    CellSummary restored;
+    std::string_view input(buffer.data(), cut);
+    EXPECT_FALSE(restored.Deserialize(&input).ok()) << cut;
+  }
+}
+
+TEST(CellSummaryTest, FootprintIsModest) {
+  // Capacity planning: a typical low-traffic cell must stay small.
+  CellSummary sparse;
+  for (int i = 0; i < 10; ++i) {
+    sparse.Add(TripRecord(215000001 + i, 100 + i, 12, 90, 1000, 2000));
+  }
+  EXPECT_LT(sparse.MemoryFootprint(), 4096u);
+}
+
+}  // namespace
+}  // namespace pol::core

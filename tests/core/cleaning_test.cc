@@ -1,0 +1,188 @@
+#include "core/cleaning.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/geodesic.h"
+
+namespace pol::core {
+namespace {
+
+ais::PositionReport Report(ais::Mmsi mmsi, UnixSeconds t, double lat,
+                           double lng, double sog = 12.0) {
+  ais::PositionReport r;
+  r.mmsi = mmsi;
+  r.timestamp = t;
+  r.lat_deg = lat;
+  r.lng_deg = lng;
+  r.sog_knots = sog;
+  r.cog_deg = 90.0;
+  r.heading_deg = 91.0;
+  r.nav_status = ais::NavStatus::kUnderWayUsingEngine;
+  r.message_type = 1;
+  return r;
+}
+
+TEST(CleaningTest, KeepsValidOrderedTrack) {
+  flow::ThreadPool pool(2);
+  std::vector<ais::PositionReport> reports;
+  for (int i = 0; i < 100; ++i) {
+    // 12 kn due east: ~0.0037 deg longitude per minute at the equator.
+    reports.push_back(Report(215000001, 1000 + i * 60, 0.0, i * 0.0037));
+  }
+  CleaningStats stats;
+  const auto cleaned = CleanReports(reports, {}, &pool, &stats);
+  EXPECT_EQ(stats.input, 100u);
+  EXPECT_EQ(stats.kept, 100u);
+  EXPECT_EQ(stats.invalid_fields, 0u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.infeasible_jumps, 0u);
+}
+
+TEST(CleaningTest, DropsFieldViolations) {
+  flow::ThreadPool pool(2);
+  std::vector<ais::PositionReport> reports = {
+      Report(215000001, 1000, 0.0, 0.0),
+      Report(215000001, 1060, 91.0, 0.0),     // Lat unavailable.
+      Report(215000001, 1120, 0.0, 181.0),    // Lng unavailable.
+      Report(215000001, 1180, 0.0, 0.01, 170.0),  // Speed out of range.
+      Report(215000001, 1240, 0.0, 0.01),
+  };
+  CleaningStats stats;
+  const auto cleaned = CleanReports(reports, {}, &pool, &stats);
+  EXPECT_EQ(stats.invalid_fields, 3u);
+  EXPECT_EQ(stats.kept, 2u);
+}
+
+TEST(CleaningTest, SortsOutOfOrderTimestamps) {
+  flow::ThreadPool pool(2);
+  std::vector<ais::PositionReport> reports = {
+      Report(215000001, 3000, 0.0, 0.02),
+      Report(215000001, 1000, 0.0, 0.00),
+      Report(215000001, 2000, 0.0, 0.01),
+  };
+  CleaningStats stats;
+  const auto cleaned = CleanReports(reports, {}, &pool, &stats);
+  const auto records = cleaned.Collect();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].timestamp, 1000);
+  EXPECT_EQ(records[1].timestamp, 2000);
+  EXPECT_EQ(records[2].timestamp, 3000);
+}
+
+TEST(CleaningTest, RemovesExactDuplicates) {
+  flow::ThreadPool pool(2);
+  std::vector<ais::PositionReport> reports = {
+      Report(215000001, 1000, 10.0, 20.0),
+      Report(215000001, 1000, 10.0, 20.0),  // Duplicate reception.
+      Report(215000001, 1000, 10.0, 20.0),  // Triplicate.
+      Report(215000001, 1060, 10.0, 20.005),
+  };
+  CleaningStats stats;
+  const auto cleaned = CleanReports(reports, {}, &pool, &stats);
+  EXPECT_EQ(stats.duplicates, 2u);
+  EXPECT_EQ(stats.kept, 2u);
+}
+
+TEST(CleaningTest, DropsInfeasibleJumps) {
+  flow::ThreadPool pool(2);
+  std::vector<ais::PositionReport> reports = {
+      Report(215000001, 1000, 0.0, 0.0),
+      Report(215000001, 1060, 2.0, 0.0),  // ~120 nm in a minute.
+      Report(215000001, 1120, 0.0, 0.007),
+  };
+  CleaningStats stats;
+  const auto cleaned = CleanReports(reports, {}, &pool, &stats);
+  EXPECT_EQ(stats.infeasible_jumps, 1u);
+  EXPECT_EQ(stats.kept, 2u);
+  for (const auto& record : cleaned.Collect()) {
+    EXPECT_NEAR(record.lat_deg, 0.0, 0.01);
+  }
+}
+
+TEST(CleaningTest, FiftyKnotThresholdIsConfigurable) {
+  flow::ThreadPool pool(2);
+  // 1 degree of longitude at the equator in one hour = 60 kn.
+  std::vector<ais::PositionReport> reports = {
+      Report(215000001, 0, 0.0, 0.0),
+      Report(215000001, 3600, 0.0, 1.0),
+  };
+  CleaningConfig strict;
+  strict.max_speed_knots = 50.0;
+  CleaningStats stats;
+  CleanReports(reports, strict, &pool, &stats);
+  EXPECT_EQ(stats.infeasible_jumps, 1u);
+
+  CleaningConfig lenient;
+  lenient.max_speed_knots = 70.0;
+  CleanReports(reports, lenient, &pool, &stats);
+  EXPECT_EQ(stats.infeasible_jumps, 0u);
+}
+
+TEST(CleaningTest, JumpFilterRecoversAfterOutlier) {
+  // A single GPS jump must not poison the rest of the track: the filter
+  // compares against the last KEPT point.
+  flow::ThreadPool pool(2);
+  std::vector<ais::PositionReport> reports;
+  for (int i = 0; i < 20; ++i) {
+    reports.push_back(Report(215000001, i * 600, 0.0, i * 0.03));
+  }
+  // Inject a far-away fix mid-track.
+  reports[10].lat_deg = 45.0;
+  CleaningStats stats;
+  const auto cleaned = CleanReports(reports, {}, &pool, &stats);
+  EXPECT_EQ(stats.infeasible_jumps, 1u);
+  EXPECT_EQ(stats.kept, 19u);
+}
+
+TEST(CleaningTest, VesselsDoNotInterfere) {
+  flow::ThreadPool pool(4);
+  std::vector<ais::PositionReport> reports;
+  // Two vessels far apart, interleaved in the input: per-vessel
+  // partitioning must keep their tracks independent (no cross-vessel
+  // "jump" filtering).
+  for (int i = 0; i < 50; ++i) {
+    reports.push_back(Report(215000001, 1000 + i * 60, 0.0, i * 0.0037));
+    reports.push_back(Report(377000002, 1000 + i * 60, 50.0, i * 0.0037));
+  }
+  CleaningStats stats;
+  const auto cleaned = CleanReports(reports, {}, &pool, &stats);
+  EXPECT_EQ(stats.kept, 100u);
+  EXPECT_EQ(stats.infeasible_jumps, 0u);
+  // Vessel runs must be contiguous in partitions.
+  for (int p = 0; p < cleaned.num_partitions(); ++p) {
+    const auto& part = cleaned.partition(p);
+    for (size_t i = 1; i < part.size(); ++i) {
+      if (part[i].mmsi == part[i - 1].mmsi) {
+        EXPECT_GE(part[i].timestamp, part[i - 1].timestamp);
+      }
+    }
+  }
+}
+
+TEST(CleaningTest, ResultIndependentOfPartitionCount) {
+  Rng rng(9);
+  std::vector<ais::PositionReport> reports;
+  for (int v = 0; v < 7; ++v) {
+    double lng = rng.Uniform(-10, 10);
+    for (int i = 0; i < 200; ++i) {
+      lng += 0.003;
+      reports.push_back(Report(static_cast<ais::Mmsi>(215000001 + v),
+                               1000 + i * 60, 0.0, lng));
+    }
+  }
+  std::vector<uint64_t> kept;
+  for (const int partitions : {1, 4, 16}) {
+    flow::ThreadPool pool(2);
+    CleaningConfig config;
+    config.partitions = partitions;
+    CleaningStats stats;
+    CleanReports(reports, config, &pool, &stats);
+    kept.push_back(stats.kept);
+  }
+  EXPECT_EQ(kept[0], kept[1]);
+  EXPECT_EQ(kept[1], kept[2]);
+}
+
+}  // namespace
+}  // namespace pol::core

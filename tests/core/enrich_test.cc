@@ -1,0 +1,97 @@
+#include "core/enrich.h"
+
+#include <gtest/gtest.h>
+
+namespace pol::core {
+namespace {
+
+std::vector<ais::VesselInfo> TestRegistry() {
+  ais::VesselInfo big_container;
+  big_container.mmsi = 215000001;
+  big_container.segment = ais::MarketSegment::kContainer;
+  big_container.gross_tonnage = 150000;
+  big_container.transceiver = ais::TransceiverClass::kClassA;
+
+  ais::VesselInfo small_fisher;
+  small_fisher.mmsi = 512000002;
+  small_fisher.segment = ais::MarketSegment::kFishing;
+  small_fisher.gross_tonnage = 300;
+  small_fisher.transceiver = ais::TransceiverClass::kClassB;
+
+  ais::VesselInfo small_cargo;
+  small_cargo.mmsi = 240000003;
+  small_cargo.segment = ais::MarketSegment::kGeneralCargo;
+  small_cargo.gross_tonnage = 3000;  // Below the 5000 GT cut.
+  small_cargo.transceiver = ais::TransceiverClass::kClassA;
+  return {big_container, small_fisher, small_cargo};
+}
+
+PipelineRecord RecordFor(ais::Mmsi mmsi) {
+  PipelineRecord r;
+  r.mmsi = mmsi;
+  r.timestamp = 1000;
+  r.lat_deg = 10;
+  r.lng_deg = 10;
+  return r;
+}
+
+TEST(EnrichTest, FindLooksUpRegistry) {
+  const Enricher enricher(TestRegistry());
+  ASSERT_NE(enricher.Find(215000001), nullptr);
+  EXPECT_EQ(enricher.Find(215000001)->segment,
+            ais::MarketSegment::kContainer);
+  EXPECT_EQ(enricher.Find(999999999), nullptr);
+}
+
+TEST(EnrichTest, AnnotatesSegments) {
+  flow::ThreadPool pool(2);
+  const Enricher enricher(TestRegistry());
+  const auto records = flow::Dataset<PipelineRecord>::FromVector(
+      {RecordFor(215000001), RecordFor(512000002)}, 2, &pool);
+  EnrichmentStats stats;
+  const auto enriched = enricher.Enrich(records, /*commercial_only=*/false,
+                                        &stats);
+  const auto collected = enriched.Collect();
+  ASSERT_EQ(collected.size(), 2u);
+  for (const auto& record : collected) {
+    if (record.mmsi == 215000001) {
+      EXPECT_EQ(record.segment, ais::MarketSegment::kContainer);
+    } else {
+      EXPECT_EQ(record.segment, ais::MarketSegment::kFishing);
+    }
+  }
+}
+
+TEST(EnrichTest, CommercialFilterDropsNonCommercial) {
+  flow::ThreadPool pool(2);
+  const Enricher enricher(TestRegistry());
+  const auto records = flow::Dataset<PipelineRecord>::FromVector(
+      {RecordFor(215000001), RecordFor(512000002), RecordFor(240000003),
+       RecordFor(888000004)},  // Unknown vessel.
+      2, &pool);
+  EnrichmentStats stats;
+  const auto enriched = enricher.Enrich(records, /*commercial_only=*/true,
+                                        &stats);
+  EXPECT_EQ(stats.input, 4u);
+  EXPECT_EQ(stats.kept, 1u);
+  EXPECT_EQ(stats.unknown_vessel, 1u);
+  EXPECT_EQ(stats.non_commercial, 2u);
+  const auto collected = enriched.Collect();
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0].mmsi, 215000001u);
+}
+
+TEST(EnrichTest, WithoutFilterUnknownVesselsPassThrough) {
+  flow::ThreadPool pool(2);
+  const Enricher enricher(TestRegistry());
+  const auto records = flow::Dataset<PipelineRecord>::FromVector(
+      {RecordFor(888000004)}, 1, &pool);
+  EnrichmentStats stats;
+  const auto enriched =
+      enricher.Enrich(records, /*commercial_only=*/false, &stats);
+  EXPECT_EQ(enriched.Count(), 1u);
+  EXPECT_EQ(enriched.Collect()[0].segment, ais::MarketSegment::kOther);
+}
+
+}  // namespace
+}  // namespace pol::core

@@ -1,0 +1,80 @@
+#include "core/geofence.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/geodesic.h"
+
+namespace pol::core {
+namespace {
+
+TEST(GeofenceTest, DetectsPortCenter) {
+  const Geofencer geofencer(&sim::PortDatabase::Global(), 6);
+  const sim::Port& rotterdam =
+      **sim::PortDatabase::Global().FindByName("Rotterdam");
+  EXPECT_EQ(geofencer.PortAt(rotterdam.position), rotterdam.id);
+}
+
+TEST(GeofenceTest, OpenOceanIsNoPort) {
+  const Geofencer geofencer(&sim::PortDatabase::Global(), 6);
+  EXPECT_EQ(geofencer.PortAt({45.0, -35.0}), sim::kNoPort);
+  EXPECT_EQ(geofencer.PortAt({-50.0, 100.0}), sim::kNoPort);
+}
+
+TEST(GeofenceTest, MatchesExhaustiveLookupEverywhere) {
+  // The indexed lookup must agree with brute force on a dense sweep
+  // around several ports (inside, near the rim, outside).
+  const Geofencer geofencer(&sim::PortDatabase::Global(), 6);
+  Rng rng(21);
+  for (const char* name : {"Singapore", "Rotterdam", "Shanghai", "Santos"}) {
+    const sim::Port& port = **sim::PortDatabase::Global().FindByName(name);
+    for (int i = 0; i < 300; ++i) {
+      const double bearing = rng.Uniform(0, 360);
+      const double distance =
+          rng.Uniform(0.0, port.geofence_radius_km * 2.5);
+      const geo::LatLng p =
+          geo::DestinationPoint(port.position, bearing, distance);
+      EXPECT_EQ(geofencer.PortAt(p), geofencer.PortAtExhaustive(p))
+          << name << " bearing " << bearing << " distance " << distance;
+    }
+  }
+}
+
+TEST(GeofenceTest, WorksAtFinerResolution) {
+  const Geofencer geofencer(&sim::PortDatabase::Global(), 7);
+  const sim::Port& singapore =
+      **sim::PortDatabase::Global().FindByName("Singapore");
+  EXPECT_EQ(geofencer.PortAt(singapore.position), singapore.id);
+  Rng rng(22);
+  for (int i = 0; i < 200; ++i) {
+    const geo::LatLng p = geo::DestinationPoint(
+        singapore.position, rng.Uniform(0, 360), rng.Uniform(0, 50));
+    EXPECT_EQ(geofencer.PortAt(p), geofencer.PortAtExhaustive(p));
+  }
+}
+
+TEST(GeofenceTest, IndexCoversAllPorts) {
+  const Geofencer geofencer(&sim::PortDatabase::Global(), 6);
+  // Every port's centre cell must be indexed.
+  EXPECT_GT(geofencer.IndexedCellCount(),
+            sim::PortDatabase::Global().size());
+  for (const sim::Port& port : sim::PortDatabase::Global().ports()) {
+    EXPECT_EQ(geofencer.PortAt(port.position), port.id) << port.name;
+  }
+}
+
+TEST(GeofenceTest, CustomDatabase) {
+  sim::Port port;
+  port.name = "TestHarbour";
+  port.position = {10.0, 20.0};
+  port.geofence_radius_km = 5.0;
+  const sim::PortDatabase db({port});
+  const Geofencer geofencer(&db, 7);
+  EXPECT_EQ(geofencer.PortAt({10.0, 20.0}), 1u);
+  EXPECT_EQ(geofencer.PortAt(geo::DestinationPoint({10.0, 20.0}, 0, 4.9)), 1u);
+  EXPECT_EQ(geofencer.PortAt(geo::DestinationPoint({10.0, 20.0}, 0, 5.5)),
+            sim::kNoPort);
+}
+
+}  // namespace
+}  // namespace pol::core

@@ -1,0 +1,92 @@
+#include "core/group_key.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "hexgrid/hexgrid.h"
+
+namespace pol::core {
+namespace {
+
+TEST(GroupKeyTest, ConstructorsSetDimensions) {
+  const hex::CellIndex cell = hex::LatLngToCell({1.3, 103.8}, 6);
+
+  const GroupKey k1 = KeyCell(cell);
+  EXPECT_EQ(k1.grouping_set, static_cast<uint8_t>(GroupingSet::kCell));
+  EXPECT_EQ(k1.segment, kAnySegment);
+  EXPECT_EQ(k1.origin, kAnyPort);
+
+  const GroupKey k2 = KeyCellType(cell, ais::MarketSegment::kTanker);
+  EXPECT_EQ(k2.grouping_set, static_cast<uint8_t>(GroupingSet::kCellType));
+  EXPECT_EQ(k2.segment, static_cast<uint8_t>(ais::MarketSegment::kTanker));
+
+  const GroupKey k3 =
+      KeyCellRouteType(cell, 12, 47, ais::MarketSegment::kContainer);
+  EXPECT_EQ(k3.grouping_set,
+            static_cast<uint8_t>(GroupingSet::kCellRouteType));
+  EXPECT_EQ(k3.origin, 12);
+  EXPECT_EQ(k3.destination, 47);
+}
+
+TEST(GroupKeyTest, GroupingSetsNeverCollide) {
+  const hex::CellIndex cell = hex::LatLngToCell({1.3, 103.8}, 6);
+  const GroupKey k1 = KeyCell(cell);
+  const GroupKey k2 = KeyCellType(cell, ais::MarketSegment::kOther);
+  const GroupKey k3 =
+      KeyCellRouteType(cell, kAnyPort, kAnyPort, ais::MarketSegment::kOther);
+  EXPECT_FALSE(k1 == k2);
+  EXPECT_FALSE(k2 == k3);
+  EXPECT_FALSE(k1 == k3);
+}
+
+TEST(GroupKeyTest, PackedDimsRoundTripThroughInventoryDecoding) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    GroupKey key;
+    key.cell = rng.NextUint64() >> 1;
+    key.grouping_set = static_cast<uint8_t>(rng.NextBelow(3));
+    key.segment = static_cast<uint8_t>(rng.NextBelow(256));
+    key.origin = static_cast<uint16_t>(rng.NextBelow(65536));
+    key.destination = static_cast<uint16_t>(rng.NextBelow(65536));
+    const uint64_t dims = GroupKeyDimsPacked(key);
+    GroupKey decoded;
+    decoded.cell = key.cell;
+    decoded.grouping_set = static_cast<uint8_t>(dims & 0xff);
+    decoded.segment = static_cast<uint8_t>((dims >> 8) & 0xff);
+    decoded.origin = static_cast<uint16_t>((dims >> 16) & 0xffff);
+    decoded.destination = static_cast<uint16_t>((dims >> 32) & 0xffff);
+    EXPECT_TRUE(decoded == key);
+  }
+}
+
+TEST(GroupKeyTest, HashSpreadsKeys) {
+  // Distinct keys across cells and dimensions should hash distinctly
+  // (no systematic collisions that would skew the reduce buckets).
+  std::unordered_set<size_t> hashes;
+  int keys = 0;
+  for (double lat = -60; lat <= 60; lat += 8) {
+    for (double lng = -170; lng <= 170; lng += 16) {
+      const hex::CellIndex cell = hex::LatLngToCell({lat, lng}, 6);
+      for (int s = 0; s < 3; ++s) {
+        hashes.insert(GroupKeyHash{}(
+            KeyCellType(cell, static_cast<ais::MarketSegment>(s))));
+        ++keys;
+      }
+    }
+  }
+  EXPECT_EQ(hashes.size(), static_cast<size_t>(keys));
+}
+
+TEST(GroupKeyTest, ToStringIsReadable) {
+  const hex::CellIndex cell = hex::LatLngToCell({1.3, 103.8}, 6);
+  const std::string s =
+      GroupKeyToString(KeyCellRouteType(cell, 3, 9, ais::MarketSegment::kTanker));
+  EXPECT_NE(s.find("gs2"), std::string::npos);
+  EXPECT_NE(s.find("o3"), std::string::npos);
+  EXPECT_NE(s.find("d9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pol::core

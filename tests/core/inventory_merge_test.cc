@@ -1,0 +1,143 @@
+// Incremental-update property: building per-period inventories and
+// merging them equals one build over the whole archive — the operational
+// mode a production deployment needs (daily batches folded into the
+// global inventory).
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "hexgrid/hexgrid.h"
+#include "sim/fleet.h"
+
+namespace pol::core {
+namespace {
+
+PipelineConfig Config() {
+  PipelineConfig config;
+  config.partitions = 4;
+  config.threads = 2;
+  config.resolution = 6;
+  return config;
+}
+
+TEST(InventoryMergeTest, PeriodMergeEqualsWholeBuild) {
+  sim::FleetConfig fleet_config;
+  fleet_config.seed = 909;
+  fleet_config.commercial_vessels = 25;
+  fleet_config.noncommercial_vessels = 0;
+  fleet_config.start_time = 1640995200;
+  fleet_config.end_time = fleet_config.start_time + 120 * kSecondsPerDay;
+  const sim::SimulationOutput archive =
+      sim::FleetSimulator(fleet_config).Run();
+
+  // Split the archive at mid-window.
+  const UnixSeconds mid = fleet_config.start_time + 60 * kSecondsPerDay;
+  std::vector<ais::PositionReport> first_half;
+  std::vector<ais::PositionReport> second_half;
+  for (const auto& report : archive.reports) {
+    (report.timestamp < mid ? first_half : second_half).push_back(report);
+  }
+  ASSERT_FALSE(first_half.empty());
+  ASSERT_FALSE(second_half.empty());
+
+  PipelineResult whole = RunPipeline(archive.reports, archive.fleet, Config());
+  PipelineResult part_a = RunPipeline(first_half, archive.fleet, Config());
+  PipelineResult part_b = RunPipeline(second_half, archive.fleet, Config());
+  ASSERT_TRUE(part_a.inventory->MergeFrom(std::move(*part_b.inventory)).ok());
+  const Inventory& merged = *part_a.inventory;
+
+  // NOTE: exact equality is not expected — a voyage straddling the split
+  // is cut in half (its second part has no origin), which is the real
+  // operational behaviour of batch boundaries too. The merged inventory
+  // must cover at least all cells of both halves and approximate the
+  // whole build closely.
+  // Voyages average ~2 weeks, so roughly an eighth of them straddle a
+  // 60-day boundary; their cells can drop out of the halves.
+  EXPECT_GT(merged.DistinctCells(),
+            whole.inventory->DistinctCells() * 7 / 10);
+  EXPECT_LE(merged.DistinctCells(), whole.inventory->DistinctCells());
+
+  // Cells covered by both builds must agree on per-record statistics
+  // derived from non-straddling traffic: compare record counts loosely
+  // and speed means tightly where both have solid support.
+  int compared = 0;
+  for (const auto& [key, summary] : merged.summaries()) {
+    if (key.grouping_set != 0 || summary.speed().count() < 30) continue;
+    const CellSummary* reference = whole.inventory->Cell(key.cell);
+    if (reference == nullptr || reference->speed().count() < 30) continue;
+    ++compared;
+    EXPECT_NEAR(summary.speed().Mean(), reference->speed().Mean(), 1.5)
+        << GroupKeyToString(key);
+  }
+  EXPECT_GT(compared, 5);
+}
+
+TEST(InventoryMergeTest, MergeOfIdenticalPeriodsDoublesCounts) {
+  sim::FleetConfig fleet_config;
+  fleet_config.seed = 910;
+  fleet_config.commercial_vessels = 5;
+  fleet_config.noncommercial_vessels = 0;
+  fleet_config.start_time = 1640995200;
+  fleet_config.end_time = fleet_config.start_time + 20 * kSecondsPerDay;
+  const sim::SimulationOutput archive =
+      sim::FleetSimulator(fleet_config).Run();
+  PipelineResult a = RunPipeline(archive.reports, archive.fleet, Config());
+  PipelineResult b = RunPipeline(archive.reports, archive.fleet, Config());
+  const uint64_t single_records = [&] {
+    uint64_t n = 0;
+    for (const auto& [key, s] : a.inventory->summaries()) {
+      if (key.grouping_set == 0) n += s.record_count();
+    }
+    return n;
+  }();
+  ASSERT_TRUE(a.inventory->MergeFrom(std::move(*b.inventory)).ok());
+  uint64_t merged_records = 0;
+  for (const auto& [key, s] : a.inventory->summaries()) {
+    if (key.grouping_set == 0) merged_records += s.record_count();
+  }
+  EXPECT_EQ(merged_records, 2 * single_records);
+}
+
+TEST(InventoryMergeTest, ResolutionMismatchFails) {
+  Inventory a(6, SummaryMap{});
+  Inventory b(7, SummaryMap{});
+  EXPECT_EQ(a.MergeFrom(std::move(b)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InventoryMergeTest, MergeIsAssociativeOnCounts) {
+  // (A + B) + C == A + (B + C) for record counts per key.
+  auto make = [](uint64_t seed) {
+    sim::FleetConfig fc;
+    fc.seed = seed;
+    fc.commercial_vessels = 4;
+    fc.noncommercial_vessels = 0;
+    fc.start_time = 1640995200;
+    fc.end_time = fc.start_time + 15 * kSecondsPerDay;
+    const sim::SimulationOutput archive = sim::FleetSimulator(fc).Run();
+    return RunPipeline(archive.reports, archive.fleet, Config());
+  };
+  PipelineResult a1 = make(1);
+  PipelineResult b1 = make(2);
+  PipelineResult c1 = make(3);
+  PipelineResult a2 = make(1);
+  PipelineResult b2 = make(2);
+  PipelineResult c2 = make(3);
+
+  ASSERT_TRUE(a1.inventory->MergeFrom(std::move(*b1.inventory)).ok());
+  ASSERT_TRUE(a1.inventory->MergeFrom(std::move(*c1.inventory)).ok());
+
+  ASSERT_TRUE(b2.inventory->MergeFrom(std::move(*c2.inventory)).ok());
+  ASSERT_TRUE(a2.inventory->MergeFrom(std::move(*b2.inventory)).ok());
+
+  ASSERT_EQ(a1.inventory->size(), a2.inventory->size());
+  for (const auto& [key, summary] : a1.inventory->summaries()) {
+    const auto it = a2.inventory->summaries().find(key);
+    ASSERT_NE(it, a2.inventory->summaries().end()) << GroupKeyToString(key);
+    EXPECT_EQ(summary.record_count(), it->second.record_count());
+    EXPECT_DOUBLE_EQ(summary.speed().Mean(), it->second.speed().Mean());
+  }
+}
+
+}  // namespace
+}  // namespace pol::core

@@ -1,0 +1,144 @@
+// Pipeline-level properties: the inventory must be a pure function of
+// the archive CONTENT — invariant to input row order (receivers deliver
+// out of order), to partitioning, and reproducible run to run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "sim/fleet.h"
+
+namespace pol::core {
+namespace {
+
+sim::SimulationOutput SmallArchive() {
+  sim::FleetConfig config;
+  config.seed = 1234;
+  config.commercial_vessels = 8;
+  config.noncommercial_vessels = 4;
+  config.start_time = 1640995200;
+  config.end_time = config.start_time + 30 * kSecondsPerDay;
+  return sim::FleetSimulator(config).Run();
+}
+
+// Order-insensitive digest of an inventory's exact contents (used for
+// comparisons where bit-exact equality is expected: same partitioning).
+uint64_t InventoryDigest(const Inventory& inv) {
+  uint64_t digest = 0;
+  for (const auto& [key, summary] : inv.summaries()) {
+    std::string bytes;
+    summary.Serialize(&bytes);
+    uint64_t h = GroupKeyHash{}(key);
+    for (const char c : bytes) {
+      h = h * 1099511628211ULL + static_cast<uint8_t>(c);
+    }
+    digest ^= h;
+  }
+  return digest;
+}
+
+// Digest of the integer-exact statistics only (counts, bins, distinct
+// sets): these must be bit-identical for ANY partitioning, because
+// their merges are exactly associative and commutative. Floating-point
+// moments merge in different trees under different partition counts, so
+// they are only tolerance-comparable.
+uint64_t IntegerStatsDigest(const Inventory& inv) {
+  uint64_t digest = 0;
+  for (const auto& [key, summary] : inv.summaries()) {
+    uint64_t h = GroupKeyHash{}(key);
+    auto mix = [&h](uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(summary.record_count());
+    for (int bin = 0; bin < 12; ++bin) {
+      mix(summary.course_bins().bin_count(bin));
+      mix(summary.heading_bins().bin_count(bin));
+    }
+    mix(static_cast<uint64_t>(summary.ships().Estimate() * 1024.0));
+    mix(static_cast<uint64_t>(summary.trips().Estimate() * 1024.0));
+    mix(summary.speed().count());
+    mix(summary.eto().count());
+    digest ^= h;
+  }
+  return digest;
+}
+
+TEST(PipelinePropertyTest, InvariantToInputOrder) {
+  const sim::SimulationOutput archive = SmallArchive();
+  PipelineConfig config;
+  config.partitions = 4;
+  config.threads = 2;
+  config.resolution = 6;
+
+  const PipelineResult original =
+      RunPipeline(archive.reports, archive.fleet, config);
+
+  // Shuffle the archive rows: the cleaner re-sorts per vessel, so the
+  // result must be identical.
+  std::vector<ais::PositionReport> shuffled = archive.reports;
+  Rng rng(9);
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextBelow(i)]);
+  }
+  const PipelineResult reordered =
+      RunPipeline(shuffled, archive.fleet, config);
+
+  EXPECT_EQ(original.inventory->size(), reordered.inventory->size());
+  EXPECT_EQ(InventoryDigest(*original.inventory),
+            InventoryDigest(*reordered.inventory));
+  EXPECT_EQ(original.trips.trips, reordered.trips.trips);
+  EXPECT_EQ(original.cleaning.kept, reordered.cleaning.kept);
+}
+
+TEST(PipelinePropertyTest, InvariantToPartitionAndThreadCount) {
+  const sim::SimulationOutput archive = SmallArchive();
+  std::unique_ptr<Inventory> reference;
+  uint64_t reference_digest = 0;
+  for (const int partitions : {1, 3, 8}) {
+    for (const int threads : {1, 3}) {
+      PipelineConfig config;
+      config.partitions = partitions;
+      config.threads = threads;
+      config.resolution = 6;
+      PipelineResult result =
+          RunPipeline(archive.reports, archive.fleet, config);
+      const uint64_t digest = IntegerStatsDigest(*result.inventory);
+      if (reference == nullptr) {
+        reference_digest = digest;
+        reference = std::move(result.inventory);
+        continue;
+      }
+      EXPECT_EQ(result.inventory->size(), reference->size())
+          << partitions << "p/" << threads << "t";
+      EXPECT_EQ(digest, reference_digest)
+          << partitions << "p/" << threads << "t";
+      // Floating-point moments agree within merge-tree rounding noise.
+      int sampled = 0;
+      for (const auto& [key, summary] : result.inventory->summaries()) {
+        if (summary.speed().count() == 0 || ++sampled > 500) continue;
+        const auto it = reference->summaries().find(key);
+        ASSERT_NE(it, reference->summaries().end());
+        EXPECT_NEAR(summary.speed().Mean(), it->second.speed().Mean(), 1e-9);
+        EXPECT_NEAR(summary.course_mean().MeanDeg(),
+                    it->second.course_mean().MeanDeg(), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PipelinePropertyTest, RunToRunReproducible) {
+  const sim::SimulationOutput archive = SmallArchive();
+  PipelineConfig config;
+  config.partitions = 4;
+  config.threads = 2;
+  config.resolution = 6;
+  const PipelineResult a = RunPipeline(archive.reports, archive.fleet, config);
+  const PipelineResult b = RunPipeline(archive.reports, archive.fleet, config);
+  EXPECT_EQ(InventoryDigest(*a.inventory), InventoryDigest(*b.inventory));
+}
+
+}  // namespace
+}  // namespace pol::core

@@ -1,0 +1,178 @@
+#include "core/port_calls.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cleaning.h"
+#include "sim/fleet.h"
+
+namespace pol::core {
+namespace {
+
+sim::PortDatabase TwoPorts() {
+  sim::Port a;
+  a.name = "Alpha";
+  a.position = {0.0, 0.0};
+  a.geofence_radius_km = 10.0;
+  sim::Port b;
+  b.name = "Beta";
+  b.position = {0.0, 4.5};
+  b.geofence_radius_km = 10.0;
+  return sim::PortDatabase({a, b});
+}
+
+PipelineRecord At(ais::Mmsi mmsi, UnixSeconds t, double lat, double lng,
+                  double sog) {
+  PipelineRecord r;
+  r.mmsi = mmsi;
+  r.timestamp = t;
+  r.lat_deg = lat;
+  r.lng_deg = lng;
+  r.sog_knots = sog;
+  r.cog_deg = 90;
+  r.heading_deg = 90;
+  return r;
+}
+
+TEST(PortCallsTest, ReconstructsASimpleCall) {
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  flow::ThreadPool pool(2);
+  std::vector<PipelineRecord> records;
+  // Two hours alongside in Alpha, reports every 10 minutes.
+  for (int i = 0; i <= 12; ++i) {
+    records.push_back(At(215000001, 10000 + i * 600, 0.0, 0.0, 0.2));
+  }
+  const auto calls = ExtractPortCalls(
+      flow::Dataset<PipelineRecord>::FromVector(records, 1, &pool),
+      geofencer);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].mmsi, 215000001u);
+  EXPECT_EQ(calls[0].port, 1u);
+  EXPECT_EQ(calls[0].arrival, 10000);
+  EXPECT_EQ(calls[0].departure, 10000 + 12 * 600);
+  EXPECT_EQ(calls[0].records, 13u);
+  EXPECT_EQ(calls[0].DurationSeconds(), 7200);
+}
+
+TEST(PortCallsTest, ShortNoiseIsDiscarded) {
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  flow::ThreadPool pool(2);
+  // A single slow fix inside the fence: below the 15-minute minimum.
+  const auto calls = ExtractPortCalls(
+      flow::Dataset<PipelineRecord>::FromVector(
+          {At(215000001, 10000, 0.0, 0.0, 0.2)}, 1, &pool),
+      geofencer);
+  EXPECT_TRUE(calls.empty());
+}
+
+TEST(PortCallsTest, TransitDoesNotCreateCalls) {
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  flow::ThreadPool pool(2);
+  std::vector<PipelineRecord> records;
+  // Sailing straight through Alpha's fence at 14 knots for an hour.
+  for (int i = 0; i <= 6; ++i) {
+    records.push_back(
+        At(215000001, 10000 + i * 600, 0.0, -0.06 + i * 0.02, 14.0));
+  }
+  const auto calls = ExtractPortCalls(
+      flow::Dataset<PipelineRecord>::FromVector(records, 1, &pool),
+      geofencer);
+  EXPECT_TRUE(calls.empty());
+}
+
+TEST(PortCallsTest, ReceptionGapsMergeIntoOneCall) {
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  flow::ThreadPool pool(2);
+  std::vector<PipelineRecord> records;
+  // Alongside, with a 6-hour reception hole in the middle.
+  for (int i = 0; i <= 6; ++i) {
+    records.push_back(At(215000001, 10000 + i * 600, 0.0, 0.0, 0.2));
+  }
+  const UnixSeconds resume = 10000 + 6 * 600 + 6 * 3600;
+  for (int i = 0; i <= 6; ++i) {
+    records.push_back(At(215000001, resume + i * 600, 0.0, 0.0, 0.2));
+  }
+  const auto calls = ExtractPortCalls(
+      flow::Dataset<PipelineRecord>::FromVector(records, 1, &pool),
+      geofencer);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].arrival, 10000);
+  EXPECT_EQ(calls[0].departure, resume + 6 * 600);
+}
+
+TEST(PortCallsTest, LongAbsenceSplitsCalls) {
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  flow::ThreadPool pool(2);
+  std::vector<PipelineRecord> records;
+  for (int i = 0; i <= 3; ++i) {
+    records.push_back(At(215000001, 10000 + i * 600, 0.0, 0.0, 0.2));
+  }
+  const UnixSeconds later = 10000 + 3 * 600 + 48 * 3600;  // Two days.
+  for (int i = 0; i <= 3; ++i) {
+    records.push_back(At(215000001, later + i * 600, 0.0, 0.0, 0.2));
+  }
+  const auto calls = ExtractPortCalls(
+      flow::Dataset<PipelineRecord>::FromVector(records, 1, &pool),
+      geofencer);
+  EXPECT_EQ(calls.size(), 2u);
+}
+
+TEST(PortCallsTest, MooredStatusCountsEvenWithSpeedNoise) {
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  flow::ThreadPool pool(2);
+  std::vector<PipelineRecord> records;
+  for (int i = 0; i <= 4; ++i) {
+    // GPS speed noise of 3 kn, but status says moored.
+    PipelineRecord r = At(215000001, 10000 + i * 600, 0.0, 0.0, 3.0);
+    r.nav_status = ais::NavStatus::kMoored;
+    records.push_back(r);
+  }
+  const auto calls = ExtractPortCalls(
+      flow::Dataset<PipelineRecord>::FromVector(records, 1, &pool),
+      geofencer);
+  ASSERT_EQ(calls.size(), 1u);
+}
+
+TEST(PortCallsTest, EndToEndAgainstSimulatedStays) {
+  // Every simulated port stay should reconstruct as one call at the
+  // right port; counts line up with the number of completed voyages.
+  sim::FleetConfig config;
+  config.seed = 33;
+  config.commercial_vessels = 8;
+  config.noncommercial_vessels = 0;
+  config.start_time = 1640995200;
+  config.end_time = config.start_time + 45 * kSecondsPerDay;
+  config.corrupt_field_rate = 0.0;
+  config.position_jump_rate = 0.0;
+  const sim::SimulationOutput out = sim::FleetSimulator(config).Run();
+
+  flow::ThreadPool pool(2);
+  CleaningStats cleaning;
+  const auto cleaned = CleanReports(out.reports, {}, &pool, &cleaning);
+  const Geofencer geofencer(&sim::PortDatabase::Global(), 6);
+  const auto calls = ExtractPortCalls(cleaned, geofencer);
+
+  // One stay per completed voyage (the final stay may be cut by the
+  // window end; anchorage waits are not calls).
+  EXPECT_GT(calls.size(), out.voyages.size() / 2);
+  EXPECT_LT(calls.size(), out.voyages.size() * 2);
+  for (const PortCall& call : calls) {
+    EXPECT_GE(call.DurationSeconds(), 15 * 60);
+    EXPECT_LT(call.DurationSeconds(), 10 * kSecondsPerDay);
+    EXPECT_NE(call.port, sim::kNoPort);
+  }
+  // Sorted by (mmsi, arrival).
+  for (size_t i = 1; i < calls.size(); ++i) {
+    if (calls[i].mmsi == calls[i - 1].mmsi) {
+      EXPECT_GE(calls[i].arrival, calls[i - 1].departure);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pol::core

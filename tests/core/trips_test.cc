@@ -1,0 +1,227 @@
+#include "core/trips.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geo/geodesic.h"
+
+namespace pol::core {
+namespace {
+
+// Two synthetic harbours 500 km apart on the equator.
+sim::PortDatabase TwoPorts() {
+  sim::Port a;
+  a.name = "Alpha";
+  a.position = {0.0, 0.0};
+  a.geofence_radius_km = 10.0;
+  sim::Port b;
+  b.name = "Beta";
+  b.position = {0.0, 4.5};  // ~500 km east.
+  b.geofence_radius_km = 10.0;
+  return sim::PortDatabase({a, b});
+}
+
+PipelineRecord At(ais::Mmsi mmsi, UnixSeconds t, double lat, double lng,
+                  double sog = 12.0) {
+  PipelineRecord r;
+  r.mmsi = mmsi;
+  r.timestamp = t;
+  r.lat_deg = lat;
+  r.lng_deg = lng;
+  r.sog_knots = sog;
+  r.cog_deg = 90;
+  r.heading_deg = 90;
+  return r;
+}
+
+// A berth record: inside a fence AND stationary (a stop needs both).
+PipelineRecord Berth(ais::Mmsi mmsi, UnixSeconds t, double lat, double lng) {
+  return At(mmsi, t, lat, lng, 0.3);
+}
+
+// A voyage Alpha -> Beta: berth reports, sea leg, berth reports.
+std::vector<PipelineRecord> AlphaToBeta(ais::Mmsi mmsi, UnixSeconds start) {
+  std::vector<PipelineRecord> records;
+  // In Alpha's fence, moored.
+  records.push_back(Berth(mmsi, start, 0.0, 0.0));
+  records.push_back(Berth(mmsi, start + 600, 0.0, 0.02));
+  // At sea: longitudes 0.2 .. 4.3 (outside both 10 km fences).
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(At(mmsi, start + 3600 + i * 3600, 0.0, 0.3 + i * 0.2));
+  }
+  // In Beta's fence, moored.
+  records.push_back(Berth(mmsi, start + 24 * 3600, 0.0, 4.5));
+  records.push_back(Berth(mmsi, start + 24 * 3600 + 600, 0.0, 4.52));
+  return records;
+}
+
+TEST(TripsTest, ExtractsASingleTrip) {
+  flow::ThreadPool pool(2);
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  const auto records = flow::Dataset<PipelineRecord>::FromVector(
+      AlphaToBeta(215000001, 10000), 1, &pool);
+  TripStats stats;
+  const auto annotated = ExtractTrips(records, geofencer, &stats);
+  EXPECT_EQ(stats.trips, 1u);
+  EXPECT_EQ(stats.annotated, 20u);  // Only the sea-leg records.
+  EXPECT_EQ(stats.excluded, 4u);    // The berth records.
+
+  const auto collected = annotated.Collect();
+  ASSERT_EQ(collected.size(), 20u);
+  const uint64_t trip_id = collected[0].trip_id;
+  EXPECT_NE(trip_id, 0u);
+  const UnixSeconds departure = collected[0].timestamp;
+  const UnixSeconds arrival = 10000 + 24 * 3600;  // First Beta record.
+  for (const auto& record : collected) {
+    EXPECT_EQ(record.trip_id, trip_id);
+    EXPECT_EQ(record.origin, 1u);       // Alpha.
+    EXPECT_EQ(record.destination, 2u);  // Beta.
+    EXPECT_EQ(record.eto_s, record.timestamp - departure);
+    EXPECT_EQ(record.ata_s, arrival - record.timestamp);
+    EXPECT_GE(record.eto_s, 0);
+    EXPECT_GE(record.ata_s, 0);
+  }
+}
+
+TEST(TripsTest, LeadingAndTrailingLegsAreExcluded) {
+  flow::ThreadPool pool(2);
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  std::vector<PipelineRecord> records;
+  // Starts at sea (no known origin) ...
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(At(215000001, 1000 + i * 600, 0.0, 2.0 + i * 0.01));
+  }
+  // ... calls at Beta ...
+  records.push_back(Berth(215000001, 10000, 0.0, 4.5));
+  // ... and leaves again without reaching another port.
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(At(215000001, 20000 + i * 600, 0.0, 3.0 - i * 0.01));
+  }
+  TripStats stats;
+  const auto annotated = ExtractTrips(
+      flow::Dataset<PipelineRecord>::FromVector(records, 1, &pool),
+      geofencer, &stats);
+  EXPECT_EQ(stats.trips, 0u);
+  EXPECT_EQ(stats.annotated, 0u);
+  EXPECT_EQ(stats.excluded, 11u);
+}
+
+TEST(TripsTest, RoundTripGivesTwoTrips) {
+  flow::ThreadPool pool(2);
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  std::vector<PipelineRecord> records = AlphaToBeta(215000001, 10000);
+  // Return leg Beta -> Alpha.
+  const UnixSeconds back = 200000;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(At(215000001, back + i * 3600, 0.0, 4.3 - i * 0.4));
+  }
+  records.push_back(Berth(215000001, back + 11 * 3600, 0.0, 0.01));
+  TripStats stats;
+  const auto annotated = ExtractTrips(
+      flow::Dataset<PipelineRecord>::FromVector(records, 1, &pool),
+      geofencer, &stats);
+  EXPECT_EQ(stats.trips, 2u);
+  std::set<uint64_t> trip_ids;
+  std::set<sim::PortId> origins;
+  for (const auto& record : annotated.Collect()) {
+    trip_ids.insert(record.trip_id);
+    origins.insert(record.origin);
+  }
+  EXPECT_EQ(trip_ids.size(), 2u);
+  EXPECT_EQ(origins.size(), 2u);  // Alpha->Beta and Beta->Alpha.
+}
+
+TEST(TripsTest, MultipleVesselsInOnePartition) {
+  flow::ThreadPool pool(2);
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  std::vector<PipelineRecord> records = AlphaToBeta(215000001, 10000);
+  const auto second = AlphaToBeta(377000002, 50000);
+  records.insert(records.end(), second.begin(), second.end());
+  TripStats stats;
+  const auto annotated = ExtractTrips(
+      flow::Dataset<PipelineRecord>::FromVector(records, 1, &pool),
+      geofencer, &stats);
+  EXPECT_EQ(stats.trips, 2u);
+  std::set<uint64_t> trip_ids;
+  for (const auto& record : annotated.Collect()) {
+    EXPECT_NE(record.trip_id, 0u);
+    trip_ids.insert(record.trip_id);
+  }
+  EXPECT_EQ(trip_ids.size(), 2u);
+}
+
+TEST(TripsTest, TransitThroughAFenceDoesNotSplitTheTrip) {
+  // A third port sits right on the Alpha-Beta lane (like Singapore on
+  // the Singapore Strait): sailing through its fence at sea speed must
+  // NOT close the trip — only an actual stop does.
+  sim::Port a;
+  a.name = "Alpha";
+  a.position = {0.0, 0.0};
+  a.geofence_radius_km = 10.0;
+  sim::Port b;
+  b.name = "Beta";
+  b.position = {0.0, 4.5};
+  b.geofence_radius_km = 10.0;
+  sim::Port chokepoint;
+  chokepoint.name = "Chokepoint";
+  chokepoint.position = {0.0, 2.25};  // Mid-lane.
+  chokepoint.geofence_radius_km = 15.0;
+  const sim::PortDatabase ports({a, b, chokepoint});
+  const Geofencer geofencer(&ports, 7);
+
+  flow::ThreadPool pool(2);
+  const auto records = flow::Dataset<PipelineRecord>::FromVector(
+      AlphaToBeta(215000001, 10000), 1, &pool);
+  TripStats stats;
+  const auto annotated = ExtractTrips(records, geofencer, &stats);
+  EXPECT_EQ(stats.trips, 1u);  // NOT split at the chokepoint.
+  for (const auto& record : annotated.Collect()) {
+    EXPECT_EQ(record.origin, 1u);
+    EXPECT_EQ(record.destination, 2u);
+  }
+
+  // The same track with an actual stop at the chokepoint splits in two.
+  std::vector<PipelineRecord> with_stop = AlphaToBeta(215000001, 10000);
+  // Insert stationary records at the chokepoint mid-voyage (timestamps
+  // between the 10th and 11th sea records).
+  with_stop.push_back(Berth(215000001, 10000 + 3600 + 9 * 3600 + 1800,
+                            0.0, 2.25));
+  std::sort(with_stop.begin(), with_stop.end(),
+            [](const PipelineRecord& x, const PipelineRecord& y) {
+              return x.timestamp < y.timestamp;
+            });
+  TripStats split_stats;
+  ExtractTrips(flow::Dataset<PipelineRecord>::FromVector(with_stop, 1, &pool),
+               geofencer, &split_stats);
+  EXPECT_EQ(split_stats.trips, 2u);
+}
+
+TEST(TripsTest, TripIdIsStableAndNonZero) {
+  const uint64_t id1 = MakeTripId(215000001, 123456);
+  const uint64_t id2 = MakeTripId(215000001, 123456);
+  const uint64_t id3 = MakeTripId(215000001, 123457);
+  EXPECT_EQ(id1, id2);
+  EXPECT_NE(id1, id3);
+  EXPECT_NE(id1, 0u);
+}
+
+TEST(TripsTest, EmptyInput) {
+  flow::ThreadPool pool(2);
+  const sim::PortDatabase ports = TwoPorts();
+  const Geofencer geofencer(&ports, 7);
+  TripStats stats;
+  const auto annotated = ExtractTrips(
+      flow::Dataset<PipelineRecord>::FromVector({}, 2, &pool), geofencer,
+      &stats);
+  EXPECT_EQ(annotated.Count(), 0u);
+  EXPECT_EQ(stats.trips, 0u);
+}
+
+}  // namespace
+}  // namespace pol::core

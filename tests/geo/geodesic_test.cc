@@ -1,0 +1,136 @@
+#include "geo/geodesic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pol::geo {
+namespace {
+
+// Reference coordinates.
+const LatLng kRotterdam{51.95, 4.14};
+const LatLng kSingapore{1.26, 103.84};
+const LatLng kNewYork{40.67, -74.04};
+
+TEST(HaversineTest, KnownDistances) {
+  // Equatorial degree of longitude ~= 111.19 km on the authalic sphere.
+  EXPECT_NEAR(HaversineKm({0, 0}, {0, 1}), 111.19, 0.05);
+  // Quarter circumference pole to equator.
+  EXPECT_NEAR(HaversineKm({90, 0}, {0, 0}), kPi / 2 * kEarthRadiusKm, 0.01);
+  // Rotterdam - Singapore great circle is roughly 10,500 km.
+  EXPECT_NEAR(HaversineKm(kRotterdam, kSingapore), 10500, 150);
+}
+
+TEST(HaversineTest, SymmetricAndZeroOnIdentity) {
+  EXPECT_DOUBLE_EQ(HaversineKm(kRotterdam, kRotterdam), 0.0);
+  EXPECT_DOUBLE_EQ(HaversineKm(kRotterdam, kSingapore),
+                   HaversineKm(kSingapore, kRotterdam));
+}
+
+TEST(HaversineTest, AntipodalIsHalfCircumference) {
+  EXPECT_NEAR(HaversineKm({0, 0}, {0, 180}), kPi * kEarthRadiusKm, 0.01);
+}
+
+TEST(DistanceNmTest, MatchesKmConversion) {
+  EXPECT_NEAR(DistanceNm({0, 0}, {0, 1}), 111.19 / 1.852, 0.05);
+}
+
+TEST(BearingTest, CardinalDirections) {
+  EXPECT_NEAR(InitialBearingDeg({0, 0}, {1, 0}), 0.0, 1e-9);    // North.
+  EXPECT_NEAR(InitialBearingDeg({0, 0}, {0, 1}), 90.0, 1e-9);   // East.
+  EXPECT_NEAR(InitialBearingDeg({0, 0}, {-1, 0}), 180.0, 1e-9); // South.
+  EXPECT_NEAR(InitialBearingDeg({0, 0}, {0, -1}), 270.0, 1e-9); // West.
+}
+
+TEST(BearingTest, RangeIsZeroTo360) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const LatLng a{rng.Uniform(-80, 80), rng.Uniform(-180, 180)};
+    const LatLng b{rng.Uniform(-80, 80), rng.Uniform(-180, 180)};
+    const double bearing = InitialBearingDeg(a, b);
+    EXPECT_GE(bearing, 0.0);
+    EXPECT_LT(bearing, 360.0);
+  }
+}
+
+TEST(DestinationTest, InvertsBearingAndDistance) {
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const LatLng origin{rng.Uniform(-70, 70), rng.Uniform(-180, 180)};
+    const double bearing = rng.Uniform(0, 360);
+    const double distance = rng.Uniform(1, 5000);
+    const LatLng dest = DestinationPoint(origin, bearing, distance);
+    EXPECT_NEAR(HaversineKm(origin, dest), distance, distance * 1e-9 + 1e-6);
+    EXPECT_NEAR(AngularDifferenceDeg(InitialBearingDeg(origin, dest), bearing),
+                0.0, 1e-6);
+  }
+}
+
+TEST(InterpolateTest, EndpointsAndMidpoint) {
+  const LatLng a{0, 0};
+  const LatLng b{0, 90};
+  EXPECT_NEAR(Interpolate(a, b, 0.0).lng_deg, 0.0, 1e-9);
+  EXPECT_NEAR(Interpolate(a, b, 1.0).lng_deg, 90.0, 1e-9);
+  const LatLng mid = Interpolate(a, b, 0.5);
+  EXPECT_NEAR(mid.lng_deg, 45.0, 1e-9);
+  EXPECT_NEAR(mid.lat_deg, 0.0, 1e-9);
+}
+
+TEST(InterpolateTest, DistanceIsProportional) {
+  const double total = HaversineKm(kRotterdam, kNewYork);
+  for (double t : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const LatLng p = Interpolate(kRotterdam, kNewYork, t);
+    EXPECT_NEAR(HaversineKm(kRotterdam, p), t * total, 1e-6 * total);
+  }
+}
+
+TEST(SampleGreatCircleTest, StepBoundsRespected) {
+  const auto points = SampleGreatCircle(kRotterdam, kSingapore, 100.0);
+  ASSERT_GE(points.size(), 2u);
+  EXPECT_NEAR(points.front().lat_deg, kRotterdam.lat_deg, 1e-9);
+  EXPECT_NEAR(points.back().lat_deg, kSingapore.lat_deg, 1e-9);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(HaversineKm(points[i - 1], points[i]), 100.0 * (1.0 + 1e-6));
+  }
+}
+
+TEST(SampleGreatCircleTest, IdenticalEndpointsYieldSinglePoint) {
+  EXPECT_EQ(SampleGreatCircle(kRotterdam, kRotterdam, 10.0).size(), 1u);
+}
+
+TEST(CrossTrackTest, PointOnTrackIsZero) {
+  const LatLng mid = Interpolate(kRotterdam, kNewYork, 0.4);
+  EXPECT_NEAR(CrossTrackKm(kRotterdam, kNewYork, mid), 0.0, 1e-6);
+}
+
+TEST(CrossTrackTest, SignFollowsSideOfTrack) {
+  // Track due east along the equator; a point north of it is to the left.
+  const LatLng a{0, 0};
+  const LatLng b{0, 10};
+  EXPECT_GT(CrossTrackKm(a, b, {1, 5}), 0.0);
+  EXPECT_LT(CrossTrackKm(a, b, {-1, 5}), 0.0);
+  EXPECT_NEAR(std::fabs(CrossTrackKm(a, b, {1, 5})),
+              HaversineKm({0, 5}, {1, 5}), 0.5);
+}
+
+TEST(ImpliedSpeedTest, KnownSpeed) {
+  // 1 degree of longitude at the equator in one hour: ~60 knots.
+  const double knots = ImpliedSpeedKnots({0, 0}, {0, 1}, 3600.0);
+  EXPECT_NEAR(knots, 60.0, 0.1);
+}
+
+TEST(ImpliedSpeedTest, NonPositiveElapsedIsZero) {
+  EXPECT_EQ(ImpliedSpeedKnots({0, 0}, {0, 1}, 0.0), 0.0);
+  EXPECT_EQ(ImpliedSpeedKnots({0, 0}, {0, 1}, -5.0), 0.0);
+}
+
+TEST(AngularDifferenceTest, WrapsCorrectly) {
+  EXPECT_DOUBLE_EQ(AngularDifferenceDeg(10, 350), 20.0);
+  EXPECT_DOUBLE_EQ(AngularDifferenceDeg(0, 180), 180.0);
+  EXPECT_DOUBLE_EQ(AngularDifferenceDeg(90, 90), 0.0);
+  EXPECT_DOUBLE_EQ(AngularDifferenceDeg(359, 1), 2.0);
+  EXPECT_DOUBLE_EQ(AngularDifferenceDeg(720 + 10, 350), 20.0);
+}
+
+}  // namespace
+}  // namespace pol::geo

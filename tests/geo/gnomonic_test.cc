@@ -1,0 +1,92 @@
+#include "geo/gnomonic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/geodesic.h"
+
+namespace pol::geo {
+namespace {
+
+TEST(GnomonicTest, CenterProjectsToOrigin) {
+  const Vec3 center = LatLngToVec3({30, 45});
+  const Gnomonic proj(center, {0, 0, 1});
+  bool ok = false;
+  const PlanePoint p = proj.Forward(center, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_NEAR(p.u, 0.0, 1e-15);
+  EXPECT_NEAR(p.v, 0.0, 1e-15);
+}
+
+TEST(GnomonicTest, ForwardInverseRoundTrip) {
+  Rng rng(77);
+  const Vec3 center = LatLngToVec3({10, -20});
+  const Gnomonic proj(center, {0, 0, 1});
+  for (int i = 0; i < 2000; ++i) {
+    // Points within ~60 degrees of the centre.
+    const LatLng target{rng.Uniform(-45, 65), rng.Uniform(-75, 35)};
+    const Vec3 v = LatLngToVec3(target);
+    bool ok = false;
+    const PlanePoint p = proj.Forward(v, &ok);
+    ASSERT_TRUE(ok);
+    const Vec3 back = proj.Inverse(p);
+    EXPECT_NEAR(AngleBetween(v, back), 0.0, 1e-12);
+  }
+}
+
+TEST(GnomonicTest, UpDirectionMapsToPositiveV) {
+  // Center on the equator, up toward the north pole: a point slightly
+  // north of the centre must have v > 0, u ~= 0.
+  const Gnomonic proj(LatLngToVec3({0, 0}), {0, 0, 1});
+  bool ok = false;
+  const PlanePoint p = proj.Forward(LatLngToVec3({1, 0}), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_GT(p.v, 0.0);
+  EXPECT_NEAR(p.u, 0.0, 1e-12);
+  // And a point to the east has u > 0 (right-handed frame).
+  const PlanePoint q = proj.Forward(LatLngToVec3({0, 1}), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_GT(q.u, 0.0);
+  EXPECT_NEAR(q.v, 0.0, 1e-12);
+}
+
+TEST(GnomonicTest, GreatCirclesMapToStraightLines) {
+  // Three points on one great circle must be collinear in the plane.
+  const Gnomonic proj(LatLngToVec3({20, 20}), {0, 0, 1});
+  const LatLng a{0, 0};
+  const LatLng b{40, 40};
+  const LatLng mid = Interpolate(a, b, 0.37);
+  bool ok = false;
+  const PlanePoint pa = proj.Forward(LatLngToVec3(a), &ok);
+  const PlanePoint pb = proj.Forward(LatLngToVec3(b), &ok);
+  const PlanePoint pm = proj.Forward(LatLngToVec3(mid), &ok);
+  const double cross = (pb.u - pa.u) * (pm.v - pa.v) -
+                       (pm.u - pa.u) * (pb.v - pa.v);
+  EXPECT_NEAR(cross, 0.0, 1e-12);
+}
+
+TEST(GnomonicTest, OppositeHemisphereFails) {
+  const Vec3 center = LatLngToVec3({0, 0});
+  const Gnomonic proj(center, {0, 0, 1});
+  bool ok = true;
+  proj.Forward(LatLngToVec3({0, 179}), &ok);
+  EXPECT_FALSE(ok);
+  proj.Forward(LatLngToVec3({0, 91}), &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(GnomonicTest, DistanceInflatesAwayFromCenter) {
+  // Plane distance >= sphere distance (gnomonic stretches outward).
+  const Gnomonic proj(LatLngToVec3({0, 0}), {0, 0, 1});
+  bool ok = false;
+  const PlanePoint p30 = proj.Forward(LatLngToVec3({0, 30}), &ok);
+  const double plane_dist = std::hypot(p30.u, p30.v);
+  const double sphere_dist = DegToRad(30);
+  EXPECT_GT(plane_dist, sphere_dist);
+  EXPECT_NEAR(plane_dist, std::tan(sphere_dist), 1e-12);
+}
+
+}  // namespace
+}  // namespace pol::geo

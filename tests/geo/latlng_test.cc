@@ -1,0 +1,77 @@
+#include "geo/latlng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace pol::geo {
+namespace {
+
+TEST(LatLngTest, ValidityBounds) {
+  EXPECT_TRUE(LatLng(0, 0).IsValid());
+  EXPECT_TRUE(LatLng(90, -180).IsValid());
+  EXPECT_TRUE(LatLng(-90, 180).IsValid());
+  EXPECT_FALSE(LatLng(90.001, 0).IsValid());
+  EXPECT_FALSE(LatLng(0, 180.001).IsValid());
+  EXPECT_FALSE(LatLng(std::nan(""), 0).IsValid());
+  EXPECT_FALSE(LatLng(0, std::numeric_limits<double>::infinity()).IsValid());
+}
+
+TEST(LatLngTest, NormalizedWrapsLongitude) {
+  EXPECT_NEAR(LatLng(0, 190).Normalized().lng_deg, -170, 1e-12);
+  EXPECT_NEAR(LatLng(0, -190).Normalized().lng_deg, 170, 1e-12);
+  EXPECT_NEAR(LatLng(0, 540).Normalized().lng_deg, 180 - 360, 1e-12);
+  EXPECT_NEAR(LatLng(0, 179.5).Normalized().lng_deg, 179.5, 1e-12);
+}
+
+TEST(LatLngTest, NormalizedClampsLatitude) {
+  EXPECT_EQ(LatLng(95, 0).Normalized().lat_deg, 90);
+  EXPECT_EQ(LatLng(-95, 0).Normalized().lat_deg, -90);
+}
+
+TEST(Vec3Test, BasicAlgebra) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  const Vec3 z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(x.Dot(y), 0.0);
+  const Vec3 cross = x.Cross(y);
+  EXPECT_NEAR(cross.x, z.x, 1e-15);
+  EXPECT_NEAR(cross.y, z.y, 1e-15);
+  EXPECT_NEAR(cross.z, z.z, 1e-15);
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).Norm(), 5.0);
+}
+
+TEST(Vec3Test, ConversionRoundTrip) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const LatLng p{rng.Uniform(-89.9, 89.9), rng.Uniform(-180.0, 180.0)};
+    const LatLng back = Vec3ToLatLng(LatLngToVec3(p));
+    EXPECT_NEAR(back.lat_deg, p.lat_deg, 1e-9);
+    EXPECT_NEAR(back.lng_deg, p.lng_deg, 1e-9);
+  }
+}
+
+TEST(Vec3Test, PolesConvertCleanly) {
+  const Vec3 north = LatLngToVec3({90, 0});
+  EXPECT_NEAR(north.z, 1.0, 1e-15);
+  EXPECT_NEAR(Vec3ToLatLng(north).lat_deg, 90.0, 1e-9);
+}
+
+TEST(Vec3Test, AngleBetweenIsStable) {
+  const Vec3 a = LatLngToVec3({0, 0});
+  EXPECT_NEAR(AngleBetween(a, LatLngToVec3({0, 90})), kPi / 2, 1e-12);
+  EXPECT_NEAR(AngleBetween(a, LatLngToVec3({0, 180})), kPi, 1e-12);
+  EXPECT_NEAR(AngleBetween(a, a), 0.0, 1e-12);
+  // Tiny angles do not collapse to zero.
+  const Vec3 b = LatLngToVec3({0, 1e-7});
+  EXPECT_GT(AngleBetween(a, b), 0.0);
+}
+
+TEST(LatLngTest, ToStringFormatsSixDecimals) {
+  EXPECT_EQ(LatLng(51.5, -0.12).ToString(), "(51.500000, -0.120000)");
+}
+
+}  // namespace
+}  // namespace pol::geo

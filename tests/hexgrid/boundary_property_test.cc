@@ -1,0 +1,119 @@
+// Boundary consistency properties: a cell's hexagon boundary must agree
+// with the point-assignment partition — points just inside map to the
+// cell, points just outside map to a neighbour, and edge midpoints map
+// to the cell or an adjacent one.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "geo/geodesic.h"
+#include "hexgrid/cell_index.h"
+#include "hexgrid/hexgrid.h"
+
+namespace pol::hex {
+namespace {
+
+geo::LatLng RandomSpherePoint(Rng& rng) {
+  const double z = rng.Uniform(-1.0, 1.0);
+  return {geo::RadToDeg(std::asin(z)), rng.Uniform(-180.0, 180.0)};
+}
+
+// Point at fraction t from the centre toward a target.
+geo::LatLng Toward(const geo::LatLng& center, const geo::LatLng& target,
+                   double t) {
+  return geo::Interpolate(center, target, t);
+}
+
+class BoundaryPropertyTest : public ::testing::TestWithParam<int> {};
+
+// True when the cell and all its neighbours live on one icosahedron
+// face: away from seams, where the hexagon is the exact partition region.
+bool IsFaceInterior(CellIndex cell) {
+  CellParts parts;
+  if (!UnpackCell(cell, &parts)) return false;
+  for (const CellIndex n : Neighbors(cell)) {
+    CellParts n_parts;
+    if (!UnpackCell(n, &n_parts) || n_parts.face != parts.face) return false;
+  }
+  return true;
+}
+
+TEST_P(BoundaryPropertyTest, InteriorPointsBelongToTheCell) {
+  const int res = GetParam();
+  Rng rng(100 + static_cast<uint64_t>(res));
+  int checked = 0;
+  for (int n = 0; n < 200; ++n) {
+    const CellIndex cell = LatLngToCell(RandomSpherePoint(rng), res);
+    const geo::LatLng center = CellToLatLng(cell);
+    const bool interior = IsFaceInterior(cell);
+    const auto neighbors = Neighbors(cell);
+    for (const geo::LatLng& vertex : CellToBoundary(cell)) {
+      // 80% of the way to each corner is safely interior.
+      const geo::LatLng inside = Toward(center, vertex, 0.8);
+      const CellIndex owner = LatLngToCell(inside, res);
+      if (interior) {
+        // Exact in face interiors.
+        EXPECT_EQ(owner, cell)
+            << CellToString(cell) << " inside point " << inside.ToString();
+        ++checked;
+      } else {
+        // Near icosahedron seams the nominal hexagon is ragged (as near
+        // H3's pentagons): the point may fall into an adjacent cell.
+        EXPECT_TRUE(owner == cell ||
+                    std::find(neighbors.begin(), neighbors.end(), owner) !=
+                        neighbors.end())
+            << CellToString(cell) << " -> " << CellToString(owner);
+      }
+    }
+  }
+  EXPECT_GT(checked, 700);  // The vast majority of cells are interior.
+}
+
+TEST_P(BoundaryPropertyTest, EdgeMidpointsBelongToCellOrNeighbor) {
+  const int res = GetParam();
+  Rng rng(200 + static_cast<uint64_t>(res));
+  for (int n = 0; n < 100; ++n) {
+    const CellIndex cell = LatLngToCell(RandomSpherePoint(rng), res);
+    const auto boundary = CellToBoundary(cell);
+    const auto neighbors = Neighbors(cell);
+    for (size_t k = 0; k < boundary.size(); ++k) {
+      const geo::LatLng mid = geo::Interpolate(
+          boundary[k], boundary[(k + 1) % boundary.size()], 0.5);
+      const CellIndex owner = LatLngToCell(mid, res);
+      const bool ok =
+          owner == cell ||
+          std::find(neighbors.begin(), neighbors.end(), owner) !=
+              neighbors.end();
+      EXPECT_TRUE(ok) << CellToString(cell) << " edge " << k << " owner "
+                      << CellToString(owner);
+    }
+  }
+}
+
+TEST_P(BoundaryPropertyTest, BeyondCornersLandsNearby) {
+  // Slightly past a corner the point belongs to the cell or something
+  // within one neighbour step of it — never to a distant cell.
+  const int res = GetParam();
+  Rng rng(300 + static_cast<uint64_t>(res));
+  for (int n = 0; n < 100; ++n) {
+    const CellIndex cell = LatLngToCell(RandomSpherePoint(rng), res);
+    const geo::LatLng center = CellToLatLng(cell);
+    for (const geo::LatLng& vertex : CellToBoundary(cell)) {
+      const geo::LatLng outside = Toward(center, vertex, 1.15);
+      const CellIndex owner = LatLngToCell(outside, res);
+      EXPECT_LT(CellDistanceKm(cell, owner), EdgeLengthKm(res) * 4.0)
+          << CellToString(cell) << " -> " << CellToString(owner);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkingResolutions, BoundaryPropertyTest,
+                         ::testing::Values(5, 6, 7, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Res" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pol::hex

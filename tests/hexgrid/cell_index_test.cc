@@ -1,0 +1,89 @@
+#include "hexgrid/cell_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hexgrid/icosahedron.h"
+
+namespace pol::hex {
+namespace {
+
+TEST(CellIndexTest, PackUnpackRoundTrip) {
+  const CellIndex cell = PackCell(6, 12, 103, -25);
+  ASSERT_NE(cell, kInvalidCell);
+  CellParts parts;
+  ASSERT_TRUE(UnpackCell(cell, &parts));
+  EXPECT_EQ(parts.res, 6);
+  EXPECT_EQ(parts.face, 12);
+  EXPECT_EQ(parts.i, 103);
+  EXPECT_EQ(parts.j, -25);
+}
+
+TEST(CellIndexTest, RandomRoundTrip) {
+  Rng rng(555);
+  for (int n = 0; n < 5000; ++n) {
+    const int res = static_cast<int>(rng.NextBelow(kMaxResolution + 1));
+    const int face = static_cast<int>(rng.NextBelow(kNumFaces));
+    const int64_t i = rng.UniformInt(-kMaxAxialCoord, kMaxAxialCoord);
+    const int64_t j = rng.UniformInt(-kMaxAxialCoord, kMaxAxialCoord);
+    const CellIndex cell = PackCell(res, face, i, j);
+    ASSERT_NE(cell, kInvalidCell);
+    CellParts parts;
+    ASSERT_TRUE(UnpackCell(cell, &parts));
+    EXPECT_EQ(parts.res, res);
+    EXPECT_EQ(parts.face, face);
+    EXPECT_EQ(parts.i, i);
+    EXPECT_EQ(parts.j, j);
+  }
+}
+
+TEST(CellIndexTest, OutOfRangeInputsAreInvalid) {
+  EXPECT_EQ(PackCell(-1, 0, 0, 0), kInvalidCell);
+  EXPECT_EQ(PackCell(16, 0, 0, 0), kInvalidCell);
+  EXPECT_EQ(PackCell(0, -1, 0, 0), kInvalidCell);
+  EXPECT_EQ(PackCell(0, 20, 0, 0), kInvalidCell);
+  EXPECT_EQ(PackCell(0, 0, kMaxAxialCoord + 1, 0), kInvalidCell);
+  EXPECT_EQ(PackCell(0, 0, 0, -kMaxAxialCoord - 1), kInvalidCell);
+}
+
+TEST(CellIndexTest, ExtremeCoordinatesPack) {
+  const CellIndex cell = PackCell(15, 19, kMaxAxialCoord, -kMaxAxialCoord);
+  ASSERT_NE(cell, kInvalidCell);
+  CellParts parts;
+  ASSERT_TRUE(UnpackCell(cell, &parts));
+  EXPECT_EQ(parts.i, kMaxAxialCoord);
+  EXPECT_EQ(parts.j, -kMaxAxialCoord);
+}
+
+TEST(CellIndexTest, InvalidCellIsDetected) {
+  EXPECT_FALSE(IsValidCell(kInvalidCell));
+  CellParts parts;
+  EXPECT_FALSE(UnpackCell(kInvalidCell, &parts));
+  EXPECT_EQ(CellResolution(kInvalidCell), -1);
+}
+
+TEST(CellIndexTest, ValidCellIsDetected) {
+  const CellIndex cell = PackCell(7, 3, 0, 0);
+  EXPECT_TRUE(IsValidCell(cell));
+  EXPECT_EQ(CellResolution(cell), 7);
+}
+
+TEST(CellIndexTest, BadFaceBitsRejected) {
+  // Face values 20..31 fit in the bit field but are not real faces.
+  const CellIndex forged = (uint64_t{25} << 54) | (uint64_t{3} << 59);
+  EXPECT_FALSE(IsValidCell(forged));
+}
+
+TEST(CellIndexTest, SortsByResolutionFirst) {
+  const CellIndex r5 = PackCell(5, 19, 1000, 1000);
+  const CellIndex r6 = PackCell(6, 0, -1000, -1000);
+  EXPECT_LT(r5, r6);
+}
+
+TEST(CellIndexTest, ToStringFormats) {
+  EXPECT_EQ(CellToString(PackCell(6, 12, 103, -25)), "r6:f12:(103,-25)");
+  EXPECT_EQ(CellToString(kInvalidCell), "invalid-cell");
+}
+
+}  // namespace
+}  // namespace pol::hex

@@ -1,0 +1,139 @@
+#include "hexgrid/hex_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/latlng.h"
+
+namespace pol::hex {
+namespace {
+
+TEST(AxialRoundTest, LatticePointsRoundToThemselves) {
+  for (int64_t i = -5; i <= 5; ++i) {
+    for (int64_t j = -5; j <= 5; ++j) {
+      const Axial r = AxialRound(static_cast<double>(i), static_cast<double>(j));
+      EXPECT_EQ(r.i, i);
+      EXPECT_EQ(r.j, j);
+    }
+  }
+}
+
+TEST(AxialRoundTest, RoundingNeverMovesMoreThanOneStep) {
+  Rng rng(42);
+  for (int n = 0; n < 10000; ++n) {
+    const double qi = rng.Uniform(-100, 100);
+    const double qj = rng.Uniform(-100, 100);
+    const Axial r = AxialRound(qi, qj);
+    // The rounded cell's fractional distance must be under 1 hex step.
+    const double di = qi - static_cast<double>(r.i);
+    const double dj = qj - static_cast<double>(r.j);
+    const double cube_dist =
+        (std::fabs(di) + std::fabs(dj) + std::fabs(di + dj)) / 2.0;
+    EXPECT_LT(cube_dist, 1.0);
+  }
+}
+
+TEST(AxialDistanceTest, KnownDistances) {
+  EXPECT_EQ(AxialDistance({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(AxialDistance({0, 0}, {1, 0}), 1);
+  EXPECT_EQ(AxialDistance({0, 0}, {1, -1}), 1);
+  EXPECT_EQ(AxialDistance({0, 0}, {2, -1}), 2);
+  EXPECT_EQ(AxialDistance({0, 0}, {3, 3}), 6);
+  EXPECT_EQ(AxialDistance({-2, 1}, {2, -1}), 4);
+}
+
+TEST(NeighborOffsetsTest, AllUnitDistance) {
+  for (const Axial& offset : NeighborOffsets()) {
+    EXPECT_EQ(AxialDistance({0, 0}, offset), 1);
+  }
+}
+
+TEST(LatticeParamsTest, PlaneAxialRoundTrip) {
+  Rng rng(4711);
+  for (int res : {0, 3, 6, 7, 12, 15}) {
+    const LatticeParams& params = LatticeParams::Get(res);
+    for (int n = 0; n < 500; ++n) {
+      const double i = rng.Uniform(-1000, 1000);
+      const double j = rng.Uniform(-1000, 1000);
+      const geo::PlanePoint p = params.AxialToPlane(i, j);
+      double qi = 0, qj = 0;
+      params.PlaneToAxialFrac(p, &qi, &qj);
+      EXPECT_NEAR(qi, i, 1e-9);
+      EXPECT_NEAR(qj, j, 1e-9);
+    }
+  }
+}
+
+TEST(LatticeParamsTest, ApertureSevenScaling) {
+  for (int res = 0; res < kMaxResolution; ++res) {
+    const double ratio = LatticeParams::Get(res).hex_size() /
+                         LatticeParams::Get(res + 1).hex_size();
+    EXPECT_NEAR(ratio, std::sqrt(7.0), 1e-12);
+  }
+}
+
+TEST(LatticeParamsTest, NeighborSpacingIsSqrt3TimesSize) {
+  const LatticeParams& params = LatticeParams::Get(6);
+  const geo::PlanePoint origin = params.AxialToPlane(0, 0);
+  for (const Axial& offset : NeighborOffsets()) {
+    const geo::PlanePoint n = params.AxialToPlane(
+        static_cast<double>(offset.i), static_cast<double>(offset.j));
+    const double dist = std::hypot(n.u - origin.u, n.v - origin.v);
+    EXPECT_NEAR(dist, std::sqrt(3.0) * params.hex_size(), 1e-12);
+  }
+}
+
+TEST(LatticeParamsTest, CornersFormRegularHexagon) {
+  const LatticeParams& params = LatticeParams::Get(5);
+  const auto corners = params.CellCorners({7, -3});
+  const geo::PlanePoint center = params.AxialToPlane(7, -3);
+  for (int k = 0; k < 6; ++k) {
+    const double r = std::hypot(corners[static_cast<size_t>(k)].u - center.u,
+                                corners[static_cast<size_t>(k)].v - center.v);
+    EXPECT_NEAR(r, params.hex_size(), 1e-12);
+    // Consecutive corners are one edge length apart.
+    const auto& a = corners[static_cast<size_t>(k)];
+    const auto& b = corners[static_cast<size_t>((k + 1) % 6)];
+    EXPECT_NEAR(std::hypot(b.u - a.u, b.v - a.v), params.hex_size(), 1e-12);
+  }
+}
+
+TEST(NumCellsTest, MatchesH3Formula) {
+  EXPECT_EQ(NumCells(0), 122u);
+  EXPECT_EQ(NumCells(1), 842u);
+  EXPECT_EQ(NumCells(6), 2u + 120u * 117649u);  // 14,117,882
+  EXPECT_EQ(NumCells(7), 2u + 120u * 823543u);  // 98,825,162
+}
+
+TEST(MeanCellAreaTest, MatchesPaperQuotedSizes) {
+  // Paper section 3.3.3: resolution 6 and 7 hexagons cover roughly 36 and
+  // 5 square kilometres.
+  EXPECT_NEAR(MeanCellAreaKm2(6), 36.0, 1.0);
+  EXPECT_NEAR(MeanCellAreaKm2(7), 5.16, 0.2);
+}
+
+TEST(MeanCellAreaTest, ApertureSevenAreaRatio) {
+  for (int res = 0; res < 10; ++res) {
+    EXPECT_NEAR(MeanCellAreaKm2(res) / MeanCellAreaKm2(res + 1), 7.0, 0.1);
+  }
+}
+
+TEST(EdgeLengthTest, DecreasesBySqrt7) {
+  for (int res = 0; res < kMaxResolution; ++res) {
+    EXPECT_NEAR(EdgeLengthKm(res) / EdgeLengthKm(res + 1), std::sqrt(7.0),
+                1e-9);
+  }
+  // Res 6 edge length should be a few kilometres (H3 quotes ~3.7 km for
+  // the average hexagon; ours is calibrated by area so the same order).
+  EXPECT_GT(EdgeLengthKm(6), 2.0);
+  EXPECT_LT(EdgeLengthKm(6), 6.0);
+}
+
+TEST(ApertureRotationTest, MatchesH3Angle) {
+  EXPECT_NEAR(ApertureRotationRad() * 180.0 / geo::kPi, 19.1066, 1e-3);
+}
+
+}  // namespace
+}  // namespace pol::hex

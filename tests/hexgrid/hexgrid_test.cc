@@ -1,0 +1,220 @@
+#include "hexgrid/hexgrid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geo/geodesic.h"
+
+namespace pol::hex {
+namespace {
+
+const geo::LatLng kEnglishChannel{50.2, -0.9};
+const geo::LatLng kMalaccaStrait{2.5, 101.0};
+
+TEST(HexGridTest, InvalidInputsReturnInvalidCell) {
+  EXPECT_EQ(LatLngToCell({91, 0}, 6), kInvalidCell);
+  EXPECT_EQ(LatLngToCell({0, 181}, 6), kInvalidCell);
+  EXPECT_EQ(LatLngToCell({0, 0}, -1), kInvalidCell);
+  EXPECT_EQ(LatLngToCell({0, 0}, 16), kInvalidCell);
+}
+
+TEST(HexGridTest, CellCenterIsNearInputPoint) {
+  for (int res : {4, 5, 6, 7}) {
+    const CellIndex cell = LatLngToCell(kEnglishChannel, res);
+    ASSERT_NE(cell, kInvalidCell);
+    const double dist = geo::HaversineKm(kEnglishChannel, CellToLatLng(cell));
+    // The centre must be within one circumradius (edge length), with
+    // slack for gnomonic distortion.
+    EXPECT_LT(dist, EdgeLengthKm(res) * 1.5) << "res " << res;
+  }
+}
+
+TEST(HexGridTest, ResolutionIsEncoded) {
+  EXPECT_EQ(CellResolution(LatLngToCell(kEnglishChannel, 6)), 6);
+  EXPECT_EQ(CellResolution(LatLngToCell(kEnglishChannel, 7)), 7);
+}
+
+TEST(HexGridTest, DistinctLocationsGetDistinctCells) {
+  EXPECT_NE(LatLngToCell(kEnglishChannel, 6), LatLngToCell(kMalaccaStrait, 6));
+}
+
+TEST(HexGridTest, NearbyPointsShareACell) {
+  // Two points ~100 m apart should almost always share a res-6 cell
+  // (~36 km^2); this pair is chosen away from any cell boundary.
+  const CellIndex a = LatLngToCell({50.20000, -0.90000}, 6);
+  const geo::LatLng center = CellToLatLng(a);
+  const CellIndex b =
+      LatLngToCell({center.lat_deg + 0.001, center.lng_deg}, 6);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HexGridTest, BoundaryHasSixVerticesAroundCenter) {
+  const CellIndex cell = LatLngToCell(kMalaccaStrait, 6);
+  const auto boundary = CellToBoundary(cell);
+  ASSERT_EQ(boundary.size(), 6u);
+  const geo::LatLng center = CellToLatLng(cell);
+  for (const auto& vertex : boundary) {
+    const double dist = geo::HaversineKm(center, vertex);
+    EXPECT_GT(dist, 0.0);
+    EXPECT_LT(dist, EdgeLengthKm(6) * 2.0);
+  }
+}
+
+TEST(HexGridTest, BoundaryVerticesEquidistantFromCenter) {
+  const CellIndex cell = LatLngToCell({35.0, 139.0}, 7);
+  const auto boundary = CellToBoundary(cell);
+  const geo::LatLng center = CellToLatLng(cell);
+  double min_dist = 1e18;
+  double max_dist = 0.0;
+  for (const auto& vertex : boundary) {
+    const double d = geo::HaversineKm(center, vertex);
+    min_dist = std::min(min_dist, d);
+    max_dist = std::max(max_dist, d);
+  }
+  // Gnomonic distortion keeps the spread small in a face interior.
+  EXPECT_LT(max_dist / min_dist, 1.05);
+}
+
+TEST(HexGridTest, SixNeighborsInFaceInterior) {
+  const CellIndex cell = LatLngToCell(kMalaccaStrait, 6);
+  const auto neighbors = Neighbors(cell);
+  EXPECT_EQ(neighbors.size(), 6u);
+  for (const CellIndex n : neighbors) {
+    EXPECT_NE(n, cell);
+    EXPECT_EQ(CellResolution(n), 6);
+  }
+}
+
+TEST(HexGridTest, NeighborsAreMutual) {
+  const CellIndex cell = LatLngToCell(kEnglishChannel, 6);
+  for (const CellIndex n : Neighbors(cell)) {
+    const auto back = Neighbors(n);
+    EXPECT_NE(std::find(back.begin(), back.end(), cell), back.end())
+        << CellToString(n) << " does not list " << CellToString(cell);
+  }
+}
+
+TEST(HexGridTest, NeighborCentersAtLatticeSpacing) {
+  const CellIndex cell = LatLngToCell({-33.9, 18.4}, 6);  // Cape Town.
+  const geo::LatLng center = CellToLatLng(cell);
+  for (const CellIndex n : Neighbors(cell)) {
+    const double d = geo::HaversineKm(center, CellToLatLng(n));
+    // Center spacing = sqrt(3) * circumradius in the face plane; on the
+    // sphere the gnomonic projection shrinks distances by up to
+    // cos^2(37.4 deg) ~= 0.63 toward face corners.
+    const double expected = std::sqrt(3.0) * EdgeLengthKm(6);
+    EXPECT_GT(d, expected * 0.55);
+    EXPECT_LT(d, expected * 1.1);
+  }
+}
+
+TEST(HexGridTest, GridDiskSizes) {
+  const CellIndex cell = LatLngToCell(kMalaccaStrait, 6);
+  EXPECT_EQ(GridDisk(cell, 0).size(), 1u);
+  EXPECT_EQ(GridDisk(cell, 1).size(), 7u);
+  EXPECT_EQ(GridDisk(cell, 2).size(), 19u);
+  EXPECT_EQ(GridDisk(cell, 3).size(), 37u);  // 1 + 3k(k+1).
+}
+
+TEST(HexGridTest, GridRingSizes) {
+  const CellIndex cell = LatLngToCell(kMalaccaStrait, 6);
+  EXPECT_EQ(GridRing(cell, 0).size(), 1u);
+  EXPECT_EQ(GridRing(cell, 1).size(), 6u);
+  EXPECT_EQ(GridRing(cell, 2).size(), 12u);
+  EXPECT_EQ(GridRing(cell, 3).size(), 18u);
+}
+
+TEST(HexGridTest, GridDiskIsUnionOfRings) {
+  const CellIndex cell = LatLngToCell(kEnglishChannel, 5);
+  std::set<CellIndex> rings;
+  for (int k = 0; k <= 3; ++k) {
+    for (const CellIndex c : GridRing(cell, k)) rings.insert(c);
+  }
+  const auto disk = GridDisk(cell, 3);
+  EXPECT_EQ(rings.size(), disk.size());
+  for (const CellIndex c : disk) EXPECT_TRUE(rings.count(c)) << CellToString(c);
+}
+
+TEST(HexGridTest, ParentContainsChildCenter) {
+  const CellIndex child = LatLngToCell(kMalaccaStrait, 7);
+  const CellIndex parent = CellToParent(child, 6);
+  ASSERT_NE(parent, kInvalidCell);
+  EXPECT_EQ(CellResolution(parent), 6);
+  // The child's centre must re-index into the parent at res 6.
+  EXPECT_EQ(LatLngToCell(CellToLatLng(child), 6), parent);
+}
+
+TEST(HexGridTest, ParentOfSameResolutionIsSelf) {
+  const CellIndex cell = LatLngToCell(kMalaccaStrait, 6);
+  EXPECT_EQ(CellToParent(cell, 6), cell);
+}
+
+TEST(HexGridTest, ParentRejectsFinerResolution) {
+  const CellIndex cell = LatLngToCell(kMalaccaStrait, 6);
+  EXPECT_EQ(CellToParent(cell, 7), kInvalidCell);
+}
+
+TEST(HexGridTest, ChildrenRoundTripToParent) {
+  const CellIndex parent = LatLngToCell(kMalaccaStrait, 5);
+  const auto children = CellToChildren(parent, 6);
+  // Aperture 7: about seven children (exact count varies cell to cell
+  // because containment is by centre, like H3's approximate nesting).
+  EXPECT_GE(children.size(), 4u);
+  EXPECT_LE(children.size(), 10u);
+  for (const CellIndex child : children) {
+    EXPECT_EQ(CellToParent(child, 5), parent) << CellToString(child);
+  }
+}
+
+TEST(HexGridTest, ChildrenAverageSevenPerParent) {
+  // The aperture is exactly 7 in aggregate: averaged over many parents
+  // the child count must be very close to 7.
+  size_t total_children = 0;
+  int parents = 0;
+  for (double lat = -60; lat <= 60; lat += 17) {
+    for (double lng = -170; lng <= 170; lng += 23) {
+      const CellIndex parent = LatLngToCell({lat, lng}, 4);
+      total_children += CellToChildren(parent, 5).size();
+      ++parents;
+    }
+  }
+  const double mean =
+      static_cast<double>(total_children) / static_cast<double>(parents);
+  EXPECT_NEAR(mean, 7.0, 0.35);
+}
+
+TEST(HexGridTest, ChildrenOfSameResolutionIsSelf) {
+  const CellIndex cell = LatLngToCell(kMalaccaStrait, 6);
+  const auto children = CellToChildren(cell, 6);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], cell);
+}
+
+TEST(HexGridTest, CellsWithinDistanceCoversCircle) {
+  const geo::LatLng center{1.26, 103.84};  // Singapore.
+  const double radius_km = 20.0;
+  const auto cells = CellsWithinDistanceKm(center, radius_km, 7);
+  ASSERT_FALSE(cells.empty());
+  // Every cell centre within the radius must be present: sample points
+  // on a spiral and check their cells are included.
+  std::set<CellIndex> cell_set(cells.begin(), cells.end());
+  for (double r = 0.0; r < radius_km; r += 2.5) {
+    for (double bearing = 0.0; bearing < 360.0; bearing += 45.0) {
+      const geo::LatLng p = geo::DestinationPoint(center, bearing, r);
+      EXPECT_TRUE(cell_set.count(LatLngToCell(p, 7)))
+          << "missing cell at r=" << r << " b=" << bearing;
+    }
+  }
+}
+
+TEST(HexGridTest, CellDistanceMatchesHaversine) {
+  const CellIndex a = LatLngToCell(kEnglishChannel, 6);
+  const CellIndex b = LatLngToCell(kMalaccaStrait, 6);
+  EXPECT_NEAR(CellDistanceKm(a, b),
+              geo::HaversineKm(CellToLatLng(a), CellToLatLng(b)), 1e-9);
+}
+
+}  // namespace
+}  // namespace pol::hex

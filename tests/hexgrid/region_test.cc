@@ -1,0 +1,166 @@
+#include "hexgrid/region.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "geo/geodesic.h"
+#include "hexgrid/hexgrid.h"
+
+namespace pol::hex {
+namespace {
+
+TEST(BoxToCellsTest, CoversEveryInteriorPoint) {
+  const auto cells = BoxToCells(50.0, 51.0, 0.0, 2.0, 6);
+  ASSERT_FALSE(cells.empty());
+  const std::set<CellIndex> cell_set(cells.begin(), cells.end());
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const geo::LatLng p{rng.Uniform(50.05, 50.95), rng.Uniform(0.05, 1.95)};
+    EXPECT_TRUE(cell_set.count(LatLngToCell(p, 6))) << p.ToString();
+  }
+}
+
+TEST(BoxToCellsTest, CellCountMatchesArea) {
+  // 1 deg x 2 deg at lat 50: ~111 km x ~143 km ~= 15,900 km^2; res-6
+  // cells average 36 km^2, so ~440 interior cells plus a boundary rim.
+  const auto cells = BoxToCells(50.0, 51.0, 0.0, 2.0, 6);
+  EXPECT_GT(cells.size(), 400u);
+  EXPECT_LT(cells.size(), 620u);
+}
+
+TEST(BoxToCellsTest, DegenerateBoxesAreEmpty) {
+  EXPECT_TRUE(BoxToCells(51.0, 50.0, 0.0, 2.0, 6).empty());
+  EXPECT_TRUE(BoxToCells(50.0, 51.0, 2.0, 2.0, 6).empty());
+}
+
+TEST(BoxToCellsTest, HighLatitudeBoxesStillCover) {
+  const auto cells = BoxToCells(78.0, 79.0, 10.0, 20.0, 5);
+  ASSERT_FALSE(cells.empty());
+  const std::set<CellIndex> cell_set(cells.begin(), cells.end());
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const geo::LatLng p{rng.Uniform(78.1, 78.9), rng.Uniform(10.5, 19.5)};
+    EXPECT_TRUE(cell_set.count(LatLngToCell(p, 5))) << p.ToString();
+  }
+}
+
+TEST(PointInPolygonTest, Triangle) {
+  const std::vector<geo::LatLng> triangle = {{0, 0}, {10, 0}, {0, 10}};
+  EXPECT_TRUE(PointInPolygon(triangle, {2, 2}));
+  EXPECT_FALSE(PointInPolygon(triangle, {8, 8}));
+  EXPECT_FALSE(PointInPolygon(triangle, {-1, 5}));
+}
+
+TEST(PointInPolygonTest, ConcavePolygon) {
+  // A "U" shape: the notch is outside.
+  const std::vector<geo::LatLng> u = {{0, 0}, {0, 10}, {10, 10}, {10, 7},
+                                      {3, 7}, {3, 3},  {10, 3},  {10, 0}};
+  EXPECT_TRUE(PointInPolygon(u, {1, 5}));    // Bottom bar.
+  EXPECT_TRUE(PointInPolygon(u, {5, 8.5}));  // Right arm.
+  EXPECT_FALSE(PointInPolygon(u, {6, 5}));   // The notch.
+}
+
+TEST(PolygonToCellsTest, MatchesPointInPolygon) {
+  const std::vector<geo::LatLng> ring = {{40, -5}, {45, 0}, {42, 6},
+                                         {38, 3}};
+  const auto cells = PolygonToCells(ring, 5);
+  ASSERT_FALSE(cells.empty());
+  for (const CellIndex cell : cells) {
+    EXPECT_TRUE(PointInPolygon(ring, CellToLatLng(cell)))
+        << CellToString(cell);
+  }
+  // Interior points are covered.
+  EXPECT_TRUE(std::count(cells.begin(), cells.end(),
+                         LatLngToCell({41.5, 0.5}, 5)));
+}
+
+TEST(CompactTest, SevenSiblingsBecomeTheirParent) {
+  const CellIndex parent = LatLngToCell({30.0, 120.0}, 5);
+  const auto children = CellToChildren(parent, 6);
+  ASSERT_GE(children.size(), 4u);
+  const auto compacted = CompactCells(children);
+  ASSERT_EQ(compacted.size(), 1u);
+  EXPECT_EQ(compacted[0], parent);
+}
+
+TEST(CompactTest, IncompleteSiblingsStay) {
+  const CellIndex parent = LatLngToCell({30.0, 120.0}, 5);
+  auto children = CellToChildren(parent, 6);
+  ASSERT_GE(children.size(), 4u);
+  children.pop_back();  // Remove one sibling.
+  const auto compacted = CompactCells(children);
+  EXPECT_EQ(compacted.size(), children.size());  // Nothing merged.
+}
+
+TEST(CompactTest, CompactUncompactRoundTrip) {
+  // A box of res-6 cells: compact then uncompact restores exactly.
+  const auto original = BoxToCells(50.0, 51.5, 0.0, 3.0, 6);
+  ASSERT_GT(original.size(), 100u);
+  const auto compacted = CompactCells(original);
+  EXPECT_LT(compacted.size(), original.size());  // Some parents formed.
+  const auto restored = UncompactCells(compacted, 6);
+  std::vector<CellIndex> sorted = original;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(restored, sorted);
+}
+
+TEST(CompactTest, MultiLevelCompaction) {
+  // All res-7 descendants of one res-5 cell compact to that single cell.
+  const CellIndex grandparent = LatLngToCell({10.0, 10.0}, 5);
+  const auto grandchildren = CellToChildren(grandparent, 7);
+  ASSERT_GT(grandchildren.size(), 30u);
+  const auto compacted = CompactCells(grandchildren);
+  ASSERT_EQ(compacted.size(), 1u);
+  EXPECT_EQ(compacted[0], grandparent);
+}
+
+TEST(CompactTest, EmptyAndSingle) {
+  EXPECT_TRUE(CompactCells({}).empty());
+  const CellIndex cell = LatLngToCell({0, 0}, 6);
+  const auto compacted = CompactCells({cell});
+  ASSERT_EQ(compacted.size(), 1u);
+  EXPECT_EQ(compacted[0], cell);
+}
+
+TEST(UncompactTest, SkipsCellsFinerThanTarget) {
+  const CellIndex fine = LatLngToCell({0, 0}, 7);
+  EXPECT_TRUE(UncompactCells({fine}, 6).empty());
+}
+
+TEST(GridPathTest, ConnectsEndpointsThroughAdjacentCells) {
+  const geo::LatLng a{50.2, -0.9};
+  const geo::LatLng b{51.0, 1.8};
+  const auto path = GridPathCells(a, b, 6);
+  ASSERT_GE(path.size(), 5u);
+  EXPECT_EQ(path.front(), LatLngToCell(a, 6));
+  EXPECT_EQ(path.back(), LatLngToCell(b, 6));
+  // No duplicates and consecutive cells are close (within ~2 cells).
+  std::set<CellIndex> unique(path.begin(), path.end());
+  EXPECT_EQ(unique.size(), path.size());
+  for (size_t i = 1; i < path.size(); ++i) {
+    EXPECT_LT(CellDistanceKm(path[i - 1], path[i]),
+              EdgeLengthKm(6) * 4.0);
+  }
+}
+
+TEST(GridPathTest, SamePointIsOneCell) {
+  const geo::LatLng p{10, 10};
+  const auto path = GridPathCells(p, p, 6);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], LatLngToCell(p, 6));
+}
+
+TEST(GridPathTest, PathLengthTracksDistance) {
+  // Path cell count ~ distance / cell width.
+  const geo::LatLng a{0, 0};
+  const geo::LatLng b{0, 5};  // ~556 km.
+  const auto path = GridPathCells(a, b, 6);
+  const double cells_expected = 556.0 / (std::sqrt(3.0) * EdgeLengthKm(6));
+  EXPECT_GT(static_cast<double>(path.size()), cells_expected * 0.6);
+  EXPECT_LT(static_cast<double>(path.size()), cells_expected * 2.5);
+}
+
+}  // namespace
+}  // namespace pol::hex

@@ -1,0 +1,197 @@
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ais/messages.h"
+#include "geo/geodesic.h"
+
+namespace pol::sim {
+namespace {
+
+// A one-month, small-fleet config that runs in well under a second.
+FleetConfig SmallConfig() {
+  FleetConfig config;
+  config.seed = 7;
+  config.commercial_vessels = 12;
+  config.noncommercial_vessels = 10;
+  config.start_time = 1640995200;                        // 2022-01-01.
+  config.end_time = 1640995200 + 30 * kSecondsPerDay;    // One month.
+  return config;
+}
+
+TEST(FleetSimulatorTest, DeterministicForSameSeed) {
+  FleetSimulator sim_a(SmallConfig());
+  FleetSimulator sim_b(SmallConfig());
+  const SimulationOutput a = sim_a.Run();
+  const SimulationOutput b = sim_b.Run();
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (size_t i = 0; i < a.reports.size(); i += 97) {
+    EXPECT_EQ(a.reports[i].mmsi, b.reports[i].mmsi);
+    EXPECT_EQ(a.reports[i].timestamp, b.reports[i].timestamp);
+    EXPECT_EQ(a.reports[i].lat_deg, b.reports[i].lat_deg);
+  }
+  EXPECT_EQ(a.voyages.size(), b.voyages.size());
+}
+
+TEST(FleetSimulatorTest, DifferentSeedsDiffer) {
+  FleetConfig config = SmallConfig();
+  config.seed = 8;
+  const SimulationOutput a = FleetSimulator(SmallConfig()).Run();
+  const SimulationOutput b = FleetSimulator(config).Run();
+  // Same fleet sizes, different traffic.
+  EXPECT_NE(a.reports.size(), b.reports.size());
+}
+
+TEST(FleetSimulatorTest, FleetCompositionMatchesConfig) {
+  const SimulationOutput out = FleetSimulator(SmallConfig()).Run();
+  ASSERT_EQ(out.fleet.size(), 22u);
+  int commercial = 0;
+  std::set<ais::Mmsi> mmsis;
+  for (const auto& vessel : out.fleet) {
+    EXPECT_TRUE(ais::IsPlausibleMmsi(vessel.mmsi));
+    EXPECT_TRUE(mmsis.insert(vessel.mmsi).second) << "duplicate MMSI";
+    if (ais::IsCommercialFleet(vessel)) ++commercial;
+  }
+  // All 12 commercial hulls are >5000 GT class A by construction except
+  // the occasional small general-cargo draw.
+  EXPECT_GE(commercial, 9);
+  EXPECT_LE(commercial, 12);
+}
+
+TEST(FleetSimulatorTest, ReportsReferenceKnownVessels) {
+  const SimulationOutput out = FleetSimulator(SmallConfig()).Run();
+  std::set<ais::Mmsi> fleet_mmsis;
+  for (const auto& vessel : out.fleet) fleet_mmsis.insert(vessel.mmsi);
+  ASSERT_FALSE(out.reports.empty());
+  for (size_t i = 0; i < out.reports.size(); i += 131) {
+    EXPECT_TRUE(fleet_mmsis.count(out.reports[i].mmsi));
+  }
+}
+
+TEST(FleetSimulatorTest, TimestampsWithinWindow) {
+  const FleetConfig config = SmallConfig();
+  const SimulationOutput out = FleetSimulator(config).Run();
+  for (const auto& report : out.reports) {
+    EXPECT_GE(report.timestamp, config.start_time);
+    EXPECT_LT(report.timestamp, config.end_time + kSecondsPerDay);
+  }
+}
+
+TEST(FleetSimulatorTest, MostReportsAreValid) {
+  const SimulationOutput out = FleetSimulator(SmallConfig()).Run();
+  size_t valid = 0;
+  for (const auto& report : out.reports) {
+    if (ais::ValidatePositionReport(report).ok()) ++valid;
+  }
+  // Corruption rates are below 1%; the overwhelming majority validates.
+  EXPECT_GT(static_cast<double>(valid),
+            0.97 * static_cast<double>(out.reports.size()));
+  // But some corruption was injected.
+  EXPECT_GT(out.injected_corrupt, 0u);
+  EXPECT_LT(valid, out.reports.size());
+}
+
+TEST(FleetSimulatorTest, VoyagesAreInternallyConsistent) {
+  const FleetConfig config = SmallConfig();
+  const SimulationOutput out = FleetSimulator(config).Run();
+  ASSERT_FALSE(out.voyages.empty());
+  for (const VoyageTruth& voyage : out.voyages) {
+    EXPECT_NE(voyage.origin, kNoPort);
+    EXPECT_NE(voyage.destination, kNoPort);
+    EXPECT_NE(voyage.origin, voyage.destination);
+    EXPECT_GT(voyage.arrival, voyage.departure);
+    EXPECT_GT(voyage.distance_km, 0.0);
+    // Implied average speed is physically sensible for merchant ships.
+    const double hours =
+        static_cast<double>(voyage.arrival - voyage.departure) / 3600.0;
+    const double knots =
+        voyage.distance_km / geo::kKmPerNauticalMile / hours;
+    EXPECT_GT(knots, 1.5);  // Anchorage waits can stretch short voyages.
+    EXPECT_LT(knots, 28.0);
+  }
+}
+
+TEST(FleetSimulatorTest, VoyageReportsStayNearRoute) {
+  // Sailing reports of one vessel must lie between consecutive port
+  // calls; crudely check that reports of a voyage are within the
+  // bounding region of origin/destination expanded by 3000 km.
+  FleetConfig config = SmallConfig();
+  config.commercial_vessels = 4;
+  config.noncommercial_vessels = 0;
+  const SimulationOutput out = FleetSimulator(config).Run();
+  ASSERT_FALSE(out.voyages.empty());
+  const VoyageTruth& voyage = out.voyages.front();
+  const PortDatabase& ports = PortDatabase::Global();
+  const Port& origin = **ports.Find(voyage.origin);
+  const Port& dest = **ports.Find(voyage.destination);
+  const double span =
+      geo::HaversineKm(origin.position, dest.position) + 3000.0;
+  for (const auto& report : out.reports) {
+    if (report.mmsi != voyage.mmsi) continue;
+    if (report.timestamp < voyage.departure ||
+        report.timestamp > voyage.arrival) {
+      continue;
+    }
+    if (!ais::ValidatePositionReport(report).ok()) continue;
+    const geo::LatLng pos{report.lat_deg, report.lng_deg};
+    EXPECT_LT(geo::HaversineKm(pos, origin.position), span)
+        << "report far off the voyage";
+  }
+}
+
+TEST(FleetSimulatorTest, NoncommercialTrafficStaysLocal) {
+  FleetConfig config = SmallConfig();
+  config.commercial_vessels = 0;
+  config.noncommercial_vessels = 6;
+  config.position_jump_rate = 0.0;
+  config.corrupt_field_rate = 0.0;
+  const SimulationOutput out = FleetSimulator(config).Run();
+  ASSERT_FALSE(out.reports.empty());
+  // Each vessel's reports must fit inside a ~220 km disc (80 km roaming
+  // range plus walk overshoot).
+  std::map<ais::Mmsi, geo::LatLng> first_position;
+  for (const auto& report : out.reports) {
+    const geo::LatLng pos{report.lat_deg, report.lng_deg};
+    const auto [it, inserted] =
+        first_position.insert({report.mmsi, pos});
+    if (!inserted) {
+      EXPECT_LT(geo::HaversineKm(it->second, pos), 400.0);
+    }
+  }
+}
+
+TEST(FleetSimulatorTest, InjectionCountersTrackConfig) {
+  FleetConfig config = SmallConfig();
+  config.corrupt_field_rate = 0.0;
+  config.duplicate_rate = 0.0;
+  config.position_jump_rate = 0.0;
+  config.late_delivery_rate = 0.0;
+  const SimulationOutput clean = FleetSimulator(config).Run();
+  EXPECT_EQ(clean.injected_corrupt, 0u);
+  EXPECT_EQ(clean.injected_duplicates, 0u);
+  EXPECT_EQ(clean.injected_jumps, 0u);
+  EXPECT_EQ(clean.injected_late, 0u);
+  for (const auto& report : clean.reports) {
+    EXPECT_TRUE(ais::ValidatePositionReport(report).ok());
+  }
+
+  const SimulationOutput dirty = FleetSimulator(SmallConfig()).Run();
+  EXPECT_GT(dirty.injected_corrupt + dirty.injected_duplicates +
+                dirty.injected_jumps + dirty.injected_late,
+            0u);
+}
+
+TEST(FleetSimulatorTest, PortStaysProduceMooredReports) {
+  const SimulationOutput out = FleetSimulator(SmallConfig()).Run();
+  size_t moored = 0;
+  for (const auto& report : out.reports) {
+    if (report.nav_status == ais::NavStatus::kMoored) ++moored;
+  }
+  EXPECT_GT(moored, 0u);
+}
+
+}  // namespace
+}  // namespace pol::sim

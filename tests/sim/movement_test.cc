@@ -1,0 +1,88 @@
+#include "sim/movement.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+
+namespace pol::sim {
+namespace {
+
+TEST(RoutePathTest, LengthMatchesPolyline) {
+  const std::vector<geo::LatLng> waypoints = {{0, 0}, {0, 5}, {5, 5}};
+  const RoutePath path(waypoints, 20.0);
+  const double expected =
+      geo::HaversineKm({0, 0}, {0, 5}) + geo::HaversineKm({0, 5}, {5, 5});
+  EXPECT_NEAR(path.length_km(), expected, expected * 1e-6);
+}
+
+TEST(RoutePathTest, DensifiedToSampleSpacing) {
+  const RoutePath path({{0, 0}, {0, 10}}, 15.0);
+  const auto& points = path.points();
+  ASSERT_GE(points.size(), 70u);  // ~1112 km / 15 km.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(geo::HaversineKm(points[i - 1], points[i]), 15.1);
+  }
+}
+
+TEST(RoutePathTest, AtInterpolatesMonotonically) {
+  const RoutePath path({{0, 0}, {0, 10}}, 15.0);
+  double prev_lng = -1.0;
+  for (double d = 0.0; d <= path.length_km(); d += 50.0) {
+    geo::LatLng pos;
+    double course = 0.0;
+    path.At(d, &pos, &course);
+    EXPECT_GT(pos.lng_deg, prev_lng);
+    prev_lng = pos.lng_deg;
+    EXPECT_NEAR(course, 90.0, 1.0);  // Due east along the equator.
+  }
+}
+
+TEST(RoutePathTest, AtClampsOutOfRange) {
+  const RoutePath path({{0, 0}, {0, 10}}, 15.0);
+  geo::LatLng start, end;
+  path.At(-100.0, &start, nullptr);
+  path.At(path.length_km() + 100.0, &end, nullptr);
+  EXPECT_NEAR(start.lng_deg, 0.0, 1e-6);
+  EXPECT_NEAR(end.lng_deg, 10.0, 1e-6);
+}
+
+TEST(RoutePathTest, DistanceAlongIsAccurate) {
+  const RoutePath path({{10, 20}, {30, 60}}, 15.0);
+  geo::LatLng mid;
+  path.At(path.length_km() / 2.0, &mid, nullptr);
+  // Distance from the start to the midpoint equals half the length
+  // (within polyline discretization error).
+  EXPECT_NEAR(geo::HaversineKm({10, 20}, mid), path.length_km() / 2.0,
+              path.length_km() * 0.01);
+}
+
+TEST(SpeedProfileTest, RampsAtBothEnds) {
+  SpeedProfile profile;
+  profile.harbour_knots = 6.0;
+  profile.cruise_knots = 18.0;
+  profile.ramp_km = 40.0;
+  const double total = 1000.0;
+  EXPECT_NEAR(ProfileSpeedKnots(profile, 0.0, total), 6.0, 1e-9);
+  EXPECT_NEAR(ProfileSpeedKnots(profile, 20.0, total), 12.0, 1e-9);
+  EXPECT_NEAR(ProfileSpeedKnots(profile, 500.0, total), 18.0, 1e-9);
+  EXPECT_NEAR(ProfileSpeedKnots(profile, total - 20.0, total), 12.0, 1e-9);
+  EXPECT_NEAR(ProfileSpeedKnots(profile, total, total), 6.0, 1e-9);
+}
+
+TEST(SpeedProfileTest, ShortHopsShrinkRamps) {
+  SpeedProfile profile;
+  profile.harbour_knots = 6.0;
+  profile.cruise_knots = 18.0;
+  profile.ramp_km = 40.0;
+  // A 60 km hop: ramps shrink to 20 km each; cruise is reached briefly.
+  EXPECT_NEAR(ProfileSpeedKnots(profile, 30.0, 60.0), 18.0, 1e-9);
+  EXPECT_LT(ProfileSpeedKnots(profile, 5.0, 60.0), 18.0);
+}
+
+TEST(SpeedProfileTest, DegenerateVoyage) {
+  SpeedProfile profile;
+  EXPECT_EQ(ProfileSpeedKnots(profile, 0.0, 0.0), profile.harbour_knots);
+}
+
+}  // namespace
+}  // namespace pol::sim

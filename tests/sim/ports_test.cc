@@ -1,0 +1,116 @@
+#include "sim/ports.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/geodesic.h"
+
+namespace pol::sim {
+namespace {
+
+TEST(PortDatabaseTest, GlobalTableIsLargeAndWellFormed) {
+  const PortDatabase& db = PortDatabase::Global();
+  EXPECT_GE(db.size(), 120u);
+  std::set<std::string> names;
+  for (const Port& port : db.ports()) {
+    EXPECT_NE(port.id, kNoPort);
+    EXPECT_TRUE(port.position.IsValid()) << port.name;
+    EXPECT_GT(port.geofence_radius_km, 0.0) << port.name;
+    EXPECT_TRUE(names.insert(port.name).second)
+        << "duplicate port name " << port.name;
+  }
+}
+
+TEST(PortDatabaseTest, IdsAreDenseAndFindable) {
+  const PortDatabase& db = PortDatabase::Global();
+  for (PortId id = 1; id <= db.size(); ++id) {
+    const auto port = db.Find(id);
+    ASSERT_TRUE(port.ok()) << id;
+    EXPECT_EQ((*port)->id, id);
+  }
+  EXPECT_FALSE(db.Find(kNoPort).ok());
+  EXPECT_FALSE(db.Find(static_cast<PortId>(db.size() + 1)).ok());
+}
+
+TEST(PortDatabaseTest, FindByName) {
+  const PortDatabase& db = PortDatabase::Global();
+  const auto singapore = db.FindByName("Singapore");
+  ASSERT_TRUE(singapore.ok());
+  EXPECT_NEAR((*singapore)->position.lat_deg, 1.26, 0.1);
+  EXPECT_NEAR((*singapore)->position.lng_deg, 103.84, 0.1);
+  EXPECT_FALSE(db.FindByName("Atlantis").ok());
+}
+
+TEST(PortDatabaseTest, KeyPortsOfThePaperExist) {
+  // Figure 6 highlights Singapore, Shanghai and Rotterdam.
+  const PortDatabase& db = PortDatabase::Global();
+  for (const char* name : {"Singapore", "Shanghai", "Rotterdam"}) {
+    EXPECT_TRUE(db.FindByName(name).ok()) << name;
+  }
+}
+
+TEST(PortDatabaseTest, NearestFindsTheObviousPort) {
+  const PortDatabase& db = PortDatabase::Global();
+  const Port* nearest = db.Nearest({51.9, 4.2});
+  ASSERT_NE(nearest, nullptr);
+  EXPECT_EQ(nearest->name, "Rotterdam");
+}
+
+TEST(PortDatabaseTest, GeofenceContainment) {
+  const PortDatabase& db = PortDatabase::Global();
+  const auto rotterdam = db.FindByName("Rotterdam");
+  ASSERT_TRUE(rotterdam.ok());
+  // At the port centre.
+  EXPECT_EQ(db.GeofenceContaining((*rotterdam)->position), (*rotterdam)->id);
+  // Just inside the fence.
+  const geo::LatLng inside = geo::DestinationPoint(
+      (*rotterdam)->position, 90.0, (*rotterdam)->geofence_radius_km - 1.0);
+  EXPECT_EQ(db.GeofenceContaining(inside), (*rotterdam)->id);
+  // Mid-Atlantic: no fence.
+  EXPECT_EQ(db.GeofenceContaining({45.0, -35.0}), kNoPort);
+}
+
+TEST(PortDatabaseTest, GeofencesMostlyDisjoint) {
+  // Overlapping fences are resolved by proximity; sanity-check that the
+  // overwhelming majority of ports own their own centre.
+  const PortDatabase& db = PortDatabase::Global();
+  int owned = 0;
+  for (const Port& port : db.ports()) {
+    if (db.GeofenceContaining(port.position) == port.id) ++owned;
+  }
+  EXPECT_GE(owned, static_cast<int>(db.size()) - 6);
+}
+
+TEST(PortDatabaseTest, SegmentWeightsFollowFlags) {
+  const PortDatabase& db = PortDatabase::Global();
+  const Port& hedland = **db.FindByName("Port Hedland");
+  // A pure bulk port: strong dry-bulk weight, no container calls.
+  EXPECT_GT(
+      hedland.segment_weight[static_cast<int>(ais::MarketSegment::kDryBulk)],
+      1.0);
+  EXPECT_EQ(
+      hedland.segment_weight[static_cast<int>(ais::MarketSegment::kContainer)],
+      0.0);
+  const Port& singapore = **db.FindByName("Singapore");
+  EXPECT_GT(
+      singapore
+          .segment_weight[static_cast<int>(ais::MarketSegment::kContainer)],
+      5.0);
+}
+
+TEST(PortDatabaseTest, CustomDatabaseReassignsIds) {
+  Port a;
+  a.name = "Alpha";
+  a.position = {0, 0};
+  Port b;
+  b.name = "Beta";
+  b.position = {10, 10};
+  const PortDatabase db({a, b});
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ((*db.FindByName("Alpha"))->id, 1u);
+  EXPECT_EQ((*db.FindByName("Beta"))->id, 2u);
+}
+
+}  // namespace
+}  // namespace pol::sim

@@ -1,0 +1,157 @@
+#include "sim/routes.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+
+namespace pol::sim {
+namespace {
+
+PortId IdOf(const char* name) {
+  return (*PortDatabase::Global().FindByName(name))->id;
+}
+
+// True when the route passes within `km` of `point`.
+bool PassesNear(const std::vector<geo::LatLng>& route,
+                const geo::LatLng& point, double km) {
+  for (const auto& p : route) {
+    if (geo::HaversineKm(p, point) <= km) return true;
+  }
+  return false;
+}
+
+TEST(RouteNetworkTest, RotterdamToSingaporeGoesViaSuez) {
+  const auto route =
+      RouteNetwork::Global().Route(IdOf("Rotterdam"), IdOf("Singapore"));
+  ASSERT_TRUE(route.ok()) << route.status().ToString();
+  // Dover, Gibraltar, Suez, Bab el Mandeb, Malacca — the classic lane.
+  EXPECT_TRUE(PassesNear(*route, {51.0, 1.4}, 200));    // Dover.
+  EXPECT_TRUE(PassesNear(*route, {35.95, -5.6}, 200));  // Gibraltar.
+  EXPECT_TRUE(PassesNear(*route, {29.9, 32.5}, 250));   // Suez.
+  EXPECT_TRUE(PassesNear(*route, {12.5, 43.3}, 250));   // Bab el Mandeb.
+  EXPECT_TRUE(PassesNear(*route, {3.2, 100.2}, 300));   // Malacca.
+  // And not around the Cape of Good Hope.
+  EXPECT_FALSE(PassesNear(*route, {-35.2, 18.3}, 1000));
+  // Sea distance a bit above the 8300 nm (~15400 km) of the real lane.
+  const double km = RouteNetwork::PolylineLengthKm(*route);
+  EXPECT_GT(km, 14000);
+  EXPECT_LT(km, 18500);
+}
+
+TEST(RouteNetworkTest, ShanghaiToLosAngelesIsTranspacific) {
+  const auto route =
+      RouteNetwork::Global().Route(IdOf("Shanghai"), IdOf("Los Angeles"));
+  ASSERT_TRUE(route.ok());
+  const double km = RouteNetwork::PolylineLengthKm(*route);
+  // Real lane ~ 10500-12000 km.
+  EXPECT_GT(km, 9500);
+  EXPECT_LT(km, 14000);
+}
+
+TEST(RouteNetworkTest, CoastalHopIsDirect) {
+  const auto route =
+      RouteNetwork::Global().Route(IdOf("Shanghai"), IdOf("Busan"));
+  ASSERT_TRUE(route.ok());
+  const double km = RouteNetwork::PolylineLengthKm(*route);
+  const double direct = geo::HaversineKm({31.23, 121.60}, {35.08, 128.83});
+  EXPECT_LT(km, direct * 1.5);  // No continental detours.
+}
+
+TEST(RouteNetworkTest, SantosToRotterdamCrossesAtlantic) {
+  const auto route =
+      RouteNetwork::Global().Route(IdOf("Santos"), IdOf("Rotterdam"));
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(PassesNear(*route, {-5.0, -34.5}, 800));  // NE Brazil corner.
+  const double km = RouteNetwork::PolylineLengthKm(*route);
+  EXPECT_GT(km, 9000);
+  EXPECT_LT(km, 13500);
+}
+
+TEST(RouteNetworkTest, PortHedlandToQingdaoViaIndonesia) {
+  const auto route =
+      RouteNetwork::Global().Route(IdOf("Port Hedland"), IdOf("Qingdao"));
+  ASSERT_TRUE(route.ok());
+  const double km = RouteNetwork::PolylineLengthKm(*route);
+  // The iron-ore lane is roughly 3600 nm (~6700 km).
+  EXPECT_GT(km, 5500);
+  EXPECT_LT(km, 9500);
+}
+
+TEST(RouteNetworkTest, EveryLargePortPairRoutes) {
+  const PortDatabase& db = PortDatabase::Global();
+  const RouteNetwork& net = RouteNetwork::Global();
+  std::vector<PortId> large;
+  for (const Port& port : db.ports()) {
+    if (port.size == PortSize::kLarge) large.push_back(port.id);
+  }
+  ASSERT_GE(large.size(), 20u);
+  int failures = 0;
+  for (const PortId a : large) {
+    for (const PortId b : large) {
+      if (a >= b) continue;
+      if (!net.Route(a, b).ok()) ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(RouteNetworkTest, RouteEndpointsAreThePorts) {
+  const auto route =
+      RouteNetwork::Global().Route(IdOf("Rotterdam"), IdOf("Singapore"));
+  ASSERT_TRUE(route.ok());
+  const Port& rotterdam = **PortDatabase::Global().FindByName("Rotterdam");
+  const Port& singapore = **PortDatabase::Global().FindByName("Singapore");
+  EXPECT_LT(geo::HaversineKm(route->front(), rotterdam.position), 1.0);
+  EXPECT_LT(geo::HaversineKm(route->back(), singapore.position), 1.0);
+}
+
+TEST(RouteNetworkTest, RouteIsSymmetricInLength) {
+  const RouteNetwork& net = RouteNetwork::Global();
+  const auto forward = net.SeaDistanceKm(IdOf("Rotterdam"), IdOf("Santos"));
+  const auto backward = net.SeaDistanceKm(IdOf("Santos"), IdOf("Rotterdam"));
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_NEAR(*forward, *backward, 1.0);
+}
+
+TEST(RouteNetworkTest, BadInputsFail) {
+  const RouteNetwork& net = RouteNetwork::Global();
+  EXPECT_FALSE(net.Route(kNoPort, IdOf("Singapore")).ok());
+  EXPECT_FALSE(net.Route(IdOf("Singapore"), IdOf("Singapore")).ok());
+  EXPECT_FALSE(net.Route(IdOf("Singapore"), 9999).ok());
+}
+
+TEST(RouteNetworkTest, DisabledSuezReroutesAroundCape) {
+  // Closing the canal leg (the Ever Given scenario) must force the
+  // Asia-Europe shortest path around the Cape of Good Hope, thousands of
+  // kilometres longer.
+  const RouteNetwork closed(&PortDatabase::Global(),
+                            {{"port-said-approach", "suez-south"}});
+  const auto route = closed.Route(IdOf("Rotterdam"), IdOf("Singapore"));
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(PassesNear(*route, {-35.2, 18.3}, 800));  // The Cape.
+  EXPECT_FALSE(PassesNear(*route, {29.9, 32.5}, 400));  // Not Suez.
+  const double open_km =
+      *RouteNetwork::Global().SeaDistanceKm(IdOf("Rotterdam"),
+                                            IdOf("Singapore"));
+  const double closed_km = RouteNetwork::PolylineLengthKm(*route);
+  EXPECT_GT(closed_km, open_km + 5000.0);  // The +7000 nm of the intro.
+}
+
+TEST(RouteNetworkTest, SuezVsCapeDetourRatio) {
+  // The motivation example of the paper's introduction: re-routing
+  // around the Cape of Good Hope adds >7000 nm for Asia-Europe legs.
+  // Our network must reflect that gap: the (shortest) Suez route is far
+  // shorter than the Cape leg composed of its two halves.
+  const RouteNetwork& net = RouteNetwork::Global();
+  const double via_suez =
+      *net.SeaDistanceKm(IdOf("Rotterdam"), IdOf("Singapore"));
+  const double to_cape =
+      *net.SeaDistanceKm(IdOf("Rotterdam"), IdOf("Cape Town"));
+  const double cape_on =
+      *net.SeaDistanceKm(IdOf("Cape Town"), IdOf("Singapore"));
+  EXPECT_GT(to_cape + cape_on, via_suez + 5000.0);
+}
+
+}  // namespace
+}  // namespace pol::sim

@@ -1,0 +1,93 @@
+#include "stats/circular.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pol::stats {
+namespace {
+
+TEST(CircularMeanTest, EmptyIsZero) {
+  CircularMean c;
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.MeanDeg(), 0.0);
+  EXPECT_EQ(c.ResultantLength(), 0.0);
+}
+
+TEST(CircularMeanTest, SingleDirection) {
+  CircularMean c;
+  c.Add(45.0);
+  EXPECT_NEAR(c.MeanDeg(), 45.0, 1e-9);
+  EXPECT_NEAR(c.ResultantLength(), 1.0, 1e-12);
+}
+
+TEST(CircularMeanTest, WrapAroundNorth) {
+  // 350 and 10 degrees average to 0, not 180 — the whole point of the
+  // circular mean for vessel courses.
+  CircularMean c;
+  c.Add(350.0);
+  c.Add(10.0);
+  EXPECT_NEAR(c.MeanDeg(), 0.0, 1e-9);
+  EXPECT_GT(c.ResultantLength(), 0.9);
+}
+
+TEST(CircularMeanTest, OppositeDirectionsCancel) {
+  CircularMean c;
+  c.Add(0.0);
+  c.Add(180.0);
+  EXPECT_NEAR(c.ResultantLength(), 0.0, 1e-12);
+  EXPECT_NEAR(c.CircularVariance(), 1.0, 1e-12);
+}
+
+TEST(CircularMeanTest, NegativeAnglesNormalized) {
+  CircularMean c;
+  c.Add(-90.0);
+  EXPECT_NEAR(c.MeanDeg(), 270.0, 1e-9);
+}
+
+TEST(CircularMeanTest, ConcentrationReflectsSpread) {
+  Rng rng(3);
+  CircularMean narrow;
+  CircularMean wide;
+  for (int i = 0; i < 10000; ++i) {
+    narrow.Add(90.0 + rng.NextGaussian() * 5.0);
+    wide.Add(90.0 + rng.NextGaussian() * 80.0);
+  }
+  EXPECT_NEAR(narrow.MeanDeg(), 90.0, 1.0);
+  EXPECT_GT(narrow.ResultantLength(), 0.98);
+  EXPECT_LT(wide.ResultantLength(), 0.6);
+}
+
+TEST(CircularMeanTest, MergeMatchesSequential) {
+  Rng rng(7);
+  CircularMean sequential;
+  CircularMean a;
+  CircularMean b;
+  for (int i = 0; i < 1000; ++i) {
+    const double deg = rng.Uniform(0, 360);
+    sequential.Add(deg);
+    (i % 2 == 0 ? a : b).Add(deg);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), sequential.count());
+  EXPECT_NEAR(a.MeanDeg(), sequential.MeanDeg(), 1e-9);
+  EXPECT_NEAR(a.ResultantLength(), sequential.ResultantLength(), 1e-12);
+}
+
+TEST(CircularMeanTest, SerializeRoundTrip) {
+  CircularMean c;
+  c.Add(10);
+  c.Add(20);
+  c.Add(350);
+  std::string buf;
+  c.Serialize(&buf);
+  CircularMean restored;
+  std::string_view in(buf);
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_EQ(restored.count(), c.count());
+  EXPECT_DOUBLE_EQ(restored.MeanDeg(), c.MeanDeg());
+  EXPECT_DOUBLE_EQ(restored.ResultantLength(), c.ResultantLength());
+}
+
+}  // namespace
+}  // namespace pol::stats

@@ -1,0 +1,115 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pol::stats {
+namespace {
+
+TEST(HistogramTest, DegreeBinsMatchPaperConfiguration) {
+  Histogram h = Histogram::ForDegrees30();
+  EXPECT_EQ(h.num_bins(), 12);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 30.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(11), 360.0);
+}
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h = Histogram::ForDegrees30();
+  EXPECT_EQ(h.BinOf(0.0), 0);
+  EXPECT_EQ(h.BinOf(29.999), 0);
+  EXPECT_EQ(h.BinOf(30.0), 1);
+  EXPECT_EQ(h.BinOf(359.999), 11);
+}
+
+TEST(HistogramTest, WrappingFoldsAngles) {
+  Histogram h = Histogram::ForDegrees30();
+  EXPECT_EQ(h.BinOf(360.0), 0);
+  EXPECT_EQ(h.BinOf(365.0), 0);
+  EXPECT_EQ(h.BinOf(-5.0), 11);
+  EXPECT_EQ(h.BinOf(-365.0), 11);
+  EXPECT_EQ(h.BinOf(725.0), 0);
+}
+
+TEST(HistogramTest, ClampingCountsEdges) {
+  Histogram h(0.0, 10.0, 5, /*wrap=*/false);
+  EXPECT_EQ(h.BinOf(-3.0), 0);
+  EXPECT_EQ(h.BinOf(10.0), 4);
+  EXPECT_EQ(h.BinOf(99.0), 4);
+  EXPECT_EQ(h.BinOf(5.5), 2);
+}
+
+TEST(HistogramTest, CountsAndFractions) {
+  Histogram h(0.0, 4.0, 4, false);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.7);
+  h.Add(3.9);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 0.5);
+  EXPECT_EQ(h.ModeBin(), 1);
+}
+
+TEST(HistogramTest, ModeBinOfEmptyIsMinusOne) {
+  Histogram h(0.0, 1.0, 2, false);
+  EXPECT_EQ(h.ModeBin(), -1);
+}
+
+TEST(HistogramTest, MergeMatchesSequential) {
+  Rng rng(5);
+  Histogram sequential = Histogram::ForDegrees30();
+  Histogram a = Histogram::ForDegrees30();
+  Histogram b = Histogram::ForDegrees30();
+  for (int i = 0; i < 5000; ++i) {
+    const double deg = rng.Uniform(0, 360);
+    sequential.Add(deg);
+    (i % 2 == 0 ? a : b).Add(deg);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.total(), sequential.total());
+  for (int bin = 0; bin < 12; ++bin) {
+    EXPECT_EQ(a.bin_count(bin), sequential.bin_count(bin)) << bin;
+  }
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedConfiguration) {
+  Histogram a(0.0, 360.0, 12, true);
+  Histogram b(0.0, 360.0, 36, true);
+  EXPECT_EQ(a.Merge(b).code(), StatusCode::kFailedPrecondition);
+  Histogram c(0.0, 180.0, 12, true);
+  EXPECT_EQ(a.Merge(c).code(), StatusCode::kFailedPrecondition);
+  Histogram d(0.0, 360.0, 12, false);
+  EXPECT_EQ(a.Merge(d).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HistogramTest, SerializeRoundTrip) {
+  Histogram h = Histogram::ForDegrees30();
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) h.Add(rng.Uniform(0, 360));
+  std::string buf;
+  h.Serialize(&buf);
+  Histogram restored(0, 1, 1, false);
+  std::string_view in(buf);
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(restored.num_bins(), h.num_bins());
+  EXPECT_EQ(restored.total(), h.total());
+  for (int bin = 0; bin < 12; ++bin) {
+    EXPECT_EQ(restored.bin_count(bin), h.bin_count(bin));
+  }
+}
+
+TEST(HistogramTest, DeserializeRejectsGarbage) {
+  std::string buf(3, '\x7f');
+  Histogram h(0, 1, 1, false);
+  std::string_view in(buf);
+  EXPECT_FALSE(h.Deserialize(&in).ok());
+}
+
+}  // namespace
+}  // namespace pol::stats

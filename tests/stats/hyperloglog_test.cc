@@ -1,0 +1,156 @@
+#include "stats/hyperloglog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace pol::stats {
+namespace {
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll;
+  EXPECT_EQ(hll.Estimate(), 0.0);
+  EXPECT_TRUE(hll.IsSparse());
+}
+
+TEST(HyperLogLogTest, SparseModeIsExact) {
+  HyperLogLog hll;
+  for (uint64_t k = 0; k < 200; ++k) hll.Add(k * 7919);
+  EXPECT_TRUE(hll.IsSparse());
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 200.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotCount) {
+  HyperLogLog hll;
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t k = 0; k < 50; ++k) hll.Add(k);
+  }
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 50.0);
+}
+
+TEST(HyperLogLogTest, PromotesToDense) {
+  HyperLogLog hll;
+  for (uint64_t k = 0; k < 1000; ++k) hll.Add(k);
+  EXPECT_FALSE(hll.IsSparse());
+  // Around the promotion threshold accuracy stays within a few percent.
+  EXPECT_NEAR(hll.Estimate(), 1000.0, 60.0);
+}
+
+TEST(HyperLogLogTest, DenseAccuracyWithinThreeSigma) {
+  // Standard error at precision 12 is 1.04/sqrt(4096) ~= 1.63%.
+  for (const uint64_t n : {10000ull, 100000ull}) {
+    HyperLogLog hll(12);
+    Rng rng(n);
+    for (uint64_t k = 0; k < n; ++k) hll.Add(rng.NextUint64());
+    const double relative_error =
+        std::fabs(hll.Estimate() - static_cast<double>(n)) /
+        static_cast<double>(n);
+    EXPECT_LT(relative_error, 0.05) << "n=" << n;
+  }
+}
+
+TEST(HyperLogLogTest, LowerPrecisionIsLessAccurateButWorks) {
+  HyperLogLog hll(8);  // 256 registers, ~6.5% standard error.
+  Rng rng(123);
+  for (int k = 0; k < 50000; ++k) hll.Add(rng.NextUint64());
+  EXPECT_NEAR(hll.Estimate(), 50000.0, 50000.0 * 0.2);
+}
+
+TEST(HyperLogLogTest, MergeSparseSparse) {
+  HyperLogLog a;
+  HyperLogLog b;
+  for (uint64_t k = 0; k < 100; ++k) a.Add(k);
+  for (uint64_t k = 50; k < 150; ++k) b.Add(k);
+  a.Merge(b);
+  EXPECT_TRUE(a.IsSparse());
+  EXPECT_DOUBLE_EQ(a.Estimate(), 150.0);
+}
+
+TEST(HyperLogLogTest, MergeEqualsUnion) {
+  Rng rng(9);
+  HyperLogLog whole(12);
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  for (int k = 0; k < 20000; ++k) {
+    const uint64_t key = rng.NextBelow(30000);
+    whole.Add(key);
+    (k % 2 == 0 ? a : b).Add(key);
+  }
+  a.Merge(b);
+  // Merged estimate must match the single-sketch estimate exactly:
+  // register-wise max is lossless for HLL.
+  EXPECT_DOUBLE_EQ(a.Estimate(), whole.Estimate());
+}
+
+TEST(HyperLogLogTest, MergeSparseIntoDense) {
+  HyperLogLog dense(12);
+  for (uint64_t k = 0; k < 5000; ++k) dense.Add(k);
+  ASSERT_FALSE(dense.IsSparse());
+  HyperLogLog sparse(12);
+  for (uint64_t k = 5000; k < 5100; ++k) sparse.Add(k);
+  ASSERT_TRUE(sparse.IsSparse());
+  const double before = dense.Estimate();
+  dense.Merge(sparse);
+  EXPECT_GT(dense.Estimate(), before);
+  EXPECT_NEAR(dense.Estimate(), 5100.0, 5100.0 * 0.06);
+}
+
+TEST(HyperLogLogTest, SerializeSparseRoundTrip) {
+  HyperLogLog hll;
+  for (uint64_t k = 0; k < 77; ++k) hll.Add(k * 31);
+  std::string buf;
+  hll.Serialize(&buf);
+  HyperLogLog restored;
+  std::string_view in(buf);
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_TRUE(in.empty());
+  EXPECT_TRUE(restored.IsSparse());
+  EXPECT_DOUBLE_EQ(restored.Estimate(), 77.0);
+}
+
+TEST(HyperLogLogTest, SerializeDenseRoundTrip) {
+  HyperLogLog hll(10);
+  Rng rng(77);
+  for (int k = 0; k < 20000; ++k) hll.Add(rng.NextUint64());
+  std::string buf;
+  hll.Serialize(&buf);
+  HyperLogLog restored;
+  std::string_view in(buf);
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_TRUE(in.empty());
+  EXPECT_FALSE(restored.IsSparse());
+  EXPECT_DOUBLE_EQ(restored.Estimate(), hll.Estimate());
+}
+
+TEST(HyperLogLogTest, SparseSerializationIsCompact) {
+  HyperLogLog hll(12);
+  for (uint64_t k = 0; k < 10; ++k) hll.Add(k);
+  std::string buf;
+  hll.Serialize(&buf);
+  // Ten delta-coded hashes: far below the 4 KiB dense footprint.
+  EXPECT_LT(buf.size(), 128u);
+}
+
+TEST(HyperLogLogTest, DeserializeRejectsBadPrecision) {
+  std::string buf;
+  buf.push_back(2);  // precision 2 < 4.
+  HyperLogLog restored;
+  std::string_view in(buf);
+  EXPECT_FALSE(restored.Deserialize(&in).ok());
+}
+
+TEST(HyperLogLogTest, DeserializeRejectsTruncatedDense) {
+  HyperLogLog hll(10);
+  for (uint64_t k = 0; k < 5000; ++k) hll.Add(k);
+  std::string buf;
+  hll.Serialize(&buf);
+  buf.resize(buf.size() - 100);
+  HyperLogLog restored;
+  std::string_view in(buf);
+  EXPECT_FALSE(restored.Deserialize(&in).ok());
+}
+
+}  // namespace
+}  // namespace pol::stats

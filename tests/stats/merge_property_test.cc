@@ -1,0 +1,187 @@
+// Merge-equivalence sweeps: for every sketch, splitting a stream into P
+// partitions, sketching each and merging must match (exactly or within
+// sketch tolerance) the single-pass sketch, for any P and any split.
+// This is the contract the flow engine's reduce phase relies on
+// (aggregation results must not depend on partitioning).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/circular.h"
+#include "stats/histogram.h"
+#include "stats/hyperloglog.h"
+#include "stats/spacesaving.h"
+#include "stats/tdigest.h"
+#include "stats/welford.h"
+
+namespace pol::stats {
+namespace {
+
+class MergePropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  // Deterministic stream of (value, angle, key) observations.
+  struct Observation {
+    double value;
+    double angle;
+    uint64_t key;
+  };
+
+  std::vector<Observation> MakeStream(int n) {
+    Rng rng(static_cast<uint64_t>(GetParam()) * 1000 + 17);
+    std::vector<Observation> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.push_back({rng.NextGaussian() * 12 + 30, rng.Uniform(0, 360),
+                     rng.NextBelow(500)});
+    }
+    return out;
+  }
+};
+
+TEST_P(MergePropertyTest, WelfordExactUnderAnySplit) {
+  const int partitions = GetParam();
+  const auto stream = MakeStream(20000);
+  Welford whole;
+  std::vector<Welford> parts(static_cast<size_t>(partitions));
+  for (size_t i = 0; i < stream.size(); ++i) {
+    whole.Add(stream[i].value);
+    parts[i % static_cast<size_t>(partitions)].Add(stream[i].value);
+  }
+  Welford merged;
+  for (const Welford& p : parts) merged.Merge(p);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.Mean(), whole.Mean(), 1e-9);
+  EXPECT_NEAR(merged.Variance(), whole.Variance(), 1e-7);
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+}
+
+TEST_P(MergePropertyTest, CircularExactUnderAnySplit) {
+  const int partitions = GetParam();
+  const auto stream = MakeStream(20000);
+  CircularMean whole;
+  std::vector<CircularMean> parts(static_cast<size_t>(partitions));
+  for (size_t i = 0; i < stream.size(); ++i) {
+    whole.Add(stream[i].angle);
+    parts[i % static_cast<size_t>(partitions)].Add(stream[i].angle);
+  }
+  CircularMean merged;
+  for (const CircularMean& p : parts) merged.Merge(p);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.MeanDeg(), whole.MeanDeg(), 1e-6);
+  EXPECT_NEAR(merged.ResultantLength(), whole.ResultantLength(), 1e-9);
+}
+
+TEST_P(MergePropertyTest, HistogramExactUnderAnySplit) {
+  const int partitions = GetParam();
+  const auto stream = MakeStream(20000);
+  Histogram whole = Histogram::ForDegrees30();
+  std::vector<Histogram> parts(static_cast<size_t>(partitions),
+                               Histogram::ForDegrees30());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    whole.Add(stream[i].angle);
+    parts[i % static_cast<size_t>(partitions)].Add(stream[i].angle);
+  }
+  Histogram merged = Histogram::ForDegrees30();
+  for (const Histogram& p : parts) ASSERT_TRUE(merged.Merge(p).ok());
+  for (int bin = 0; bin < whole.num_bins(); ++bin) {
+    EXPECT_EQ(merged.bin_count(bin), whole.bin_count(bin));
+  }
+}
+
+TEST_P(MergePropertyTest, HyperLogLogExactUnderAnySplit) {
+  const int partitions = GetParam();
+  const auto stream = MakeStream(20000);
+  HyperLogLog whole(12);
+  std::vector<HyperLogLog> parts(static_cast<size_t>(partitions),
+                                 HyperLogLog(12));
+  for (size_t i = 0; i < stream.size(); ++i) {
+    whole.Add(stream[i].key);
+    parts[i % static_cast<size_t>(partitions)].Add(stream[i].key);
+  }
+  HyperLogLog merged(12);
+  for (const HyperLogLog& p : parts) merged.Merge(p);
+  // Register-max / hash-union merging is lossless for HLL.
+  EXPECT_DOUBLE_EQ(merged.Estimate(), whole.Estimate());
+}
+
+TEST_P(MergePropertyTest, TDigestQuantilesStableUnderSplit) {
+  const int partitions = GetParam();
+  const auto stream = MakeStream(40000);
+  TDigest whole(100);
+  std::vector<TDigest> parts(static_cast<size_t>(partitions), TDigest(100));
+  for (size_t i = 0; i < stream.size(); ++i) {
+    whole.Add(stream[i].value);
+    parts[i % static_cast<size_t>(partitions)].Add(stream[i].value);
+  }
+  TDigest merged(100);
+  for (const TDigest& p : parts) merged.Merge(p);
+  EXPECT_EQ(merged.count(), whole.count());
+  // T-digest is approximate: merged and whole must agree within the
+  // sketch's own error envelope (values span roughly [-30, 90]).
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(merged.Quantile(q), whole.Quantile(q), 1.5) << "q=" << q;
+  }
+}
+
+TEST_P(MergePropertyTest, SpaceSavingHeadStableUnderSplit) {
+  const int partitions = GetParam();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 5);
+  SpaceSaving whole(32);
+  std::vector<SpaceSaving> parts(static_cast<size_t>(partitions),
+                                 SpaceSaving(32));
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t key =
+        static_cast<uint64_t>(std::pow(300.0, rng.NextDouble()));
+    whole.Add(key);
+    parts[static_cast<size_t>(i) % static_cast<size_t>(partitions)].Add(key);
+  }
+  SpaceSaving merged(32);
+  for (const SpaceSaving& p : parts) merged.Merge(p);
+  EXPECT_EQ(merged.total(), whole.total());
+  // The head of the ranking (clear heavy hitters) must agree.
+  const auto top_whole = whole.TopN(3);
+  const auto top_merged = merged.TopN(3);
+  ASSERT_EQ(top_whole.size(), top_merged.size());
+  for (size_t i = 0; i < top_whole.size(); ++i) {
+    EXPECT_EQ(top_merged[i].key, top_whole[i].key) << i;
+  }
+}
+
+TEST_P(MergePropertyTest, SerializeThenMergeMatchesDirectMerge) {
+  // The flow engine ships sketches between partitions in serialized
+  // form: deserialize(serialize(x)).Merge must equal x.Merge.
+  const int partitions = GetParam();
+  const auto stream = MakeStream(5000);
+  std::vector<Welford> parts(static_cast<size_t>(partitions));
+  for (size_t i = 0; i < stream.size(); ++i) {
+    parts[i % static_cast<size_t>(partitions)].Add(stream[i].value);
+  }
+  Welford direct;
+  Welford via_bytes;
+  for (const Welford& p : parts) {
+    direct.Merge(p);
+    std::string buf;
+    p.Serialize(&buf);
+    Welford restored;
+    std::string_view in(buf);
+    ASSERT_TRUE(restored.Deserialize(&in).ok());
+    via_bytes.Merge(restored);
+  }
+  EXPECT_EQ(via_bytes.count(), direct.count());
+  EXPECT_DOUBLE_EQ(via_bytes.Mean(), direct.Mean());
+  EXPECT_DOUBLE_EQ(via_bytes.Variance(), direct.Variance());
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, MergePropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "P" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pol::stats

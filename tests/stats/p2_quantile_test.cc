@@ -1,0 +1,123 @@
+#include "stats/p2_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/varint.h"
+
+namespace pol::stats {
+namespace {
+
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double idx = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double t = idx - static_cast<double>(lo);
+  return values[lo] * (1 - t) + values[hi] * t;
+}
+
+TEST(P2QuantileTest, EmptyIsZero) {
+  P2Quantile p(0.5);
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_EQ(p.Value(), 0.0);
+}
+
+TEST(P2QuantileTest, SmallSamplesAreExact) {
+  P2Quantile median(0.5);
+  median.Add(3.0);
+  EXPECT_DOUBLE_EQ(median.Value(), 3.0);
+  median.Add(1.0);
+  median.Add(5.0);
+  EXPECT_DOUBLE_EQ(median.Value(), 3.0);  // Sorted {1,3,5}: middle.
+}
+
+TEST(P2QuantileTest, MedianOfUniform) {
+  P2Quantile median(0.5);
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.Uniform(0, 1000);
+    values.push_back(v);
+    median.Add(v);
+  }
+  EXPECT_NEAR(median.Value(), ExactQuantile(values, 0.5), 10.0);
+}
+
+TEST(P2QuantileTest, TailQuantilesOfGaussian) {
+  Rng rng(2);
+  P2Quantile p10(0.1);
+  P2Quantile p90(0.9);
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.NextGaussian() * 10 + 50;
+    values.push_back(v);
+    p10.Add(v);
+    p90.Add(v);
+  }
+  EXPECT_NEAR(p10.Value(), ExactQuantile(values, 0.1), 1.0);
+  EXPECT_NEAR(p90.Value(), ExactQuantile(values, 0.9), 1.0);
+}
+
+TEST(P2QuantileTest, SkewedDistribution) {
+  Rng rng(3);
+  P2Quantile median(0.5);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.Exponential(0.1);
+    values.push_back(v);
+    median.Add(v);
+  }
+  const double exact = ExactQuantile(values, 0.5);
+  EXPECT_NEAR(median.Value(), exact, exact * 0.1);
+}
+
+TEST(P2QuantileTest, MonotoneInputs) {
+  P2Quantile p90(0.9);
+  for (int i = 0; i < 10000; ++i) p90.Add(static_cast<double>(i));
+  EXPECT_NEAR(p90.Value(), 9000.0, 400.0);
+}
+
+TEST(P2QuantileTest, SerializeRoundTrip) {
+  P2Quantile p(0.75);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) p.Add(rng.Uniform(0, 100));
+  std::string buffer;
+  p.Serialize(&buffer);
+  P2Quantile restored;
+  std::string_view input(buffer);
+  ASSERT_TRUE(restored.Deserialize(&input).ok());
+  EXPECT_TRUE(input.empty());
+  EXPECT_EQ(restored.count(), p.count());
+  EXPECT_DOUBLE_EQ(restored.Value(), p.Value());
+  // The restored estimator keeps working.
+  restored.Add(50.0);
+  EXPECT_EQ(restored.count(), p.count() + 1);
+}
+
+TEST(P2QuantileTest, SerializeSmallSample) {
+  P2Quantile p(0.5);
+  p.Add(7);
+  p.Add(3);
+  std::string buffer;
+  p.Serialize(&buffer);
+  P2Quantile restored;
+  std::string_view input(buffer);
+  ASSERT_TRUE(restored.Deserialize(&input).ok());
+  EXPECT_EQ(restored.count(), 2u);
+  EXPECT_DOUBLE_EQ(restored.Value(), p.Value());
+}
+
+TEST(P2QuantileTest, DeserializeRejectsGarbage) {
+  std::string buffer;
+  PutDouble(&buffer, 2.5);  // Quantile outside (0, 1).
+  P2Quantile restored;
+  std::string_view input(buffer);
+  EXPECT_FALSE(restored.Deserialize(&input).ok());
+}
+
+}  // namespace
+}  // namespace pol::stats

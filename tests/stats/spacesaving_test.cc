@@ -1,0 +1,180 @@
+#include "stats/spacesaving.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+
+namespace pol::stats {
+namespace {
+
+TEST(SpaceSavingTest, EmptyHasNoEntries) {
+  SpaceSaving ss(8);
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_EQ(ss.total(), 0u);
+  EXPECT_TRUE(ss.TopN(5).empty());
+  EXPECT_EQ(ss.CountOf(42), 0u);
+}
+
+TEST(SpaceSavingTest, ExactBelowCapacity) {
+  SpaceSaving ss(8);
+  for (int k = 0; k < 5; ++k) {
+    for (int r = 0; r <= k; ++r) ss.Add(static_cast<uint64_t>(k));
+  }
+  EXPECT_EQ(ss.total(), 15u);
+  const auto top = ss.TopN(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 4u);
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, 3u);
+  EXPECT_EQ(top[2].key, 2u);
+}
+
+TEST(SpaceSavingTest, TiesBreakByKeyAscending) {
+  SpaceSaving ss(8);
+  ss.Add(7);
+  ss.Add(3);
+  ss.Add(5);
+  const auto top = ss.TopN(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 3u);
+  EXPECT_EQ(top[1].key, 5u);
+  EXPECT_EQ(top[2].key, 7u);
+}
+
+TEST(SpaceSavingTest, HeavyHittersSurviveEviction) {
+  // Zipf-ish stream: key k appears ~N/(k ln 1000) times. SpaceSaving
+  // with capacity m guarantees every key with frequency > total/m is
+  // tracked, and counts overestimate by at most total/m. With m = 64
+  // that bound (~1.6k) cleanly separates the top two keys (~10k, ~5.9k)
+  // but not ranks three and four, so only the head order is asserted.
+  SpaceSaving ss(64);
+  Rng rng(1);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 100000; ++i) {
+    // Inverse-CDF sample of a discrete Zipf over 1..1000.
+    const uint64_t key =
+        static_cast<uint64_t>(std::pow(1000.0, rng.NextDouble()));
+    ++truth[key];
+    ss.Add(key);
+  }
+  const auto top = ss.TopN(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[1].key, 2u);
+  // Keys 1..4 all exceed the guarantee threshold: all must be tracked,
+  // with counts bracketing the truth.
+  for (uint64_t key = 1; key <= 4; ++key) {
+    const uint64_t count = ss.CountOf(key);
+    ASSERT_GT(count, 0u) << key;
+    EXPECT_GE(count, truth[key]) << key;
+  }
+}
+
+TEST(SpaceSavingTest, CountNeverUnderestimates) {
+  SpaceSaving ss(4);
+  Rng rng(2);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t key = rng.NextBelow(50);
+    ++truth[key];
+    ss.Add(key);
+  }
+  for (const auto& e : ss.Entries()) {
+    EXPECT_GE(e.count, truth[e.key]);
+  }
+}
+
+TEST(SpaceSavingTest, GuaranteeThreshold) {
+  // Any key with frequency > total/capacity must be tracked.
+  SpaceSaving ss(10);
+  for (int i = 0; i < 900; ++i) ss.Add(1000 + (i % 90));  // Light keys.
+  for (int i = 0; i < 200; ++i) ss.Add(7);                // Heavy key.
+  EXPECT_GT(ss.CountOf(7), 0u);
+  const auto top = ss.TopN(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, 7u);
+}
+
+TEST(SpaceSavingTest, WeightedIncrements) {
+  SpaceSaving ss(4);
+  ss.Add(1, 100);
+  ss.Add(2, 50);
+  EXPECT_EQ(ss.CountOf(1), 100u);
+  EXPECT_EQ(ss.total(), 150u);
+  ss.Add(1, 0);  // No-op.
+  EXPECT_EQ(ss.total(), 150u);
+}
+
+TEST(SpaceSavingTest, MergeKeepsHeavyHitters) {
+  Rng rng(3);
+  SpaceSaving whole(32);
+  SpaceSaving a(32);
+  SpaceSaving b(32);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t key =
+        static_cast<uint64_t>(std::pow(500.0, rng.NextDouble()));
+    ++truth[key];
+    whole.Add(key);
+    (i % 2 == 0 ? a : b).Add(key);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), whole.total());
+  const auto top = a.TopN(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[1].key, 2u);
+  EXPECT_EQ(top[2].key, 3u);
+  for (const auto& e : top) {
+    EXPECT_GE(e.count, truth[e.key]);  // Still an upper bound.
+  }
+}
+
+TEST(SpaceSavingTest, MergeRespectsCapacity) {
+  SpaceSaving a(4);
+  SpaceSaving b(4);
+  for (uint64_t k = 0; k < 4; ++k) a.Add(k, k + 1);
+  for (uint64_t k = 10; k < 14; ++k) b.Add(k, k);
+  a.Merge(b);
+  EXPECT_LE(a.size(), 4u);
+  // The largest counts must survive: keys 13 (13), 12 (12), 11 (11), 10 (10).
+  EXPECT_EQ(a.TopN(1)[0].key, 13u);
+}
+
+TEST(SpaceSavingTest, SerializeRoundTrip) {
+  SpaceSaving ss(16);
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) ss.Add(rng.NextBelow(100));
+  std::string buf;
+  ss.Serialize(&buf);
+  SpaceSaving restored(1);
+  std::string_view in(buf);
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(restored.capacity(), ss.capacity());
+  EXPECT_EQ(restored.total(), ss.total());
+  EXPECT_EQ(restored.size(), ss.size());
+  const auto expected = ss.TopN(16);
+  const auto actual = restored.TopN(16);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].key, expected[i].key);
+    EXPECT_EQ(actual[i].count, expected[i].count);
+    EXPECT_EQ(actual[i].error, expected[i].error);
+  }
+}
+
+TEST(SpaceSavingTest, DeserializeRejectsBadData) {
+  std::string buf;
+  buf.push_back(0);  // capacity 0.
+  SpaceSaving restored(4);
+  std::string_view in(buf);
+  EXPECT_FALSE(restored.Deserialize(&in).ok());
+}
+
+}  // namespace
+}  // namespace pol::stats

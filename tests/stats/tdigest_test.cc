@@ -1,0 +1,197 @@
+#include "stats/tdigest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pol::stats {
+namespace {
+
+// Exact quantile of a sorted sample for comparison.
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double idx = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double t = idx - static_cast<double>(lo);
+  return values[lo] * (1 - t) + values[hi] * t;
+}
+
+TEST(TDigestTest, EmptyIsZero) {
+  TDigest d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.Quantile(0.5), 0.0);
+  EXPECT_EQ(d.Rank(1.0), 0.0);
+}
+
+TEST(TDigestTest, SingleValue) {
+  TDigest d;
+  d.Add(42.0);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 42.0);
+}
+
+TEST(TDigestTest, MinMaxAreExact) {
+  TDigest d;
+  Rng rng(11);
+  double lo = 1e18;
+  double hi = -1e18;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-100, 100);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    d.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(d.min(), lo);
+  EXPECT_DOUBLE_EQ(d.max(), hi);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), lo);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), hi);
+}
+
+TEST(TDigestTest, UniformQuantilesAccurate) {
+  TDigest d(100);
+  Rng rng(22);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.Uniform(0, 1000);
+    values.push_back(v);
+    d.Add(v);
+  }
+  // The paper queries the 10th, 50th and 90th percentiles.
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(d.Quantile(q), ExactQuantile(values, q), 10.0)
+        << "q=" << q;  // 1% of the range.
+  }
+  // Tails are even tighter under the k1 scale function.
+  for (double q : {0.001, 0.01, 0.99, 0.999}) {
+    EXPECT_NEAR(d.Quantile(q), ExactQuantile(values, q), 5.0) << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, SkewedDistributionQuantiles) {
+  TDigest d(100);
+  Rng rng(33);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.Exponential(0.1);  // Mean 10, long tail.
+    values.push_back(v);
+    d.Add(v);
+  }
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact = ExactQuantile(values, q);
+    EXPECT_NEAR(d.Quantile(q), exact, std::max(0.5, exact * 0.05))
+        << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, QuantilesAreMonotone) {
+  TDigest d(50);
+  Rng rng(44);
+  for (int i = 0; i < 20000; ++i) d.Add(rng.NextGaussian());
+  double prev = d.Quantile(0.0);
+  for (double q = 0.01; q <= 1.0; q += 0.01) {
+    const double cur = d.Quantile(q);
+    EXPECT_GE(cur, prev - 1e-12) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(TDigestTest, RankInvertsQuantile) {
+  TDigest d(100);
+  Rng rng(55);
+  for (int i = 0; i < 30000; ++i) d.Add(rng.Uniform(0, 100));
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(d.Rank(d.Quantile(q)), q, 0.02) << "q=" << q;
+  }
+  EXPECT_EQ(d.Rank(-1.0), 0.0);
+  EXPECT_EQ(d.Rank(101.0), 1.0);
+}
+
+TEST(TDigestTest, CentroidCountBounded) {
+  TDigest d(100);
+  Rng rng(66);
+  for (int i = 0; i < 100000; ++i) d.Add(rng.NextGaussian());
+  // The merging t-digest keeps O(compression) centroids.
+  EXPECT_LE(d.CentroidCount(), 220u);
+  EXPECT_GE(d.CentroidCount(), 30u);
+}
+
+TEST(TDigestTest, MergePreservesCountAndAccuracy) {
+  Rng rng(77);
+  TDigest whole(100);
+  std::vector<TDigest> parts;
+  for (int p = 0; p < 8; ++p) parts.emplace_back(100);
+  std::vector<double> values;
+  for (int i = 0; i < 40000; ++i) {
+    const double v = rng.NextGaussian() * 15 + 50;
+    values.push_back(v);
+    whole.Add(v);
+    parts[static_cast<size_t>(i % 8)].Add(v);
+  }
+  TDigest merged(100);
+  for (const TDigest& part : parts) merged.Merge(part);
+  EXPECT_EQ(merged.count(), whole.count());
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double exact = ExactQuantile(values, q);
+    EXPECT_NEAR(merged.Quantile(q), exact, 1.5) << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, WeightedAddMatchesRepeatedAdd) {
+  TDigest weighted(100);
+  TDigest repeated(100);
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(i);
+    weighted.Add(v, 5);
+    for (int k = 0; k < 5; ++k) repeated.Add(v);
+  }
+  EXPECT_EQ(weighted.count(), repeated.count());
+  for (double q : {0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(weighted.Quantile(q), repeated.Quantile(q), 1.5);
+  }
+}
+
+TEST(TDigestTest, IgnoresNanAndZeroWeight) {
+  TDigest d;
+  d.Add(std::nan(""));
+  d.Add(1.0, 0);
+  EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(TDigestTest, SerializeRoundTrip) {
+  TDigest d(80);
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) d.Add(rng.Exponential(1.0));
+  std::string buf;
+  d.Serialize(&buf);
+  TDigest restored;
+  std::string_view in(buf);
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(restored.count(), d.count());
+  EXPECT_DOUBLE_EQ(restored.min(), d.min());
+  EXPECT_DOUBLE_EQ(restored.max(), d.max());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(restored.Quantile(q), d.Quantile(q));
+  }
+}
+
+TEST(TDigestTest, DeserializeRejectsCorruption) {
+  TDigest d;
+  d.Add(1.0);
+  std::string buf;
+  d.Serialize(&buf);
+  buf.resize(buf.size() - 3);
+  TDigest restored;
+  std::string_view in(buf);
+  EXPECT_FALSE(restored.Deserialize(&in).ok());
+}
+
+}  // namespace
+}  // namespace pol::stats

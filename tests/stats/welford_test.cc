@@ -1,0 +1,125 @@
+#include "stats/welford.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pol::stats {
+namespace {
+
+TEST(WelfordTest, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.Mean(), 0.0);
+  EXPECT_EQ(w.StdDev(), 0.0);
+  EXPECT_EQ(w.min(), 0.0);
+  EXPECT_EQ(w.max(), 0.0);
+}
+
+TEST(WelfordTest, SingleValue) {
+  Welford w;
+  w.Add(12.5);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.Mean(), 12.5);
+  EXPECT_EQ(w.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 12.5);
+  EXPECT_DOUBLE_EQ(w.max(), 12.5);
+}
+
+TEST(WelfordTest, KnownMoments) {
+  Welford w;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.Add(v);
+  EXPECT_DOUBLE_EQ(w.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.Variance(), 4.0);  // Population variance.
+  EXPECT_DOUBLE_EQ(w.StdDev(), 2.0);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(WelfordTest, NumericallyStableForLargeOffsets) {
+  // Catastrophic cancellation check: values with a huge common offset.
+  Welford w;
+  const double offset = 1e9;
+  for (double v : {1.0, 2.0, 3.0}) w.Add(offset + v);
+  EXPECT_NEAR(w.Mean(), offset + 2.0, 1e-6);
+  EXPECT_NEAR(w.Variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(WelfordTest, MergeMatchesSequential) {
+  Rng rng(88);
+  Welford sequential;
+  Welford part1;
+  Welford part2;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextGaussian() * 3.0 + 10.0;
+    sequential.Add(v);
+    (i % 3 == 0 ? part1 : part2).Add(v);
+  }
+  part1.Merge(part2);
+  EXPECT_EQ(part1.count(), sequential.count());
+  EXPECT_NEAR(part1.Mean(), sequential.Mean(), 1e-9);
+  EXPECT_NEAR(part1.Variance(), sequential.Variance(), 1e-9);
+  EXPECT_EQ(part1.min(), sequential.min());
+  EXPECT_EQ(part1.max(), sequential.max());
+}
+
+TEST(WelfordTest, MergeWithEmptySides) {
+  Welford filled;
+  filled.Add(1.0);
+  filled.Add(3.0);
+
+  Welford left = filled;
+  left.Merge(Welford());
+  EXPECT_EQ(left.count(), 2u);
+  EXPECT_DOUBLE_EQ(left.Mean(), 2.0);
+
+  Welford right;
+  right.Merge(filled);
+  EXPECT_EQ(right.count(), 2u);
+  EXPECT_DOUBLE_EQ(right.Mean(), 2.0);
+}
+
+TEST(WelfordTest, SerializeRoundTrip) {
+  Welford w;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) w.Add(rng.Uniform(-50, 50));
+  std::string buf;
+  w.Serialize(&buf);
+  Welford restored;
+  std::string_view in(buf);
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(restored.count(), w.count());
+  EXPECT_DOUBLE_EQ(restored.Mean(), w.Mean());
+  EXPECT_DOUBLE_EQ(restored.Variance(), w.Variance());
+  EXPECT_DOUBLE_EQ(restored.min(), w.min());
+  EXPECT_DOUBLE_EQ(restored.max(), w.max());
+}
+
+TEST(WelfordTest, SerializeEmpty) {
+  Welford w;
+  std::string buf;
+  w.Serialize(&buf);
+  Welford restored;
+  restored.Add(99);  // Pre-existing state must be reset.
+  std::string_view in(buf);
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_EQ(restored.count(), 0u);
+}
+
+TEST(WelfordTest, DeserializeTruncatedFails) {
+  Welford w;
+  w.Add(1.0);
+  std::string buf;
+  w.Serialize(&buf);
+  buf.resize(buf.size() / 2);
+  Welford restored;
+  std::string_view in(buf);
+  EXPECT_FALSE(restored.Deserialize(&in).ok());
+}
+
+}  // namespace
+}  // namespace pol::stats

@@ -1,0 +1,224 @@
+// polinv — command-line inspector for saved Patterns-of-Life inventory
+// files (*.polinv).
+//
+//   polinv stats <file>                    header + per-grouping-set counts
+//   polinv query <file> <lat> <lng>        Table-3 summary of the cell
+//   polinv top <file> <n>                  n busiest cells
+//   polinv export <file>                   CSV of the (cell) grouping set
+//   polinv geojson <file> [min_records]    cell polygons as GeoJSON
+//
+// Exit code 0 on success, 1 on usage errors, 2 on IO/corruption.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "core/inventory.h"
+#include "hexgrid/hexgrid.h"
+#include "sim/ports.h"
+
+namespace pol {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  polinv stats   <file.polinv>\n"
+               "  polinv query   <file.polinv> <lat> <lng>\n"
+               "  polinv top     <file.polinv> <n>\n"
+               "  polinv export  <file.polinv>\n"
+               "  polinv geojson <file.polinv> [min_records]\n");
+  return 1;
+}
+
+Result<core::Inventory> Load(const char* path) {
+  return core::Inventory::LoadFromFile(path);
+}
+
+int CmdStats(const core::Inventory& inv) {
+  std::printf("resolution:        %d (mean cell ~%.1f km^2)\n",
+              inv.resolution(), hex::MeanCellAreaKm2(inv.resolution()));
+  std::printf("summaries:         %zu\n", inv.size());
+  std::map<int, uint64_t> by_gs;
+  uint64_t records = 0;
+  for (const auto& [key, summary] : inv.summaries()) {
+    ++by_gs[key.grouping_set];
+    if (key.grouping_set == 0) records += summary.record_count();
+  }
+  static const char* kNames[] = {"(cell)", "(cell,type)",
+                                 "(cell,origin,destination,type)"};
+  for (const auto& [gs, count] : by_gs) {
+    std::printf("  grouping set %d %-32s %llu\n", gs,
+                gs < 3 ? kNames[gs] : "?",
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("records aggregated: %llu\n",
+              static_cast<unsigned long long>(records));
+  std::printf("distinct cells:     %llu\n",
+              static_cast<unsigned long long>(inv.DistinctCells()));
+  return 0;
+}
+
+void PrintSummary(const core::CellSummary& s) {
+  std::printf("  records:            %llu\n",
+              static_cast<unsigned long long>(s.record_count()));
+  std::printf("  ships / trips:      %.0f / %.0f\n", s.ships().Estimate(),
+              s.trips().Estimate());
+  if (s.speed().count() > 0) {
+    std::printf("  speed kn:           mean %.1f std %.1f p10/p50/p90 "
+                "%.1f/%.1f/%.1f\n",
+                s.speed().Mean(), s.speed().StdDev(),
+                s.speed_percentiles().Quantile(0.1),
+                s.speed_percentiles().Quantile(0.5),
+                s.speed_percentiles().Quantile(0.9));
+  }
+  if (s.course_mean().count() > 0) {
+    std::printf("  course deg:         mean* %.0f (R %.2f), mode bin "
+                "[%g,%g)\n",
+                s.course_mean().MeanDeg(),
+                s.course_mean().ResultantLength(),
+                s.course_bins().bin_lo(s.course_bins().ModeBin()),
+                s.course_bins().bin_hi(s.course_bins().ModeBin()));
+  }
+  if (s.eto().count() > 0) {
+    std::printf("  ETO h:              mean %.1f p50 %.1f\n",
+                s.eto().Mean() / 3600,
+                s.eto_percentiles().Quantile(0.5) / 3600);
+    std::printf("  ATA h:              mean %.1f p50 %.1f\n",
+                s.ata().Mean() / 3600,
+                s.ata_percentiles().Quantile(0.5) / 3600);
+  }
+  const auto& ports = sim::PortDatabase::Global();
+  for (const auto& dest : s.destinations().TopN(3)) {
+    const auto port = ports.Find(static_cast<sim::PortId>(dest.key));
+    std::printf("  top destination:    %s (%llu)\n",
+                port.ok() ? (*port)->name.c_str() : "?",
+                static_cast<unsigned long long>(dest.count));
+  }
+  for (const auto& origin : s.origins().TopN(3)) {
+    const auto port = ports.Find(static_cast<sim::PortId>(origin.key));
+    std::printf("  top origin:         %s (%llu)\n",
+                port.ok() ? (*port)->name.c_str() : "?",
+                static_cast<unsigned long long>(origin.count));
+  }
+}
+
+int CmdQuery(const core::Inventory& inv, double lat, double lng) {
+  const geo::LatLng p{lat, lng};
+  if (!p.IsValid()) {
+    std::fprintf(stderr, "invalid coordinates\n");
+    return 1;
+  }
+  const hex::CellIndex cell = hex::LatLngToCell(p, inv.resolution());
+  std::printf("cell %s at %s\n", hex::CellToString(cell).c_str(),
+              hex::CellToLatLng(cell).ToString().c_str());
+  const core::CellSummary* summary = inv.Cell(cell);
+  if (summary == nullptr) {
+    std::printf("  (no recorded traffic)\n");
+    return 0;
+  }
+  PrintSummary(*summary);
+  return 0;
+}
+
+int CmdTop(const core::Inventory& inv, int n) {
+  std::vector<std::pair<uint64_t, hex::CellIndex>> ranked;
+  for (const auto& [key, summary] : inv.summaries()) {
+    if (key.grouping_set == 0) {
+      ranked.push_back({summary.record_count(), key.cell});
+    }
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("%-6s %-22s %-26s %s\n", "rank", "cell", "centre", "records");
+  for (int i = 0; i < n && i < static_cast<int>(ranked.size()); ++i) {
+    std::printf("%-6d %-22s %-26s %llu\n", i + 1,
+                hex::CellToString(ranked[static_cast<size_t>(i)].second).c_str(),
+                hex::CellToLatLng(ranked[static_cast<size_t>(i)].second)
+                    .ToString()
+                    .c_str(),
+                static_cast<unsigned long long>(
+                    ranked[static_cast<size_t>(i)].first));
+  }
+  return 0;
+}
+
+int CmdExport(const core::Inventory& inv) {
+  std::printf(
+      "cell,lat,lng,records,ships,trips,speed_mean,speed_p50,course_mean,"
+      "course_concentration,eto_mean_s,ata_mean_s\n");
+  for (const auto& [key, s] : inv.summaries()) {
+    if (key.grouping_set != 0) continue;
+    const geo::LatLng c = hex::CellToLatLng(key.cell);
+    std::printf("%llu,%.6f,%.6f,%llu,%.0f,%.0f,%.2f,%.2f,%.1f,%.3f,%.0f,%.0f\n",
+                static_cast<unsigned long long>(key.cell), c.lat_deg,
+                c.lng_deg,
+                static_cast<unsigned long long>(s.record_count()),
+                s.ships().Estimate(), s.trips().Estimate(),
+                s.speed().Mean(), s.speed_percentiles().Quantile(0.5),
+                s.course_mean().MeanDeg(),
+                s.course_mean().ResultantLength(), s.eto().Mean(),
+                s.ata().Mean());
+  }
+  return 0;
+}
+
+// GeoJSON FeatureCollection of the (cell) grouping set: one hexagon
+// polygon per cell with the headline statistics as properties. Feed it
+// straight into QGIS / kepler.gl / geojson.io for the Figure 1 style
+// visualisation.
+int CmdGeoJson(const core::Inventory& inv, uint64_t min_records) {
+  std::printf("{\"type\":\"FeatureCollection\",\"features\":[");
+  bool first = true;
+  for (const auto& [key, s] : inv.summaries()) {
+    if (key.grouping_set != 0 || s.record_count() < min_records) continue;
+    if (!first) std::printf(",");
+    first = false;
+    std::printf("{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
+                "\"coordinates\":[[");
+    const auto boundary = hex::CellToBoundary(key.cell);
+    for (size_t i = 0; i <= boundary.size(); ++i) {
+      const geo::LatLng& v = boundary[i % boundary.size()];
+      std::printf("%s[%.6f,%.6f]", i == 0 ? "" : ",", v.lng_deg, v.lat_deg);
+    }
+    std::printf("]]},\"properties\":{\"records\":%llu,\"ships\":%.0f,"
+                "\"speed_mean\":%.2f,\"course_mean\":%.1f,"
+                "\"course_concentration\":%.3f}}",
+                static_cast<unsigned long long>(s.record_count()),
+                s.ships().Estimate(), s.speed().Mean(),
+                s.course_mean().MeanDeg(),
+                s.course_mean().ResultantLength());
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const auto inventory = Load(argv[2]);
+  if (!inventory.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", argv[2],
+                 inventory.status().ToString().c_str());
+    return 2;
+  }
+  if (std::strcmp(argv[1], "stats") == 0) return CmdStats(*inventory);
+  if (std::strcmp(argv[1], "query") == 0 && argc == 5) {
+    return CmdQuery(*inventory, std::atof(argv[3]), std::atof(argv[4]));
+  }
+  if (std::strcmp(argv[1], "top") == 0 && argc == 4) {
+    return CmdTop(*inventory, std::atoi(argv[3]));
+  }
+  if (std::strcmp(argv[1], "export") == 0) return CmdExport(*inventory);
+  if (std::strcmp(argv[1], "geojson") == 0) {
+    const uint64_t min_records =
+        argc >= 4 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+    return CmdGeoJson(*inventory, min_records);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace pol
+
+int main(int argc, char** argv) { return pol::Main(argc, argv); }
