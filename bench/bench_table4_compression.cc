@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "core/pipeline.h"
+#include "flow/stage.h"
 
 namespace pol {
 namespace {
@@ -44,6 +45,7 @@ int Run() {
     core::CompressionReport report;
   };
   std::vector<RowResult> rows;
+  std::vector<flow::StageMetrics> stage_metrics;
   for (const int res : {5, 6, 7}) {
     core::PipelineConfig pipeline_config;
     pipeline_config.partitions = 8;
@@ -59,6 +61,7 @@ int Run() {
                                  pipeline_config);
     });
     const core::CompressionReport report = result.Compression();
+    if (res == 6) stage_metrics = result.stage_metrics;
     rows.push_back({res, report});
     char build_buf[16];
     std::snprintf(build_buf, sizeof(build_buf), "%.1f", build_s);
@@ -68,6 +71,9 @@ int Run() {
                      bench::FormatBytes(report.serialized_bytes), build_buf},
                     w);
   }
+
+  bench::PrintHeader("Per-stage breakdown (res 6 build)");
+  std::printf("%s", flow::StageMetricsTable(stage_metrics).c_str());
 
   bench::PrintHeader("Paper reference (full scale)");
   bench::PrintRow({"6", "7.3 million", "99.73%", "51.69%", "-", "-"}, w);

@@ -31,6 +31,7 @@ int main() {
   core::PipelineConfig config;
   config.resolution = 6;          // ~36 km^2 hexagons, as in the paper.
   config.commercial_only = true;  // Focus on the logistics chain.
+  config.chunks = 4;              // Bound peak memory; result is identical.
   const core::PipelineResult result =
       core::RunPipeline(archive.reports, archive.fleet, config);
   const core::Inventory& inventory = *result.inventory;
@@ -39,6 +40,7 @@ int main() {
               static_cast<unsigned long long>(result.enrichment.kept),
               static_cast<unsigned long long>(result.cleaning.input),
               static_cast<unsigned long long>(result.trips.trips));
+  std::printf("%s", flow::StageMetricsTable(result.stage_metrics).c_str());
   const core::CompressionReport compression = result.Compression();
   std::printf("inventory: %llu cells, %.2f%% compression vs raw rows\n",
               static_cast<unsigned long long>(compression.cells),

@@ -6,29 +6,33 @@
 
 namespace pol::core {
 
-flow::Dataset<PipelineRecord> CleanReports(
-    const std::vector<ais::PositionReport>& reports,
-    const CleaningConfig& config, flow::ThreadPool* pool,
-    CleaningStats* stats) {
+std::vector<flow::Dataset<ais::PositionReport>> SplitReportsByVessel(
+    const std::vector<ais::PositionReport>& reports, int partitions,
+    int chunks, flow::ThreadPool* pool) {
+  return flow::Dataset<ais::PositionReport>::FromVector(reports, partitions,
+                                                        pool)
+      .PartitionByKey([](const ais::PositionReport& r) { return r.mmsi; },
+                      partitions)
+      .SplitIntoChunks(chunks);
+}
+
+flow::Dataset<PipelineRecord> CleanChunk(
+    const flow::Dataset<ais::PositionReport>& chunk,
+    const CleaningConfig& config, CleaningStats* stats) {
   std::atomic<uint64_t> invalid{0};
   std::atomic<uint64_t> duplicates{0};
   std::atomic<uint64_t> jumps{0};
 
-  // Field-range validation, then vessel partitioning and time ordering.
-  flow::Dataset<ais::PositionReport> raw =
-      flow::Dataset<ais::PositionReport>::FromVector(reports,
-                                                     config.partitions, pool);
-  flow::Dataset<ais::PositionReport> valid =
-      raw.Filter([&invalid](const ais::PositionReport& report) {
-        if (ais::ValidatePositionReport(report).ok()) return true;
-        invalid.fetch_add(1, std::memory_order_relaxed);
-        return false;
-      });
+  // Field-range validation (the chunk is already vessel-partitioned;
+  // filtering before or after the shuffle is equivalent because both
+  // preserve relative record order), then per-vessel time ordering.
   flow::Dataset<ais::PositionReport> by_vessel =
-      valid
-          .PartitionByKey(
-              [](const ais::PositionReport& r) { return r.mmsi; },
-              config.partitions)
+      chunk
+          .Filter([&invalid](const ais::PositionReport& report) {
+            if (ais::ValidatePositionReport(report).ok()) return true;
+            invalid.fetch_add(1, std::memory_order_relaxed);
+            return false;
+          })
           .SortWithinPartitions(
               [](const ais::PositionReport& a, const ais::PositionReport& b) {
                 if (a.mmsi != b.mmsi) return a.mmsi < b.mmsi;
@@ -74,13 +78,23 @@ flow::Dataset<PipelineRecord> CleanReports(
       });
 
   if (stats != nullptr) {
-    stats->input = reports.size();
-    stats->invalid_fields = invalid.load();
-    stats->duplicates = duplicates.load();
-    stats->infeasible_jumps = jumps.load();
-    stats->kept = cleaned.Count();
+    stats->input += chunk.Count();
+    stats->invalid_fields += invalid.load();
+    stats->duplicates += duplicates.load();
+    stats->infeasible_jumps += jumps.load();
+    stats->kept += cleaned.Count();
   }
   return cleaned;
+}
+
+flow::Dataset<PipelineRecord> CleanReports(
+    const std::vector<ais::PositionReport>& reports,
+    const CleaningConfig& config, flow::ThreadPool* pool,
+    CleaningStats* stats) {
+  if (stats != nullptr) *stats = CleaningStats();
+  std::vector<flow::Dataset<ais::PositionReport>> chunks =
+      SplitReportsByVessel(reports, config.partitions, 1, pool);
+  return CleanChunk(chunks.front(), config, stats);
 }
 
 }  // namespace pol::core

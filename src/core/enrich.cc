@@ -50,10 +50,10 @@ flow::Dataset<PipelineRecord> Enricher::Enrich(
         return out;
       });
   if (stats != nullptr) {
-    stats->input = records.Count();
-    stats->unknown_vessel = unknown.load();
-    stats->non_commercial = non_commercial.load();
-    stats->kept = enriched.Count();
+    stats->input += records.Count();
+    stats->unknown_vessel += unknown.load();
+    stats->non_commercial += non_commercial.load();
+    stats->kept += enriched.Count();
   }
   return enriched;
 }

@@ -15,6 +15,8 @@
 
 namespace pol::core {
 
+// Stats ACCUMULATE across Enrich calls (the stage graph enriches chunk
+// by chunk); pass a fresh struct for single-call totals.
 struct EnrichmentStats {
   uint64_t input = 0;
   uint64_t unknown_vessel = 0;

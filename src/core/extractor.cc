@@ -1,7 +1,9 @@
 #include "core/extractor.h"
 
+#include <utility>
 #include <vector>
 
+#include "core/inventory_builder.h"
 #include "hexgrid/hexgrid.h"
 
 namespace pol::core {
@@ -36,60 +38,9 @@ flow::Dataset<PipelineRecord> ProjectToGrid(
 
 SummaryMap ExtractFeatures(const flow::Dataset<PipelineRecord>& projected,
                            const ExtractorConfig& config) {
-  const size_t partitions =
-      static_cast<size_t>(projected.num_partitions());
-  const SummaryParams& params = config.summary_params;
-
-  // Map phase: per-partition grouping. Each record feeds up to three
-  // grouping sets (Table 2).
-  std::vector<SummaryMap> locals(partitions);
-  projected.pool()->ParallelFor(partitions, [&](size_t p) {
-    SummaryMap& local = locals[p];
-    for (const PipelineRecord& record :
-         projected.partition(static_cast<int>(p))) {
-      if (record.cell == hex::kInvalidCell) continue;
-      if (config.gi_cell) {
-        auto [it, inserted] =
-            local.try_emplace(KeyCell(record.cell), params);
-        (void)inserted;
-        it->second.Add(record);
-      }
-      if (config.gi_cell_type) {
-        auto [it, inserted] = local.try_emplace(
-            KeyCellType(record.cell, record.segment), params);
-        (void)inserted;
-        it->second.Add(record);
-      }
-      if (config.gi_cell_route_type && record.trip_id != 0) {
-        auto [it, inserted] = local.try_emplace(
-            KeyCellRouteType(record.cell, record.origin, record.destination,
-                             record.segment),
-            params);
-        (void)inserted;
-        it->second.Add(record);
-      }
-    }
-  });
-
-  // Reduce phase: fold partials into the result in ascending partition
-  // order (deterministic; summaries are mergeable by construction).
-  // Deliberately sequential: inventories hold millions of summaries and
-  // the dominant cost is memory, so each local map is released the
-  // moment it has been folded — a bucket-parallel merge would pin every
-  // partial until the end. The map phase above carries the parallelism.
-  SummaryMap result = std::move(locals[0]);
-  for (size_t p = 1; p < partitions; ++p) {
-    for (auto& [key, summary] : locals[p]) {
-      auto [it, inserted] = result.try_emplace(key, params);
-      if (inserted) {
-        it->second = std::move(summary);
-      } else {
-        it->second.Merge(std::move(summary));
-      }
-    }
-    SummaryMap().swap(locals[p]);  // Free before touching the next one.
-  }
-  return result;
+  InventoryBuilder builder(config);
+  builder.Fold(projected);
+  return std::move(builder).TakeSummaries();
 }
 
 }  // namespace pol::core

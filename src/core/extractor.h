@@ -37,7 +37,9 @@ using SummaryMap =
 flow::Dataset<PipelineRecord> ProjectToGrid(
     const flow::Dataset<PipelineRecord>& records, int resolution);
 
-// Aggregates projected records into per-group summaries.
+// Aggregates projected records into per-group summaries in one shot.
+// (Single-Fold convenience over InventoryBuilder — see
+// inventory_builder.h for the incremental, chunk-by-chunk form.)
 SummaryMap ExtractFeatures(const flow::Dataset<PipelineRecord>& projected,
                            const ExtractorConfig& config);
 

@@ -1,0 +1,78 @@
+#include "core/inventory_builder.h"
+
+#include <chrono>
+#include <vector>
+
+#include "hexgrid/hexgrid.h"
+
+namespace pol::core {
+
+void InventoryBuilder::Fold(const flow::Dataset<PipelineRecord>& projected) {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t partitions = static_cast<size_t>(projected.num_partitions());
+  const SummaryParams& params = config_.summary_params;
+
+  // Map phase: per-partition grouping. Each record feeds up to three
+  // grouping sets (Table 2).
+  std::vector<SummaryMap> locals(partitions);
+  size_t peak_partition = 0;
+  projected.pool()->ParallelFor(partitions, [&](size_t p) {
+    SummaryMap& local = locals[p];
+    for (const PipelineRecord& record :
+         projected.partition(static_cast<int>(p))) {
+      if (record.cell == hex::kInvalidCell) continue;
+      if (config_.gi_cell) {
+        auto [it, inserted] = local.try_emplace(KeyCell(record.cell), params);
+        (void)inserted;
+        it->second.Add(record);
+      }
+      if (config_.gi_cell_type) {
+        auto [it, inserted] = local.try_emplace(
+            KeyCellType(record.cell, record.segment), params);
+        (void)inserted;
+        it->second.Add(record);
+      }
+      if (config_.gi_cell_route_type && record.trip_id != 0) {
+        auto [it, inserted] = local.try_emplace(
+            KeyCellRouteType(record.cell, record.origin, record.destination,
+                             record.segment),
+            params);
+        (void)inserted;
+        it->second.Add(record);
+      }
+    }
+  });
+
+  // Reduce phase: fold partials into the builder's map in ascending
+  // partition order (deterministic; summaries are mergeable by
+  // construction). Deliberately sequential: inventories hold millions
+  // of summaries and the dominant cost is memory, so each local map is
+  // released the moment it has been folded — a bucket-parallel merge
+  // would pin every partial until the end. The map phase above carries
+  // the parallelism.
+  for (size_t p = 0; p < partitions; ++p) {
+    peak_partition = std::max(
+        peak_partition, projected.partition(static_cast<int>(p)).size());
+    for (auto& [key, summary] : locals[p]) {
+      auto [it, inserted] = summaries_.try_emplace(key, params);
+      if (inserted) {
+        it->second = std::move(summary);
+      } else {
+        it->second.Merge(std::move(summary));
+      }
+    }
+    SummaryMap().swap(locals[p]);  // Free before touching the next one.
+  }
+
+  const uint64_t records_in = projected.Count();
+  records_ += records_in;
+  ++metrics_.chunks;
+  metrics_.records_in += records_in;
+  metrics_.records_out = summaries_.size();
+  metrics_.peak_partition = std::max(metrics_.peak_partition, peak_partition);
+  metrics_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+}  // namespace pol::core

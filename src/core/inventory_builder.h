@@ -1,0 +1,69 @@
+#ifndef POL_CORE_INVENTORY_BUILDER_H_
+#define POL_CORE_INVENTORY_BUILDER_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "core/extractor.h"
+#include "core/inventory.h"
+#include "flow/stage.h"
+
+// Incremental inventory construction — the terminal stage of the
+// pipeline graph. The builder owns the growing SummaryMap; each Fold
+// call aggregates one chunk of projected records into it (map phase
+// parallel over the chunk's partitions, reduce phase folded in
+// ascending partition order), and Finish seals the result into an
+// Inventory.
+//
+// Determinism contract: folding chunks in ascending chunk order is
+// bit-identical to a single Fold over the union of the chunks, as long
+// as the chunks are a partition-ordered split of one global vessel
+// partitioning (SplitReportsByVessel + the stage chain produce exactly
+// that). This is what makes chunked builds reproduce the single-shot
+// serialized inventory byte for byte, and lets new data batches fold
+// into an existing build without reprocessing the archive.
+
+namespace pol::core {
+
+class InventoryBuilder {
+ public:
+  explicit InventoryBuilder(const ExtractorConfig& config)
+      : config_(config) {
+    metrics_.name = "extraction";
+  }
+
+  // Aggregates one chunk of projected records (ProjectToGrid output)
+  // into the summaries. Call in ascending chunk order; Fold itself is
+  // sequential (the caller serializes chunk results — see StageRunner),
+  // but each call parallelizes its map phase over the chunk's
+  // partitions.
+  void Fold(const flow::Dataset<PipelineRecord>& projected);
+
+  // Records aggregated so far across all folds.
+  uint64_t records_folded() const { return records_; }
+
+  // Summaries built so far.
+  size_t size() const { return summaries_.size(); }
+
+  // Per-stage metrics of the extraction stage (records in = folded
+  // records, records out = summaries, wall time summed over folds).
+  const flow::StageMetrics& metrics() const { return metrics_; }
+
+  // Seals the build. The builder is consumed.
+  Inventory Finish() && {
+    return Inventory(config_.resolution, std::move(summaries_));
+  }
+
+  // As Finish, but hands back the raw map (ExtractFeatures compat).
+  SummaryMap TakeSummaries() && { return std::move(summaries_); }
+
+ private:
+  ExtractorConfig config_;
+  SummaryMap summaries_;
+  uint64_t records_ = 0;
+  flow::StageMetrics metrics_;
+};
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_INVENTORY_BUILDER_H_

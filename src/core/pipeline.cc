@@ -1,8 +1,11 @@
 #include "core/pipeline.h"
 
-#include <optional>
+#include <memory>
+#include <utility>
 
-#include "core/extractor.h"
+#include "core/inventory_builder.h"
+#include "core/stages.h"
+#include "flow/stage_runner.h"
 
 namespace pol::core {
 
@@ -15,48 +18,51 @@ PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
 
   flow::ThreadPool pool(config.threads);
 
-  // Stages run inside scopes so each intermediate dataset is released as
-  // soon as the next stage has consumed it (a year of records is held at
-  // most twice at any moment).
-  std::optional<flow::Dataset<PipelineRecord>> current;
-  {
-    // Stage 1: cleaning and preprocessing.
-    CleaningConfig cleaning_config;
-    cleaning_config.partitions = config.partitions;
-    cleaning_config.max_speed_knots = config.max_speed_knots;
-    current.emplace(
-        CleanReports(reports, cleaning_config, &pool, &result.cleaning));
-  }
-  {
-    // Stage 2: enrichment with static vessel data + commercial filter.
-    const Enricher enricher(registry);
-    flow::Dataset<PipelineRecord> enriched = enricher.Enrich(
-        *current, config.commercial_only, &result.enrichment);
-    current.emplace(std::move(enriched));
-  }
-  {
-    // Stage 3: trip semantics via port geofencing.
-    const Geofencer geofencer(ports, config.geofence_resolution);
-    flow::Dataset<PipelineRecord> with_trips =
-        ExtractTrips(*current, geofencer, &result.trips);
-    current.emplace(std::move(with_trips));
-  }
-  {
-    // Stage 4: projection to the hexagonal grid.
-    flow::Dataset<PipelineRecord> projected =
-        ProjectToGrid(*current, config.resolution);
-    current.emplace(std::move(projected));
-  }
-  result.aggregated_records = current->Count();
+  // The stage graph: one instance of each stage serves every chunk.
+  CleaningConfig cleaning_config;
+  cleaning_config.partitions = config.partitions;
+  cleaning_config.max_speed_knots = config.max_speed_knots;
+  auto cleaning = std::make_shared<CleaningStage>(cleaning_config);
+  auto enrichment =
+      std::make_shared<EnrichmentStage>(registry, config.commercial_only);
+  auto trips =
+      std::make_shared<TripStage>(ports, config.geofence_resolution);
+  auto projection = std::make_shared<ProjectionStage>(config.resolution);
 
-  // Stage 5: feature extraction over the grouping sets.
+  flow::StageChain<ais::PositionReport, PipelineRecord> chain =
+      flow::StageChain<ais::PositionReport, PipelineRecord>(cleaning)
+          .Then<PipelineRecord>(enrichment)
+          .Then<PipelineRecord>(trips)
+          .Then<PipelineRecord>(projection);
+
+  // Chunk source: one global vessel partitioning, sliced into
+  // vessel-coherent chunks so per-vessel scans see whole trajectories
+  // and chunked folding stays bit-equal to a single-shot build.
+  std::vector<flow::Dataset<ais::PositionReport>> chunks =
+      SplitReportsByVessel(reports, config.partitions, config.chunks, &pool);
+
+  // Terminal stage: incremental inventory folding in chunk order.
   ExtractorConfig extractor_config = config.extractor;
   extractor_config.resolution = config.resolution;
-  SummaryMap summaries = ExtractFeatures(*current, extractor_config);
-  current.reset();
+  InventoryBuilder builder(extractor_config);
 
-  result.inventory = std::make_unique<Inventory>(config.resolution,
-                                                 std::move(summaries));
+  flow::StageRunner<ais::PositionReport, PipelineRecord>::Options options;
+  options.max_in_flight = config.max_in_flight_chunks;
+  flow::StageRunner<ais::PositionReport, PipelineRecord> runner(
+      std::move(chain), &pool, options);
+  runner.Run(std::move(chunks),
+             [&builder](size_t, flow::Dataset<PipelineRecord> projected) {
+               builder.Fold(projected);
+             });
+
+  result.cleaning = cleaning->stats();
+  result.enrichment = enrichment->stats();
+  result.trips = trips->stats();
+  result.aggregated_records = builder.records_folded();
+  result.stage_metrics = runner.metrics();
+  result.stage_metrics.push_back(builder.metrics());
+  result.inventory =
+      std::make_unique<Inventory>(std::move(builder).Finish());
   return result;
 }
 

@@ -8,18 +8,34 @@
 #include "core/enrich.h"
 #include "core/inventory.h"
 #include "core/trips.h"
+#include "flow/stage.h"
 #include "flow/threadpool.h"
 #include "sim/ports.h"
 
 // The end-to-end Patterns-of-Life pipeline (Figures 2 and 3 of the
-// paper): cleaning -> enrichment -> trip extraction -> grid projection
-// -> feature extraction -> global inventory.
+// paper): cleaning -> enrichment -> trips -> grid projection -> feature
+// extraction -> global inventory.
+//
+// Execution is a chunked stage graph (flow::StageChain driven by a
+// flow::StageRunner; see stages.h and inventory_builder.h): the archive
+// is split into `chunks` vessel-coherent chunks, stages overlap across
+// chunks on the shared thread pool, and the inventory is folded
+// incrementally in ascending chunk order. Any chunk count yields a
+// byte-identical serialized inventory (property-tested), so the chunk
+// count is purely a peak-memory/overlap knob.
 
 namespace pol::core {
 
 struct PipelineConfig {
   int partitions = 8;
   int threads = 0;  // 0 = hardware concurrency.
+  // Vessel-coherent chunks the archive is split into. 1 = single-shot;
+  // higher values bound per-stage intermediates to ~partitions/chunks
+  // partitions at a time without changing the result.
+  int chunks = 1;
+  // Chunks allowed in flight at once (>= 1); 2 overlaps stage i on
+  // chunk k+1 with stage i+1 on chunk k.
+  int max_in_flight_chunks = 2;
   double max_speed_knots = 50.0;
   bool commercial_only = true;
   int resolution = 6;
@@ -34,13 +50,20 @@ struct PipelineResult {
   EnrichmentStats enrichment;
   TripStats trips;
   uint64_t aggregated_records = 0;  // Records folded into the inventory.
+  // Per-stage observability, in stage order: cleaning, enrichment,
+  // trips, projection, extraction. Each entry carries chunk count,
+  // records in/out, drop count, peak partition size and summed wall
+  // time (see flow::StageMetrics; flow::StageMetricsTable renders it).
+  std::vector<flow::StageMetrics> stage_metrics;
 
   CompressionReport Compression() const {
     return inventory->Compression(aggregated_records);
   }
 };
 
-// Runs the whole pipeline over an AIS archive and a vessel registry.
+// Runs the whole pipeline over an AIS archive and a vessel registry —
+// a thin wrapper assembling the stage graph from stages.h and running
+// it over `config.chunks` chunks.
 PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
                            const std::vector<ais::VesselInfo>& registry,
                            const PipelineConfig& config);

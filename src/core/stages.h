@@ -1,0 +1,151 @@
+#ifndef POL_CORE_STAGES_H_
+#define POL_CORE_STAGES_H_
+
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "core/cleaning.h"
+#include "core/enrich.h"
+#include "core/extractor.h"
+#include "core/geofence.h"
+#include "core/trips.h"
+#include "flow/stage.h"
+
+// The paper's pipeline stages expressed as flow::Stage nodes, ready for
+// composition into a StageChain and chunked execution by a StageRunner
+// (pipeline.cc wires them; they are public so callers can assemble
+// custom graphs — e.g. fold fresh batches into an existing
+// InventoryBuilder without re-running the archive).
+//
+// Each stage instance serves every chunk of a run: per-stage Stats
+// accumulate across chunks behind a mutex, so a stage may process
+// several chunks concurrently. Chunks must come from
+// SplitReportsByVessel (vessel-coherent, partition-ordered) for the
+// per-vessel scans to see whole trajectories.
+
+namespace pol::core {
+
+// Stage 1 — cleaning: validation, per-vessel time order, dedup,
+// kinematic feasibility.
+class CleaningStage
+    : public flow::Stage<ais::PositionReport, PipelineRecord> {
+ public:
+  explicit CleaningStage(const CleaningConfig& config) : config_(config) {}
+
+  std::string_view name() const override { return "cleaning"; }
+
+  flow::Dataset<PipelineRecord> Run(
+      flow::Dataset<ais::PositionReport> input) override {
+    CleaningStats local;
+    flow::Dataset<PipelineRecord> out = CleanChunk(input, config_, &local);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.Accumulate(local);
+    return out;
+  }
+
+  CleaningStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  CleaningConfig config_;
+  mutable std::mutex mutex_;
+  CleaningStats stats_;
+};
+
+// Stage 2 — enrichment: vessel-registry join + commercial filter.
+class EnrichmentStage
+    : public flow::Stage<PipelineRecord, PipelineRecord> {
+ public:
+  EnrichmentStage(const std::vector<ais::VesselInfo>& registry,
+                  bool commercial_only)
+      : enricher_(registry), commercial_only_(commercial_only) {}
+
+  std::string_view name() const override { return "enrichment"; }
+
+  flow::Dataset<PipelineRecord> Run(
+      flow::Dataset<PipelineRecord> input) override {
+    EnrichmentStats local;
+    flow::Dataset<PipelineRecord> out =
+        enricher_.Enrich(input, commercial_only_, &local);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.input += local.input;
+    stats_.unknown_vessel += local.unknown_vessel;
+    stats_.non_commercial += local.non_commercial;
+    stats_.kept += local.kept;
+    return out;
+  }
+
+  EnrichmentStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  Enricher enricher_;
+  bool commercial_only_;
+  mutable std::mutex mutex_;
+  EnrichmentStats stats_;
+};
+
+// Stage 3 — trip semantics via port geofencing.
+class TripStage : public flow::Stage<PipelineRecord, PipelineRecord> {
+ public:
+  TripStage(const sim::PortDatabase* ports, int geofence_resolution,
+            const TripConfig& config = TripConfig())
+      : geofencer_(ports, geofence_resolution), config_(config) {}
+
+  std::string_view name() const override { return "trips"; }
+
+  flow::Dataset<PipelineRecord> Run(
+      flow::Dataset<PipelineRecord> input) override {
+    TripStats local;
+    flow::Dataset<PipelineRecord> out =
+        ExtractTrips(input, geofencer_, &local, config_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.input += local.input;
+    stats_.trips += local.trips;
+    stats_.annotated += local.annotated;
+    stats_.excluded += local.excluded;
+    return out;
+  }
+
+  TripStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  const Geofencer& geofencer() const { return geofencer_; }
+
+ private:
+  Geofencer geofencer_;
+  TripConfig config_;
+  mutable std::mutex mutex_;
+  TripStats stats_;
+};
+
+// Stage 4 — projection to the hexagonal grid (+ in-trip transitions).
+class ProjectionStage : public flow::Stage<PipelineRecord, PipelineRecord> {
+ public:
+  explicit ProjectionStage(int resolution) : resolution_(resolution) {}
+
+  std::string_view name() const override { return "projection"; }
+
+  flow::Dataset<PipelineRecord> Run(
+      flow::Dataset<PipelineRecord> input) override {
+    return ProjectToGrid(input, resolution_);
+  }
+
+ private:
+  int resolution_;
+};
+
+// Stage 5 — feature extraction — is the graph's sink, not a chain node:
+// InventoryBuilder::Fold consumes the projected chunks in ascending
+// chunk order (see inventory_builder.h).
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_STAGES_H_

@@ -91,10 +91,12 @@ flow::Dataset<PipelineRecord> ExtractTrips(
         return out;
       });
   if (stats != nullptr) {
-    stats->input = records.Count();
-    stats->trips = trips.load();
-    stats->annotated = annotated.Count();
-    stats->excluded = stats->input - stats->annotated;
+    const uint64_t input = records.Count();
+    const uint64_t kept = annotated.Count();
+    stats->input += input;
+    stats->trips += trips.load();
+    stats->annotated += kept;
+    stats->excluded += input - kept;
   }
   return annotated;
 }

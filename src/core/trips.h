@@ -30,6 +30,8 @@
 
 namespace pol::core {
 
+// Stats ACCUMULATE across ExtractTrips calls (the stage graph extracts
+// chunk by chunk); pass a fresh struct for single-call totals.
 struct TripStats {
   uint64_t input = 0;
   uint64_t trips = 0;

@@ -37,20 +37,26 @@ class Dataset {
     POL_CHECK(!partitions_.empty()) << "datasets have at least one partition";
   }
 
-  // Splits `data` into `num_partitions` contiguous chunks.
+  // Splits `data` into exactly `num_partitions` contiguous slices in
+  // input order. The split is balanced: partition sizes differ by at
+  // most one, so no partition is empty while another holds two or more.
+  // Requesting more partitions than elements is well defined — the
+  // result still has `num_partitions` partitions, with the elements
+  // spread evenly and the excess partitions empty.
   static Dataset FromVector(std::vector<T> data, int num_partitions,
                             ThreadPool* pool) {
     POL_CHECK(num_partitions >= 1);
     const size_t p = static_cast<size_t>(num_partitions);
     std::vector<std::vector<T>> partitions(p);
-    const size_t chunk = (data.size() + p - 1) / p;
     for (size_t i = 0; i < p; ++i) {
-      const size_t begin = std::min(data.size(), i * chunk);
-      const size_t end = std::min(data.size(), begin + chunk);
+      const size_t begin = i * data.size() / p;
+      const size_t end = (i + 1) * data.size() / p;
       partitions[i].assign(std::make_move_iterator(data.begin() + begin),
                            std::make_move_iterator(data.begin() + end));
     }
-    return Dataset(std::move(partitions), pool);
+    Dataset dataset(std::move(partitions), pool);
+    POL_CHECK(dataset.num_partitions() == num_partitions);
+    return dataset;
   }
 
   int num_partitions() const { return static_cast<int>(partitions_.size()); }
@@ -187,6 +193,36 @@ class Dataset {
                     partitions_[i].end());
     }
     return Dataset<T>(std::move(out), pool_);
+  }
+
+  // Consumes the dataset and regroups its partitions into `num_chunks`
+  // contiguous, balanced groups — the chunk source for the stage
+  // runner. Partition identity and order are preserved exactly:
+  // concatenating the chunks' partition lists reproduces this dataset's
+  // partition list, which is what keeps chunked aggregation bit-equal
+  // to single-shot aggregation (partials always merge in ascending
+  // global partition order). When `num_chunks` exceeds the partition
+  // count, the excess chunks hold one empty partition each.
+  std::vector<Dataset<T>> SplitIntoChunks(int num_chunks) && {
+    POL_CHECK(num_chunks >= 1);
+    const size_t c = static_cast<size_t>(num_chunks);
+    const size_t p = partitions_.size();
+    std::vector<Dataset<T>> chunks;
+    chunks.reserve(c);
+    for (size_t i = 0; i < c; ++i) {
+      const size_t begin = i * p / c;
+      const size_t end = (i + 1) * p / c;
+      std::vector<std::vector<T>> group;
+      if (begin == end) {
+        group.emplace_back();  // Placeholder: datasets need >= 1 partition.
+      } else {
+        group.assign(std::make_move_iterator(partitions_.begin() + begin),
+                     std::make_move_iterator(partitions_.begin() + end));
+      }
+      chunks.push_back(Dataset(std::move(group), pool_));
+    }
+    partitions_.clear();
+    return chunks;
   }
 
   // Stable-sorts every partition independently (Spark's

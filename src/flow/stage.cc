@@ -1,0 +1,42 @@
+#include "flow/stage.h"
+
+#include <cstdio>
+
+namespace pol::flow {
+
+namespace {
+
+std::string FormatCount(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StageMetricsTable(const std::vector<StageMetrics>& metrics) {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-12s %7s %14s %14s %12s %10s %9s\n",
+                "stage", "chunks", "records in", "records out", "dropped",
+                "peak part", "time (s)");
+  out += line;
+  for (const StageMetrics& m : metrics) {
+    std::snprintf(line, sizeof(line), "%-12s %7llu %14s %14s %12s %10s %9.3f\n",
+                  m.name.c_str(), static_cast<unsigned long long>(m.chunks),
+                  FormatCount(m.records_in).c_str(),
+                  FormatCount(m.records_out).c_str(),
+                  FormatCount(m.dropped).c_str(),
+                  FormatCount(m.peak_partition).c_str(), m.wall_seconds);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pol::flow

@@ -1,0 +1,175 @@
+#ifndef POL_FLOW_STAGE_H_
+#define POL_FLOW_STAGE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "flow/dataset.h"
+
+// The stage graph: the pipeline's execution layer.
+//
+// A Stage<In, Out> is a batch-in/batch-out transform over Dataset
+// chunks. A StageChain composes stages into a single typed chunk
+// function; the StageRunner (stage_runner.h) drives a chain over an
+// input split into bounded chunks, overlapping stage i on chunk k+1
+// with stage i+1 on chunk k via the shared ThreadPool.
+//
+// A stage may run on several chunks concurrently, so implementations
+// must be const-safe over shared state and guard any mutable
+// accumulation (the core stages guard their running Stats structs with
+// a mutex). Per-stage observability is recorded through a
+// StageMetricsCollector shared by all in-flight chunks.
+
+namespace pol::flow {
+
+// Accumulated per-stage observability, summed over all chunks the
+// stage processed.
+struct StageMetrics {
+  std::string name;
+  uint64_t chunks = 0;        // Chunks this stage has processed.
+  uint64_t records_in = 0;    // Records entering the stage.
+  uint64_t records_out = 0;   // Records leaving the stage.
+  uint64_t dropped = 0;       // max(in - out, 0), summed per chunk.
+  size_t peak_partition = 0;  // Largest output partition observed.
+  double wall_seconds = 0.0;  // Stage busy time, summed across chunks.
+};
+
+// Fixed-width ASCII table of per-stage metrics (benches, examples).
+std::string StageMetricsTable(const std::vector<StageMetrics>& metrics);
+
+// Thread-safe accumulator for per-stage metrics; shared by every chunk
+// in flight.
+class StageMetricsCollector {
+ public:
+  void Record(size_t stage, std::string_view name, uint64_t records_in,
+              uint64_t records_out, size_t peak_partition,
+              double wall_seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (metrics_.size() <= stage) metrics_.resize(stage + 1);
+    StageMetrics& m = metrics_[stage];
+    if (m.name.empty()) m.name = std::string(name);
+    ++m.chunks;
+    m.records_in += records_in;
+    m.records_out += records_out;
+    if (records_in > records_out) m.dropped += records_in - records_out;
+    m.peak_partition = std::max(m.peak_partition, peak_partition);
+    m.wall_seconds += wall_seconds;
+  }
+
+  std::vector<StageMetrics> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<StageMetrics> metrics_;
+};
+
+// One pipeline stage: consumes a chunk, produces a chunk. Run may be
+// called concurrently for different chunks.
+template <typename In, typename Out>
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual std::string_view name() const = 0;
+  virtual Dataset<Out> Run(Dataset<In> input) = 0;
+};
+
+namespace internal {
+
+template <typename T>
+size_t MaxPartitionSize(const Dataset<T>& dataset) {
+  size_t peak = 0;
+  for (int p = 0; p < dataset.num_partitions(); ++p) {
+    peak = std::max(peak, dataset.partition(p).size());
+  }
+  return peak;
+}
+
+// Runs one stage over one chunk and records its metrics.
+template <typename In, typename Out>
+Dataset<Out> RunStage(Stage<In, Out>& stage, Dataset<In> input,
+                      size_t stage_index, StageMetricsCollector* metrics) {
+  const uint64_t records_in = input.Count();
+  const auto start = std::chrono::steady_clock::now();
+  Dataset<Out> output = stage.Run(std::move(input));
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (metrics != nullptr) {
+    metrics->Record(stage_index, stage.name(), records_in, output.Count(),
+                    MaxPartitionSize(output), seconds);
+  }
+  return output;
+}
+
+}  // namespace internal
+
+// A typed composition of stages. Built left to right:
+//
+//   auto chain = StageChain<Raw, Rec>(cleaning)
+//                    .Then(enrichment).Then(trips).Then(projection);
+//   Dataset<Rec> out = chain.RunChunk(std::move(chunk), &collector);
+//
+// Stages are held by shared_ptr because one stage instance serves every
+// chunk (it carries the chain-wide state: registry joins, geofence
+// index, accumulated Stats).
+template <typename In, typename Out>
+class StageChain {
+ public:
+  explicit StageChain(std::shared_ptr<Stage<In, Out>> stage)
+      : names_{std::string(stage->name())},
+        run_([stage = std::move(stage)](Dataset<In> input,
+                                        StageMetricsCollector* metrics) {
+          return internal::RunStage(*stage, std::move(input), 0, metrics);
+        }) {}
+
+  // Appends a stage; consumes this chain.
+  template <typename Next>
+  StageChain<In, Next> Then(std::shared_ptr<Stage<Out, Next>> stage) && {
+    std::vector<std::string> names = std::move(names_);
+    names.push_back(std::string(stage->name()));
+    const size_t index = names.size() - 1;
+    auto run = [prev = std::move(run_), stage = std::move(stage), index](
+                   Dataset<In> input, StageMetricsCollector* metrics) {
+      Dataset<Out> mid = prev(std::move(input), metrics);
+      return internal::RunStage(*stage, std::move(mid), index, metrics);
+    };
+    return StageChain<In, Next>(std::move(names), std::move(run));
+  }
+
+  // Runs the whole chain on one chunk, recording per-stage metrics.
+  Dataset<Out> RunChunk(Dataset<In> chunk,
+                        StageMetricsCollector* metrics) const {
+    return run_(std::move(chunk), metrics);
+  }
+
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& stage_names() const { return names_; }
+
+ private:
+  template <typename I, typename O>
+  friend class StageChain;
+
+  using RunFn =
+      std::function<Dataset<Out>(Dataset<In>, StageMetricsCollector*)>;
+
+  StageChain(std::vector<std::string> names, RunFn run)
+      : names_(std::move(names)), run_(std::move(run)) {}
+
+  std::vector<std::string> names_;
+  RunFn run_;
+};
+
+}  // namespace pol::flow
+
+#endif  // POL_FLOW_STAGE_H_

@@ -1,0 +1,107 @@
+#ifndef POL_FLOW_STAGE_RUNNER_H_
+#define POL_FLOW_STAGE_RUNNER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "flow/stage.h"
+#include "flow/threadpool.h"
+
+// StageRunner: drives a StageChain over an input split into bounded
+// chunks. Up to `max_in_flight` chunks run concurrently as pool tasks,
+// so stage i works on chunk k+1 while stage i+1 works on chunk k (the
+// Dataset operations inside each stage fan out over the same pool —
+// ParallelFor is caller-participating, so a stage task never deadlocks
+// waiting for workers). Outputs are handed to the sink strictly in
+// ascending chunk order on the calling thread, which is what makes
+// incremental inventory folding deterministic: folding chunk results in
+// chunk order reproduces the single-shot merge order bit for bit (see
+// dataset.h on the reproducibility contract).
+
+namespace pol::flow {
+
+template <typename In, typename Out>
+class StageRunner {
+ public:
+  struct Options {
+    // Chunks allowed in flight at once. 1 = strictly sequential chunks;
+    // 2 (default) overlaps one chunk's tail stages with the next
+    // chunk's head stages while bounding peak memory to ~2 chunks of
+    // intermediates.
+    int max_in_flight = 2;
+  };
+
+  StageRunner(StageChain<In, Out> chain, ThreadPool* pool,
+              Options options = Options())
+      : chain_(std::move(chain)), pool_(pool), options_(options) {
+    POL_CHECK(pool_ != nullptr);
+    POL_CHECK(options_.max_in_flight >= 1);
+  }
+
+  // Runs every chunk through the chain; `sink(chunk_index, output)` is
+  // invoked on the calling thread, in ascending chunk order. Blocks
+  // until all chunks are processed and folded.
+  void Run(std::vector<Dataset<In>> chunks,
+           const std::function<void(size_t, Dataset<Out>)>& sink) {
+    const size_t total = chunks.size();
+    if (total == 0) return;
+
+    struct Slot {
+      std::optional<Dataset<Out>> result;
+    };
+    std::vector<Slot> slots(total);
+    std::mutex mutex;
+    std::condition_variable ready;
+    size_t in_flight = 0;
+    size_t next_to_submit = 0;
+
+    for (size_t next_to_fold = 0; next_to_fold < total; ++next_to_fold) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+          // Keep the window full.
+          while (next_to_submit < total &&
+                 in_flight < static_cast<size_t>(options_.max_in_flight)) {
+            const size_t k = next_to_submit++;
+            ++in_flight;
+            Dataset<In>* chunk = &chunks[k];
+            pool_->Submit([this, k, chunk, &slots, &mutex, &ready,
+                           &in_flight] {
+              Dataset<Out> out =
+                  chain_.RunChunk(std::move(*chunk), &collector_);
+              std::unique_lock<std::mutex> task_lock(mutex);
+              slots[k].result.emplace(std::move(out));
+              --in_flight;
+              ready.notify_all();
+            });
+          }
+          if (slots[next_to_fold].result.has_value()) break;
+          ready.wait(lock);
+        }
+      }
+      Dataset<Out> out = std::move(*slots[next_to_fold].result);
+      slots[next_to_fold].result.reset();
+      sink(next_to_fold, std::move(out));
+    }
+  }
+
+  // Metrics accumulated so far, one entry per chain stage.
+  std::vector<StageMetrics> metrics() const { return collector_.Snapshot(); }
+
+  const StageChain<In, Out>& chain() const { return chain_; }
+
+ private:
+  StageChain<In, Out> chain_;
+  ThreadPool* pool_;
+  Options options_;
+  StageMetricsCollector collector_;
+};
+
+}  // namespace pol::flow
+
+#endif  // POL_FLOW_STAGE_RUNNER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace pol::flow {
 
@@ -43,19 +44,47 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     fn(0);
     return;
   }
-  // Dynamic self-scheduling: workers pull the next index; this balances
-  // skewed partition sizes.
-  auto next = std::make_shared<std::atomic<size_t>>(0);
-  const size_t tasks =
-      std::min(n, static_cast<size_t>(num_threads()));
-  for (size_t t = 0; t < tasks; ++t) {
-    Submit([next, n, &fn] {
-      for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
-        fn(i);
+  // Dynamic self-scheduling: runners pull the next index, which balances
+  // skewed partition sizes. The caller is itself a runner and the wait
+  // is on this call's own completion count, never on the global queue —
+  // so the call makes progress even when every worker is busy (or when
+  // the caller IS a worker, as with stages driven as pool tasks), and
+  // concurrent ParallelFor calls do not serialize on one another.
+  struct CallState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable finished;
+  };
+  auto state = std::make_shared<CallState>();
+  auto run = [state, n, &fn] {
+    size_t completed = 0;
+    for (size_t i = state->next.fetch_add(1); i < n;
+         i = state->next.fetch_add(1)) {
+      fn(i);
+      ++completed;
+    }
+    return completed;
+  };
+  // Helpers beyond the caller; a helper that arrives after all indices
+  // are claimed exits without touching `fn`.
+  const size_t helpers =
+      std::min(n - 1, static_cast<size_t>(num_threads()));
+  for (size_t t = 0; t < helpers; ++t) {
+    Submit([state, n, run] {
+      const size_t completed = run();
+      if (completed != 0 &&
+          state->done.fetch_add(completed) + completed == n) {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->finished.notify_all();
       }
     });
   }
-  Wait();
+  const size_t completed = run();
+  if (completed != 0) state->done.fetch_add(completed);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->finished.wait(lock,
+                       [&state, n] { return state->done.load() == n; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -29,11 +29,16 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   // Blocks until the queue is empty and no task is running. Do not call
-  // from inside a task.
+  // from inside a task (the calling task counts as active and the wait
+  // would never finish).
   void Wait();
 
-  // Runs `fn(i)` for i in [0, n) across the pool and waits. Convenience
-  // for the ubiquitous parallel-for over partitions.
+  // Runs `fn(i)` for i in [0, n) across the pool and returns when every
+  // index has completed. The caller participates in the work, so the
+  // call is safe from ANY thread — including from inside a pool task
+  // (the stage runner drives whole pipeline stages as tasks) — and
+  // multiple ParallelFor calls may run concurrently without waiting on
+  // each other's work.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }

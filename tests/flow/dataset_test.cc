@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <numeric>
 #include <set>
 #include <string>
@@ -28,10 +30,78 @@ TEST(DatasetTest, FromVectorPreservesAllElements) {
 }
 
 TEST(DatasetTest, MorePartitionsThanElements) {
+  // Regression: the partition count must be exactly what was asked for,
+  // even when it exceeds the element count — the excess partitions are
+  // empty, not dropped, so downstream per-partition plumbing (chunk
+  // splitting, partition-indexed merges) never sees a surprise shape.
   ThreadPool pool(2);
   const auto ds = Dataset<int>::FromVector({1, 2, 3}, 10, &pool);
+  EXPECT_EQ(ds.num_partitions(), 10);
   EXPECT_EQ(ds.Count(), 3u);
   EXPECT_EQ(ds.Collect(), (std::vector<int>{1, 2, 3}));
+  size_t non_empty = 0;
+  for (int p = 0; p < ds.num_partitions(); ++p) {
+    EXPECT_LE(ds.partition(p).size(), 1u) << p;
+    non_empty += ds.partition(p).empty() ? 0 : 1;
+  }
+  EXPECT_EQ(non_empty, 3u);
+}
+
+TEST(DatasetTest, FromVectorSplitIsBalanced) {
+  // Partition sizes differ by at most one for every (n, p) combination,
+  // and the requested partition count always holds.
+  ThreadPool pool(2);
+  for (const int n : {0, 1, 5, 17, 100}) {
+    for (const int p : {1, 2, 3, 7, 16, 101}) {
+      const auto ds = Dataset<int>::FromVector(Iota(n), p, &pool);
+      ASSERT_EQ(ds.num_partitions(), p) << "n=" << n;
+      size_t min_size = SIZE_MAX;
+      size_t max_size = 0;
+      for (int i = 0; i < p; ++i) {
+        min_size = std::min(min_size, ds.partition(i).size());
+        max_size = std::max(max_size, ds.partition(i).size());
+      }
+      EXPECT_LE(max_size - min_size, 1u) << "n=" << n << " p=" << p;
+      EXPECT_EQ(ds.Collect(), Iota(n)) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(DatasetTest, SplitIntoChunksPreservesPartitionOrder) {
+  ThreadPool pool(2);
+  for (const int chunks : {1, 2, 3, 5, 7}) {
+    auto ds = Dataset<int>::FromVector(Iota(100), 7, &pool);
+    const auto split = std::move(ds).SplitIntoChunks(chunks);
+    ASSERT_EQ(split.size(), static_cast<size_t>(chunks));
+    // Concatenating the chunks' partition lists reproduces the original
+    // dataset's partition list, in order.
+    std::vector<int> reassembled;
+    int total_partitions = 0;
+    for (const auto& chunk : split) {
+      EXPECT_GE(chunk.num_partitions(), 1);
+      const auto collected = chunk.Collect();
+      reassembled.insert(reassembled.end(), collected.begin(),
+                         collected.end());
+      for (int p = 0; p < chunk.num_partitions(); ++p) {
+        if (!chunk.partition(p).empty()) ++total_partitions;
+      }
+    }
+    EXPECT_EQ(reassembled, Iota(100)) << chunks;
+    EXPECT_EQ(total_partitions, 7) << chunks;
+  }
+}
+
+TEST(DatasetTest, SplitIntoMoreChunksThanPartitions) {
+  ThreadPool pool(2);
+  auto ds = Dataset<int>::FromVector(Iota(10), 3, &pool);
+  const auto split = std::move(ds).SplitIntoChunks(5);
+  ASSERT_EQ(split.size(), 5u);
+  size_t total = 0;
+  for (const auto& chunk : split) {
+    EXPECT_GE(chunk.num_partitions(), 1);  // Placeholder partitions OK.
+    total += chunk.Count();
+  }
+  EXPECT_EQ(total, 10u);
 }
 
 TEST(DatasetTest, EmptyDataset) {

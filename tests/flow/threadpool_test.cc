@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
+#include <thread>
 #include <vector>
 
 namespace pol::flow {
@@ -83,6 +85,80 @@ TEST(ThreadPoolTest, SequentialWaitsCompose) {
   for (int i = 0; i < 10; ++i) pool.Submit([&] { phase2.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(phase2.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForFromInsideATask) {
+  // The stage runner executes whole stage chains inside pool tasks, and
+  // those stages call ParallelFor on the same pool. The caller must
+  // participate in its own loop instead of parking on a global wait, or
+  // this nests into deadlock.
+  ThreadPool pool(2);
+  std::atomic<int> inner_hits{0};
+  std::atomic<int> outer_done{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&] {
+      pool.ParallelFor(50, [&](size_t) { inner_hits.fetch_add(1); });
+      outer_done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(outer_done.load(), 4);
+  EXPECT_EQ(inner_hits.load(), 200);
+}
+
+TEST(ThreadPoolTest, NestedParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<int> hits{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { hits.fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallers) {
+  // Independent threads driving ParallelFor on one shared pool: each
+  // call must see exactly its own indices, and nobody may block on
+  // another caller's work.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr size_t kN = 200;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(kN, [&, c](size_t i) { hits[c][i].fetch_add(1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[c][i].load(), 1) << "caller " << c << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmitStormFromInsideTasks) {
+  // Tasks fanning out more tasks, several levels deep, with a Wait()
+  // from the outside racing the expansion.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth == 0) return;
+    for (int i = 0; i < 3; ++i) {
+      pool.Submit([&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&spawn] { spawn(3); });
+  }
+  pool.Wait();
+  // 4 roots, each a 3-ary tree of depth 3: 4 * (1 + 3 + 9 + 27) = 160.
+  EXPECT_EQ(counter.load(), 160);
 }
 
 TEST(ThreadPoolTest, DestructionDrainsCleanly) {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Tier-1 verification, plus an optional sanitizer pass over the
+# concurrency-heavy flow/core tests.
+#
+#   tools/run_tier1.sh            # tier-1: configure, build, ctest
+#   tools/run_tier1.sh --asan     # + ASan build of flow/core tests
+#   tools/run_tier1.sh --ubsan    # + UBSan build of flow/core tests
+#   tools/run_tier1.sh --sanitize # both sanitizers
+#
+# Run from anywhere; paths resolve relative to the repo root.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# The tests that exercise the thread pool, the stage runner, and the
+# chunked folding path — the ones worth the sanitizer rebuild.
+SAN_TESTS="threadpool_test|dataset_test|pipeline_test|pipeline_property_test|pipeline_chunked_test|cleaning_test|extractor_test|inventory_test"
+
+run_asan=0
+run_ubsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_asan=1 ;;
+    --ubsan) run_ubsan=1 ;;
+    --sanitize) run_asan=1; run_ubsan=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: RelWithDebInfo build + full ctest =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+(cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS")
+
+sanitizer_pass() {
+  local preset="$1"
+  echo "== sanitizer pass: $preset (flow + core tests) =="
+  cmake --preset "$preset" -S "$ROOT"
+  # Build only the targeted tests: the sanitizer rebuild is slow and the
+  # goal is the concurrency/memory paths, not the whole binary set.
+  local targets
+  targets="$(echo "$SAN_TESTS" | tr '|' ' ')"
+  # shellcheck disable=SC2086
+  cmake --build "$ROOT/build-$preset" -j "$JOBS" --target $targets
+  (cd "$ROOT/build-$preset" && ctest --output-on-failure -j "$JOBS" -R "^($SAN_TESTS)\$")
+}
+
+[ "$run_asan" -eq 1 ] && sanitizer_pass asan
+[ "$run_ubsan" -eq 1 ] && sanitizer_pass ubsan
+
+echo "== run_tier1.sh: all requested passes green =="
