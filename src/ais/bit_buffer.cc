@@ -1,6 +1,9 @@
 #include "ais/bit_buffer.h"
 
-#include "common/logging.h"
+#include <string>
+#include <vector>
+
+#include "common/check.h"
 
 namespace pol::ais {
 namespace {

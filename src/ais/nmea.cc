@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "ais/bit_buffer.h"
 

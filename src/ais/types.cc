@@ -1,5 +1,7 @@
 #include "ais/types.h"
 
+#include <string_view>
+
 namespace pol::ais {
 
 std::string_view NavStatusName(NavStatus status) {

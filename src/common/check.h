@@ -1,0 +1,35 @@
+#ifndef POL_COMMON_CHECK_H_
+#define POL_COMMON_CHECK_H_
+
+#include "common/logging.h"
+
+// Invariant checking macros.
+//
+//   POL_CHECK(cond)  << "context";   // always on, aborts on failure
+//   POL_DCHECK(cond) << "context";   // debug builds only
+//
+// Both log the failing condition with file:line through common/logging
+// and abort the process (LogLevel::kFatal). POL_CHECK guards invariants
+// whose violation means data corruption and must be caught in release
+// builds; POL_DCHECK documents preconditions that are cheap to state
+// but too hot to test on release paths (per-record loops, lock-held
+// sections). Under NDEBUG the POL_DCHECK condition is parsed but never
+// evaluated, so side effects in the expression are a bug.
+
+#define POL_CHECK(condition)                                              \
+  (condition) ? void(0)                                                   \
+              : ::pol::internal_logging::Voidify() &                      \
+                    ::pol::internal_logging::LogMessage(                  \
+                        ::pol::LogLevel::kFatal, __FILE__, __LINE__)      \
+                        .stream()                                         \
+                        << "Check failed: " #condition " "
+
+#ifdef NDEBUG
+// Short-circuits before evaluating `condition`, but keeps it compiled
+// so DCHECK-only expressions cannot bit-rot in release builds.
+#define POL_DCHECK(condition) POL_CHECK(true || (condition))
+#else
+#define POL_DCHECK(condition) POL_CHECK(condition)
+#endif
+
+#endif  // POL_COMMON_CHECK_H_

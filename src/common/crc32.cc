@@ -1,6 +1,7 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <string_view>
 
 namespace pol {
 namespace {

@@ -7,11 +7,11 @@
 // Minimal leveled logging for the library and its tools.
 //
 //   POL_LOG(INFO) << "loaded " << n << " ports";
-//   POL_CHECK(ptr != nullptr) << "missing summary";
 //
-// FATAL (and failed POL_CHECK) aborts the process after printing; the
-// library otherwise reports errors via pol::Status, so logging is only
-// for progress reporting and invariant violations.
+// FATAL aborts the process after printing; the library otherwise
+// reports errors via pol::Status, so logging is only for progress
+// reporting and invariant violations. The invariant macros built on
+// top of this live in common/check.h (POL_CHECK / POL_DCHECK).
 
 namespace pol {
 
@@ -56,14 +56,6 @@ struct NullStream {
             ::pol::internal_logging::LogMessage(                        \
                 ::pol::LogLevel::k##severity, __FILE__, __LINE__)       \
                 .stream()
-
-#define POL_CHECK(condition)                                              \
-  (condition) ? void(0)                                                   \
-              : ::pol::internal_logging::Voidify() &                      \
-                    ::pol::internal_logging::LogMessage(                  \
-                        ::pol::LogLevel::kFatal, __FILE__, __LINE__)      \
-                        .stream()                                         \
-                        << "Check failed: " #condition " "
 
 namespace pol::internal_logging {
 // Lowest-precedence operand that converts the stream expression to void.

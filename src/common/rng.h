@@ -71,7 +71,7 @@ class Rng {
       u = 2.0 * NextDouble() - 1.0;
       v = 2.0 * NextDouble() - 1.0;
       s = u * u + v * v;
-    } while (s >= 1.0 || s == 0.0);
+    } while (s >= 1.0 || s == 0.0);  // NOLINT(pollint:float-compare): exact-zero rejection.
     const double mul = Sqrt(-2.0 * Log(s) / s);
     spare_ = v * mul;
     has_spare_ = true;

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <string>
+#include <string_view>
+
 namespace pol {
 
 std::string_view StatusCodeName(StatusCode code) {

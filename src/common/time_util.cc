@@ -1,6 +1,7 @@
 #include "common/time_util.h"
 
 #include <cstdio>
+#include <string>
 
 namespace pol {
 namespace {

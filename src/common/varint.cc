@@ -1,6 +1,8 @@
 #include "common/varint.h"
 
 #include <cstring>
+#include <string>
+#include <string_view>
 
 namespace pol {
 

@@ -1,8 +1,10 @@
 #include "core/adaptive.h"
 
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "hexgrid/hexgrid.h"
 
 namespace pol::core {

@@ -1,5 +1,7 @@
 #include "core/cell_summary.h"
 
+#include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/varint.h"

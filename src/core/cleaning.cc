@@ -1,6 +1,7 @@
 #include "core/cleaning.h"
 
 #include <atomic>
+#include <vector>
 
 #include "geo/geodesic.h"
 

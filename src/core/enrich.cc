@@ -1,6 +1,7 @@
 #include "core/enrich.h"
 
 #include <atomic>
+#include <vector>
 
 namespace pol::core {
 

@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "geo/geodesic.h"
 
 namespace pol::core {

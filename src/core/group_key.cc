@@ -1,6 +1,7 @@
 #include "core/group_key.h"
 
 #include <cstdio>
+#include <string>
 
 namespace pol::core {
 

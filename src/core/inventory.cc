@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/crc32.h"
 #include "common/varint.h"

@@ -22,23 +22,19 @@ void InventoryBuilder::Fold(const flow::Dataset<PipelineRecord>& projected) {
          projected.partition(static_cast<int>(p))) {
       if (record.cell == hex::kInvalidCell) continue;
       if (config_.gi_cell) {
-        auto [it, inserted] = local.try_emplace(KeyCell(record.cell), params);
-        (void)inserted;
-        it->second.Add(record);
+        local.try_emplace(KeyCell(record.cell), params)
+            .first->second.Add(record);
       }
       if (config_.gi_cell_type) {
-        auto [it, inserted] = local.try_emplace(
-            KeyCellType(record.cell, record.segment), params);
-        (void)inserted;
-        it->second.Add(record);
+        local.try_emplace(KeyCellType(record.cell, record.segment), params)
+            .first->second.Add(record);
       }
       if (config_.gi_cell_route_type && record.trip_id != 0) {
-        auto [it, inserted] = local.try_emplace(
-            KeyCellRouteType(record.cell, record.origin, record.destination,
-                             record.segment),
-            params);
-        (void)inserted;
-        it->second.Add(record);
+        local
+            .try_emplace(KeyCellRouteType(record.cell, record.origin,
+                                          record.destination, record.segment),
+                         params)
+            .first->second.Add(record);
       }
     }
   });

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "core/inventory_builder.h"
 #include "core/stages.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <vector>
 
 namespace pol::core {
 namespace {

@@ -51,7 +51,7 @@ class CleaningStage
 
  private:
   CleaningConfig config_;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // guards: stats_
   CleaningStats stats_;
 };
 
@@ -86,7 +86,7 @@ class EnrichmentStage
  private:
   Enricher enricher_;
   bool commercial_only_;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // guards: stats_
   EnrichmentStats stats_;
 };
 
@@ -122,7 +122,7 @@ class TripStage : public flow::Stage<PipelineRecord, PipelineRecord> {
  private:
   Geofencer geofencer_;
   TripConfig config_;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // guards: stats_
   TripStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "core/trips.h"
 
 #include <atomic>
+#include <vector>
 
 #include "common/rng.h"
 

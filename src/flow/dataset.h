@@ -9,7 +9,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "flow/threadpool.h"
 
 // Dataset<T>: an in-memory partitioned collection with the MapReduce
@@ -62,6 +62,7 @@ class Dataset {
   int num_partitions() const { return static_cast<int>(partitions_.size()); }
 
   const std::vector<T>& partition(int index) const {
+    POL_DCHECK(index >= 0 && index < num_partitions());
     return partitions_[static_cast<size_t>(index)];
   }
 
@@ -261,8 +262,7 @@ class Dataset {
     pool_->ParallelFor(partitions_.size(), [&](size_t i) {
       LocalMap& local = locals[i];
       for (const T& item : partitions_[i]) {
-        auto [it, inserted] = local.try_emplace(key_fn(item), init_fn());
-        (void)inserted;
+        auto it = local.try_emplace(key_fn(item), init_fn()).first;
         add_fn(it->second, item);
       }
     });
@@ -289,7 +289,10 @@ class Dataset {
     for (const auto& m : merged) total += m.size();
     result.reserve(total);
     for (LocalMap& m : merged) {
-      for (auto& [key, acc] : m) result.emplace(key, std::move(acc));
+      for (auto& [key, acc] : m) {
+        const bool inserted = result.emplace(key, std::move(acc)).second;
+        POL_DCHECK(inserted) << "key present in two merge buckets";
+      }
     }
     return result;
   }

@@ -1,6 +1,8 @@
 #include "flow/stage.h"
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 namespace pol::flow {
 

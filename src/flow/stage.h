@@ -70,7 +70,7 @@ class StageMetricsCollector {
   }
 
  private:
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // guards: metrics_
   std::vector<StageMetrics> metrics_;
 };
 

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "flow/stage.h"
 #include "flow/threadpool.h"
 

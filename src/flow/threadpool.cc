@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
 
 namespace pol::flow {
 
@@ -33,7 +39,21 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+bool ThreadPool::IsWorkerThread() const {
+  // `workers_` is written only by the constructor, so scanning it
+  // without the lock is safe for the pool's whole lifetime.
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& worker : workers_) {
+    if (worker.get_id() == self) return true;
+  }
+  return false;
+}
+
 void ThreadPool::Wait() {
+  POL_DCHECK(!IsWorkerThread())
+      << "ThreadPool::Wait() called from inside a pool task; this would "
+         "deadlock (the calling task counts as active). Use ParallelFor "
+         "for nested fan-out.";
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }

@@ -28,10 +28,16 @@ class ThreadPool {
   // Enqueues a task. Safe from any thread, including from inside tasks.
   void Submit(std::function<void()> task);
 
-  // Blocks until the queue is empty and no task is running. Do not call
-  // from inside a task (the calling task counts as active and the wait
-  // would never finish).
+  // Blocks until the queue is empty and no task is running. Must not be
+  // called from inside a task: the calling task counts as active, so
+  // the wait could never finish. The precondition is enforced with a
+  // POL_DCHECK (debug builds abort instead of deadlocking); use
+  // ParallelFor for fan-out that is safe from inside tasks.
   void Wait();
+
+  // True when the calling thread is one of this pool's workers — i.e.
+  // the caller is executing inside a pool task.
+  bool IsWorkerThread() const;
 
   // Runs `fn(i)` for i in [0, n) across the pool and returns when every
   // index has completed. The caller participates in the work, so the
@@ -46,7 +52,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  std::mutex mutex_;  // guards: queue_, active_, shutting_down_
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace pol::geo {
 
@@ -28,6 +29,7 @@ double InitialBearingDeg(const LatLng& a, const LatLng& b) {
   const double y = std::sin(dlng) * std::cos(lat2);
   const double x = std::cos(lat1) * std::sin(lat2) -
                    std::sin(lat1) * std::cos(lat2) * std::cos(dlng);
+  // NOLINTNEXTLINE(pollint:float-compare): exact-zero guard for atan2 poles.
   if (x == 0.0 && y == 0.0) return 0.0;
   double bearing = RadToDeg(std::atan2(y, x));
   if (bearing < 0.0) bearing += 360.0;

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pol::geo {
 

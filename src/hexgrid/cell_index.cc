@@ -1,6 +1,7 @@
 #include "hexgrid/cell_index.h"
 
 #include <cstdio>
+#include <string>
 
 #include "hexgrid/icosahedron.h"
 

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "geo/latlng.h"
 #include "hexgrid/icosahedron.h"
 
@@ -28,6 +28,7 @@ const LatticeParams* BuildTable() {
   const double s0 = Res0HexSize();
   const double rot_step = ApertureRotationRad();
   // Leaked intentionally: lives for the process lifetime (static table).
+  // NOLINTNEXTLINE(pollint:naked-new): intentionally leaked static table.
   auto* table = new std::vector<LatticeParams>();
   table->reserve(kMaxResolution + 1);
   double size = s0;

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pol::hex {
 namespace {
@@ -98,6 +98,7 @@ Icosahedron::Icosahedron() : vertices_(MakeVertices()) {
 }
 
 const Icosahedron& Icosahedron::Get() {
+  // NOLINTNEXTLINE(pollint:naked-new): leaky singleton, no destruction order.
   static const Icosahedron& instance = *new Icosahedron();
   return instance;
 }

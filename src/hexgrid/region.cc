@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "geo/geodesic.h"
 #include "hexgrid/hex_math.h"

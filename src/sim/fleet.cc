@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "geo/geodesic.h"
 #include "sim/movement.h"
 

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "geo/geodesic.h"
 
 namespace pol::sim {

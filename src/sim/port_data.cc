@@ -5,6 +5,8 @@
 
 #include "sim/ports.h"
 
+#include <vector>
+
 namespace pol::sim {
 namespace {
 
@@ -213,6 +215,7 @@ std::vector<Port> BuildWorldPorts() {
 }  // namespace
 
 const PortDatabase& PortDatabase::Global() {
+  // NOLINTNEXTLINE(pollint:naked-new): leaky singleton, no destruction order.
   static const PortDatabase& instance = *new PortDatabase(BuildWorldPorts());
   return instance;
 }

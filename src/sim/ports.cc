@@ -1,6 +1,8 @@
 #include "sim/ports.h"
 
 #include <limits>
+#include <string>
+#include <vector>
 
 #include "geo/geodesic.h"
 

@@ -4,8 +4,10 @@
 #include <limits>
 #include <map>
 #include <queue>
+#include <string>
+#include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "geo/geodesic.h"
 
 namespace pol::sim {
@@ -255,6 +257,7 @@ RouteNetwork::RouteNetwork(
 
 const RouteNetwork& RouteNetwork::Global() {
   static const RouteNetwork& instance =
+      // NOLINTNEXTLINE(pollint:naked-new): leaky singleton, no destruction order.
       *new RouteNetwork(&PortDatabase::Global());
   return instance;
 }

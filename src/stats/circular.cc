@@ -1,6 +1,8 @@
 #include "stats/circular.h"
 
 #include <cmath>
+#include <string>
+#include <string_view>
 
 #include "common/varint.h"
 
@@ -24,6 +26,7 @@ void CircularMean::Merge(const CircularMean& other) {
 
 double CircularMean::MeanDeg() const {
   if (count_ == 0) return 0.0;
+  // NOLINTNEXTLINE(pollint:float-compare): exact-zero means no samples yet.
   if (sum_sin_ == 0.0 && sum_cos_ == 0.0) return 0.0;
   double deg = std::atan2(sum_sin_, sum_cos_) / kDegToRad;
   if (deg < 0.0) deg += 360.0;

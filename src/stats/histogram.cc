@@ -1,8 +1,10 @@
 #include "stats/histogram.h"
 
 #include <cmath>
+#include <string>
+#include <string_view>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/varint.h"
 
 namespace pol::stats {

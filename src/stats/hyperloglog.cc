@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <string_view>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/varint.h"
 

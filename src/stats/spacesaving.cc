@@ -1,6 +1,9 @@
 #include "stats/spacesaving.h"
 
 #include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/varint.h"

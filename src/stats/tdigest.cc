@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/varint.h"

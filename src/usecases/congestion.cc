@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "geo/geodesic.h"
 

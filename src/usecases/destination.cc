@@ -1,6 +1,7 @@
 #include "usecases/destination.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "hexgrid/hexgrid.h"
 

@@ -1,5 +1,7 @@
 #include "usecases/lane_analysis.h"
 
+#include <vector>
+
 namespace pol::uc {
 
 const char* CellClassName(CellClass c) {

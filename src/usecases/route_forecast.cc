@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "geo/geodesic.h"
 #include "hexgrid/hexgrid.h"

@@ -1,0 +1,49 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace pol {
+namespace {
+
+TEST(CheckTest, PassesOnTrueCondition) {
+  POL_CHECK(1 + 1 == 2) << "arithmetic holds";
+  SUCCEED();
+}
+
+TEST(CheckTest, StreamedContextNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  POL_CHECK(true) << "unused " << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckDeathTest, AbortsOnFalseCondition) {
+  EXPECT_DEATH(POL_CHECK(false) << "boom", "Check failed: false");
+}
+
+TEST(CheckTest, DcheckPassesOnTrueCondition) {
+  POL_DCHECK(2 * 2 == 4) << "still holds";
+  SUCCEED();
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DcheckConditionNotEvaluatedInReleaseBuilds) {
+  int evaluations = 0;
+  auto probe = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  POL_DCHECK(probe()) << "compiled out";
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(CheckDeathTest, DcheckAbortsOnFalseConditionInDebugBuilds) {
+  EXPECT_DEATH(POL_DCHECK(false) << "boom", "Check failed");
+}
+#endif
+
+}  // namespace
+}  // namespace pol

@@ -30,15 +30,6 @@ TEST(LoggingTest, DisabledLevelsDoNotEvaluate) {
   SetMinLogLevel(original);
 }
 
-TEST(LoggingTest, CheckPassesOnTrueCondition) {
-  POL_CHECK(1 + 1 == 2) << "arithmetic holds";
-  SUCCEED();
-}
-
-TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
-  EXPECT_DEATH(POL_CHECK(false) << "boom", "Check failed: false");
-}
-
 TEST(LoggingDeathTest, FatalAborts) {
   EXPECT_DEATH(POL_LOG(Fatal) << "fatal message", "fatal message");
 }

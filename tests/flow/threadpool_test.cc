@@ -161,6 +161,31 @@ TEST(ThreadPoolTest, SubmitStormFromInsideTasks) {
   EXPECT_EQ(counter.load(), 160);
 }
 
+TEST(ThreadPoolTest, IsWorkerThreadDistinguishesCallers) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.IsWorkerThread());
+  std::atomic<int> inside{-1};
+  pool.Submit([&] { inside.store(pool.IsWorkerThread() ? 1 : 0); });
+  pool.Wait();
+  EXPECT_EQ(inside.load(), 1);
+}
+
+#ifndef NDEBUG
+TEST(ThreadPoolDeathTest, WaitFromInsideTaskAborts) {
+  // Wait() from inside a task would deadlock (the caller counts as
+  // active); the POL_DCHECK must turn that into a loud abort instead.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.Submit([&pool] { pool.Wait(); });
+        // The destructor drains the queue, so the task runs — and the
+        // worker thread hits the precondition check.
+      },
+      "Wait\\(\\) called from inside a pool task");
+}
+#endif
+
 TEST(ThreadPoolTest, DestructionDrainsCleanly) {
   std::atomic<int> counter{0};
   {

@@ -1,0 +1,7 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+// Corpus: include guard does not follow POL_<PATH>_H_.
+int BadGuard();
+
+#endif  // WRONG_GUARD_H

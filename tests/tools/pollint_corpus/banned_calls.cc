@@ -1,0 +1,24 @@
+// Corpus: banned C library calls in library code. Linted under the
+// virtual path src/corpus/banned_calls.cc by pollint_test.
+#include <ctime>
+
+int Bad() {
+  int x = rand();
+  srand(42);
+  std::time_t t = 0;
+  (void)gmtime(&t);
+  (void)localtime(&t);
+  char buf[4] = {0};
+  (void)strtok(buf, ",");
+  return x;
+}
+
+int Fine() {
+  // rand() in a comment is fine, as is "srand(1)" in a string:
+  const char* s = "srand(1)";
+  (void)s;
+  int my_rand = 3;      // Identifier containing 'rand'.
+  int brand = my_rand;  // Ditto.
+  (void)std::rand();    // NOLINT(pollint:banned-call)
+  return brand;
+}

@@ -1,0 +1,25 @@
+// Corpus: floating-point ==/!= comparisons.
+
+bool Bad(double a, float b, double c) {
+  bool r = a == 1.0;
+  r = r || (b != 0.5f);
+  r = r || (1e-9 == c);
+  r = r || (c == .25);
+  return r;
+}
+
+struct Meters {
+  double value;
+  // operator definitions are exempt even with literals nearby:
+  bool operator==(const Meters& other) const = default;
+};
+
+bool Fine(int n, double a, double b) {
+  bool r = n == 1;          // Integer literal: fine.
+  r = r || (a == b);        // No literal operand: assumed deliberate.
+  r = r || (a <= 1.0);      // Ordering, not equality.
+  r = r || (a == 0.0);      // NOLINT(pollint:float-compare)
+  // NOLINTNEXTLINE(pollint:float-compare): exact sentinel.
+  r = r || (b != -1.0);
+  return r;
+}

@@ -1,0 +1,21 @@
+#ifndef POL_CORPUS_GOOD_GUARD_H_
+#define POL_CORPUS_GOOD_GUARD_H_
+
+// Corpus: fully clean header — correct guard for the virtual path
+// src/corpus/good_guard.h, documented mutex, direct includes.
+#include <mutex>
+#include <vector>
+
+class GoodGuard {
+ public:
+  void Add(int v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_.push_back(v);
+  }
+
+ private:
+  std::mutex mutex_;  // guards: values_
+  std::vector<int> values_;
+};
+
+#endif  // POL_CORPUS_GOOD_GUARD_H_

@@ -1,0 +1,7 @@
+#ifndef POL_CORPUS_MISMATCHED_DEFINE_H_
+#define POL_CORPUS_MISMATCHED_DEFINE_X
+
+// Corpus: the #ifndef is right but the #define does not match it.
+int MismatchedDefine();
+
+#endif

@@ -1,0 +1,8 @@
+// Corpus: direct std usage without the matching direct #include.
+#include <string>
+
+std::string Join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& part : parts) out += part;
+  return out;
+}

@@ -1,0 +1,25 @@
+#ifndef POL_CORPUS_MUTEX_MEMBER_H_
+#define POL_CORPUS_MUTEX_MEMBER_H_
+
+// Corpus: std::mutex members must carry a '// guards:' comment.
+#include <mutex>
+
+class Counters {
+ public:
+  void Tick();
+
+ private:
+  std::mutex mutex_;
+  // guards: slow_
+  mutable std::mutex slow_mutex_;
+  std::shared_mutex rw_mutex_;  // guards: totals_
+  int slow_ = 0;
+  int totals_ = 0;
+};
+
+inline void LocalMutexIsFine() {
+  static std::mutex local;  // Not a member: trailing underscore absent.
+  (void)local;
+}
+
+#endif  // POL_CORPUS_MUTEX_MEMBER_H_

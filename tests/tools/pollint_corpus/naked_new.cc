@@ -1,0 +1,21 @@
+// Corpus: naked new/delete in library code.
+#include <memory>
+
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;  // Deleted member, not a deallocation.
+};
+
+Widget* Bad() {
+  Widget* w = new Widget();
+  delete w;
+  return new Widget();
+}
+
+std::unique_ptr<Widget> Fine() {
+  auto owned = std::make_unique<Widget>();
+  // NOLINTNEXTLINE(pollint:naked-new): arena handed to the C API.
+  Widget* arena = new Widget();
+  (void)arena;
+  return owned;
+}

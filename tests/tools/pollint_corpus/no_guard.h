@@ -1,0 +1,2 @@
+// Corpus: header with no include guard at all.
+int NoGuard();

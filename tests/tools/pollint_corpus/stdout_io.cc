@@ -1,0 +1,18 @@
+// Corpus: stdout writes in library code. Linted twice by pollint_test:
+// under src/corpus/stdout_io.cc (findings) and under
+// tools/corpus/stdout_io.cc (clean — tools may print).
+#include <cstdio>
+#include <iostream>
+
+void Bad() {
+  std::cout << "progress\n";
+  printf("done\n");
+  std::printf("done\n");
+}
+
+void Fine() {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "ok");   // snprintf formats, no I/O.
+  std::fprintf(stderr, "to stderr\n");     // stderr is the log channel.
+  std::cout << "suppressed\n";             // NOLINT(pollint:stdout-io)
+}

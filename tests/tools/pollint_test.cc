@@ -1,0 +1,164 @@
+// pollint self-tests: every corpus fixture is linted under a virtual
+// repo path and must produce exactly the expected (rule, line) set —
+// ids and line numbers both, so rule regressions cannot hide behind
+// "still finds something on that file".
+
+#include "tools/pollint/pollint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pol::tools::pollint {
+namespace {
+
+#ifndef POLLINT_CORPUS_DIR
+#error "POLLINT_CORPUS_DIR must point at tests/tools/pollint_corpus"
+#endif
+
+std::string ReadCorpusFile(const std::string& name) {
+  const std::string path = std::string(POLLINT_CORPUS_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing corpus fixture: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+using RuleLine = std::pair<std::string, int>;
+
+std::vector<RuleLine> Lint(const std::string& fixture,
+                           const std::string& virtual_path) {
+  std::vector<RuleLine> got;
+  for (const Finding& finding :
+       LintSource(virtual_path, ReadCorpusFile(fixture))) {
+    EXPECT_EQ(finding.path, virtual_path);
+    got.emplace_back(finding.rule, finding.line);
+  }
+  return got;
+}
+
+TEST(PollintCorpusTest, BannedCalls) {
+  const std::vector<RuleLine> expected = {
+      {"banned-call", 6},  {"banned-call", 7},  {"banned-call", 9},
+      {"banned-call", 10}, {"banned-call", 12},
+  };
+  EXPECT_EQ(Lint("banned_calls.cc", "src/corpus/banned_calls.cc"), expected);
+}
+
+TEST(PollintCorpusTest, StdoutIoInLibraryCode) {
+  const std::vector<RuleLine> expected = {
+      {"stdout-io", 8},
+      {"stdout-io", 9},
+      {"stdout-io", 10},
+  };
+  EXPECT_EQ(Lint("stdout_io.cc", "src/corpus/stdout_io.cc"), expected);
+}
+
+TEST(PollintCorpusTest, StdoutIoAllowedInTools) {
+  EXPECT_TRUE(Lint("stdout_io.cc", "tools/corpus/stdout_io.cc").empty());
+}
+
+TEST(PollintCorpusTest, NakedNewDelete) {
+  const std::vector<RuleLine> expected = {
+      {"naked-new", 10},
+      {"naked-new", 11},
+      {"naked-new", 12},
+  };
+  EXPECT_EQ(Lint("naked_new.cc", "src/corpus/naked_new.cc"), expected);
+}
+
+TEST(PollintCorpusTest, FloatCompare) {
+  const std::vector<RuleLine> expected = {
+      {"float-compare", 4},
+      {"float-compare", 5},
+      {"float-compare", 6},
+      {"float-compare", 7},
+  };
+  EXPECT_EQ(Lint("float_compare.cc", "src/corpus/float_compare.cc"),
+            expected);
+}
+
+TEST(PollintCorpusTest, WrongGuardName) {
+  const std::vector<RuleLine> expected = {{"include-guard", 1}};
+  EXPECT_EQ(Lint("bad_guard.h", "src/corpus/bad_guard.h"), expected);
+}
+
+TEST(PollintCorpusTest, MissingGuard) {
+  const std::vector<RuleLine> expected = {{"include-guard", 1}};
+  EXPECT_EQ(Lint("no_guard.h", "src/corpus/no_guard.h"), expected);
+}
+
+TEST(PollintCorpusTest, MismatchedDefine) {
+  const std::vector<RuleLine> expected = {{"include-guard", 2}};
+  EXPECT_EQ(Lint("mismatched_define.h", "src/corpus/mismatched_define.h"),
+            expected);
+}
+
+TEST(PollintCorpusTest, CleanHeaderHasNoFindings) {
+  EXPECT_TRUE(Lint("good_guard.h", "src/corpus/good_guard.h").empty());
+}
+
+TEST(PollintCorpusTest, MutexMemberNeedsGuardsComment) {
+  const std::vector<RuleLine> expected = {{"mutex-guard", 12}};
+  EXPECT_EQ(Lint("mutex_member.h", "src/corpus/mutex_member.h"), expected);
+}
+
+TEST(PollintCorpusTest, MissingDirectInclude) {
+  const std::vector<RuleLine> expected = {{"missing-include", 4}};
+  EXPECT_EQ(Lint("missing_include.cc", "src/corpus/missing_include.cc"),
+            expected);
+}
+
+TEST(PollintTest, GuardNamesDeriveFromPath) {
+  // Library headers drop the src/ prefix; everything else keeps the
+  // full path (bench/bench_util.h -> POL_BENCH_BENCH_UTIL_H_).
+  const std::string content =
+      "#ifndef POL_BENCH_X_H_\n#define POL_BENCH_X_H_\n#endif\n";
+  EXPECT_TRUE(LintSource("bench/x.h", content).empty());
+  // Under src/ the prefix is stripped, so the same text expects
+  // POL_X_H_ and the bench-style guard is a finding.
+  const auto findings = LintSource("src/x.h", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+}
+
+TEST(PollintTest, RuleIdsAreSortedAndUnique) {
+  const std::vector<std::string>& ids = RuleIds();
+  EXPECT_FALSE(ids.empty());
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(PollintTest, FormatFindingIsGrepFriendly) {
+  Finding finding;
+  finding.path = "src/flow/dataset.h";
+  finding.line = 42;
+  finding.rule = "naked-new";
+  finding.message = "boom";
+  EXPECT_EQ(FormatFinding(finding),
+            "src/flow/dataset.h:42: pollint:naked-new: boom");
+}
+
+TEST(PollintTest, BlanketNolintSuppressesEveryRule) {
+  const auto findings = LintSource(
+      "src/x/y.cc", "int a = rand();  // NOLINT(pollint)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(PollintTest, CommentsAndStringsDoNotTrigger) {
+  const auto findings = LintSource(
+      "src/x/y.cc",
+      "// rand() gmtime() new delete std::cout 1.0 == 2.0\n"
+      "const char* s = \"rand() new std::cout\";\n"
+      "/* delete printf(\"x\") */\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace pol::tools::pollint

@@ -1,0 +1,501 @@
+#include "tools/pollint/pollint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace pol::tools::pollint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing: split each physical line into its code part and its comment
+// part, with string/char literal contents blanked out of the code part.
+// This is the substrate every rule scans, so rules never fire on text
+// inside comments or literals.
+
+struct SplitLine {
+  std::string code;     // Comments and literal contents removed.
+  std::string comment;  // Text of // and /* */ comments on this line.
+};
+
+std::vector<SplitLine> SplitLines(std::string_view content) {
+  enum class State {
+    kCode,
+    kString,
+    kChar,
+    kLineComment,
+    kBlockComment,
+    kRawString,
+  };
+  std::vector<SplitLine> lines;
+  SplitLine current;
+  State state = State::kCode;
+  std::string raw_delimiter;  // For R"delim( ... )delim".
+  const size_t n = content.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      lines.push_back(std::move(current));
+      current = SplitLine();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && i + 1 < n && content[i + 1] == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // Raw string: remember the delimiter up to '('.
+          raw_delimiter.clear();
+          size_t j = i + 2;
+          while (j < n && content[j] != '(') raw_delimiter += content[j++];
+          current.code += "\"\"";
+          i = j;  // Position at '('.
+          state = State::kRawString;
+        } else if (c == '"') {
+          current.code += '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          current.code += '\'';
+          state = State::kChar;
+        } else {
+          current.code += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '"') {
+          current.code += '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '\'') {
+          current.code += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kLineComment:
+        current.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current.comment += c;
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delimiter + "\"";
+        if (content.compare(i, close.size(), close) == 0) {
+          i += close.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Path classification.
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+// Library code gets the strictest rule set.
+bool IsLibraryPath(std::string_view path) { return StartsWith(path, "src/"); }
+
+bool IsHeaderPath(std::string_view path) { return EndsWith(path, ".h"); }
+
+// POL_<PATH>_H_ with the leading "src/" dropped for library headers
+// (src/flow/dataset.h -> POL_FLOW_DATASET_H_; bench/bench_util.h ->
+// POL_BENCH_BENCH_UTIL_H_).
+std::string ExpectedIncludeGuard(std::string_view path) {
+  std::string_view rel = path;
+  if (IsLibraryPath(rel)) rel.remove_prefix(4);
+  std::string guard = "POL_";
+  for (const char c : rel) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: NOLINT(pollint:<rule>) or NOLINT(pollint) in the
+// finding line's comment, or the NOLINTNEXTLINE equivalents on the
+// line above.
+
+bool CommentSuppresses(const std::string& comment, std::string_view marker,
+                       std::string_view rule) {
+  size_t pos = comment.find(std::string(marker) + "(");
+  while (pos != std::string::npos) {
+    const size_t open = pos + marker.size() + 1;
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::stringstream list(comment.substr(open, close - open));
+    std::string entry;
+    while (std::getline(list, entry, ',')) {
+      const size_t begin = entry.find_first_not_of(" \t");
+      const size_t end = entry.find_last_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      const std::string trimmed = entry.substr(begin, end - begin + 1);
+      if (trimmed == "pollint" ||
+          trimmed == "pollint:" + std::string(rule)) {
+        return true;
+      }
+    }
+    pos = comment.find(std::string(marker) + "(", close);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rule context.
+
+class Linter {
+ public:
+  Linter(std::string_view path, std::string_view content)
+      : path_(path), lines_(SplitLines(content)) {}
+
+  std::vector<Finding> Run() {
+    if (IsHeaderPath(path_)) CheckIncludeGuard();
+    if (IsLibraryPath(path_)) {
+      CheckBannedCalls();
+      CheckStdoutIo();
+      CheckNakedNewDelete();
+      CheckMutexGuardComments();
+      CheckMissingIncludes();
+    }
+    CheckFloatCompares();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  void Report(size_t index, std::string_view rule, std::string message) {
+    if (CommentSuppresses(lines_[index].comment, "NOLINT", rule)) return;
+    if (index > 0 && CommentSuppresses(lines_[index - 1].comment,
+                                       "NOLINTNEXTLINE", rule)) {
+      return;
+    }
+    findings_.push_back(Finding{std::string(path_),
+                                static_cast<int>(index + 1),
+                                std::string(rule), std::move(message)});
+  }
+
+  static std::string Trim(const std::string& text) {
+    const size_t begin = text.find_first_not_of(" \t");
+    if (begin == std::string::npos) return "";
+    const size_t end = text.find_last_not_of(" \t");
+    return text.substr(begin, end - begin + 1);
+  }
+
+  // --- include-guard ------------------------------------------------------
+  void CheckIncludeGuard() {
+    static const std::regex kIfndef(R"(^\s*#\s*ifndef\s+(\w+))");
+    static const std::regex kDefine(R"(^\s*#\s*define\s+(\w+))");
+    const std::string expected = ExpectedIncludeGuard(path_);
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      std::smatch match;
+      if (!std::regex_search(lines_[i].code, match, kIfndef)) continue;
+      if (match[1] != expected) {
+        Report(i, "include-guard",
+               "include guard '" + match[1].str() + "' should be '" +
+                   expected + "'");
+        return;
+      }
+      // The guard name is right; the next code line must define it.
+      for (size_t j = i + 1; j < lines_.size(); ++j) {
+        if (Trim(lines_[j].code).empty()) continue;
+        std::smatch define;
+        if (!std::regex_search(lines_[j].code, define, kDefine) ||
+            define[1] != expected) {
+          Report(j, "include-guard",
+                 "#ifndef " + expected +
+                     " must be followed by #define " + expected);
+        }
+        return;
+      }
+      return;
+    }
+    Report(0, "include-guard",
+           "header has no include guard (expected #ifndef " + expected + ")");
+  }
+
+  // --- banned-call --------------------------------------------------------
+  void CheckBannedCalls() {
+    static const std::regex kBanned(
+        R"((^|[^\w.:>])(::|std::)?(rand|srand|strtok|gmtime|localtime)\s*\()");
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(lines_[i].code, match, kBanned)) {
+        Report(i, "banned-call",
+               "'" + match[3].str() +
+                   "' is banned in library code (non-reentrant or "
+                   "non-deterministic); use common/rng or common/time_util");
+      }
+    }
+  }
+
+  // --- stdout-io ----------------------------------------------------------
+  void CheckStdoutIo() {
+    static const std::regex kCout(R"((^|[^\w])std::cout\b)");
+    static const std::regex kPrintf(R"((^|[^\w.:>])(std::)?printf\s*\()");
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(lines_[i].code, match, kCout) ||
+          std::regex_search(lines_[i].code, match, kPrintf)) {
+        Report(i, "stdout-io",
+               "library code must not write to stdout; report via "
+               "pol::Status or common/logging (tools/examples/bench may)");
+      }
+    }
+  }
+
+  // --- naked-new ----------------------------------------------------------
+  void CheckNakedNewDelete() {
+    static const std::regex kNew(R"((^|[^\w])new\b)");
+    static const std::regex kDelete(R"((^|[^\w])delete\b)");
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      const std::string& code = lines_[i].code;
+      std::smatch match;
+      if (std::regex_search(code, match, kNew)) {
+        Report(i, "naked-new",
+               "naked 'new' in library code; use std::make_unique / "
+               "std::make_shared or a container");
+        continue;
+      }
+      auto begin = code.cbegin();
+      while (std::regex_search(begin, code.cend(), match, kDelete)) {
+        // `= delete;` (deleted special member) is not a deallocation.
+        const auto keyword =
+            begin + (match.position(0) + match.length(1));
+        auto prev = keyword;
+        while (prev != code.cbegin() &&
+               std::isspace(static_cast<unsigned char>(*(prev - 1)))) {
+          --prev;
+        }
+        if (prev == code.cbegin() || *(prev - 1) != '=') {
+          Report(i, "naked-new",
+                 "naked 'delete' in library code; prefer RAII ownership");
+          break;
+        }
+        begin += match.position(0) + match.length(0);
+      }
+    }
+  }
+
+  // --- float-compare ------------------------------------------------------
+  static bool IsFloatLiteral(const std::string& token) {
+    static const std::regex kFloat(
+        R"(^[+-]?(\d+\.\d*|\.\d+|\d+\.?\d*[eE][+-]?\d+)[fFlL]?$)");
+    return std::regex_match(token, kFloat);
+  }
+
+  void CheckFloatCompares() {
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      const std::string& code = lines_[i].code;
+      for (size_t pos = 0; pos + 1 < code.size(); ++pos) {
+        const bool eq = code[pos] == '=' && code[pos + 1] == '=';
+        const bool ne = code[pos] == '!' && code[pos + 1] == '=';
+        if (!eq && !ne) continue;
+        // Skip <=, >=, ==(second char of ===? not C++), and compound
+        // assignment lookalikes by requiring the previous char not be
+        // one of <>=!+-*/%&|^.
+        if (pos > 0 && std::string("<>=!+-*/%&|^").find(code[pos - 1]) !=
+                           std::string::npos) {
+          ++pos;
+          continue;
+        }
+        // operator==/operator!= definitions are fine.
+        const std::string before = code.substr(0, pos);
+        const size_t op = before.find_last_not_of(" \t");
+        if (op != std::string::npos && op + 1 >= 8 &&
+            before.compare(op - 7, 8, "operator") == 0) {
+          ++pos;
+          continue;
+        }
+        const std::string prev = TokenBefore(code, pos);
+        const std::string next = TokenAfter(code, pos + 2);
+        if (IsFloatLiteral(prev) || IsFloatLiteral(next)) {
+          Report(i, "float-compare",
+                 "floating-point ==/!= comparison; use an epsilon or "
+                 "suppress if the exact compare is intentional");
+          break;
+        }
+        ++pos;
+      }
+    }
+  }
+
+  static bool IsTokenChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+  }
+
+  // An exponent sign is part of the literal token (1e-9, 2.5E+3).
+  static bool IsExponentSign(char sign, char before) {
+    return (sign == '+' || sign == '-') && (before == 'e' || before == 'E');
+  }
+
+  static std::string TokenBefore(const std::string& code, size_t pos) {
+    size_t end = pos;
+    while (end > 0 &&
+           std::isspace(static_cast<unsigned char>(code[end - 1]))) {
+      --end;
+    }
+    size_t begin = end;
+    while (begin > 0 &&
+           (IsTokenChar(code[begin - 1]) ||
+            (begin > 1 && IsExponentSign(code[begin - 1], code[begin - 2])))) {
+      --begin;
+    }
+    return code.substr(begin, end - begin);
+  }
+
+  static std::string TokenAfter(const std::string& code, size_t pos) {
+    size_t begin = pos;
+    while (begin < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[begin]))) {
+      ++begin;
+    }
+    size_t end = begin;
+    if (end < code.size() && (code[end] == '+' || code[end] == '-')) ++end;
+    while (end < code.size() &&
+           (IsTokenChar(code[end]) ||
+            (end > 0 && IsExponentSign(code[end], code[end - 1])))) {
+      ++end;
+    }
+    return code.substr(begin, end - begin);
+  }
+
+  // --- mutex-guard --------------------------------------------------------
+  void CheckMutexGuardComments() {
+    // Member declarations only: Google style gives members a trailing
+    // underscore, which keeps function-local mutexes out of scope.
+    static const std::regex kMutexMember(
+        R"(^\s*(mutable\s+)?std::(shared_|recursive_|timed_|shared_timed_)?mutex\s+\w+_\s*;)");
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      if (!std::regex_search(lines_[i].code, kMutexMember)) continue;
+      const bool documented =
+          lines_[i].comment.find("guards:") != std::string::npos ||
+          (i > 0 &&
+           lines_[i - 1].comment.find("guards:") != std::string::npos);
+      if (!documented) {
+        Report(i, "mutex-guard",
+               "std::mutex member needs a '// guards:' comment naming the "
+               "fields it protects (same line or the line above)");
+      }
+    }
+  }
+
+  // --- missing-include ----------------------------------------------------
+  void CheckMissingIncludes() {
+    struct Entry {
+      const char* header;
+      std::regex use;
+    };
+    static const std::vector<Entry>* const kEntries = new std::vector<Entry>{
+        {"vector", std::regex(R"(std::vector\b)")},
+        {"string", std::regex(R"(std::(string\b|to_string\b))")},
+        {"string_view", std::regex(R"(std::string_view\b)")},
+        {"unordered_map", std::regex(R"(std::unordered_map\b)")},
+        {"unordered_set", std::regex(R"(std::unordered_set\b)")},
+        {"deque", std::regex(R"(std::deque\b)")},
+        {"optional", std::regex(R"(std::(optional\b|nullopt\b))")},
+        {"functional", std::regex(R"(std::function\b)")},
+        {"thread", std::regex(R"(std::(thread\b|this_thread\b))")},
+        {"atomic", std::regex(R"(std::atomic\b)")},
+        {"mutex",
+         std::regex(
+             R"(std::(mutex\b|lock_guard\b|unique_lock\b|scoped_lock\b))")},
+        {"condition_variable", std::regex(R"(std::condition_variable\b)")},
+        {"memory",
+         std::regex(
+             R"(std::(shared_ptr\b|unique_ptr\b|weak_ptr\b|make_shared\b|make_unique\b))")},
+        {"chrono", std::regex(R"(std::chrono\b)")},
+    };
+    static const std::regex kInclude(R"(^\s*#\s*include\s*<([^>]+)>)");
+    std::set<std::string> included;
+    for (const SplitLine& line : lines_) {
+      std::smatch match;
+      if (std::regex_search(line.code, match, kInclude)) {
+        included.insert(match[1].str());
+      }
+    }
+    for (const Entry& entry : *kEntries) {
+      if (included.count(entry.header) != 0) continue;
+      for (size_t i = 0; i < lines_.size(); ++i) {
+        if (!std::regex_search(lines_[i].code, entry.use)) continue;
+        Report(i, "missing-include",
+               std::string("uses std identifiers from <") + entry.header +
+                   "> without including it directly");
+        break;  // One finding per missing header.
+      }
+    }
+  }
+
+  std::string_view path_;
+  std::vector<SplitLine> lines_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& RuleIds() {
+  static const std::vector<std::string>* const kIds =
+      new std::vector<std::string>{
+          "banned-call",   "float-compare",   "include-guard", "missing-include",
+          "mutex-guard",   "naked-new",       "stdout-io",
+      };
+  return *kIds;
+}
+
+std::vector<Finding> LintSource(std::string_view path,
+                                std::string_view content) {
+  return Linter(path, content).Run();
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.path << ":" << finding.line << ": pollint:" << finding.rule
+      << ": " << finding.message;
+  return out.str();
+}
+
+}  // namespace pol::tools::pollint

@@ -1,0 +1,44 @@
+#ifndef POL_TOOLS_POLLINT_POLLINT_H_
+#define POL_TOOLS_POLLINT_POLLINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+// pollint: the project linter. Token/line-level checks for invariants
+// the compiler cannot enforce — include-guard naming, calls banned in
+// library code, floating-point ==/!=, undocumented mutex members, and
+// directly-used std headers that are not directly included. Findings
+// are suppressed per line with `// NOLINT(pollint:<rule>)` (or
+// `// NOLINT(pollint)` for all rules). See DESIGN.md § Correctness
+// tooling for the rule catalog and suppression policy.
+//
+// The library is deliberately filesystem-free: LintSource takes the
+// repo-relative path (which drives file classification) plus the file
+// content, so the corpus tests can lint fixture text under virtual
+// paths. The CLI lives in pollint_main.cc.
+
+namespace pol::tools::pollint {
+
+struct Finding {
+  std::string path;     // Repo-relative path, POSIX separators.
+  int line = 0;         // 1-based.
+  std::string rule;     // Rule id, e.g. "naked-new".
+  std::string message;  // Human-readable explanation.
+};
+
+// Stable list of every rule id, for --list-rules and the tests.
+const std::vector<std::string>& RuleIds();
+
+// Lints one file. `path` must be repo-relative with POSIX separators
+// ("src/flow/dataset.h"); classification (library vs tool code, header
+// vs source, expected include-guard name) derives from it alone.
+std::vector<Finding> LintSource(std::string_view path,
+                                std::string_view content);
+
+// "path:line: pollint:rule: message" — one line, no trailing newline.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace pol::tools::pollint
+
+#endif  // POL_TOOLS_POLLINT_POLLINT_H_

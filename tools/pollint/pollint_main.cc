@@ -1,0 +1,130 @@
+// pollint CLI: lints the project tree (or explicit paths) and exits
+// non-zero when it finds anything, so it can gate CI. There is no --fix
+// mode on purpose — fixes are code review material.
+//
+//   pollint                          # lint src/ bench/ examples/ tools/
+//   pollint --root /path/to/repo     # same, from elsewhere
+//   pollint src/flow tools/polinv.cpp
+//   pollint --list-rules
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/pollint/pollint.h"
+
+namespace fs = std::filesystem;
+namespace pollint = pol::tools::pollint;
+
+namespace {
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+// Collects lintable files under `path` (file or directory), repo-root
+// relative, sorted for deterministic output.
+bool CollectFiles(const fs::path& root, const std::string& arg,
+                  std::vector<std::string>* out) {
+  const fs::path full = root / arg;
+  std::error_code ec;
+  if (fs::is_regular_file(full, ec)) {
+    out->push_back(arg);
+    return true;
+  }
+  if (!fs::is_directory(full, ec)) {
+    std::cerr << "pollint: no such file or directory: " << full.string()
+              << "\n";
+    return false;
+  }
+  for (fs::recursive_directory_iterator it(full, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      std::cerr << "pollint: " << ec.message() << "\n";
+      return false;
+    }
+    if (!it->is_regular_file() || !HasLintableExtension(it->path())) continue;
+    const std::string rel =
+        fs::relative(it->path(), root, ec).generic_string();
+    // Never lint build trees or the linter's own test fixtures.
+    if (rel.find("CMakeFiles") != std::string::npos ||
+        rel.find("pollint_corpus") != std::string::npos) {
+      continue;
+    }
+    out->push_back(rel);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : pollint::RuleIds()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "pollint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pollint [--root DIR] [--list-rules] [paths...]\n"
+                   "Lints src/ bench/ examples/ tools/ under the root when "
+                   "no paths are given.\n";
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "pollint: unknown option " << arg << "\n";
+      return 2;
+    }
+    args.push_back(arg);
+  }
+  if (args.empty()) args = {"src", "bench", "examples", "tools"};
+
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    if (!CollectFiles(root, arg, &files)) return 2;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  size_t findings = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(root / file, std::ios::binary);
+    if (!in) {
+      std::cerr << "pollint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    for (const pollint::Finding& finding :
+         pollint::LintSource(file, buffer.str())) {
+      std::cout << pollint::FormatFinding(finding) << "\n";
+      ++findings;
+    }
+  }
+  if (findings != 0) {
+    std::cout << "pollint: " << findings << " finding"
+              << (findings == 1 ? "" : "s") << " in " << files.size()
+              << " files\n";
+    return 1;
+  }
+  return 0;
+}

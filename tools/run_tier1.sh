@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 verification, plus an optional sanitizer pass over the
-# concurrency-heavy flow/core tests.
+# Tier-1 verification plus the correctness tooling passes: sanitizers
+# over the concurrency-heavy flow/core tests, the project linter, and a
+# format check for touched files.
 #
 #   tools/run_tier1.sh            # tier-1: configure, build, ctest
 #   tools/run_tier1.sh --asan     # + ASan build of flow/core tests
 #   tools/run_tier1.sh --ubsan    # + UBSan build of flow/core tests
-#   tools/run_tier1.sh --sanitize # both sanitizers
+#   tools/run_tier1.sh --tsan     # + TSan build of flow/core tests
+#   tools/run_tier1.sh --sanitize # all three sanitizers
+#   tools/run_tier1.sh --lint     # + build and run pollint over the tree
+#   tools/run_tier1.sh --format   # + clang-format check of touched files
 #
+# Flags combine; plain tier-1 runtime is unchanged when none are given.
 # Run from anywhere; paths resolve relative to the repo root.
 set -euo pipefail
 
@@ -14,16 +19,23 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 # The tests that exercise the thread pool, the stage runner, and the
-# chunked folding path — the ones worth the sanitizer rebuild.
-SAN_TESTS="threadpool_test|dataset_test|pipeline_test|pipeline_property_test|pipeline_chunked_test|cleaning_test|extractor_test|inventory_test"
+# chunked folding path — the ones worth the sanitizer rebuild. The
+# stress tests exist specifically to give TSan interleavings to bite on.
+SAN_TESTS="threadpool_test|dataset_test|concurrency_stress_test|pipeline_test|pipeline_property_test|pipeline_chunked_test|cleaning_test|extractor_test|inventory_test"
 
 run_asan=0
 run_ubsan=0
+run_tsan=0
+run_lint=0
+run_format=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --ubsan) run_ubsan=1 ;;
-    --sanitize) run_asan=1; run_ubsan=1 ;;
+    --tsan) run_tsan=1 ;;
+    --sanitize) run_asan=1; run_ubsan=1; run_tsan=1 ;;
+    --lint) run_lint=1 ;;
+    --format) run_format=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -43,10 +55,53 @@ sanitizer_pass() {
   targets="$(echo "$SAN_TESTS" | tr '|' ' ')"
   # shellcheck disable=SC2086
   cmake --build "$ROOT/build-$preset" -j "$JOBS" --target $targets
-  (cd "$ROOT/build-$preset" && ctest --output-on-failure -j "$JOBS" -R "^($SAN_TESTS)\$")
+  (cd "$ROOT/build-$preset" &&
+     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+     ctest --output-on-failure -j "$JOBS" -R "^($SAN_TESTS)\$")
+}
+
+lint_pass() {
+  echo "== lint pass: pollint over src/ bench/ examples/ tools/ =="
+  cmake --build "$ROOT/build" -j "$JOBS" --target pollint
+  "$ROOT/build/tools/pollint" --root "$ROOT"
+  echo "pollint: clean"
+}
+
+format_pass() {
+  echo "== format pass: clang-format on files touched vs origin =="
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "clang-format not installed; skipping format pass" >&2
+    return 0
+  fi
+  # Only verify new/touched files — the tree is not wholesale-formatted.
+  local base
+  base="$(git -C "$ROOT" merge-base HEAD origin/main 2>/dev/null ||
+          git -C "$ROOT" rev-parse 'HEAD~1' 2>/dev/null || echo '')"
+  local files
+  files="$( (git -C "$ROOT" diff --name-only ${base:+"$base"} --;
+             git -C "$ROOT" diff --name-only --cached;
+             git -C "$ROOT" ls-files --others --exclude-standard) |
+           sort -u | grep -E '\.(h|cc|cpp)$' || true)"
+  if [ -z "$files" ]; then
+    echo "no touched C++ files; nothing to check"
+    return 0
+  fi
+  local bad=0
+  for f in $files; do
+    [ -f "$ROOT/$f" ] || continue
+    if ! clang-format --dry-run -Werror "$ROOT/$f" >/dev/null 2>&1; then
+      echo "needs formatting: $f"
+      bad=1
+    fi
+  done
+  [ "$bad" -eq 0 ] || { echo "format pass failed" >&2; return 1; }
+  echo "format: clean"
 }
 
 [ "$run_asan" -eq 1 ] && sanitizer_pass asan
 [ "$run_ubsan" -eq 1 ] && sanitizer_pass ubsan
+[ "$run_tsan" -eq 1 ] && sanitizer_pass tsan
+[ "$run_lint" -eq 1 ] && lint_pass
+[ "$run_format" -eq 1 ] && format_pass
 
 echo "== run_tier1.sh: all requested passes green =="
