@@ -31,6 +31,7 @@ pol_add_bench(bench_route_forecast)
 
 pol_add_bench(bench_adaptive_ablation)
 pol_add_bench(bench_suez_disruption)
+pol_add_bench(bench_checkpoint)
 
 # Microbenchmarks use google-benchmark.
 pol_add_bench(bench_micro)

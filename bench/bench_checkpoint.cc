@@ -1,0 +1,125 @@
+// Checkpoint cost: what snapshotting the incremental InventoryBuilder
+// every K chunks adds to a chunked pipeline run, and what a resume
+// costs. Reported per interval K as human-readable rows plus one
+// machine-readable `BENCH {...}` json line per configuration, so the
+// perf trajectory of the failure-containment layer can be tracked
+// across commits.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/checkpoint.h"
+#include "core/inventory_builder.h"
+#include "core/pipeline.h"
+#include "sim/fleet.h"
+
+namespace pol {
+namespace {
+
+constexpr int kChunks = 32;
+
+sim::SimulationOutput BenchArchive() {
+  sim::FleetConfig config;
+  config.seed = 20240315;
+  config.commercial_vessels = 60;
+  config.noncommercial_vessels = 10;
+  config.start_time = 1640995200;
+  config.end_time = config.start_time + 60 * kSecondsPerDay;
+  return sim::FleetSimulator(config).Run();
+}
+
+core::PipelineConfig BaseConfig() {
+  core::PipelineConfig config;
+  config.partitions = kChunks;
+  config.chunks = kChunks;
+  config.resolution = 6;
+  return config;
+}
+
+uint64_t NewestSnapshotBytes(const core::CheckpointConfig& checkpoint) {
+  const auto snapshots = core::CheckpointManager(checkpoint).ListSnapshots();
+  if (snapshots.empty()) return 0;
+  std::error_code ec;
+  const uint64_t size = std::filesystem::file_size(snapshots.back(), ec);
+  return ec ? 0 : size;
+}
+
+int Run() {
+  bench::PrintHeader("Checkpoint cost vs interval K (chunked pipeline)");
+  const sim::SimulationOutput archive = BenchArchive();
+  std::printf("archive: %s records, %d chunks\n\n",
+              bench::FormatCount(archive.reports.size()).c_str(), kChunks);
+
+  // Baseline: same chunked run, checkpointing disabled.
+  double baseline_s = 0.0;
+  {
+    const core::PipelineConfig config = BaseConfig();
+    baseline_s = bench::TimeSeconds([&] {
+      core::RunPipeline(archive.reports, archive.fleet, config);
+    });
+  }
+  std::printf("baseline (no checkpointing): %.3f s\n\n", baseline_s);
+
+  bench::PrintRow({"K", "snapshots", "snapshot size", "wall", "overhead",
+                   "restore"},
+                  {4, 10, 14, 9, 9, 9});
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pol_bench_checkpoint")
+          .string();
+  for (const int interval : {1, 2, 4, 8, 16}) {
+    std::filesystem::remove_all(dir);
+    core::PipelineConfig config = BaseConfig();
+    config.checkpoint.directory = dir;
+    config.checkpoint.interval_chunks = interval;
+    config.checkpoint.keep = 2;
+
+    core::PipelineResult result;
+    const double wall_s = bench::TimeSeconds([&] {
+      result = core::RunPipeline(archive.reports, archive.fleet, config);
+    });
+    const uint64_t snapshot_bytes = NewestSnapshotBytes(config.checkpoint);
+
+    // Resume cost: detect the newest snapshot and restore the builder.
+    core::ExtractorConfig extractor_config = config.extractor;
+    extractor_config.resolution = config.resolution;
+    double restore_s = bench::TimeSeconds([&] {
+      const core::CheckpointManager manager(config.checkpoint);
+      const Result<core::CheckpointState> state = manager.LoadLatest();
+      if (state.ok()) {
+        core::InventoryBuilder builder(extractor_config);
+        (void)builder.RestoreState(state->builder_state);
+      }
+    });
+
+    const double overhead = wall_s / baseline_s - 1.0;
+    bench::PrintRow(
+        {std::to_string(interval),
+         std::to_string(result.coverage.checkpoints_written),
+         bench::FormatBytes(snapshot_bytes),
+         std::to_string(wall_s).substr(0, 5) + " s",
+         bench::FormatPercent(overhead),
+         std::to_string(restore_s).substr(0, 5) + " s"},
+        {4, 10, 14, 9, 9, 9});
+
+    std::printf(
+        "BENCH {\"bench\":\"checkpoint\",\"interval_chunks\":%d,"
+        "\"chunks\":%d,\"records\":%llu,\"snapshots\":%llu,"
+        "\"snapshot_bytes\":%llu,\"wall_s\":%.4f,\"baseline_wall_s\":%.4f,"
+        "\"overhead_frac\":%.4f,\"restore_s\":%.4f}\n",
+        interval, kChunks,
+        static_cast<unsigned long long>(archive.reports.size()),
+        static_cast<unsigned long long>(result.coverage.checkpoints_written),
+        static_cast<unsigned long long>(snapshot_bytes), wall_s, baseline_s,
+        overhead, restore_s);
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pol
+
+int main() { return pol::Run(); }

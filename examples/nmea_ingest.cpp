@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ais/nmea.h"
+#include "common/quarantine.h"
 #include "core/pipeline.h"
 #include "sim/fleet.h"
 
@@ -60,17 +61,18 @@ int main() {
 
   // 2. Decode the feed back into positional reports. The on-air message
   //    carries only the UTC second; the receiving station overlays its
-  //    own minute clock.
+  //    own minute clock. Rejected sentences are not silently dropped: a
+  //    QuarantineStore attached to the decoder dead-letters each one
+  //    with per-reason counters — the ingest half of the pipeline's
+  //    failure-containment layer (see DESIGN.md §3.3).
+  QuarantineStore quarantine;
   ais::NmeaDecoder decoder;
+  decoder.set_quarantine(&quarantine);
   std::vector<ais::PositionReport> decoded;
   decoded.reserve(feed.size());
-  uint64_t decode_errors = 0;
   for (size_t i = 0; i < feed.size(); ++i) {
     const auto message = decoder.Feed(feed[i]);
-    if (!message.ok()) {
-      ++decode_errors;
-      continue;
-    }
+    if (!message.ok()) continue;  // Already recorded in the quarantine.
     if (message->message_type == 1 || message->message_type == 2 ||
         message->message_type == 3 || message->message_type == 18) {
       ais::PositionReport report = message->position;
@@ -78,8 +80,13 @@ int main() {
       decoded.push_back(report);
     }
   }
-  std::printf("decoded %zu reports (%llu decode errors)\n", decoded.size(),
-              static_cast<unsigned long long>(decode_errors));
+  std::printf("decoded %zu reports, %llu sentences quarantined\n",
+              decoded.size(),
+              static_cast<unsigned long long>(quarantine.total()));
+  if (quarantine.total() != 0) {
+    std::printf("quarantine counters (source, reason -> count):\n%s",
+                quarantine.CountersToString().c_str());
+  }
 
   // 3. The decoded feed is a normal archive: run the pipeline.
   core::PipelineConfig config;

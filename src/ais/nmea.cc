@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ais/bit_buffer.h"
+#include "common/failpoint.h"
 
 namespace pol::ais {
 namespace {
@@ -254,6 +255,17 @@ Result<std::string> EncodeClassBStaticNmea(const ClassBStaticReport& report) {
 }
 
 Result<Decoded> NmeaDecoder::Feed(std::string_view sentence) {
+  const uint64_t sequence = ++fed_;
+  const Status injected = POL_FAILPOINT("ingest.nmea");
+  Result<Decoded> result =
+      injected.ok() ? FeedInternal(sentence) : Result<Decoded>(injected);
+  if (!result.ok() && quarantine_ != nullptr) {
+    quarantine_->Record("ingest.nmea", result.status(), sentence, sequence);
+  }
+  return result;
+}
+
+Result<Decoded> NmeaDecoder::FeedInternal(std::string_view sentence) {
   // Frame: !AIVDM,<total>,<num>,<seq>,<chan>,<payload>,<fill>*<checksum>
   if (sentence.size() < 16 || sentence[0] != '!') {
     return Status::InvalidArgument("not an NMEA sentence");

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ais/messages.h"
+#include "common/quarantine.h"
 #include "common/status.h"
 
 // NMEA 0183 AIVDM framing: 6-bit payload armouring, checksums and
@@ -62,14 +63,29 @@ Result<std::string> EncodeClassBStaticNmea(const ClassBStaticReport& report);
 
 // Stateful decoder: feeds sentences one at a time, assembling
 // multi-sentence messages keyed by (sequence id, channel).
+//
+// Fault containment: with a QuarantineStore attached, every rejected
+// sentence lands there as a dead letter under source "ingest.nmea" —
+// counted per failure reason, raw sentence retained (truncated) for
+// postmortems — so a live feed survives corrupted input without
+// silently dropping it. The same site carries the "ingest.nmea" fail
+// point for fault-injection builds.
 class NmeaDecoder {
  public:
   NmeaDecoder() = default;
 
+  // Attaches a dead-letter store (non-owning; may be nullptr to
+  // detach). Must outlive the decoder's Feed calls.
+  void set_quarantine(QuarantineStore* store) { quarantine_ = store; }
+
   // Returns the decoded message when `sentence` completes one, or a
   // Decoded with message_type == 0 when more parts are pending.
-  // Malformed sentences and checksum failures are errors.
+  // Malformed sentences and checksum failures are errors (and dead
+  // letters, when a quarantine store is attached).
   Result<Decoded> Feed(std::string_view sentence);
+
+  // Sentences fed so far (the sequence number dead letters carry).
+  uint64_t fed_count() const { return fed_; }
 
   // Messages types seen but not supported by the decoder (counted, not
   // errors — a live feed interleaves many types).
@@ -83,10 +99,13 @@ class NmeaDecoder {
     int last_fill_bits = 0;
   };
 
+  Result<Decoded> FeedInternal(std::string_view sentence);
   Result<Decoded> DecodePayload(const std::vector<uint8_t>& symbols,
                                 int fill_bits);
 
   std::map<std::string, Pending> pending_;
+  QuarantineStore* quarantine_ = nullptr;  // Not owned.
+  uint64_t fed_ = 0;
   uint64_t unsupported_ = 0;
 };
 

@@ -1,0 +1,98 @@
+#include "common/failpoint.h"
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pol {
+namespace {
+
+// SplitMix64: the per-hit coin. Statelesly mixes (seed, hit) so firing
+// decisions are independent of evaluation interleaving across threads.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool CoinFires(double probability, uint64_t seed, uint64_t hit) {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(Mix64(seed ^ Mix64(hit)) >> 11) * 0x1.0p-53;
+  return u < probability;
+}
+
+}  // namespace
+
+FailPointRegistry& FailPointRegistry::Global() {
+  static FailPointRegistry* const kRegistry =
+      new FailPointRegistry();  // NOLINT(pollint:naked-new): process-lifetime singleton.
+  return *kRegistry;
+}
+
+void FailPointRegistry::Arm(std::string_view name, FailPointSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Point& point = points_[std::string(name)];
+  point.armed = true;
+  point.spec = std::move(spec);
+}
+
+void FailPointRegistry::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it != points_.end()) it->second.armed = false;
+}
+
+void FailPointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, point] : points_) point.armed = false;
+}
+
+void FailPointRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+}
+
+Status FailPointRegistry::Evaluate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(name), Point()).first;
+  }
+  Point& point = it->second;
+  const uint64_t hit = point.hits++;
+  if (!point.armed) return Status::OK();
+  const FailPointSpec& spec = point.spec;
+  if (hit < spec.fire_from) return Status::OK();
+  if (spec.fire_count != FailPointSpec::kForever &&
+      hit - spec.fire_from >= spec.fire_count) {
+    return Status::OK();
+  }
+  if (!CoinFires(spec.probability, spec.seed, hit)) return Status::OK();
+  std::string message = spec.message;
+  if (message.empty()) {
+    message = "fail point " + std::string(name) + " fired (hit " +
+              std::to_string(hit) + ")";
+  }
+  return Status(spec.code, std::move(message));
+}
+
+uint64_t FailPointRegistry::HitCount(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FailPointRegistry::KnownPoints() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+}  // namespace pol

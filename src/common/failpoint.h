@@ -1,0 +1,102 @@
+#ifndef POL_COMMON_FAILPOINT_H_
+#define POL_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+// Deterministic fault injection for the pipeline's failure-containment
+// layer. A *fail point* is a named site in library code — stage
+// boundaries, ingest, checkpoint I/O — that a test (or a chaos run) can
+// *arm* to return an error Status at a chosen evaluation, after which
+// the surrounding retry / quarantine / resume machinery must recover.
+//
+//   Status s = POL_FAILPOINT("checkpoint.write");
+//   if (!s.ok()) return s;
+//
+// The macro compiles to `Status::OK()` (the site name is not even
+// evaluated) unless the build defines POL_FAILPOINTS — the `faults`
+// CMake preset / `tools/run_tier1.sh --faults` turn it on. Firing is
+// fully deterministic: a point fires by hit index (`fire_from` /
+// `fire_count`) or by a seeded per-hit coin (`probability` + `seed`,
+// SplitMix64 over (seed, hit)), never by wall clock or global RNG, so a
+// failing schedule replays exactly.
+//
+// The registry is process-global and thread-safe; every evaluation is
+// counted even when the point is not armed, which is how the
+// fault-injection suite asserts a site was actually reached.
+
+namespace pol {
+
+// How an armed fail point fires. Default-constructed: fires on every
+// hit from the first one, with StatusCode::kInternal.
+struct FailPointSpec {
+  static constexpr uint64_t kForever = ~uint64_t{0};
+
+  // Fires on hit indices [fire_from, fire_from + fire_count). Hit
+  // indices are 0-based and count evaluations since registration (not
+  // since arming).
+  uint64_t fire_from = 0;
+  uint64_t fire_count = kForever;
+
+  // Seeded per-hit coin, applied on top of the window above: the point
+  // fires with this probability, deterministically derived from (seed,
+  // hit index). 1.0 = always.
+  double probability = 1.0;
+  uint64_t seed = 0;
+
+  // The injected error.
+  StatusCode code = StatusCode::kInternal;
+  std::string message;  // Empty: "fail point <name> fired (hit <n>)".
+};
+
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Global();
+
+  // Arms `name` with the given firing spec, replacing any previous one.
+  void Arm(std::string_view name, FailPointSpec spec = FailPointSpec());
+  void Disarm(std::string_view name);
+  void DisarmAll();
+
+  // Clears hit counters (and disarms everything) — test isolation.
+  void Reset();
+
+  // Evaluates the fail point: counts the hit and returns the injected
+  // error when the armed spec says this hit fires, OK otherwise.
+  Status Evaluate(std::string_view name);
+
+  // Evaluations of `name` so far (0 when never reached).
+  uint64_t HitCount(std::string_view name) const;
+
+  // Every name ever evaluated or armed, sorted.
+  std::vector<std::string> KnownPoints() const;
+
+ private:
+  struct Point {
+    uint64_t hits = 0;
+    bool armed = false;
+    FailPointSpec spec;
+  };
+
+  mutable std::mutex mutex_;  // guards: points_
+  std::map<std::string, Point, std::less<>> points_;
+};
+
+}  // namespace pol
+
+// POL_FAILPOINT(name) -> pol::Status. The no-op form drops `name`
+// unevaluated, so sites may build names dynamically without cost in
+// normal builds.
+#if defined(POL_FAILPOINTS)
+#define POL_FAILPOINT(name) ::pol::FailPointRegistry::Global().Evaluate(name)
+#else
+#define POL_FAILPOINT(name) ::pol::Status::OK()
+#endif
+
+#endif  // POL_COMMON_FAILPOINT_H_

@@ -1,0 +1,69 @@
+#ifndef POL_COMMON_QUARANTINE_H_
+#define POL_COMMON_QUARANTINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+// A dead-letter store: the landing zone for inputs a fault-tolerant
+// consumer refuses to process but must not silently drop. Producers
+// (AIS ingest, the stage runner's chunk quarantine) record the failing
+// payload together with the error that condemned it; the store keeps
+// per-(source, reason) counters for coverage reporting plus a bounded
+// sample of raw payloads for postmortems. Thread-safe; counting never
+// saturates, only the retained samples are capped.
+
+namespace pol {
+
+// One condemned input.
+struct DeadLetter {
+  std::string source;   // Producer site, e.g. "nmea" or "stage.cleaning".
+  Status status;        // Why it was condemned.
+  std::string payload;  // The offending raw input (possibly truncated).
+  uint64_t sequence = 0;  // Producer-assigned position (0 when unknown).
+};
+
+class QuarantineStore {
+ public:
+  // `max_retained` bounds the dead-letter samples kept in memory;
+  // counters keep counting past the cap.
+  explicit QuarantineStore(size_t max_retained = 128)
+      : max_retained_(max_retained) {}
+
+  // Records one condemned input. `payload` is stored (truncated to 256
+  // bytes) only while the retention cap has room.
+  void Record(std::string_view source, const Status& status,
+              std::string_view payload = {}, uint64_t sequence = 0);
+
+  // Total condemned inputs across all sources.
+  uint64_t total() const;
+
+  // Condemned inputs for one source.
+  uint64_t CountForSource(std::string_view source) const;
+
+  // Per-(source, reason) counters: ("nmea", kCorruption) -> n.
+  std::map<std::pair<std::string, StatusCode>, uint64_t> Counters() const;
+
+  // The retained dead letters, oldest first (at most `max_retained`).
+  std::vector<DeadLetter> Letters() const;
+
+  // Renders the counters as "source/CodeName: n" lines (reports, logs).
+  std::string CountersToString() const;
+
+ private:
+  const size_t max_retained_;
+  mutable std::mutex mutex_;  // guards: counters_, letters_
+  std::map<std::pair<std::string, StatusCode>, uint64_t> counters_;
+  std::vector<DeadLetter> letters_;
+};
+
+}  // namespace pol
+
+#endif  // POL_COMMON_QUARANTINE_H_

@@ -1,5 +1,6 @@
 #include "common/status.h"
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -29,6 +30,20 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
   }
   return "Unknown";
+}
+
+std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
+  constexpr StatusCode kCodes[] = {
+      StatusCode::kOk,            StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,    StatusCode::kNotFound,
+      StatusCode::kAlreadyExists, StatusCode::kCorruption,
+      StatusCode::kIoError,       StatusCode::kFailedPrecondition,
+      StatusCode::kUnimplemented, StatusCode::kInternal,
+  };
+  for (const StatusCode code : kCodes) {
+    if (StatusCodeName(code) == name) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::ToString() const {

@@ -7,6 +7,8 @@
 #include <string_view>
 #include <utility>
 
+#include "common/check.h"
+
 // Status / Result error handling for the Patterns-of-Life library.
 //
 // The library does not use C++ exceptions (Google style; Arrow/RocksDB
@@ -31,6 +33,10 @@ enum class StatusCode : uint8_t {
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
 std::string_view StatusCodeName(StatusCode code);
+
+// Inverse of StatusCodeName: parses "InvalidArgument" back to its code.
+// Round-trips every StatusCode; nullopt for unrecognized names.
+std::optional<StatusCode> StatusCodeFromName(std::string_view name);
 
 // A lightweight error carrier: a code plus an optional message.
 class Status {
@@ -109,14 +115,35 @@ class Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return *std::move(value_); }
+  const T& value() const& {
+    POL_DCHECK(ok()) << "value() on errored Result";
+    return *value_;
+  }
+  T& value() & {
+    POL_DCHECK(ok()) << "value() on errored Result";
+    return *value_;
+  }
+  T&& value() && {
+    POL_DCHECK(ok()) << "value() on errored Result";
+    return *std::move(value_);
+  }
 
-  const T& operator*() const& { return *value_; }
-  T& operator*() & { return *value_; }
-  const T* operator->() const { return &*value_; }
-  T* operator->() { return &*value_; }
+  const T& operator*() const& {
+    POL_DCHECK(ok()) << "deref of errored Result";
+    return *value_;
+  }
+  T& operator*() & {
+    POL_DCHECK(ok()) << "deref of errored Result";
+    return *value_;
+  }
+  const T* operator->() const {
+    POL_DCHECK(ok()) << "deref of errored Result";
+    return &*value_;
+  }
+  T* operator->() {
+    POL_DCHECK(ok()) << "deref of errored Result";
+    return &*value_;
+  }
 
   // Returns the value, or `fallback` when errored.
   T value_or(T fallback) const& {

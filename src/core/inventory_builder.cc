@@ -1,8 +1,13 @@
 #include "core/inventory_builder.h"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/varint.h"
 #include "hexgrid/hexgrid.h"
 
 namespace pol::core {
@@ -69,6 +74,87 @@ void InventoryBuilder::Fold(const flow::Dataset<PipelineRecord>& projected) {
   metrics_.wall_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+}
+
+void InventoryBuilder::SerializeState(std::string* out) const {
+  PutVarint64(out, static_cast<uint64_t>(config_.resolution));
+  PutVarint64(out, records_);
+  PutVarint64(out, metrics_.chunks);
+  PutVarint64(out, metrics_.records_in);
+  PutVarint64(out, metrics_.peak_partition);
+  PutDouble(out, metrics_.wall_seconds);
+  PutVarint64(out, summaries_.size());
+  // Canonical key order, shared with Inventory::SerializeTo, so two
+  // builders with equal state serialize to equal bytes.
+  std::vector<const GroupKey*> keys;
+  keys.reserve(summaries_.size());
+  for (const auto& [key, summary] : summaries_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const GroupKey* a, const GroupKey* b) {
+              if (a->cell != b->cell) return a->cell < b->cell;
+              return GroupKeyDimsPacked(*a) < GroupKeyDimsPacked(*b);
+            });
+  for (const GroupKey* key : keys) {
+    PutVarint64(out, key->cell);
+    PutVarint64(out, GroupKeyDimsPacked(*key));
+    std::string summary_bytes;
+    summaries_.at(*key).Serialize(&summary_bytes);
+    PutLengthPrefixed(out, summary_bytes);
+  }
+}
+
+Status InventoryBuilder::RestoreState(std::string_view input) {
+  uint64_t resolution = 0;
+  uint64_t records = 0;
+  uint64_t chunks = 0;
+  uint64_t records_in = 0;
+  uint64_t peak_partition = 0;
+  double wall_seconds = 0.0;
+  uint64_t count = 0;
+  POL_RETURN_IF_ERROR(GetVarint64(&input, &resolution));
+  POL_RETURN_IF_ERROR(GetVarint64(&input, &records));
+  POL_RETURN_IF_ERROR(GetVarint64(&input, &chunks));
+  POL_RETURN_IF_ERROR(GetVarint64(&input, &records_in));
+  POL_RETURN_IF_ERROR(GetVarint64(&input, &peak_partition));
+  POL_RETURN_IF_ERROR(GetDouble(&input, &wall_seconds));
+  POL_RETURN_IF_ERROR(GetVarint64(&input, &count));
+  if (resolution != static_cast<uint64_t>(config_.resolution)) {
+    return Status::FailedPrecondition(
+        "checkpoint resolution does not match builder config");
+  }
+  SummaryMap summaries;
+  summaries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t cell = 0;
+    uint64_t dims = 0;
+    POL_RETURN_IF_ERROR(GetVarint64(&input, &cell));
+    POL_RETURN_IF_ERROR(GetVarint64(&input, &dims));
+    GroupKey key;
+    key.cell = cell;
+    key.grouping_set = static_cast<uint8_t>(dims & 0xff);
+    key.segment = static_cast<uint8_t>((dims >> 8) & 0xff);
+    key.origin = static_cast<uint16_t>((dims >> 16) & 0xffff);
+    key.destination = static_cast<uint16_t>((dims >> 32) & 0xffff);
+    std::string_view summary_bytes;
+    POL_RETURN_IF_ERROR(GetLengthPrefixed(&input, &summary_bytes));
+    CellSummary summary;
+    POL_RETURN_IF_ERROR(summary.Deserialize(&summary_bytes));
+    if (!summary_bytes.empty()) {
+      return Status::Corruption("trailing bytes in summary");
+    }
+    summaries.emplace(key, std::move(summary));
+  }
+  if (!input.empty()) {
+    return Status::Corruption("trailing bytes in builder state");
+  }
+  summaries_ = std::move(summaries);
+  records_ = records;
+  metrics_.chunks = chunks;
+  metrics_.records_in = records_in;
+  metrics_.records_out = summaries_.size();
+  metrics_.peak_partition = static_cast<size_t>(peak_partition);
+  metrics_.wall_seconds = wall_seconds;
+  return Status::OK();
 }
 
 }  // namespace pol::core

@@ -2,8 +2,11 @@
 #define POL_CORE_INVENTORY_BUILDER_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <utility>
 
+#include "common/status.h"
 #include "core/extractor.h"
 #include "core/inventory.h"
 #include "flow/stage.h"
@@ -48,6 +51,20 @@ class InventoryBuilder {
   // Per-stage metrics of the extraction stage (records in = folded
   // records, records out = summaries, wall time summed over folds).
   const flow::StageMetrics& metrics() const { return metrics_; }
+
+  // Serializes the in-progress build (summaries + fold accounting) so a
+  // checkpoint can resume it. Same canonical key order as
+  // Inventory::SerializeTo; framing (magic/CRC) is the caller's job —
+  // see core/checkpoint.h. Note: summary serialization flushes t-digest
+  // buffers, which mutates equivalent internal state of the live
+  // summaries; resumed and uninterrupted runs therefore only compare
+  // byte-identical when both use the same checkpoint schedule.
+  void SerializeState(std::string* out) const;
+
+  // Restores a build serialized by SerializeState into this (fresh)
+  // builder. Fails with Corruption on malformed input and
+  // FailedPrecondition on a resolution mismatch with the config.
+  Status RestoreState(std::string_view input);
 
   // Seals the build. The builder is consumed.
   Inventory Finish() && {

@@ -1,14 +1,42 @@
 #include "core/pipeline.h"
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/inventory_builder.h"
 #include "core/stages.h"
-#include "flow/stage_runner.h"
 
 namespace pol::core {
+namespace {
+
+// Converts a live dead letter to its persisted form and back, so a
+// resumed run reports restored quarantine entries exactly as the run
+// that recorded them did.
+CheckpointQuarantineEntry ToCheckpointEntry(
+    const flow::ChunkFailure& failure) {
+  CheckpointQuarantineEntry entry;
+  entry.chunk_index = failure.chunk_index;
+  entry.records = failure.records;
+  entry.attempts = static_cast<uint64_t>(failure.attempts);
+  entry.code = failure.status.code();
+  entry.message = failure.status.message();
+  return entry;
+}
+
+flow::ChunkFailure FromCheckpointEntry(
+    const CheckpointQuarantineEntry& entry) {
+  flow::ChunkFailure failure;
+  failure.chunk_index = static_cast<size_t>(entry.chunk_index);
+  failure.records = entry.records;
+  failure.attempts = static_cast<int>(entry.attempts);
+  failure.status = Status(entry.code, entry.message);
+  return failure;
+}
+
+}  // namespace
 
 PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
                            const std::vector<ais::VesselInfo>& registry,
@@ -47,14 +75,107 @@ PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
   extractor_config.resolution = config.resolution;
   InventoryBuilder builder(extractor_config);
 
+  // Checkpoint/resume. The cursor counts *accounted* chunks — folded or
+  // quarantined — and snapshots fire on absolute cursor positions
+  // (cursor % K == 0), so a resumed run checkpoints (and flushes
+  // t-digest buffers) on exactly the schedule an uninterrupted run
+  // does; that shared schedule is what makes the two byte-identical.
+  CheckpointManager checkpoints(config.checkpoint);
+  std::vector<CheckpointQuarantineEntry> quarantine_ledger;
+  size_t start_chunk = 0;
+  if (checkpoints.enabled()) {
+    Result<CheckpointState> restored = checkpoints.LoadLatest();
+    if (restored.ok()) {
+      Status restore_status = builder.RestoreState(restored->builder_state);
+      if (restore_status.ok() &&
+          restored->total_chunks != chunks.size()) {
+        restore_status = Status::FailedPrecondition(
+            "checkpoint chunk count does not match this run");
+      }
+      if (!restore_status.ok()) {
+        // A snapshot that validated but does not fit this run: refuse
+        // rather than fold on top of foreign state. (RestoreState
+        // commits nothing on failure, so the empty inventory is safe.)
+        result.status = std::move(restore_status);
+        result.inventory =
+            std::make_unique<Inventory>(std::move(builder).Finish());
+        return result;
+      }
+      start_chunk = static_cast<size_t>(restored->cursor);
+      quarantine_ledger = std::move(restored->quarantined);
+      result.coverage.resumed = true;
+      result.coverage.resume_cursor = restored->cursor;
+      for (const CheckpointQuarantineEntry& entry : quarantine_ledger) {
+        result.quarantined.push_back(FromCheckpointEntry(entry));
+        ++result.coverage.chunks_quarantined;
+        result.coverage.records_quarantined += entry.records;
+      }
+      result.coverage.chunks_folded =
+          start_chunk - result.coverage.chunks_quarantined;
+    }
+    // NotFound (no snapshot yet) and unreadable/corrupt snapshots both
+    // mean a fresh start; LoadLatest already fell back as far as it
+    // could.
+  }
+
   flow::StageRunner<ais::PositionReport, PipelineRecord>::Options options;
   options.max_in_flight = config.max_in_flight_chunks;
+  options.max_attempts = config.max_attempts;
+  options.retry_backoff_seconds = config.retry_backoff_seconds;
+  options.fail_fast = config.fail_fast;
   flow::StageRunner<ais::PositionReport, PipelineRecord> runner(
       std::move(chain), &pool, options);
-  runner.Run(std::move(chunks),
-             [&builder](size_t, flow::Dataset<PipelineRecord> projected) {
-               builder.Fold(projected);
-             });
+
+  const size_t total_chunks = chunks.size();
+  size_t cursor = start_chunk;
+  const auto maybe_checkpoint = [&]() -> Status {
+    if (!checkpoints.enabled()) return Status::OK();
+    if (cursor == 0 ||
+        cursor % static_cast<size_t>(
+                     checkpoints.config().interval_chunks) != 0) {
+      return Status::OK();
+    }
+    CheckpointState state;
+    state.cursor = cursor;
+    state.total_chunks = total_chunks;
+    state.quarantined = quarantine_ledger;
+    builder.SerializeState(&state.builder_state);
+    Status written = checkpoints.Write(state);
+    if (written.ok()) {
+      ++result.coverage.checkpoints_written;
+      return Status::OK();
+    }
+    ++result.coverage.checkpoint_failures;
+    // A failed snapshot only degrades resumability; the run itself is
+    // healthy, so only fail_fast runs abort on it.
+    return config.fail_fast ? written : Status::OK();
+  };
+
+  flow::RunSummary summary = runner.Run(
+      std::move(chunks),
+      [&](size_t, flow::Dataset<PipelineRecord> projected) -> Status {
+        builder.Fold(projected);
+        ++cursor;
+        return maybe_checkpoint();
+      },
+      start_chunk,
+      [&](const flow::ChunkFailure& failure) {
+        quarantine_ledger.push_back(ToCheckpointEntry(failure));
+        ++cursor;
+        // Status is advisory here: quarantine never happens in
+        // fail_fast mode, so a failed snapshot is only counted.
+        (void)maybe_checkpoint();
+      });
+
+  result.status = summary.status;
+  result.coverage.chunks_total = summary.chunks_total;
+  result.coverage.chunks_folded += summary.chunks_folded;
+  result.coverage.chunks_quarantined += summary.chunks_quarantined;
+  result.coverage.records_quarantined += summary.records_quarantined;
+  result.coverage.retries = summary.retries;
+  for (flow::ChunkFailure& failure : summary.quarantined) {
+    result.quarantined.push_back(std::move(failure));
+  }
 
   result.cleaning = cleaning->stats();
   result.enrichment = enrichment->stats();

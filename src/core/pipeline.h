@@ -1,14 +1,18 @@
 #ifndef POL_CORE_PIPELINE_H_
 #define POL_CORE_PIPELINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
+#include "core/checkpoint.h"
 #include "core/cleaning.h"
 #include "core/enrich.h"
 #include "core/inventory.h"
 #include "core/trips.h"
 #include "flow/stage.h"
+#include "flow/stage_runner.h"
 #include "flow/threadpool.h"
 #include "sim/ports.h"
 
@@ -23,6 +27,14 @@
 // incrementally in ascending chunk order. Any chunk count yields a
 // byte-identical serialized inventory (property-tested), so the chunk
 // count is purely a peak-memory/overlap knob.
+//
+// Failure containment (see stage_runner.h and checkpoint.h): a chunk
+// whose stage chain errors is retried `max_attempts` times and then
+// quarantined — the run continues and PipelineResult::coverage reports
+// exactly what was folded, quarantined, and dropped. With checkpointing
+// configured, builder state is snapshotted every `interval_chunks`
+// accounted chunks, and a rerun over the same input resumes from the
+// newest valid snapshot instead of starting over.
 
 namespace pol::core {
 
@@ -36,6 +48,18 @@ struct PipelineConfig {
   // Chunks allowed in flight at once (>= 1); 2 overlaps stage i on
   // chunk k+1 with stage i+1 on chunk k.
   int max_in_flight_chunks = 2;
+  // Total stage-chain attempts per chunk before it is quarantined
+  // (>= 1; 1 = no retry and no defensive input copy).
+  int max_attempts = 1;
+  // Exponential backoff base between chunk retries; 0 retries
+  // immediately.
+  double retry_backoff_seconds = 0.0;
+  // Abort the run on the first exhausted chunk (or failed checkpoint
+  // write) instead of quarantining and continuing. Leaves snapshots on
+  // disk — the crash-simulation mode of the fault-injection suite.
+  bool fail_fast = false;
+  // Checkpoint/resume; disabled while `checkpoint.directory` is empty.
+  CheckpointConfig checkpoint;
   double max_speed_knots = 50.0;
   bool commercial_only = true;
   int resolution = 6;
@@ -44,16 +68,39 @@ struct PipelineConfig {
   const sim::PortDatabase* ports = nullptr;  // Default: the world table.
 };
 
+// Coverage accounting for one RunPipeline call: what of the input made
+// it into the inventory, and what the failure-containment layer did.
+struct PipelineCoverage {
+  size_t chunks_total = 0;
+  size_t chunks_folded = 0;       // Includes chunks restored via resume.
+  size_t chunks_quarantined = 0;  // Includes restored quarantine entries.
+  uint64_t records_quarantined = 0;
+  uint64_t retries = 0;  // Chain attempts beyond each chunk's first.
+  bool resumed = false;  // True when a snapshot was restored.
+  uint64_t resume_cursor = 0;        // Chunks already accounted at resume.
+  uint64_t checkpoints_written = 0;  // Snapshots persisted this run.
+  uint64_t checkpoint_failures = 0;  // Snapshot writes that failed.
+};
+
 struct PipelineResult {
+  // OK unless the run aborted (fail_fast chunk failure, fatal
+  // checkpoint write, or a resume/restore error). On abort the
+  // inventory is still produced from the chunks folded so far.
+  Status status;
   std::unique_ptr<Inventory> inventory;
   CleaningStats cleaning;
   EnrichmentStats enrichment;
   TripStats trips;
   uint64_t aggregated_records = 0;  // Records folded into the inventory.
+  PipelineCoverage coverage;
+  // Dead letters: one entry per quarantined chunk, ascending chunk
+  // index, including entries restored from a snapshot.
+  std::vector<flow::ChunkFailure> quarantined;
   // Per-stage observability, in stage order: cleaning, enrichment,
   // trips, projection, extraction. Each entry carries chunk count,
-  // records in/out, drop count, peak partition size and summed wall
-  // time (see flow::StageMetrics; flow::StageMetricsTable renders it).
+  // records in/out, drop count, peak partition size, summed wall time
+  // and failure counts (see flow::StageMetrics; flow::StageMetricsTable
+  // renders it).
   std::vector<flow::StageMetrics> stage_metrics;
 
   CompressionReport Compression() const {
@@ -63,7 +110,8 @@ struct PipelineResult {
 
 // Runs the whole pipeline over an AIS archive and a vessel registry —
 // a thin wrapper assembling the stage graph from stages.h and running
-// it over `config.chunks` chunks.
+// it over `config.chunks` chunks, with retry/quarantine/checkpoint
+// handling per the config.
 PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
                            const std::vector<ais::VesselInfo>& registry,
                            const PipelineConfig& config);

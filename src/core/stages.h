@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "core/cleaning.h"
 #include "core/enrich.h"
 #include "core/extractor.h"
@@ -35,7 +36,7 @@ class CleaningStage
 
   std::string_view name() const override { return "cleaning"; }
 
-  flow::Dataset<PipelineRecord> Run(
+  Result<flow::Dataset<PipelineRecord>> RunChunk(
       flow::Dataset<ais::PositionReport> input) override {
     CleaningStats local;
     flow::Dataset<PipelineRecord> out = CleanChunk(input, config_, &local);
@@ -65,7 +66,7 @@ class EnrichmentStage
 
   std::string_view name() const override { return "enrichment"; }
 
-  flow::Dataset<PipelineRecord> Run(
+  Result<flow::Dataset<PipelineRecord>> RunChunk(
       flow::Dataset<PipelineRecord> input) override {
     EnrichmentStats local;
     flow::Dataset<PipelineRecord> out =
@@ -99,7 +100,7 @@ class TripStage : public flow::Stage<PipelineRecord, PipelineRecord> {
 
   std::string_view name() const override { return "trips"; }
 
-  flow::Dataset<PipelineRecord> Run(
+  Result<flow::Dataset<PipelineRecord>> RunChunk(
       flow::Dataset<PipelineRecord> input) override {
     TripStats local;
     flow::Dataset<PipelineRecord> out =
@@ -133,7 +134,7 @@ class ProjectionStage : public flow::Stage<PipelineRecord, PipelineRecord> {
 
   std::string_view name() const override { return "projection"; }
 
-  flow::Dataset<PipelineRecord> Run(
+  Result<flow::Dataset<PipelineRecord>> RunChunk(
       flow::Dataset<PipelineRecord> input) override {
     return ProjectToGrid(input, resolution_);
   }

@@ -25,17 +25,20 @@ std::string FormatCount(uint64_t n) {
 std::string StageMetricsTable(const std::vector<StageMetrics>& metrics) {
   std::string out;
   char line[192];
-  std::snprintf(line, sizeof(line), "%-12s %7s %14s %14s %12s %10s %9s\n",
+  std::snprintf(line, sizeof(line), "%-12s %7s %14s %14s %12s %10s %7s %9s\n",
                 "stage", "chunks", "records in", "records out", "dropped",
-                "peak part", "time (s)");
+                "peak part", "failed", "time (s)");
   out += line;
   for (const StageMetrics& m : metrics) {
-    std::snprintf(line, sizeof(line), "%-12s %7llu %14s %14s %12s %10s %9.3f\n",
+    std::snprintf(line, sizeof(line),
+                  "%-12s %7llu %14s %14s %12s %10s %7llu %9.3f\n",
                   m.name.c_str(), static_cast<unsigned long long>(m.chunks),
                   FormatCount(m.records_in).c_str(),
                   FormatCount(m.records_out).c_str(),
                   FormatCount(m.dropped).c_str(),
-                  FormatCount(m.peak_partition).c_str(), m.wall_seconds);
+                  FormatCount(m.peak_partition).c_str(),
+                  static_cast<unsigned long long>(m.failures),
+                  m.wall_seconds);
     out += line;
   }
   return out;

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
+#include "common/status.h"
 #include "flow/dataset.h"
 
 // The stage graph: the pipeline's execution layer.
@@ -22,6 +25,13 @@
 // input split into bounded chunks, overlapping stage i on chunk k+1
 // with stage i+1 on chunk k via the shared ThreadPool.
 //
+// Failure model: RunChunk returns Result<Dataset<Out>> — a stage that
+// cannot process a chunk reports an error Status instead of taking the
+// run down. The chain stops at the first failing stage (annotating the
+// Status with the stage name), and the StageRunner retries the chunk
+// and finally quarantines it (see stage_runner.h). Every stage boundary
+// carries a fail point named "stage.<name>" for fault-injection builds.
+//
 // A stage may run on several chunks concurrently, so implementations
 // must be const-safe over shared state and guard any mutable
 // accumulation (the core stages guard their running Stats structs with
@@ -31,15 +41,21 @@
 namespace pol::flow {
 
 // Accumulated per-stage observability, summed over all chunks the
-// stage processed.
+// stage processed. Failed attempts count into `failures` (by reason)
+// and do NOT contribute to records_in/records_out — only completed
+// chunk attempts do.
 struct StageMetrics {
   std::string name;
-  uint64_t chunks = 0;        // Chunks this stage has processed.
+  uint64_t chunks = 0;        // Chunk attempts this stage completed.
   uint64_t records_in = 0;    // Records entering the stage.
   uint64_t records_out = 0;   // Records leaving the stage.
   uint64_t dropped = 0;       // max(in - out, 0), summed per chunk.
   size_t peak_partition = 0;  // Largest output partition observed.
   double wall_seconds = 0.0;  // Stage busy time, summed across chunks.
+  uint64_t failures = 0;      // Chunk attempts that errored at this stage.
+  // Failure counts keyed by StatusCodeName(code) — the per-stage /
+  // per-reason quarantine accounting.
+  std::map<std::string, uint64_t> failures_by_reason;
 };
 
 // Fixed-width ASCII table of per-stage metrics (benches, examples).
@@ -53,9 +69,7 @@ class StageMetricsCollector {
               uint64_t records_out, size_t peak_partition,
               double wall_seconds) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (metrics_.size() <= stage) metrics_.resize(stage + 1);
-    StageMetrics& m = metrics_[stage];
-    if (m.name.empty()) m.name = std::string(name);
+    StageMetrics& m = Slot(stage, name);
     ++m.chunks;
     m.records_in += records_in;
     m.records_out += records_out;
@@ -64,24 +78,39 @@ class StageMetricsCollector {
     m.wall_seconds += wall_seconds;
   }
 
+  void RecordFailure(size_t stage, std::string_view name, StatusCode code) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    StageMetrics& m = Slot(stage, name);
+    ++m.failures;
+    ++m.failures_by_reason[std::string(StatusCodeName(code))];
+  }
+
   std::vector<StageMetrics> Snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return metrics_;
   }
 
  private:
+  StageMetrics& Slot(size_t stage, std::string_view name) {
+    if (metrics_.size() <= stage) metrics_.resize(stage + 1);
+    StageMetrics& m = metrics_[stage];
+    if (m.name.empty()) m.name = std::string(name);
+    return m;
+  }
+
   mutable std::mutex mutex_;  // guards: metrics_
   std::vector<StageMetrics> metrics_;
 };
 
-// One pipeline stage: consumes a chunk, produces a chunk. Run may be
-// called concurrently for different chunks.
+// One pipeline stage: consumes a chunk, produces a chunk or an error.
+// RunChunk may be called concurrently for different chunks, and may be
+// called again with a copy of the same chunk when the runner retries.
 template <typename In, typename Out>
 class Stage {
  public:
   virtual ~Stage() = default;
   virtual std::string_view name() const = 0;
-  virtual Dataset<Out> Run(Dataset<In> input) = 0;
+  virtual Result<Dataset<Out>> RunChunk(Dataset<In> input) = 0;
 };
 
 namespace internal {
@@ -95,19 +124,47 @@ size_t MaxPartitionSize(const Dataset<T>& dataset) {
   return peak;
 }
 
-// Runs one stage over one chunk and records its metrics.
+// "stage.<name>" — the fail-point site guarding a stage boundary.
+inline std::string StageFailPointName(std::string_view stage_name) {
+  return "stage." + std::string(stage_name);
+}
+
+// "<stage>: <message>" so quarantine entries name the failing stage.
+inline Status AnnotateWithStage(std::string_view stage_name, Status status) {
+  return Status(status.code(),
+                std::string(stage_name) + ": " + status.message());
+}
+
+// Runs one stage over one chunk and records its metrics (or its
+// failure). Errors come from the stage itself or from the armed
+// "stage.<name>" fail point at the boundary.
 template <typename In, typename Out>
-Dataset<Out> RunStage(Stage<In, Out>& stage, Dataset<In> input,
-                      size_t stage_index, StageMetricsCollector* metrics) {
+Result<Dataset<Out>> RunStage(Stage<In, Out>& stage, Dataset<In> input,
+                              size_t stage_index,
+                              StageMetricsCollector* metrics) {
+  Status injected = POL_FAILPOINT(StageFailPointName(stage.name()));
+  if (!injected.ok()) {
+    if (metrics != nullptr) {
+      metrics->RecordFailure(stage_index, stage.name(), injected.code());
+    }
+    return AnnotateWithStage(stage.name(), std::move(injected));
+  }
   const uint64_t records_in = input.Count();
   const auto start = std::chrono::steady_clock::now();
-  Dataset<Out> output = stage.Run(std::move(input));
+  Result<Dataset<Out>> output = stage.RunChunk(std::move(input));
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (!output.ok()) {
+    if (metrics != nullptr) {
+      metrics->RecordFailure(stage_index, stage.name(),
+                             output.status().code());
+    }
+    return AnnotateWithStage(stage.name(), output.status());
+  }
   if (metrics != nullptr) {
-    metrics->Record(stage_index, stage.name(), records_in, output.Count(),
-                    MaxPartitionSize(output), seconds);
+    metrics->Record(stage_index, stage.name(), records_in, output->Count(),
+                    MaxPartitionSize(*output), seconds);
   }
   return output;
 }
@@ -118,18 +175,20 @@ Dataset<Out> RunStage(Stage<In, Out>& stage, Dataset<In> input,
 //
 //   auto chain = StageChain<Raw, Rec>(cleaning)
 //                    .Then(enrichment).Then(trips).Then(projection);
-//   Dataset<Rec> out = chain.RunChunk(std::move(chunk), &collector);
+//   Result<Dataset<Rec>> out = chain.RunChunk(std::move(chunk), &collector);
 //
-// Stages are held by shared_ptr because one stage instance serves every
-// chunk (it carries the chain-wide state: registry joins, geofence
-// index, accumulated Stats).
+// The chain short-circuits at the first failing stage; the error Status
+// is annotated with that stage's name. Stages are held by shared_ptr
+// because one stage instance serves every chunk (it carries the
+// chain-wide state: registry joins, geofence index, accumulated Stats).
 template <typename In, typename Out>
 class StageChain {
  public:
   explicit StageChain(std::shared_ptr<Stage<In, Out>> stage)
       : names_{std::string(stage->name())},
-        run_([stage = std::move(stage)](Dataset<In> input,
-                                        StageMetricsCollector* metrics) {
+        run_([stage = std::move(stage)](
+                 Dataset<In> input,
+                 StageMetricsCollector* metrics) -> Result<Dataset<Out>> {
           return internal::RunStage(*stage, std::move(input), 0, metrics);
         }) {}
 
@@ -140,16 +199,20 @@ class StageChain {
     names.push_back(std::string(stage->name()));
     const size_t index = names.size() - 1;
     auto run = [prev = std::move(run_), stage = std::move(stage), index](
-                   Dataset<In> input, StageMetricsCollector* metrics) {
-      Dataset<Out> mid = prev(std::move(input), metrics);
-      return internal::RunStage(*stage, std::move(mid), index, metrics);
+                   Dataset<In> input,
+                   StageMetricsCollector* metrics) -> Result<Dataset<Next>> {
+      Result<Dataset<Out>> mid = prev(std::move(input), metrics);
+      if (!mid.ok()) return mid.status();
+      return internal::RunStage(*stage, std::move(mid).value(), index,
+                                metrics);
     };
     return StageChain<In, Next>(std::move(names), std::move(run));
   }
 
   // Runs the whole chain on one chunk, recording per-stage metrics.
-  Dataset<Out> RunChunk(Dataset<In> chunk,
-                        StageMetricsCollector* metrics) const {
+  // Errors carry the failing stage's name in the Status message.
+  Result<Dataset<Out>> RunChunk(Dataset<In> chunk,
+                                StageMetricsCollector* metrics) const {
     return run_(std::move(chunk), metrics);
   }
 
@@ -160,8 +223,8 @@ class StageChain {
   template <typename I, typename O>
   friend class StageChain;
 
-  using RunFn =
-      std::function<Dataset<Out>(Dataset<In>, StageMetricsCollector*)>;
+  using RunFn = std::function<Result<Dataset<Out>>(Dataset<In>,
+                                                   StageMetricsCollector*)>;
 
   StageChain(std::vector<std::string> names, RunFn run)
       : names_(std::move(names)), run_(std::move(run)) {}

@@ -1,15 +1,20 @@
 #ifndef POL_FLOW_STAGE_RUNNER_H_
 #define POL_FLOW_STAGE_RUNNER_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "flow/stage.h"
 #include "flow/threadpool.h"
 
@@ -23,8 +28,47 @@
 // incremental inventory folding deterministic: folding chunk results in
 // chunk order reproduces the single-shot merge order bit for bit (see
 // dataset.h on the reproducibility contract).
+//
+// Failure containment. A chunk whose chain attempt returns an error is
+// retried up to `max_attempts` times total, with exponential backoff
+// between attempts (the input is defensively copied for every attempt
+// except the last, so a retry always sees the original bytes). A chunk
+// that exhausts its attempts is *quarantined*: the run continues, the
+// failure is recorded as a ChunkFailure dead letter in the RunSummary
+// (and reported through `on_quarantine` in ascending chunk order), and
+// the per-stage/per-reason counters land in StageMetrics. With
+// `fail_fast` set, the first exhausted chunk aborts the run instead —
+// the mode the checkpoint/resume layer uses to simulate a crash. The
+// sink returns a Status; a non-OK sink (e.g. a failed checkpoint write
+// in fail-fast mode) also aborts the run. On every abort path — and
+// when the sink throws — all in-flight pool tasks are drained before
+// Run returns, so no task is left referencing the call's stack frame.
 
 namespace pol::flow {
+
+// One quarantined chunk: the dead-letter record of the chunk the run
+// gave up on.
+struct ChunkFailure {
+  size_t chunk_index = 0;
+  uint64_t records = 0;  // Records in the failed input chunk.
+  int attempts = 0;      // Attempts made (== Options::max_attempts).
+  Status status;         // Final attempt's error, "<stage>: <message>".
+};
+
+// Coverage accounting for one Run call: every input chunk is either
+// skipped (below the resume cursor), folded, or quarantined — unless
+// the run aborted, in which case `status` says why and the remaining
+// chunks are unaccounted.
+struct RunSummary {
+  Status status;  // OK unless the run aborted (fail_fast / sink error).
+  size_t chunks_total = 0;
+  size_t chunks_skipped = 0;  // Below `start_chunk` (checkpoint resume).
+  size_t chunks_folded = 0;
+  size_t chunks_quarantined = 0;
+  uint64_t records_quarantined = 0;  // Input records in quarantined chunks.
+  uint64_t retries = 0;              // Attempts beyond each chunk's first.
+  std::vector<ChunkFailure> quarantined;  // Ascending chunk index.
+};
 
 template <typename In, typename Out>
 class StageRunner {
@@ -35,6 +79,17 @@ class StageRunner {
     // chunk's head stages while bounding peak memory to ~2 chunks of
     // intermediates.
     int max_in_flight = 2;
+    // Total chain attempts per chunk. 1 = no retry (and no defensive
+    // input copy — the historical zero-overhead behavior). With N > 1,
+    // attempts 1..N-1 run on a copy of the input chunk, so peak memory
+    // gains up to one extra input chunk per in-flight chunk.
+    int max_attempts = 1;
+    // Backoff before retry r (1-based) is retry_backoff_seconds *
+    // 2^(r-1), slept on the pool task. 0 = immediate retry (tests).
+    double retry_backoff_seconds = 0.0;
+    // Abort the run on the first chunk that exhausts its attempts,
+    // instead of quarantining it and continuing.
+    bool fail_fast = false;
   };
 
   StageRunner(StageChain<In, Out> chain, ThreadPool* pool,
@@ -42,26 +97,52 @@ class StageRunner {
       : chain_(std::move(chain)), pool_(pool), options_(options) {
     POL_CHECK(pool_ != nullptr);
     POL_CHECK(options_.max_in_flight >= 1);
+    POL_CHECK(options_.max_attempts >= 1);
   }
 
-  // Runs every chunk through the chain; `sink(chunk_index, output)` is
-  // invoked on the calling thread, in ascending chunk order. Blocks
-  // until all chunks are processed and folded.
-  void Run(std::vector<Dataset<In>> chunks,
-           const std::function<void(size_t, Dataset<Out>)>& sink) {
+  // Runs chunks [start_chunk, chunks.size()) through the chain;
+  // `sink(chunk_index, output)` is invoked on the calling thread, in
+  // ascending chunk order, and may veto the rest of the run by
+  // returning a non-OK Status. `on_quarantine` (optional) observes each
+  // dead-lettered chunk, also on the calling thread in ascending order
+  // — before any later chunk is folded, which is what lets a checkpoint
+  // layer persist quarantine decisions in cursor order. Blocks until
+  // all processed chunks are folded or quarantined and no task is in
+  // flight.
+  RunSummary Run(
+      std::vector<Dataset<In>> chunks,
+      const std::function<Status(size_t, Dataset<Out>)>& sink,
+      size_t start_chunk = 0,
+      const std::function<void(const ChunkFailure&)>& on_quarantine = {}) {
+    RunSummary summary;
+    summary.chunks_total = chunks.size();
     const size_t total = chunks.size();
-    if (total == 0) return;
+    summary.chunks_skipped = std::min(start_chunk, total);
+    if (start_chunk >= total) return summary;
 
+    // Outcome of one chunk's (possibly retried) trip through the chain.
     struct Slot {
-      std::optional<Dataset<Out>> result;
+      std::optional<Dataset<Out>> result;  // Engaged on success.
+      Status status;                       // Error of the final attempt.
+      uint64_t records = 0;                // Input records (for coverage).
+      int attempts = 0;
+      bool done = false;
     };
     std::vector<Slot> slots(total);
     std::mutex mutex;
     std::condition_variable ready;
     size_t in_flight = 0;
-    size_t next_to_submit = 0;
+    size_t next_to_submit = start_chunk;
+    std::atomic<uint64_t> retries{0};
 
-    for (size_t next_to_fold = 0; next_to_fold < total; ++next_to_fold) {
+    // Abort paths must not leave pool tasks referencing this frame.
+    const auto drain = [&] {
+      std::unique_lock<std::mutex> lock(mutex);
+      ready.wait(lock, [&] { return in_flight == 0; });
+    };
+
+    for (size_t next_to_fold = start_chunk; next_to_fold < total;
+         ++next_to_fold) {
       {
         std::unique_lock<std::mutex> lock(mutex);
         for (;;) {
@@ -72,23 +153,61 @@ class StageRunner {
             ++in_flight;
             Dataset<In>* chunk = &chunks[k];
             pool_->Submit([this, k, chunk, &slots, &mutex, &ready,
-                           &in_flight] {
-              Dataset<Out> out =
-                  chain_.RunChunk(std::move(*chunk), &collector_);
+                           &in_flight, &retries] {
+              RunChunkWithRetries(chunk, &slots[k], &retries);
               std::unique_lock<std::mutex> task_lock(mutex);
-              slots[k].result.emplace(std::move(out));
+              slots[k].done = true;
               --in_flight;
               ready.notify_all();
             });
           }
-          if (slots[next_to_fold].result.has_value()) break;
+          if (slots[next_to_fold].done) break;
           ready.wait(lock);
         }
       }
-      Dataset<Out> out = std::move(*slots[next_to_fold].result);
-      slots[next_to_fold].result.reset();
-      sink(next_to_fold, std::move(out));
+      Slot& slot = slots[next_to_fold];
+      if (slot.result.has_value()) {
+        Dataset<Out> out = std::move(*slot.result);
+        slot.result.reset();
+        Status sink_status;
+        try {
+          sink_status = sink(next_to_fold, std::move(out));
+        } catch (...) {
+          drain();
+          throw;
+        }
+        if (!sink_status.ok()) {
+          summary.status = std::move(sink_status);
+          break;
+        }
+        ++summary.chunks_folded;
+        continue;
+      }
+      // The chunk exhausted its attempts.
+      ChunkFailure failure;
+      failure.chunk_index = next_to_fold;
+      failure.records = slot.records;
+      failure.attempts = slot.attempts;
+      failure.status = slot.status;
+      if (options_.fail_fast) {
+        summary.status = failure.status;
+        break;
+      }
+      ++summary.chunks_quarantined;
+      summary.records_quarantined += failure.records;
+      if (on_quarantine) {
+        try {
+          on_quarantine(failure);
+        } catch (...) {
+          drain();
+          throw;
+        }
+      }
+      summary.quarantined.push_back(std::move(failure));
     }
+    drain();
+    summary.retries = retries.load();
+    return summary;
   }
 
   // Metrics accumulated so far, one entry per chain stage.
@@ -97,6 +216,37 @@ class StageRunner {
   const StageChain<In, Out>& chain() const { return chain_; }
 
  private:
+  // Runs one chunk through the chain with the retry policy; fills the
+  // slot's result/status/attempts. Runs on a pool task; the slot is
+  // published under the runner's mutex by the caller.
+  template <typename Slot>
+  void RunChunkWithRetries(Dataset<In>* chunk, Slot* slot,
+                           std::atomic<uint64_t>* retries) {
+    slot->records = chunk->Count();
+    for (int attempt = 1;; ++attempt) {
+      const bool final_attempt = attempt >= options_.max_attempts;
+      // Retryable attempts run on a defensive copy: the chain consumes
+      // its input, and a retry must see the original bytes.
+      Result<Dataset<Out>> out =
+          final_attempt ? chain_.RunChunk(std::move(*chunk), &collector_)
+                        : chain_.RunChunk(Dataset<In>(*chunk), &collector_);
+      slot->attempts = attempt;
+      if (out.ok()) {
+        slot->result.emplace(std::move(out).value());
+        return;
+      }
+      slot->status = out.status();
+      if (final_attempt) return;
+      retries->fetch_add(1);
+      if (options_.retry_backoff_seconds > 0.0) {
+        const double factor =
+            static_cast<double>(uint64_t{1} << std::min(attempt - 1, 62));
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            options_.retry_backoff_seconds * factor));
+      }
+    }
+  }
+
   StageChain<In, Out> chain_;
   ThreadPool* pool_;
   Options options_;

@@ -24,11 +24,12 @@ double Res0HexSize() {
   return std::sqrt(2.0 * hex_area / (3.0 * kSqrt3));
 }
 
-const LatticeParams* BuildTable() {
+const std::vector<LatticeParams>* BuildTable() {
   const double s0 = Res0HexSize();
   const double rot_step = ApertureRotationRad();
-  // Leaked intentionally: lives for the process lifetime (static table).
-  // NOLINTNEXTLINE(pollint:naked-new): intentionally leaked static table.
+  // Lives for the process lifetime, anchored in LatticeParams::Get's
+  // static so leak checkers see it as reachable.
+  // NOLINTNEXTLINE(pollint:naked-new): intentionally immortal static table.
   auto* table = new std::vector<LatticeParams>();
   table->reserve(kMaxResolution + 1);
   double size = s0;
@@ -38,7 +39,7 @@ const LatticeParams* BuildTable() {
     size /= std::sqrt(7.0);
     rot += rot_step;
   }
-  return table->data();
+  return table;
 }
 
 }  // namespace
@@ -87,8 +88,8 @@ LatticeParams::LatticeParams(double hex_size, double rotation_rad)
 
 const LatticeParams& LatticeParams::Get(int res) {
   POL_CHECK(res >= 0 && res <= kMaxResolution) << "bad resolution " << res;
-  static const LatticeParams* table = BuildTable();
-  return table[res];
+  static const std::vector<LatticeParams>* table = BuildTable();
+  return (*table)[static_cast<size_t>(res)];
 }
 
 geo::PlanePoint LatticeParams::AxialToPlane(double i, double j) const {

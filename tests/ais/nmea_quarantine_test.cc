@@ -1,0 +1,150 @@
+// Ingest hardening: every corrupted sentence in the corpus must be
+// rejected with the expected status code AND land in the attached
+// QuarantineStore as a dead letter — counted per reason, raw sentence
+// retained — while the decoder object stays usable for the rest of the
+// feed. This is the dead-letter half of the fault-tolerance contract;
+// tests/flow/concurrency_stress_test.cc covers the chunk half.
+
+#include "ais/nmea.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/quarantine.h"
+#include "common/status.h"
+
+namespace pol::ais {
+namespace {
+
+struct CorpusCase {
+  // nullopt: the sentence must be accepted (multi-part setup line).
+  std::optional<StatusCode> expected_code;
+  std::string sentence;
+};
+
+void LoadCorpus(std::vector<CorpusCase>* cases) {
+  const std::string path =
+      std::string(POL_AIS_CORPUS_DIR) + "/corrupt_nmea_corpus.txt";
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open()) << path;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t bar = line.find('|');
+    ASSERT_NE(bar, std::string::npos) << line;
+    CorpusCase c;
+    const std::string code_name = line.substr(0, bar);
+    c.sentence = line.substr(bar + 1);
+    if (code_name != "None") {
+      const std::optional<StatusCode> code = StatusCodeFromName(code_name);
+      ASSERT_TRUE(code.has_value()) << code_name;
+      c.expected_code = code;
+    }
+    cases->push_back(std::move(c));
+  }
+  ASSERT_GE(cases->size(), 10u) << "corpus unexpectedly small";
+}
+
+PositionReport SampleReport() {
+  PositionReport r;
+  r.mmsi = 244123456;
+  r.timestamp = 1651234567;
+  r.lat_deg = 51.923456;
+  r.lng_deg = 4.123456;
+  r.sog_knots = 13.7;
+  r.cog_deg = 211.3;
+  r.heading_deg = 212.0;
+  r.nav_status = NavStatus::kUnderWayUsingEngine;
+  r.message_type = 1;
+  return r;
+}
+
+TEST(NmeaQuarantineTest, CorpusSentencesAreDeadLettered) {
+  std::vector<CorpusCase> corpus;
+  LoadCorpus(&corpus);
+  if (::testing::Test::HasFatalFailure()) return;
+  QuarantineStore store;
+  NmeaDecoder decoder;
+  decoder.set_quarantine(&store);
+
+  uint64_t expected_letters = 0;
+  for (const CorpusCase& c : corpus) {
+    const Result<Decoded> result = decoder.Feed(c.sentence);
+    if (!c.expected_code.has_value()) {
+      EXPECT_TRUE(result.ok()) << c.sentence;
+      continue;
+    }
+    ++expected_letters;
+    ASSERT_FALSE(result.ok()) << c.sentence;
+    EXPECT_EQ(result.status().code(), *c.expected_code)
+        << c.sentence << " -> " << result.status().ToString();
+    EXPECT_EQ(store.total(), expected_letters) << c.sentence;
+  }
+  EXPECT_EQ(store.CountForSource("ingest.nmea"), expected_letters);
+  EXPECT_EQ(decoder.fed_count(), corpus.size());
+
+  // The retained letters carry the raw sentences, in feed order, with
+  // 1-based sequence numbers from the decoder.
+  const std::vector<DeadLetter> letters = store.Letters();
+  ASSERT_EQ(letters.size(), expected_letters);
+  size_t letter = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (!corpus[i].expected_code.has_value()) continue;
+    EXPECT_EQ(letters[letter].source, "ingest.nmea");
+    EXPECT_EQ(letters[letter].payload, corpus[i].sentence);
+    EXPECT_EQ(letters[letter].sequence, static_cast<uint64_t>(i + 1));
+    ++letter;
+  }
+
+  // Counters split by reason: the corpus exercises both codes.
+  const auto counters = store.Counters();
+  EXPECT_GT(counters.at({"ingest.nmea", StatusCode::kInvalidArgument}), 0u);
+  EXPECT_GT(counters.at({"ingest.nmea", StatusCode::kCorruption}), 0u);
+
+  // After all that abuse, a healthy sentence still decodes and records
+  // nothing new.
+  const auto encoded = EncodePositionNmea(SampleReport());
+  ASSERT_TRUE(encoded.ok());
+  const Result<Decoded> decoded = decoder.Feed(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->message_type, 1);
+  EXPECT_EQ(store.total(), expected_letters);
+}
+
+TEST(NmeaQuarantineTest, NoStoreAttachedStillRejects) {
+  NmeaDecoder decoder;
+  EXPECT_FALSE(decoder.Feed("garbage that is long enough").ok());
+}
+
+TEST(NmeaQuarantineTest, DetachStopsRecording) {
+  QuarantineStore store;
+  NmeaDecoder decoder;
+  decoder.set_quarantine(&store);
+  EXPECT_FALSE(decoder.Feed("garbage that is long enough").ok());
+  EXPECT_EQ(store.total(), 1u);
+  decoder.set_quarantine(nullptr);
+  EXPECT_FALSE(decoder.Feed("more garbage that is long enough").ok());
+  EXPECT_EQ(store.total(), 1u);
+}
+
+TEST(NmeaQuarantineTest, RetentionCapBoundsLettersNotCounters) {
+  QuarantineStore store(/*max_retained=*/2);
+  NmeaDecoder decoder;
+  decoder.set_quarantine(&store);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(decoder.Feed("garbage that is long enough").ok());
+  }
+  EXPECT_EQ(store.total(), 5u);
+  EXPECT_EQ(store.Letters().size(), 2u);
+  EXPECT_NE(store.CountersToString().find("ingest.nmea"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pol::ais

@@ -1,0 +1,162 @@
+#include "common/failpoint.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace pol {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPointRegistry::Global().Reset(); }
+  void TearDown() override { FailPointRegistry::Global().Reset(); }
+};
+
+TEST_F(FailPointTest, UnarmedEvaluatesOkAndCounts) {
+  FailPointRegistry& registry = FailPointRegistry::Global();
+  EXPECT_EQ(registry.HitCount("never.seen"), 0u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(registry.Evaluate("quiet.site").ok());
+  }
+  EXPECT_EQ(registry.HitCount("quiet.site"), 3u);
+}
+
+TEST_F(FailPointTest, ArmedFiresWithDefaultSpec) {
+  FailPointRegistry& registry = FailPointRegistry::Global();
+  registry.Arm("always.fires");
+  const Status s = registry.Evaluate("always.fires");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("always.fires"), std::string::npos);
+  // Fires on every subsequent hit too.
+  EXPECT_FALSE(registry.Evaluate("always.fires").ok());
+}
+
+TEST_F(FailPointTest, WindowFiresExactlyInRange) {
+  FailPointRegistry& registry = FailPointRegistry::Global();
+  FailPointSpec spec;
+  spec.fire_from = 2;
+  spec.fire_count = 2;
+  registry.Arm("windowed", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(!registry.Evaluate("windowed").ok());
+  }
+  const std::vector<bool> expected = {false, false, true, true, false, false};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST_F(FailPointTest, CustomCodeAndMessage) {
+  FailPointRegistry& registry = FailPointRegistry::Global();
+  FailPointSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.message = "disk on fire";
+  registry.Arm("io.site", spec);
+  const Status s = registry.Evaluate("io.site");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.message(), "disk on fire");
+}
+
+TEST_F(FailPointTest, SeededCoinIsDeterministic) {
+  FailPointRegistry& registry = FailPointRegistry::Global();
+  FailPointSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 1234;
+
+  const auto run_pattern = [&](int hits) {
+    std::vector<bool> pattern;
+    registry.Reset();
+    registry.Arm("coin", spec);
+    for (int i = 0; i < hits; ++i) {
+      pattern.push_back(!registry.Evaluate("coin").ok());
+    }
+    return pattern;
+  };
+  const std::vector<bool> first = run_pattern(64);
+  const std::vector<bool> second = run_pattern(64);
+  EXPECT_EQ(first, second) << "same seed must replay the same schedule";
+
+  // A fair-ish coin at 64 flips fires at least once and spares at
+  // least once.
+  bool any_fired = false;
+  bool any_spared = false;
+  for (const bool b : first) (b ? any_fired : any_spared) = true;
+  EXPECT_TRUE(any_fired);
+  EXPECT_TRUE(any_spared);
+
+  // A different seed gives a different schedule (overwhelmingly).
+  FailPointSpec other = spec;
+  other.seed = 99;
+  registry.Reset();
+  registry.Arm("coin", other);
+  std::vector<bool> third;
+  for (int i = 0; i < 64; ++i) {
+    third.push_back(!registry.Evaluate("coin").ok());
+  }
+  EXPECT_NE(first, third);
+}
+
+TEST_F(FailPointTest, ZeroProbabilityNeverFires) {
+  FailPointRegistry& registry = FailPointRegistry::Global();
+  FailPointSpec spec;
+  spec.probability = 0.0;
+  registry.Arm("never", spec);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(registry.Evaluate("never").ok());
+  }
+}
+
+TEST_F(FailPointTest, DisarmStopsFiringButKeepsCounting) {
+  FailPointRegistry& registry = FailPointRegistry::Global();
+  registry.Arm("temporary");
+  EXPECT_FALSE(registry.Evaluate("temporary").ok());
+  registry.Disarm("temporary");
+  EXPECT_TRUE(registry.Evaluate("temporary").ok());
+  EXPECT_EQ(registry.HitCount("temporary"), 2u);
+}
+
+TEST_F(FailPointTest, DisarmAllAndKnownPoints) {
+  FailPointRegistry& registry = FailPointRegistry::Global();
+  registry.Arm("b.point");
+  registry.Arm("a.point");
+  EXPECT_TRUE(registry.Evaluate("c.point").ok());
+  registry.DisarmAll();
+  EXPECT_TRUE(registry.Evaluate("a.point").ok());
+  EXPECT_TRUE(registry.Evaluate("b.point").ok());
+  const std::vector<std::string> known = registry.KnownPoints();
+  EXPECT_EQ(known, (std::vector<std::string>{"a.point", "b.point",
+                                             "c.point"}));
+}
+
+TEST_F(FailPointTest, ResetClearsHitCounters) {
+  FailPointRegistry& registry = FailPointRegistry::Global();
+  EXPECT_TRUE(registry.Evaluate("counted").ok());
+  EXPECT_EQ(registry.HitCount("counted"), 1u);
+  registry.Reset();
+  EXPECT_EQ(registry.HitCount("counted"), 0u);
+  EXPECT_TRUE(registry.KnownPoints().empty());
+}
+
+TEST_F(FailPointTest, MacroCompilesToNoOpWithoutFailpointsBuild) {
+  FailPointRegistry& registry = FailPointRegistry::Global();
+  registry.Arm("macro.site");
+  const Status s = POL_FAILPOINT("macro.site");
+#if defined(POL_FAILPOINTS)
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(registry.HitCount("macro.site"), 1u);
+#else
+  // The no-op form neither fires nor counts — the site name is not
+  // even evaluated.
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(registry.HitCount("macro.site"), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace pol

@@ -1,5 +1,10 @@
 #include "common/status.h"
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace pol {
@@ -43,6 +48,27 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
 }
 
+TEST(StatusTest, CodeNameRoundTripsThroughFromName) {
+  const std::vector<StatusCode> codes = {
+      StatusCode::kOk,            StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,    StatusCode::kNotFound,
+      StatusCode::kAlreadyExists, StatusCode::kCorruption,
+      StatusCode::kIoError,       StatusCode::kFailedPrecondition,
+      StatusCode::kUnimplemented, StatusCode::kInternal,
+  };
+  for (const StatusCode code : codes) {
+    const auto parsed = StatusCodeFromName(StatusCodeName(code));
+    ASSERT_TRUE(parsed.has_value()) << StatusCodeName(code);
+    EXPECT_EQ(*parsed, code) << StatusCodeName(code);
+  }
+}
+
+TEST(StatusTest, FromNameRejectsUnknownNames) {
+  EXPECT_FALSE(StatusCodeFromName("Bogus").has_value());
+  EXPECT_FALSE(StatusCodeFromName("").has_value());
+  EXPECT_FALSE(StatusCodeFromName("ok").has_value());  // Case-sensitive.
+}
+
 Status FailIfNegative(int x) {
   if (x < 0) return Status::InvalidArgument("negative");
   return Status::OK();
@@ -83,6 +109,57 @@ TEST(ResultTest, OkStatusConstructionIsInternalError) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInternal);
 }
+
+TEST(ResultTest, MoveOnlyValueMovesThrough) {
+  // Result must carry move-only payloads: construct, access by
+  // reference, and extract via the && overload without copies.
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 9);
+  std::unique_ptr<int> extracted = std::move(r).value();
+  ASSERT_NE(extracted, nullptr);
+  EXPECT_EQ(*extracted, 9);
+}
+
+TEST(ResultTest, RvalueValueMovesNotCopies) {
+  Result<std::string> r(std::string(64, 'x'));
+  ASSERT_TRUE(r.ok());
+  const char* before = r.value().data();
+  const std::string moved = std::move(r).value();
+  // The buffer migrated instead of being copied (64 chars is beyond any
+  // SSO, so an equal data pointer proves a move).
+  EXPECT_EQ(moved.data(), before);
+  EXPECT_EQ(moved, std::string(64, 'x'));
+}
+
+TEST(ResultTest, ResultItselfIsMovable) {
+  Result<std::string> source(std::string("payload"));
+  Result<std::string> moved = std::move(source);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, "payload");
+
+  Result<std::string> errored(Status::NotFound("gone"));
+  Result<std::string> moved_error = std::move(errored);
+  ASSERT_FALSE(moved_error.ok());
+  EXPECT_EQ(moved_error.status().code(), StatusCode::kNotFound);
+}
+
+#if !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
+TEST(ResultDeathTest, AccessingErroredResultAborts) {
+  EXPECT_DEATH(
+      {
+        Result<int> r = ParsePositive(-1);
+        [[maybe_unused]] const int v = r.value();
+      },
+      "errored Result");
+  EXPECT_DEATH(
+      {
+        Result<int> r = ParsePositive(-1);
+        [[maybe_unused]] const int v = *r;
+      },
+      "errored Result");
+}
+#endif
 
 Result<int> Doubled(int x) {
   POL_ASSIGN_OR_RETURN(const int v, ParsePositive(x));

@@ -144,8 +144,19 @@ TEST(PipelineChunkedTest, ManualStageGraphMatchesRunPipeline) {
       SplitReportsByVessel(archive.reports, config.partitions, 4, &pool);
   ASSERT_EQ(chunks.size(), 4u);
   for (auto& chunk : chunks) {
-    builder.Fold(projection.Run(
-        trips.Run(enrichment.Run(cleaning.Run(std::move(chunk))))));
+    Result<flow::Dataset<PipelineRecord>> cleaned =
+        cleaning.RunChunk(std::move(chunk));
+    ASSERT_TRUE(cleaned.ok());
+    Result<flow::Dataset<PipelineRecord>> enriched =
+        enrichment.RunChunk(std::move(cleaned).value());
+    ASSERT_TRUE(enriched.ok());
+    Result<flow::Dataset<PipelineRecord>> tripped =
+        trips.RunChunk(std::move(enriched).value());
+    ASSERT_TRUE(tripped.ok());
+    Result<flow::Dataset<PipelineRecord>> projected =
+        projection.RunChunk(std::move(tripped).value());
+    ASSERT_TRUE(projected.ok());
+    builder.Fold(*projected);
   }
   EXPECT_EQ(builder.records_folded(), reference.aggregated_records);
   const Inventory inventory = std::move(builder).Finish();

@@ -8,9 +8,13 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <utility>
@@ -18,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "flow/dataset.h"
 #include "flow/stage.h"
 #include "flow/stage_runner.h"
@@ -32,7 +37,7 @@ class AddOneStage : public Stage<int, int> {
  public:
   std::string_view name() const override { return "add_one"; }
 
-  Dataset<int> Run(Dataset<int> input) override {
+  Result<Dataset<int>> RunChunk(Dataset<int> input) override {
     Dataset<int> out = input.Map([](const int& v) { return v + 1; });
     const size_t n = out.Count();
     {
@@ -58,7 +63,7 @@ class KeepEvenStage : public Stage<int, int> {
  public:
   std::string_view name() const override { return "keep_even"; }
 
-  Dataset<int> Run(Dataset<int> input) override {
+  Result<Dataset<int>> RunChunk(Dataset<int> input) override {
     return input.Filter([](const int& v) { return v % 2 == 0; });
   }
 };
@@ -92,12 +97,17 @@ void RunManyChunks(int max_in_flight, int num_chunks) {
   constexpr int kValuesPerChunk = 40;
   std::vector<size_t> fold_order;
   long total = 0;
-  runner.Run(MakeChunks(num_chunks, kValuesPerChunk, &pool),
-             [&](size_t chunk, Dataset<int> out) {
-               fold_order.push_back(chunk);
-               for (int v : out.Collect()) total += v;
-             });
+  const RunSummary summary =
+      runner.Run(MakeChunks(num_chunks, kValuesPerChunk, &pool),
+                 [&](size_t chunk, Dataset<int> out) {
+                   fold_order.push_back(chunk);
+                   for (int v : out.Collect()) total += v;
+                   return Status::OK();
+                 });
 
+  EXPECT_TRUE(summary.status.ok());
+  EXPECT_EQ(summary.chunks_folded, static_cast<size_t>(num_chunks));
+  EXPECT_EQ(summary.chunks_quarantined, 0u);
   ASSERT_EQ(fold_order.size(), static_cast<size_t>(num_chunks));
   for (size_t i = 0; i < fold_order.size(); ++i) {
     EXPECT_EQ(fold_order[i], i) << "sink saw chunks out of order";
@@ -126,6 +136,204 @@ TEST(ConcurrencyStressTest, StageRunnerWindowWiderThanChunkCount) {
   RunManyChunks(/*max_in_flight=*/16, /*num_chunks=*/5);
 }
 
+// Stage that fails every attempt on chunks containing `poison`, and the
+// first `flaky_attempts` attempts on every other chunk (keyed by the
+// chunk's first value). Exercises retry and quarantine paths.
+class FaultyStage : public Stage<int, int> {
+ public:
+  FaultyStage(int poison, int flaky_attempts)
+      : poison_(poison), flaky_attempts_(flaky_attempts) {}
+
+  std::string_view name() const override { return "faulty"; }
+
+  Result<Dataset<int>> RunChunk(Dataset<int> input) override {
+    const std::vector<int> values = input.Collect();
+    for (const int v : values) {
+      if (v == poison_) return Status::Corruption("poisoned chunk");
+    }
+    const int key = values.empty() ? -1 : values.front();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++attempts_by_key_[key] <= flaky_attempts_) {
+        return Status::Internal("transient fault");
+      }
+    }
+    return input;
+  }
+
+ private:
+  int poison_;
+  int flaky_attempts_;
+  std::mutex mutex_;  // guards: attempts_by_key_
+  std::map<int, int> attempts_by_key_;
+};
+
+TEST(ConcurrencyStressTest, TransientFaultsRetrySucceed) {
+  // Every chunk fails its first attempt; with three attempts allowed,
+  // the run must still fold every chunk in order.
+  ThreadPool pool(4);
+  constexpr int kChunks = 12;
+  auto chain = StageChain<int, int>(
+      std::make_shared<FaultyStage>(/*poison=*/-1, /*flaky_attempts=*/1));
+  StageRunner<int, int>::Options options;
+  options.max_in_flight = 3;
+  options.max_attempts = 3;
+  StageRunner<int, int> runner(std::move(chain), &pool, options);
+
+  std::vector<size_t> fold_order;
+  const RunSummary summary =
+      runner.Run(MakeChunks(kChunks, 10, &pool),
+                 [&](size_t chunk, Dataset<int>) {
+                   fold_order.push_back(chunk);
+                   return Status::OK();
+                 });
+  EXPECT_TRUE(summary.status.ok());
+  EXPECT_EQ(summary.chunks_folded, static_cast<size_t>(kChunks));
+  EXPECT_EQ(summary.chunks_quarantined, 0u);
+  EXPECT_EQ(summary.retries, static_cast<uint64_t>(kChunks));
+  ASSERT_EQ(fold_order.size(), static_cast<size_t>(kChunks));
+  for (size_t i = 0; i < fold_order.size(); ++i) EXPECT_EQ(fold_order[i], i);
+  // Failed attempts land in the stage's failure metrics.
+  const std::vector<StageMetrics> metrics = runner.metrics();
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].failures, static_cast<uint64_t>(kChunks));
+  EXPECT_EQ(metrics[0].failures_by_reason.at("Internal"),
+            static_cast<uint64_t>(kChunks));
+}
+
+TEST(ConcurrencyStressTest, PoisonedChunkIsQuarantinedRunContinues) {
+  // Chunk values are contiguous: chunk 2 of 10-value chunks holds 25.
+  ThreadPool pool(4);
+  constexpr int kChunks = 8;
+  auto chain = StageChain<int, int>(
+      std::make_shared<FaultyStage>(/*poison=*/25, /*flaky_attempts=*/0));
+  StageRunner<int, int>::Options options;
+  options.max_attempts = 2;
+  StageRunner<int, int> runner(std::move(chain), &pool, options);
+
+  std::vector<size_t> fold_order;
+  std::vector<size_t> quarantine_order;
+  const RunSummary summary = runner.Run(
+      MakeChunks(kChunks, 10, &pool),
+      [&](size_t chunk, Dataset<int>) {
+        fold_order.push_back(chunk);
+        return Status::OK();
+      },
+      /*start_chunk=*/0,
+      [&](const ChunkFailure& failure) {
+        quarantine_order.push_back(failure.chunk_index);
+        EXPECT_EQ(failure.attempts, 2);
+        EXPECT_EQ(failure.records, 10u);
+        EXPECT_EQ(failure.status.code(), StatusCode::kCorruption);
+        // The error names the failing stage.
+        EXPECT_NE(failure.status.message().find("faulty"), std::string::npos);
+      });
+  EXPECT_TRUE(summary.status.ok());
+  EXPECT_EQ(summary.chunks_folded, static_cast<size_t>(kChunks - 1));
+  EXPECT_EQ(summary.chunks_quarantined, 1u);
+  EXPECT_EQ(summary.records_quarantined, 10u);
+  ASSERT_EQ(summary.quarantined.size(), 1u);
+  EXPECT_EQ(summary.quarantined[0].chunk_index, 2u);
+  ASSERT_EQ(quarantine_order.size(), 1u);
+  EXPECT_EQ(quarantine_order[0], 2u);
+  // Every other chunk folded, in order, with chunk 2 absent.
+  ASSERT_EQ(fold_order.size(), static_cast<size_t>(kChunks - 1));
+  size_t expected = 0;
+  for (const size_t chunk : fold_order) {
+    if (expected == 2) ++expected;
+    EXPECT_EQ(chunk, expected++);
+  }
+}
+
+TEST(ConcurrencyStressTest, FailFastAbortsOnExhaustedChunk) {
+  ThreadPool pool(4);
+  auto chain = StageChain<int, int>(
+      std::make_shared<FaultyStage>(/*poison=*/25, /*flaky_attempts=*/0));
+  StageRunner<int, int>::Options options;
+  options.fail_fast = true;
+  StageRunner<int, int> runner(std::move(chain), &pool, options);
+
+  const RunSummary summary = runner.Run(
+      MakeChunks(8, 10, &pool),
+      [&](size_t, Dataset<int>) { return Status::OK(); });
+  EXPECT_FALSE(summary.status.ok());
+  EXPECT_EQ(summary.status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(summary.chunks_folded, 2u);  // Chunks 0 and 1 precede the bad one.
+  EXPECT_EQ(summary.chunks_quarantined, 0u);
+}
+
+TEST(ConcurrencyStressTest, SinkErrorAbortsRunAndDrains) {
+  ThreadPool pool(4);
+  auto chain = StageChain<int, int>(std::make_shared<AddOneStage>())
+                   .Then<int>(std::make_shared<KeepEvenStage>());
+  StageRunner<int, int>::Options options;
+  options.max_in_flight = 4;
+  StageRunner<int, int> runner(std::move(chain), &pool, options);
+
+  size_t folds = 0;
+  const RunSummary summary =
+      runner.Run(MakeChunks(16, 10, &pool), [&](size_t chunk, Dataset<int>) {
+        ++folds;
+        if (chunk == 3) return Status::IoError("sink refused");
+        return Status::OK();
+      });
+  EXPECT_FALSE(summary.status.ok());
+  EXPECT_EQ(summary.status.code(), StatusCode::kIoError);
+  EXPECT_EQ(folds, 4u);
+  EXPECT_EQ(summary.chunks_folded, 3u);
+  // The pool must be fully drained: no task may still reference the
+  // finished Run call's stack.
+  pool.Wait();
+}
+
+TEST(ConcurrencyStressTest, SinkThrowDrainsInFlightTasks) {
+  // A throwing sink must not leave pool tasks referencing the destroyed
+  // Run frame (slots/mutex/condvar). ASan runs of this test catch the
+  // use-after-free the old runner had.
+  ThreadPool pool(4);
+  auto chain = StageChain<int, int>(std::make_shared<AddOneStage>())
+                   .Then<int>(std::make_shared<KeepEvenStage>());
+  StageRunner<int, int>::Options options;
+  options.max_in_flight = 4;
+  StageRunner<int, int> runner(std::move(chain), &pool, options);
+
+  EXPECT_THROW(
+      runner.Run(MakeChunks(32, 10, &pool),
+                 [&](size_t chunk, Dataset<int>) {
+                   if (chunk == 2) throw std::runtime_error("sink exploded");
+                   return Status::OK();
+                 }),
+      std::runtime_error);
+  // Submitting more work must find a healthy pool and no stale tasks.
+  std::atomic<int> after{0};
+  pool.Submit([&after] { after.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(ConcurrencyStressTest, ResumeCursorSkipsAccountedChunks) {
+  ThreadPool pool(4);
+  auto chain = StageChain<int, int>(std::make_shared<AddOneStage>())
+                   .Then<int>(std::make_shared<KeepEvenStage>());
+  StageRunner<int, int> runner(std::move(chain), &pool);
+
+  std::vector<size_t> fold_order;
+  const RunSummary summary = runner.Run(
+      MakeChunks(10, 10, &pool),
+      [&](size_t chunk, Dataset<int>) {
+        fold_order.push_back(chunk);
+        return Status::OK();
+      },
+      /*start_chunk=*/6);
+  EXPECT_TRUE(summary.status.ok());
+  EXPECT_EQ(summary.chunks_skipped, 6u);
+  EXPECT_EQ(summary.chunks_folded, 4u);
+  ASSERT_EQ(fold_order.size(), 4u);
+  for (size_t i = 0; i < fold_order.size(); ++i) {
+    EXPECT_EQ(fold_order[i], i + 6);
+  }
+}
+
 TEST(ConcurrencyStressTest, ConcurrentRunnersShareOnePool) {
   // Two independent StageRunners driven from separate threads over the
   // same pool: each must fold its own chunks in its own order.
@@ -138,6 +346,7 @@ TEST(ConcurrencyStressTest, ConcurrentRunnersShareOnePool) {
     runner.Run(MakeChunks(kChunks, 30, &pool),
                [order](size_t chunk, Dataset<int>) {
                  order->push_back(chunk);
+                 return Status::OK();
                });
   };
   std::vector<size_t> order_a;

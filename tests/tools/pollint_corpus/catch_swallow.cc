@@ -1,0 +1,40 @@
+#include <stdexcept>
+
+void Swallowed() {
+  try {
+    throw std::runtime_error("boom");
+  } catch (...) {
+  }
+}
+
+void SwallowedWithCosmetics(int* counter) {
+  try {
+    throw std::runtime_error("boom");
+  } catch (const std::exception& e) {
+    ++*counter;
+  }
+}
+
+void Rethrown() {
+  try {
+    throw std::runtime_error("boom");
+  } catch (...) {
+    throw;
+  }
+}
+
+int ConvertedToReturn() {
+  try {
+    throw std::runtime_error("boom");
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+void Suppressed() {
+  try {
+    throw std::runtime_error("boom");
+    // NOLINTNEXTLINE(pollint:catch-swallow): probe may legally fail.
+  } catch (...) {
+  }
+}

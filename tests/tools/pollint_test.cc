@@ -109,6 +109,22 @@ TEST(PollintCorpusTest, MutexMemberNeedsGuardsComment) {
   EXPECT_EQ(Lint("mutex_member.h", "src/corpus/mutex_member.h"), expected);
 }
 
+TEST(PollintCorpusTest, CatchSwallow) {
+  // Fires on the empty handler and the cosmetic-only one; rethrow,
+  // return, and the NOLINTNEXTLINE-suppressed handler stay clean.
+  const std::vector<RuleLine> expected = {
+      {"catch-swallow", 6},
+      {"catch-swallow", 13},
+  };
+  EXPECT_EQ(Lint("catch_swallow.cc", "src/corpus/catch_swallow.cc"),
+            expected);
+}
+
+TEST(PollintCorpusTest, CatchSwallowOnlyInLibraryCode) {
+  EXPECT_TRUE(Lint("catch_swallow.cc", "tools/corpus/catch_swallow.cc")
+                  .empty());
+}
+
 TEST(PollintCorpusTest, MissingDirectInclude) {
   const std::vector<RuleLine> expected = {{"missing-include", 4}};
   EXPECT_EQ(Lint("missing_include.cc", "src/corpus/missing_include.cc"),

@@ -197,6 +197,7 @@ class Linter {
       CheckNakedNewDelete();
       CheckMutexGuardComments();
       CheckMissingIncludes();
+      CheckCatchSwallow();
     }
     CheckFloatCompares();
     std::sort(findings_.begin(), findings_.end(),
@@ -424,6 +425,59 @@ class Linter {
     }
   }
 
+  // --- catch-swallow ------------------------------------------------------
+  // A catch handler in library code must do *something* with the fault:
+  // rethrow, return, convert to pol::Status, log, or abort. An empty
+  // (or purely cosmetic) handler silently swallows the failure — the
+  // exact anti-pattern the failure-containment layer exists to prevent.
+  void CheckCatchSwallow() {
+    static const std::regex kCatch(R"((^|[^\w])catch\s*\()");
+    static const std::regex kHandled(
+        R"((^|[^\w])(throw|return|abort|exit|Status|status|POL_LOG|POL_CHECK)\b)");
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      std::smatch match;
+      if (!std::regex_search(lines_[i].code, match, kCatch)) continue;
+      // Collect the handler body: from the '{' after the catch clause to
+      // its matching '}' (the split-line code already has comments and
+      // literal contents blanked, so braces in those cannot confuse the
+      // depth count).
+      size_t line = i;
+      size_t pos = static_cast<size_t>(match.position(0) + match.length(0));
+      int depth = 0;
+      bool opened = false;
+      bool closed = false;
+      std::string body;
+      while (line < lines_.size() && !closed) {
+        const std::string& code = lines_[line].code;
+        while (pos < code.size()) {
+          const char c = code[pos++];
+          if (c == '{') {
+            if (opened) body += c;
+            ++depth;
+            opened = true;
+          } else if (c == '}') {
+            --depth;
+            if (opened && depth == 0) {
+              closed = true;
+              break;
+            }
+            body += c;
+          } else if (opened) {
+            body += c;
+          }
+        }
+        body += '\n';
+        ++line;
+        pos = 0;
+      }
+      if (opened && closed && !std::regex_search(body, kHandled)) {
+        Report(i, "catch-swallow",
+               "catch handler swallows the exception; rethrow, return, "
+               "convert to pol::Status, or log it");
+      }
+    }
+  }
+
   // --- missing-include ----------------------------------------------------
   void CheckMissingIncludes() {
     struct Entry {
@@ -480,8 +534,9 @@ class Linter {
 const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string>* const kIds =
       new std::vector<std::string>{
-          "banned-call",   "float-compare",   "include-guard", "missing-include",
-          "mutex-guard",   "naked-new",       "stdout-io",
+          "banned-call", "catch-swallow", "float-compare",
+          "include-guard", "missing-include", "mutex-guard",
+          "naked-new", "stdout-io",
       };
   return *kIds;
 }

@@ -8,6 +8,7 @@
 #   tools/run_tier1.sh --ubsan    # + UBSan build of flow/core tests
 #   tools/run_tier1.sh --tsan     # + TSan build of flow/core tests
 #   tools/run_tier1.sh --sanitize # all three sanitizers
+#   tools/run_tier1.sh --faults   # + fail-points build, fault-injection suite
 #   tools/run_tier1.sh --lint     # + build and run pollint over the tree
 #   tools/run_tier1.sh --format   # + clang-format check of touched files
 #
@@ -23,9 +24,15 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 # stress tests exist specifically to give TSan interleavings to bite on.
 SAN_TESTS="threadpool_test|dataset_test|concurrency_stress_test|pipeline_test|pipeline_property_test|pipeline_chunked_test|cleaning_test|extractor_test|inventory_test"
 
+# The failure-containment suite: these run in every build, but only the
+# faults preset (POL_FAILPOINTS=ON) un-skips the armed kill-and-resume
+# scenarios.
+FAULT_TESTS="failpoint_test|nmea_quarantine_test|checkpoint_test|fault_injection_test|concurrency_stress_test|status_test"
+
 run_asan=0
 run_ubsan=0
 run_tsan=0
+run_faults=0
 run_lint=0
 run_format=0
 for arg in "$@"; do
@@ -34,6 +41,7 @@ for arg in "$@"; do
     --ubsan) run_ubsan=1 ;;
     --tsan) run_tsan=1 ;;
     --sanitize) run_asan=1; run_ubsan=1; run_tsan=1 ;;
+    --faults) run_faults=1 ;;
     --lint) run_lint=1 ;;
     --format) run_format=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
@@ -58,6 +66,17 @@ sanitizer_pass() {
   (cd "$ROOT/build-$preset" &&
      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
      ctest --output-on-failure -j "$JOBS" -R "^($SAN_TESTS)\$")
+}
+
+faults_pass() {
+  echo "== faults pass: POL_FAILPOINTS build + fault-injection suite =="
+  cmake --preset faults -S "$ROOT"
+  local targets
+  targets="$(echo "$FAULT_TESTS" | tr '|' ' ')"
+  # shellcheck disable=SC2086
+  cmake --build "$ROOT/build-faults" -j "$JOBS" --target $targets
+  (cd "$ROOT/build-faults" &&
+     ctest --output-on-failure -j "$JOBS" -R "^($FAULT_TESTS)\$")
 }
 
 lint_pass() {
@@ -101,6 +120,7 @@ format_pass() {
 [ "$run_asan" -eq 1 ] && sanitizer_pass asan
 [ "$run_ubsan" -eq 1 ] && sanitizer_pass ubsan
 [ "$run_tsan" -eq 1 ] && sanitizer_pass tsan
+[ "$run_faults" -eq 1 ] && faults_pass
 [ "$run_lint" -eq 1 ] && lint_pass
 [ "$run_format" -eq 1 ] && format_pass
 
