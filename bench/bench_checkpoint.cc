@@ -1,9 +1,11 @@
 // Checkpoint cost: what snapshotting the incremental InventoryBuilder
 // every K chunks adds to a chunked pipeline run, and what a resume
 // costs. Reported per interval K as human-readable rows plus one
-// machine-readable `BENCH {...}` json line per configuration, so the
-// perf trajectory of the failure-containment layer can be tracked
-// across commits.
+// machine-readable `BENCH {...}` json line per configuration, and the
+// same rows land in a summary file (default BENCH_checkpoint.json;
+// `--report-out=<path>` overrides, empty disables), so the perf
+// trajectory of the failure-containment layer can be tracked across
+// commits.
 
 #include <cstdint>
 #include <cstdio>
@@ -14,6 +16,8 @@
 #include "core/checkpoint.h"
 #include "core/inventory_builder.h"
 #include "core/pipeline.h"
+#include "obs/json.h"
+#include "obs/report.h"
 #include "sim/fleet.h"
 
 namespace pol {
@@ -47,7 +51,15 @@ uint64_t NewestSnapshotBytes(const core::CheckpointConfig& checkpoint) {
   return ec ? 0 : size;
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  std::string summary_path = "BENCH_checkpoint.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--report-out=", 0) == 0) {
+      summary_path = arg.substr(std::string("--report-out=").size());
+    }
+  }
+
   bench::PrintHeader("Checkpoint cost vs interval K (chunked pipeline)");
   const sim::SimulationOutput archive = BenchArchive();
   std::printf("archive: %s records, %d chunks\n\n",
@@ -69,6 +81,7 @@ int Run() {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "pol_bench_checkpoint")
           .string();
+  obs::Json results = obs::Json::Array();
   for (const int interval : {1, 2, 4, 8, 16}) {
     std::filesystem::remove_all(dir);
     core::PipelineConfig config = BaseConfig();
@@ -114,12 +127,37 @@ int Run() {
         static_cast<unsigned long long>(result.coverage.checkpoints_written),
         static_cast<unsigned long long>(snapshot_bytes), wall_s, baseline_s,
         overhead, restore_s);
+
+    obs::Json entry = obs::Json::Object();
+    entry.Set("interval_chunks", interval);
+    entry.Set("snapshots", result.coverage.checkpoints_written);
+    entry.Set("snapshot_bytes", snapshot_bytes);
+    entry.Set("wall_s", wall_s);
+    entry.Set("overhead_frac", overhead);
+    entry.Set("restore_s", restore_s);
+    results.Append(std::move(entry));
   }
   std::filesystem::remove_all(dir);
+
+  if (!summary_path.empty()) {
+    obs::Json summary = obs::Json::Object();
+    summary.Set("schema", "pol.bench_summary/1");
+    summary.Set("bench", "checkpoint");
+    summary.Set("records", static_cast<uint64_t>(archive.reports.size()));
+    summary.Set("chunks", kChunks);
+    summary.Set("baseline_wall_s", baseline_s);
+    summary.Set("results", std::move(results));
+    std::string error;
+    if (!obs::WriteJsonFile(summary_path, summary, &error)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", summary_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace pol
 
-int main() { return pol::Run(); }
+int main(int argc, char** argv) { return pol::Run(argc, argv); }

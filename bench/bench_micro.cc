@@ -1,10 +1,22 @@
 // Engineering microbenchmarks (google-benchmark): the per-operation
 // costs behind the pipeline's throughput — grid indexing, sketch
 // updates, geofence probes, NMEA codec, and end-to-end stage rates.
+//
+// Next to the console table the bench writes a machine-readable
+// summary (default BENCH_micro.json; `--report-out=<path>` overrides,
+// empty disables) so per-operation costs can be tracked across commits
+// the same way the BENCH_* summaries of the macro benches are.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "ais/nmea.h"
+#include "obs/json.h"
+#include "obs/report.h"
 #include "common/rng.h"
 #include "geo/geodesic.h"
 #include "core/geofence.h"
@@ -209,7 +221,75 @@ void BM_PipelineEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineEndToEnd)->Unit(benchmark::kMillisecond);
 
+// Console reporter that additionally collects every finished run for
+// the JSON summary.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  JsonCollector() { results_ = obs::Json::Array(); }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      obs::Json entry = obs::Json::Object();
+      entry.Set("name", run.benchmark_name());
+      entry.Set("iterations", static_cast<int64_t>(run.iterations));
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      entry.Set("real_s_per_iter", run.real_accumulated_time / iters);
+      entry.Set("cpu_s_per_iter", run.cpu_accumulated_time / iters);
+      if (!run.counters.empty()) {
+        obs::Json counters = obs::Json::Object();
+        for (const auto& [name, counter] : run.counters) {
+          counters.Set(name, static_cast<double>(counter));
+        }
+        entry.Set("counters", std::move(counters));
+      }
+      results_.Append(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const obs::Json& results() const { return results_; }
+
+ private:
+  obs::Json results_;
+};
+
+int RunMicro(int argc, char** argv) {
+  // Strip our own flag before handing argv to google-benchmark.
+  std::string summary_path = "BENCH_micro.json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--report-out=", 0) == 0) {
+      summary_path = std::string(arg.substr(std::string("--report-out=").size()));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  JsonCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!summary_path.empty()) {
+    obs::Json summary = obs::Json::Object();
+    summary.Set("schema", "pol.bench_summary/1");
+    summary.Set("bench", "micro");
+    summary.Set("results", reporter.results());
+    std::string error;
+    if (!obs::WriteJsonFile(summary_path, summary, &error)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", summary_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace pol
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return pol::RunMicro(argc, argv); }

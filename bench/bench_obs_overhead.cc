@@ -1,0 +1,145 @@
+// Observability overhead: what the metrics/trace instrumentation adds
+// to an end-to-end chunked pipeline run. Three configurations share one
+// simulated archive:
+//
+//   idle    - instrumentation compiled in, recorder stopped, no outputs
+//             (the default production shape; under POL_OBS=OFF this is
+//             the layer compiled to no-ops)
+//   traced  - trace recording on plus run-report emission
+//
+// The acceptance bar is `traced` within 2% of `idle`, estimated as the
+// median of per-round paired wall-clock ratios (adjacent runs share
+// machine state, so ambient load cancels inside a pair); the bench
+// exits non-zero past the threshold so tools/run_tier1.sh --obs gates
+// on it.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "sim/fleet.h"
+
+namespace pol {
+namespace {
+
+constexpr int kRounds = 9;
+constexpr double kMaxOverhead = 0.02;
+
+sim::SimulationOutput BenchArchive() {
+  sim::FleetConfig config;
+  config.seed = 20240606;
+  config.commercial_vessels = 50;
+  config.noncommercial_vessels = 8;
+  config.start_time = 1640995200;
+  config.end_time = config.start_time + 45 * kSecondsPerDay;
+  return sim::FleetSimulator(config).Run();
+}
+
+int Run(int argc, char** argv) {
+  std::string summary_path = "BENCH_obs_overhead.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--report-out=", 0) == 0) {
+      summary_path = arg.substr(std::string("--report-out=").size());
+    }
+  }
+
+  bench::PrintHeader("Observability overhead (chunked pipeline)");
+  const sim::SimulationOutput archive = BenchArchive();
+  std::printf("archive: %s records, obs compiled %s\n\n",
+              bench::FormatCount(archive.reports.size()).c_str(),
+              obs::kEnabled ? "ON" : "OFF (no-op layer)");
+
+  const std::string out_dir =
+      (std::filesystem::temp_directory_path() / "pol_bench_obs").string();
+  std::filesystem::create_directories(out_dir);
+
+  core::PipelineConfig idle_config;
+  idle_config.partitions = 16;
+  idle_config.chunks = 8;
+
+  core::PipelineConfig traced_config = idle_config;
+  traced_config.obs.trace_path = out_dir + "/trace.json";
+  traced_config.obs.report_path = out_dir + "/report.json";
+
+  // One untimed warmup per shape first (page cache, allocator pools,
+  // lazy singletons). Then paired rounds: each round times the two
+  // shapes back to back and keeps their ratio — adjacent runs share
+  // machine state (load bursts, turbo level), so the noise that
+  // dominates absolute wall clock cancels inside a pair. The estimate
+  // is the median ratio, which discards rounds where a burst hit only
+  // one half of the pair.
+  core::RunPipeline(archive.reports, archive.fleet, idle_config);
+  core::RunPipeline(archive.reports, archive.fleet, traced_config);
+  double idle_s = 1e300;
+  double traced_s = 1e300;
+  std::vector<double> ratios;
+  ratios.reserve(kRounds);
+  for (int round = 0; round < kRounds; ++round) {
+    const double idle_round = bench::TimeSeconds([&] {
+      core::RunPipeline(archive.reports, archive.fleet, idle_config);
+    });
+    const double traced_round = bench::TimeSeconds([&] {
+      core::RunPipeline(archive.reports, archive.fleet, traced_config);
+    });
+    idle_s = std::min(idle_s, idle_round);
+    traced_s = std::min(traced_s, traced_round);
+    ratios.push_back(traced_round / idle_round);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double median_ratio = ratios[ratios.size() / 2];
+
+  const double overhead = median_ratio - 1.0;
+  std::printf("idle   (no outputs):      %.4f s (min of %d)\n", idle_s,
+              kRounds);
+  std::printf("traced (trace + report):  %.4f s (min of %d)\n", traced_s,
+              kRounds);
+  std::printf("overhead:                 %s (median paired ratio, bar: %s)\n",
+              bench::FormatPercent(overhead).c_str(),
+              bench::FormatPercent(kMaxOverhead).c_str());
+
+  std::printf(
+      "BENCH {\"bench\":\"obs_overhead\",\"records\":%llu,\"rounds\":%d,"
+      "\"obs_enabled\":%s,\"idle_s\":%.4f,\"traced_s\":%.4f,"
+      "\"overhead_frac\":%.4f}\n",
+      static_cast<unsigned long long>(archive.reports.size()), kRounds,
+      obs::kEnabled ? "true" : "false", idle_s, traced_s, overhead);
+
+  if (!summary_path.empty()) {
+    obs::Json summary = obs::Json::Object();
+    summary.Set("schema", "pol.bench_summary/1");
+    summary.Set("bench", "obs_overhead");
+    summary.Set("records", static_cast<uint64_t>(archive.reports.size()));
+    summary.Set("rounds", kRounds);
+    summary.Set("obs_enabled", obs::kEnabled);
+    summary.Set("idle_s", idle_s);
+    summary.Set("traced_s", traced_s);
+    summary.Set("overhead_frac", overhead);
+    summary.Set("max_overhead_frac", kMaxOverhead);
+    std::string error;
+    if (!obs::WriteJsonFile(summary_path, summary, &error)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", summary_path.c_str(),
+                   error.c_str());
+    }
+  }
+
+  std::filesystem::remove_all(out_dir);
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr, "FAIL: observability overhead %.2f%% exceeds %.2f%%\n",
+                 overhead * 100.0, kMaxOverhead * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pol
+
+int main(int argc, char** argv) { return pol::Run(argc, argv); }

@@ -2,18 +2,39 @@
 // data and query it by location.
 //
 //   $ ./quickstart
+//   $ ./quickstart --trace-out trace.json --report-out report.json
 //
 // Walks the whole public API in ~40 lines of logic: simulate traffic,
 // run the pipeline, query cells, persist and reload the inventory.
+// `--trace-out` writes a Chrome trace of the run (load it in
+// chrome://tracing or https://ui.perfetto.dev); `--report-out` writes
+// the machine-readable run report (`polinv report <file>` pretty-prints
+// it).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/pipeline.h"
 #include "hexgrid/hexgrid.h"
 #include "sim/fleet.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pol;
+
+  std::string trace_out;
+  std::string report_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
+      report_out = argv[++i];
+    } else {
+      std::printf("usage: %s [--trace-out <path>] [--report-out <path>]\n",
+                  argv[0]);
+      return 2;
+    }
+  }
 
   // 1. An AIS archive. Here: two simulated months of global traffic
   //    (plug in your own std::vector<ais::PositionReport> instead).
@@ -32,6 +53,8 @@ int main() {
   config.resolution = 6;          // ~36 km^2 hexagons, as in the paper.
   config.commercial_only = true;  // Focus on the logistics chain.
   config.chunks = 4;              // Bound peak memory; result is identical.
+  config.obs.trace_path = trace_out;
+  config.obs.report_path = report_out;
   const core::PipelineResult result =
       core::RunPipeline(archive.reports, archive.fleet, config);
   const core::Inventory& inventory = *result.inventory;
@@ -41,6 +64,14 @@ int main() {
               static_cast<unsigned long long>(result.cleaning.input),
               static_cast<unsigned long long>(result.trips.trips));
   std::printf("%s", flow::StageMetricsTable(result.stage_metrics).c_str());
+  if (!trace_out.empty()) {
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                trace_out.c_str());
+  }
+  if (!report_out.empty()) {
+    std::printf("run report written to %s (pretty-print: polinv report)\n",
+                report_out.c_str());
+  }
   const core::CompressionReport compression = result.Compression();
   std::printf("inventory: %llu cells, %.2f%% compression vs raw rows\n",
               static_cast<unsigned long long>(compression.cells),

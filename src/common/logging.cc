@@ -3,11 +3,39 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
 
 namespace pol {
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::optional<LogLevel> LevelFromEnv() {
+  const char* value = std::getenv("POL_LOG_LEVEL");
+  if (value == nullptr) return std::nullopt;
+  return ParseLogLevelName(value);
+}
+
+// The level variable, initialized from POL_LOG_LEVEL on first use so
+// the environment wins over the compiled default but loses to an
+// explicit SetMinLogLevel call made afterwards.
+std::atomic<int>& MinLevelVar() {
+  static std::atomic<int> level{static_cast<int>(
+      LevelFromEnv().value_or(LogLevel::kInfo))};
+  return level;
+}
+
+struct SinkState {
+  std::mutex mutex;  // guards: sink
+  LogSink sink;      // Empty = stderr default.
+};
+
+SinkState& GlobalSink() {
+  static SinkState* const state = new SinkState();  // NOLINT(pollint:naked-new): leaked singleton, safe at exit.
+  return *state;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -25,14 +53,56 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+void Emit(LogLevel level, std::string_view line) {
+  SinkState& state = GlobalSink();
+  std::unique_lock<std::mutex> lock(state.mutex);
+  if (state.sink) {
+    state.sink(level, line);
+    return;
+  }
+  lock.unlock();
+  std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()), line.data());
+}
+
 }  // namespace
 
 void SetMinLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  MinLevelVar().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel MinLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(
+      MinLevelVar().load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel> ParseLogLevelName(std::string_view name) {
+  if (name.size() == 1 && name[0] >= '0' && name[0] <= '4') {
+    return static_cast<LogLevel>(name[0] - '0');
+  }
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c);
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "fatal") return LogLevel::kFatal;
+  return std::nullopt;
+}
+
+void InitLogLevelFromEnv() {
+  if (const std::optional<LogLevel> level = LevelFromEnv()) {
+    SetMinLogLevel(*level);
+  }
+}
+
+LogSink SetLogSink(LogSink sink) {
+  SinkState& state = GlobalSink();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::swap(state.sink, sink);
+  return sink;
 }
 
 namespace internal_logging {
@@ -48,7 +118,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  Emit(level_, stream_.str());
   if (level_ == LogLevel::kFatal) {
     std::fflush(stderr);
     std::abort();

@@ -1,8 +1,11 @@
 #ifndef POL_COMMON_LOGGING_H_
 #define POL_COMMON_LOGGING_H_
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 // Minimal leveled logging for the library and its tools.
 //
@@ -12,14 +15,38 @@
 // reports errors via pol::Status, so logging is only for progress
 // reporting and invariant violations. The invariant macros built on
 // top of this live in common/check.h (POL_CHECK / POL_DCHECK).
+//
+// The minimum level starts from the POL_LOG_LEVEL environment variable
+// when set ("debug" .. "fatal", or the numeric 0..4), and the emission
+// path is pluggable: SetLogSink replaces the default stderr writer —
+// tests capture output that way, and embedders can route it into their
+// own logger. FATAL still aborts after the sink returns.
 
 namespace pol {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-// Messages below this level are discarded. Default: kInfo.
+// Messages below this level are discarded. Default: kInfo, or
+// POL_LOG_LEVEL when the environment sets a parseable level.
 void SetMinLogLevel(LogLevel level);
 LogLevel MinLogLevel();
+
+// "debug"/"info"/"warning" (or "warn")/"error"/"fatal", any case, or a
+// single digit 0..4; nullopt for anything else.
+std::optional<LogLevel> ParseLogLevelName(std::string_view name);
+
+// Re-reads POL_LOG_LEVEL and applies it when parseable (no-op
+// otherwise). The first log statement does this automatically; tests
+// that setenv() mid-process call it to pick up the change.
+void InitLogLevelFromEnv();
+
+// Receives every emitted message (one formatted line, no trailing
+// newline). Must be callable from any thread.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+// Replaces the process-wide sink and returns the previous one; an
+// empty sink restores the stderr default.
+LogSink SetLogSink(LogSink sink);
 
 namespace internal_logging {
 

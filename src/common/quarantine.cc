@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace pol {
 
 namespace {
@@ -13,6 +15,13 @@ constexpr size_t kMaxPayloadBytes = 256;
 
 void QuarantineStore::Record(std::string_view source, const Status& status,
                              std::string_view payload, uint64_t sequence) {
+  if constexpr (obs::kEnabled) {
+    // Dead letters are rare, so the per-source name lookup is fine here.
+    auto& registry = obs::Registry::Global();
+    registry.counter("quarantine.dead_letters")->Increment();
+    registry.counter("quarantine." + std::string(source) + ".dead_letters")
+        ->Increment();
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   ++counters_[{std::string(source), status.code()}];
   if (letters_.size() >= max_retained_) return;

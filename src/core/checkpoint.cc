@@ -15,6 +15,9 @@
 #include "common/crc32.h"
 #include "common/failpoint.h"
 #include "common/varint.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pol::core {
 namespace {
@@ -169,62 +172,92 @@ Result<CheckpointState> CheckpointManager::Decode(std::string_view input) {
 }
 
 Status CheckpointManager::Write(const CheckpointState& state) {
-  if (!enabled()) {
-    return Status::FailedPrecondition("checkpointing is disabled");
-  }
-  POL_RETURN_IF_ERROR(POL_FAILPOINT("checkpoint.write"));
+  POL_TRACE_SPAN("checkpoint.write");
+  const double start = obs::kEnabled ? obs::NowSeconds() : 0.0;
+  uint64_t bytes_written = 0;
+  Status status = [&]() -> Status {
+    if (!enabled()) {
+      return Status::FailedPrecondition("checkpointing is disabled");
+    }
+    POL_RETURN_IF_ERROR(POL_FAILPOINT("checkpoint.write"));
 
-  std::error_code ec;
-  std::filesystem::create_directories(config_.directory, ec);
-  if (ec) {
-    return Status::IoError("cannot create checkpoint directory: " +
-                           config_.directory);
-  }
+    std::error_code ec;
+    std::filesystem::create_directories(config_.directory, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint directory: " +
+                             config_.directory);
+    }
 
-  std::string bytes;
-  Encode(state, &bytes);
-  const uint64_t sequence = next_sequence_++;
-  const std::string path = SnapshotPath(config_.directory, sequence);
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!file) return Status::IoError("cannot open for writing: " + tmp_path);
-    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    file.flush();
-    if (!file) return Status::IoError("short write: " + tmp_path);
-  }
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp_path, ec);
-    return Status::IoError("cannot publish checkpoint: " + path);
-  }
+    std::string bytes;
+    Encode(state, &bytes);
+    const uint64_t sequence = next_sequence_++;
+    const std::string path = SnapshotPath(config_.directory, sequence);
+    const std::string tmp_path = path + ".tmp";
+    {
+      std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!file) {
+        return Status::IoError("cannot open for writing: " + tmp_path);
+      }
+      file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      file.flush();
+      if (!file) return Status::IoError("short write: " + tmp_path);
+    }
+    std::filesystem::rename(tmp_path, path, ec);
+    if (ec) {
+      std::filesystem::remove(tmp_path, ec);
+      return Status::IoError("cannot publish checkpoint: " + path);
+    }
+    bytes_written = bytes.size();
 
-  // Rotate: drop everything but the newest `keep` snapshots.
-  std::vector<uint64_t> sequences = ListSequences(config_.directory);
-  const size_t keep = static_cast<size_t>(config_.keep);
-  if (sequences.size() > keep) {
-    for (size_t i = 0; i + keep < sequences.size(); ++i) {
-      std::filesystem::remove(SnapshotPath(config_.directory, sequences[i]),
-                              ec);
+    // Rotate: drop everything but the newest `keep` snapshots.
+    std::vector<uint64_t> sequences = ListSequences(config_.directory);
+    const size_t keep = static_cast<size_t>(config_.keep);
+    if (sequences.size() > keep) {
+      for (size_t i = 0; i + keep < sequences.size(); ++i) {
+        std::filesystem::remove(SnapshotPath(config_.directory, sequences[i]),
+                                ec);
+      }
+    }
+    return Status::OK();
+  }();
+  if constexpr (obs::kEnabled) {
+    auto& registry = obs::Registry::Global();
+    registry.histogram("checkpoint.write_seconds")
+        ->Record(obs::NowSeconds() - start);
+    if (status.ok()) {
+      registry.counter("checkpoint.writes")->Increment();
+      registry.counter("checkpoint.bytes_written")->Increment(bytes_written);
+    } else {
+      registry.counter("checkpoint.write_failures")->Increment();
     }
   }
-  return Status::OK();
+  return status;
 }
 
 Result<CheckpointState> CheckpointManager::LoadLatest() const {
-  if (!enabled()) {
-    return Status::FailedPrecondition("checkpointing is disabled");
+  POL_TRACE_SPAN("checkpoint.load");
+  const double start = obs::kEnabled ? obs::NowSeconds() : 0.0;
+  Result<CheckpointState> result = [&]() -> Result<CheckpointState> {
+    if (!enabled()) {
+      return Status::FailedPrecondition("checkpointing is disabled");
+    }
+    const std::vector<uint64_t> sequences = ListSequences(config_.directory);
+    for (auto it = sequences.rbegin(); it != sequences.rend(); ++it) {
+      const std::string path = SnapshotPath(config_.directory, *it);
+      Result<std::string> bytes = ReadFileBytes(path);
+      if (!bytes.ok()) continue;  // Unreadable: fall back to an older one.
+      Result<CheckpointState> state = Decode(*bytes);
+      if (state.ok()) return state;
+      // Corrupt (e.g. crash mid-rotation, disk fault): fall back.
+    }
+    return Status::NotFound("no loadable checkpoint in " + config_.directory);
+  }();
+  if constexpr (obs::kEnabled) {
+    obs::Registry::Global()
+        .histogram("checkpoint.read_seconds")
+        ->Record(obs::NowSeconds() - start);
   }
-  const std::vector<uint64_t> sequences = ListSequences(config_.directory);
-  for (auto it = sequences.rbegin(); it != sequences.rend(); ++it) {
-    const std::string path = SnapshotPath(config_.directory, *it);
-    Result<std::string> bytes = ReadFileBytes(path);
-    if (!bytes.ok()) continue;  // Unreadable: fall back to an older one.
-    Result<CheckpointState> state = Decode(*bytes);
-    if (state.ok()) return state;
-    // Corrupt (e.g. crash mid-rotation, disk fault): fall back.
-  }
-  return Status::NotFound("no loadable checkpoint in " + config_.directory);
+  return result;
 }
 
 std::vector<std::string> CheckpointManager::ListSnapshots() const {

@@ -1,7 +1,6 @@
 #include "core/inventory_builder.h"
 
 #include <algorithm>
-#include <chrono>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -9,11 +8,14 @@
 
 #include "common/varint.h"
 #include "hexgrid/hexgrid.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
 
 namespace pol::core {
 
 void InventoryBuilder::Fold(const flow::Dataset<PipelineRecord>& projected) {
-  const auto start = std::chrono::steady_clock::now();
+  POL_TRACE_SPAN("stage.extraction");
+  const double start = obs::NowSeconds();
   const size_t partitions = static_cast<size_t>(projected.num_partitions());
   const SummaryParams& params = config_.summary_params;
 
@@ -71,9 +73,9 @@ void InventoryBuilder::Fold(const flow::Dataset<PipelineRecord>& projected) {
   metrics_.records_in += records_in;
   metrics_.records_out = summaries_.size();
   metrics_.peak_partition = std::max(metrics_.peak_partition, peak_partition);
-  metrics_.wall_seconds +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double seconds = obs::NowSeconds() - start;
+  metrics_.wall_seconds += seconds;
+  flow::internal::RecordStageRegistryMetrics(metrics_.name, seconds);
 }
 
 void InventoryBuilder::SerializeState(std::string* out) const {

@@ -6,8 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "core/inventory_builder.h"
+#include "core/run_report.h"
 #include "core/stages.h"
+#include "obs/clock.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace pol::core {
 namespace {
@@ -36,11 +41,12 @@ flow::ChunkFailure FromCheckpointEntry(
   return failure;
 }
 
-}  // namespace
-
-PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
-                           const std::vector<ais::VesselInfo>& registry,
-                           const PipelineConfig& config) {
+// The pipeline proper; RunPipeline wraps it with the run-level
+// observability (trace recording, wall clock, report emission).
+PipelineResult RunPipelineImpl(
+    const std::vector<ais::PositionReport>& reports,
+    const std::vector<ais::VesselInfo>& registry,
+    const PipelineConfig& config) {
   PipelineResult result;
   const sim::PortDatabase* ports =
       config.ports != nullptr ? config.ports : &sim::PortDatabase::Global();
@@ -67,8 +73,12 @@ PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
   // Chunk source: one global vessel partitioning, sliced into
   // vessel-coherent chunks so per-vessel scans see whole trajectories
   // and chunked folding stays bit-equal to a single-shot build.
-  std::vector<flow::Dataset<ais::PositionReport>> chunks =
-      SplitReportsByVessel(reports, config.partitions, config.chunks, &pool);
+  std::vector<flow::Dataset<ais::PositionReport>> chunks;
+  {
+    POL_TRACE_SPAN("pipeline.split");
+    chunks =
+        SplitReportsByVessel(reports, config.partitions, config.chunks, &pool);
+  }
 
   // Terminal stage: incremental inventory folding in chunk order.
   ExtractorConfig extractor_config = config.extractor;
@@ -84,6 +94,7 @@ PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
   std::vector<CheckpointQuarantineEntry> quarantine_ledger;
   size_t start_chunk = 0;
   if (checkpoints.enabled()) {
+    POL_TRACE_SPAN("pipeline.resume");
     Result<CheckpointState> restored = checkpoints.LoadLatest();
     if (restored.ok()) {
       Status restore_status = builder.RestoreState(restored->builder_state);
@@ -185,6 +196,45 @@ PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
   result.stage_metrics.push_back(builder.metrics());
   result.inventory =
       std::make_unique<Inventory>(std::move(builder).Finish());
+  return result;
+}
+
+}  // namespace
+
+PipelineResult RunPipeline(const std::vector<ais::PositionReport>& reports,
+                           const std::vector<ais::VesselInfo>& registry,
+                           const PipelineConfig& config) {
+  const double run_start = obs::NowSeconds();
+  const bool tracing = !config.obs.trace_path.empty();
+  if (tracing) {
+    // One trace file per run: drop anything a previous run left behind.
+    obs::TraceRecorder::Global().Clear();
+    obs::TraceRecorder::Global().Start();
+  }
+  PipelineResult result;
+  {
+    POL_TRACE_SPAN("pipeline.run");
+    result = RunPipelineImpl(reports, registry, config);
+  }
+  result.wall_seconds = obs::NowSeconds() - run_start;
+  if (tracing) {
+    obs::TraceRecorder::Global().Stop();
+    std::string error;
+    if (!obs::WriteTextFileAtomic(
+            config.obs.trace_path,
+            obs::TraceRecorder::Global().ExportChromeTraceJson(), &error)) {
+      POL_LOG(Warning) << "cannot write trace to " << config.obs.trace_path
+                       << ": " << error;
+    }
+  }
+  if (!config.obs.report_path.empty()) {
+    const Status written =
+        WriteRunReport(config.obs.report_path, config, result);
+    if (!written.ok()) {
+      POL_LOG(Warning) << "cannot write run report to "
+                       << config.obs.report_path << ": " << written.message();
+    }
+  }
   return result;
 }
 

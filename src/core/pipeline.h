@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -38,6 +39,18 @@
 
 namespace pol::core {
 
+// Observability outputs of one RunPipeline call (see DESIGN.md §3.4).
+// Both are off while the paths are empty; a failed write degrades to a
+// warning log, never the run's status.
+struct PipelineObsConfig {
+  // When non-empty, a machine-readable run report (JSON, schema
+  // "pol.run_report/1"; see core/run_report.h) is written here.
+  std::string report_path;
+  // When non-empty, trace recording is on for the run and a Chrome
+  // trace-event file (chrome://tracing, Perfetto) is written here.
+  std::string trace_path;
+};
+
 struct PipelineConfig {
   int partitions = 8;
   int threads = 0;  // 0 = hardware concurrency.
@@ -66,6 +79,7 @@ struct PipelineConfig {
   int geofence_resolution = 6;
   ExtractorConfig extractor;  // resolution is overwritten from above.
   const sim::PortDatabase* ports = nullptr;  // Default: the world table.
+  PipelineObsConfig obs;  // Run report / trace outputs.
 };
 
 // Coverage accounting for one RunPipeline call: what of the input made
@@ -88,6 +102,9 @@ struct PipelineResult {
   // inventory is still produced from the chunks folded so far.
   Status status;
   std::unique_ptr<Inventory> inventory;
+  // End-to-end wall time of the RunPipeline call, set on every return
+  // path (including aborted runs).
+  double wall_seconds = 0.0;
   CleaningStats cleaning;
   EnrichmentStats enrichment;
   TripStats trips;

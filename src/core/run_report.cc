@@ -1,0 +1,126 @@
+#include "core/run_report.h"
+
+#include <string>
+
+#include "flow/stage.h"
+#include "flow/stage_runner.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace pol::core {
+namespace {
+
+obs::Json StatusToJson(const Status& status) {
+  obs::Json out = obs::Json::Object();
+  out.Set("ok", status.ok());
+  out.Set("code", std::string(StatusCodeName(status.code())));
+  out.Set("message", status.message());
+  return out;
+}
+
+obs::Json ConfigToJson(const PipelineConfig& config) {
+  obs::Json out = obs::Json::Object();
+  out.Set("partitions", config.partitions);
+  out.Set("threads", config.threads);
+  out.Set("chunks", config.chunks);
+  out.Set("max_in_flight_chunks", config.max_in_flight_chunks);
+  out.Set("max_attempts", config.max_attempts);
+  out.Set("retry_backoff_seconds", config.retry_backoff_seconds);
+  out.Set("fail_fast", config.fail_fast);
+  out.Set("max_speed_knots", config.max_speed_knots);
+  out.Set("commercial_only", config.commercial_only);
+  out.Set("resolution", config.resolution);
+  out.Set("geofence_resolution", config.geofence_resolution);
+  return out;
+}
+
+obs::Json CoverageToJson(const PipelineCoverage& coverage) {
+  obs::Json out = obs::Json::Object();
+  out.Set("chunks_total", static_cast<uint64_t>(coverage.chunks_total));
+  out.Set("chunks_folded", static_cast<uint64_t>(coverage.chunks_folded));
+  out.Set("chunks_quarantined",
+          static_cast<uint64_t>(coverage.chunks_quarantined));
+  out.Set("records_quarantined", coverage.records_quarantined);
+  out.Set("retries", coverage.retries);
+  return out;
+}
+
+obs::Json StageToJson(const flow::StageMetrics& stage) {
+  obs::Json out = obs::Json::Object();
+  out.Set("name", stage.name);
+  out.Set("chunks", stage.chunks);
+  out.Set("records_in", stage.records_in);
+  out.Set("records_out", stage.records_out);
+  out.Set("dropped", stage.dropped);
+  out.Set("peak_partition", static_cast<uint64_t>(stage.peak_partition));
+  out.Set("wall_seconds", stage.wall_seconds);
+  out.Set("failures", stage.failures);
+  obs::Json by_reason = obs::Json::Object();
+  for (const auto& [reason, count] : stage.failures_by_reason) {
+    by_reason.Set(reason, count);
+  }
+  out.Set("failures_by_reason", std::move(by_reason));
+  return out;
+}
+
+obs::Json FailureToJson(const flow::ChunkFailure& failure) {
+  obs::Json out = obs::Json::Object();
+  out.Set("chunk_index", static_cast<uint64_t>(failure.chunk_index));
+  out.Set("records", failure.records);
+  out.Set("attempts", failure.attempts);
+  out.Set("code", std::string(StatusCodeName(failure.status.code())));
+  out.Set("message", failure.status.message());
+  return out;
+}
+
+obs::Json CheckpointToJson(const PipelineConfig& config,
+                           const PipelineCoverage& coverage) {
+  obs::Json out = obs::Json::Object();
+  const bool enabled = !config.checkpoint.directory.empty();
+  out.Set("enabled", enabled);
+  out.Set("directory", config.checkpoint.directory);
+  out.Set("interval_chunks", config.checkpoint.interval_chunks);
+  out.Set("resumed", coverage.resumed);
+  out.Set("resume_cursor", coverage.resume_cursor);
+  out.Set("written", coverage.checkpoints_written);
+  out.Set("failures", coverage.checkpoint_failures);
+  return out;
+}
+
+}  // namespace
+
+obs::Json BuildRunReport(const PipelineConfig& config,
+                         const PipelineResult& result) {
+  obs::Json report = obs::Json::Object();
+  report.Set("schema", "pol.run_report/1");
+  report.Set("status", StatusToJson(result.status));
+  report.Set("wall_seconds", result.wall_seconds);
+  report.Set("config", ConfigToJson(config));
+  report.Set("coverage", CoverageToJson(result.coverage));
+  report.Set("aggregated_records", result.aggregated_records);
+  obs::Json stages = obs::Json::Array();
+  for (const flow::StageMetrics& stage : result.stage_metrics) {
+    stages.Append(StageToJson(stage));
+  }
+  report.Set("stages", std::move(stages));
+  obs::Json quarantined = obs::Json::Array();
+  for (const flow::ChunkFailure& failure : result.quarantined) {
+    quarantined.Append(FailureToJson(failure));
+  }
+  report.Set("quarantined", std::move(quarantined));
+  report.Set("checkpoint", CheckpointToJson(config, result.coverage));
+  report.Set("metrics",
+             obs::MetricsSnapshotToJson(obs::Registry::Global().Snapshot()));
+  return report;
+}
+
+Status WriteRunReport(const std::string& path, const PipelineConfig& config,
+                      const PipelineResult& result) {
+  std::string error;
+  if (!obs::WriteJsonFile(path, BuildRunReport(config, result), &error)) {
+    return Status::IoError("cannot write run report: " + error);
+  }
+  return Status::OK();
+}
+
+}  // namespace pol::core

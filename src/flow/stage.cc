@@ -20,25 +20,41 @@ std::string FormatCount(uint64_t n) {
   return out;
 }
 
+// The most frequent failure reason (StatusCode name), "-" when the
+// stage never failed. Ties break towards the lexicographically first
+// reason (map order), keeping the table deterministic.
+std::string TopFailureReason(const StageMetrics& m) {
+  std::string top = "-";
+  uint64_t best = 0;
+  for (const auto& [reason, count] : m.failures_by_reason) {
+    if (count > best) {
+      best = count;
+      top = reason;
+    }
+  }
+  return top;
+}
+
 }  // namespace
 
 std::string StageMetricsTable(const std::vector<StageMetrics>& metrics) {
   std::string out;
-  char line[192];
-  std::snprintf(line, sizeof(line), "%-12s %7s %14s %14s %12s %10s %7s %9s\n",
-                "stage", "chunks", "records in", "records out", "dropped",
-                "peak part", "failed", "time (s)");
+  char line[224];
+  std::snprintf(line, sizeof(line),
+                "%-12s %7s %14s %14s %12s %10s %7s %9s  %s\n", "stage",
+                "chunks", "records in", "records out", "dropped", "peak part",
+                "failed", "time (s)", "top reason");
   out += line;
   for (const StageMetrics& m : metrics) {
     std::snprintf(line, sizeof(line),
-                  "%-12s %7llu %14s %14s %12s %10s %7llu %9.3f\n",
+                  "%-12s %7llu %14s %14s %12s %10s %7llu %9.3f  %s\n",
                   m.name.c_str(), static_cast<unsigned long long>(m.chunks),
                   FormatCount(m.records_in).c_str(),
                   FormatCount(m.records_out).c_str(),
                   FormatCount(m.dropped).c_str(),
                   FormatCount(m.peak_partition).c_str(),
                   static_cast<unsigned long long>(m.failures),
-                  m.wall_seconds);
+                  m.wall_seconds, TopFailureReason(m).c_str());
     out += line;
   }
   return out;

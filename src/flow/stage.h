@@ -1,7 +1,6 @@
 #ifndef POL_FLOW_STAGE_H_
 #define POL_FLOW_STAGE_H_
 
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -16,6 +15,9 @@
 #include "common/failpoint.h"
 #include "common/status.h"
 #include "flow/dataset.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 // The stage graph: the pipeline's execution layer.
 //
@@ -135,6 +137,27 @@ inline Status AnnotateWithStage(std::string_view stage_name, Status status) {
                 std::string(stage_name) + ": " + status.message());
 }
 
+// Registry metrics of one stage, recorded per completed chunk: the
+// wall-time counter named "stage.<name>.wall_micros" (the monotonic
+// form of StageMetrics::wall_seconds) and the per-chunk latency
+// histogram "stage.<name>.chunk_seconds". Accumulated once per chunk,
+// so the registry lookup cost is amortized over whole-stage work.
+inline void RecordStageRegistryMetrics(std::string_view stage_name,
+                                       double seconds) {
+  if constexpr (obs::kEnabled) {
+    const std::string prefix = "stage." + std::string(stage_name);
+    obs::Registry::Global()
+        .counter(prefix + ".wall_micros")
+        ->Increment(static_cast<uint64_t>(seconds * 1e6));
+    obs::Registry::Global()
+        .histogram(prefix + ".chunk_seconds")
+        ->Record(seconds);
+  } else {
+    (void)stage_name;
+    (void)seconds;
+  }
+}
+
 // Runs one stage over one chunk and records its metrics (or its
 // failure). Errors come from the stage itself or from the armed
 // "stage.<name>" fail point at the boundary.
@@ -149,12 +172,11 @@ Result<Dataset<Out>> RunStage(Stage<In, Out>& stage, Dataset<In> input,
     }
     return AnnotateWithStage(stage.name(), std::move(injected));
   }
+  POL_TRACE_SPAN(StageFailPointName(stage.name()));  // "stage.<name>".
   const uint64_t records_in = input.Count();
-  const auto start = std::chrono::steady_clock::now();
+  const double start = obs::NowSeconds();
   Result<Dataset<Out>> output = stage.RunChunk(std::move(input));
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double seconds = obs::NowSeconds() - start;
   if (!output.ok()) {
     if (metrics != nullptr) {
       metrics->RecordFailure(stage_index, stage.name(),
@@ -166,6 +188,7 @@ Result<Dataset<Out>> RunStage(Stage<In, Out>& stage, Dataset<In> input,
     metrics->Record(stage_index, stage.name(), records_in, output->Count(),
                     MaxPartitionSize(*output), seconds);
   }
+  RecordStageRegistryMetrics(stage.name(), seconds);
   return output;
 }
 

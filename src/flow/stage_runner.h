@@ -9,6 +9,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "common/status.h"
 #include "flow/stage.h"
 #include "flow/threadpool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 // StageRunner: drives a StageChain over an input split into bounded
 // chunks. Up to `max_in_flight` chunks run concurrently as pool tasks,
@@ -114,6 +117,7 @@ class StageRunner {
       const std::function<Status(size_t, Dataset<Out>)>& sink,
       size_t start_chunk = 0,
       const std::function<void(const ChunkFailure&)>& on_quarantine = {}) {
+    POL_TRACE_SPAN("flow.run");
     RunSummary summary;
     summary.chunks_total = chunks.size();
     const size_t total = chunks.size();
@@ -154,7 +158,10 @@ class StageRunner {
             Dataset<In>* chunk = &chunks[k];
             pool_->Submit([this, k, chunk, &slots, &mutex, &ready,
                            &in_flight, &retries] {
-              RunChunkWithRetries(chunk, &slots[k], &retries);
+              {
+                obs::ScopedSpan span("chunk." + std::to_string(k));
+                RunChunkWithRetries(chunk, &slots[k], &retries);
+              }
               std::unique_lock<std::mutex> task_lock(mutex);
               slots[k].done = true;
               --in_flight;
@@ -207,6 +214,14 @@ class StageRunner {
     }
     drain();
     summary.retries = retries.load();
+    if constexpr (obs::kEnabled) {
+      auto& registry = obs::Registry::Global();
+      registry.counter("pipeline.chunks_folded")
+          ->Increment(summary.chunks_folded);
+      registry.counter("pipeline.chunks_quarantined")
+          ->Increment(summary.chunks_quarantined);
+      registry.counter("pipeline.chunk_retries")->Increment(summary.retries);
+    }
     return summary;
   }
 

@@ -9,10 +9,17 @@
 #include <thread>
 
 #include "common/check.h"
+#include "obs/clock.h"
 
 namespace pol::flow {
 
 ThreadPool::ThreadPool(int num_threads) {
+  auto& registry = obs::Registry::Global();
+  queue_depth_metric_ = registry.gauge("flow.pool.queue_depth");
+  tasks_metric_ = registry.counter("flow.pool.tasks");
+  task_seconds_metric_ = registry.histogram("flow.pool.task_seconds");
+  queue_wait_seconds_metric_ =
+      registry.histogram("flow.pool.queue_wait_seconds");
   if (num_threads <= 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -32,9 +39,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  PendingTask pending;
+  pending.fn = std::move(task);
+  if constexpr (obs::kEnabled) pending.enqueue_micros = obs::NowMicros();
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(pending));
+    queue_depth_metric_->Set(static_cast<int64_t>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -109,7 +120,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    PendingTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -118,8 +129,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      queue_depth_metric_->Set(static_cast<int64_t>(queue_.size()));
     }
-    task();
+    if constexpr (obs::kEnabled) {
+      const uint64_t start_micros = obs::NowMicros();
+      queue_wait_seconds_metric_->Record(
+          static_cast<double>(start_micros - task.enqueue_micros) * 1e-6);
+      task.fn();
+      task_seconds_metric_->Record(
+          static_cast<double>(obs::NowMicros() - start_micros) * 1e-6);
+      tasks_metric_->Increment();
+    } else {
+      task.fn();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --active_;

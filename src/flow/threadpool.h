@@ -3,16 +3,25 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 // Fixed-size worker pool driving the dataflow engine. Tasks are
 // fire-and-forget closures; Wait() blocks until everything submitted so
 // far has finished. The pool is the only concurrency primitive in the
 // library — Dataset operations express all parallelism through it.
+//
+// The pool is an instrumentation hot path, so its metric handles
+// ("flow.pool.queue_depth" gauge, "flow.pool.tasks" counter,
+// "flow.pool.task_seconds" / "flow.pool.queue_wait_seconds" histograms)
+// are resolved once in the constructor; per-task recording is relaxed
+// atomics only, and the clock reads vanish under POL_OBS=OFF.
 
 namespace pol::flow {
 
@@ -50,15 +59,29 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
+  // A queued task plus its enqueue timestamp (microseconds, obs clock)
+  // so the worker can attribute queue-wait latency. The timestamp is 0
+  // when observability is compiled out.
+  struct PendingTask {
+    std::function<void()> fn;
+    uint64_t enqueue_micros = 0;
+  };
+
   void WorkerLoop();
 
   std::mutex mutex_;  // guards: queue_, active_, shutting_down_
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<PendingTask> queue_;
   size_t active_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+
+  // Cached registry handles (stable pointers; dummies when disabled).
+  obs::Gauge* queue_depth_metric_ = nullptr;
+  obs::Counter* tasks_metric_ = nullptr;
+  obs::Histogram* task_seconds_metric_ = nullptr;
+  obs::Histogram* queue_wait_seconds_metric_ = nullptr;
 };
 
 }  // namespace pol::flow

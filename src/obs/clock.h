@@ -1,0 +1,43 @@
+#ifndef POL_OBS_CLOCK_H_
+#define POL_OBS_CLOCK_H_
+
+#include <cstdint>
+
+// The monotonic clock of the observability layer. All wall-clock
+// timing in library code goes through these (pollint's `direct-timing`
+// rule flags raw std::chrono::steady_clock::now() outside src/obs/), so
+// every duration in metrics, spans and run reports shares one epoch —
+// process start — and trace timestamps line up across threads.
+//
+// These stay live under POL_OBS=OFF: StageMetrics wall-time accounting
+// is a pipeline-result feature, not an obs-only one. Only metric
+// recording and span capture compile to no-ops when disabled.
+
+namespace pol::obs {
+
+// Monotonic seconds since the process-local epoch.
+double NowSeconds();
+
+// Monotonic microseconds since the process-local epoch (trace
+// timestamps; Chrome's trace-event "ts" unit).
+uint64_t NowMicros();
+
+// Accumulates the scope's wall time into *sink on destruction:
+//
+//   { obs::ScopedTimer timer(&metrics.wall_seconds);  ...work... }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink), start_(NowSeconds()) {}
+  ~ScopedTimer() { *sink_ += NowSeconds() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  double start_;
+};
+
+}  // namespace pol::obs
+
+#endif  // POL_OBS_CLOCK_H_

@@ -1,0 +1,470 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+namespace pol::obs {
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+void AppendEscaped(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (const char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double value, int64_t int_value,
+                  bool is_int) {
+  if (is_int) {
+    *out += std::to_string(int_value);
+    return;
+  }
+  if (!std::isfinite(value)) {
+    // JSON has no NaN/Infinity; null is the least-wrong encoding.
+    *out += "null";
+    return;
+  }
+  char buf[64];
+  // Shortest round-trip representation.
+  const std::to_chars_result result =
+      std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, static_cast<size_t>(result.ptr - buf));
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+}
+
+// ---------------------------------------------------------------------------
+// Parser: strict recursive descent over a string_view cursor.
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool ParseDocument(Json* out, std::string* error) {
+    SkipWhitespace();
+    if (!ParseValue(out, 0)) {
+      *error = error_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters after JSON document at offset " +
+               std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string value;
+        if (!ParseString(&value)) return false;
+        *out = Json(std::move(value));
+        return true;
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) return Fail("bad literal");
+        *out = Json(true);
+        return true;
+      case 'f':
+        if (!ConsumeLiteral("false")) return Fail("bad literal");
+        *out = Json(false);
+        return true;
+      case 'n':
+        if (!ConsumeLiteral("null")) return Fail("bad literal");
+        *out = Json();
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Json* out, int depth) {
+    ++pos_;  // '{'
+    *out = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return Fail("expected object key");
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      SkipWhitespace();
+      Json value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(Json* out, int depth) {
+    ++pos_;  // '['
+    *out = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    for (;;) {
+      SkipWhitespace();
+      Json value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          if (!ParseHex4(&code)) return false;
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // Surrogate pair: require the low half.
+            uint32_t low = 0;
+            if (!ConsumeLiteral("\\u") || !ParseHex4(&low) || low < 0xdc00 ||
+                low > 0xdfff) {
+              return Fail("bad surrogate pair");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            return Fail("stray low surrogate");
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t begin = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(begin, pos_ - begin);
+    if (token.empty() || token == "-") return Fail("expected a value");
+    // Integer when the token has no fraction/exponent and fits int64.
+    if (token.find_first_of(".eE") == std::string_view::npos) {
+      int64_t integer = 0;
+      const std::from_chars_result result = std::from_chars(
+          token.data(), token.data() + token.size(), integer);
+      if (result.ec == std::errc() &&
+          result.ptr == token.data() + token.size()) {
+        *out = Json(integer);
+        return true;
+      }
+    }
+    double value = 0.0;
+    const std::from_chars_result result =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (result.ec != std::errc() ||
+        result.ptr != token.data() + token.size()) {
+      return Fail("malformed number");
+    }
+    *out = Json(value);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Json::Json(uint64_t value) : type_(Type::kNumber) {
+  if (value <= static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    int_ = static_cast<int64_t>(value);
+    is_int_ = true;
+    num_ = static_cast<double>(int_);
+  } else {
+    num_ = static_cast<double>(value);
+  }
+}
+
+int64_t Json::AsInt64(int64_t fallback) const {
+  if (!is_number()) return fallback;
+  if (is_int_) return int_;
+  return static_cast<int64_t>(num_);
+}
+
+uint64_t Json::AsUint64(uint64_t fallback) const {
+  if (!is_number()) return fallback;
+  if (is_int_) return int_ < 0 ? fallback : static_cast<uint64_t>(int_);
+  return num_ < 0 ? fallback : static_cast<uint64_t>(num_);
+}
+
+Json& Json::Set(std::string_view key, Json value) {
+  type_ = Type::kObject;
+  for (Member& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return member.second;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+  return members_.back().second;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  // Last value wins, matching common JSON library behavior on
+  // duplicate keys from Parse (Set already deduplicates).
+  for (auto it = members_.rbegin(); it != members_.rend(); ++it) {
+    if (it->first == key) return &it->second;
+  }
+  return nullptr;
+}
+
+double Json::GetDouble(std::string_view key, double fallback) const {
+  const Json* value = Find(key);
+  return value != nullptr ? value->AsDouble(fallback) : fallback;
+}
+
+uint64_t Json::GetUint64(std::string_view key, uint64_t fallback) const {
+  const Json* value = Find(key);
+  return value != nullptr ? value->AsUint64(fallback) : fallback;
+}
+
+std::string Json::GetString(std::string_view key,
+                            std::string_view fallback) const {
+  const Json* value = Find(key);
+  if (value == nullptr || !value->is_string()) return std::string(fallback);
+  return value->AsString();
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      AppendNumber(out, num_, int_, is_int_);
+      return;
+    case Type::kString:
+      AppendEscaped(out, str_);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        if (indent >= 0) AppendIndent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) AppendIndent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        if (indent >= 0) AppendIndent(out, indent, depth + 1);
+        AppendEscaped(out, members_[i].first);
+        out->push_back(':');
+        if (indent >= 0) out->push_back(' ');
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) AppendIndent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+bool Json::Parse(std::string_view text, Json* out, std::string* error) {
+  std::string local_error;
+  Parser parser(text);
+  const bool ok = parser.ParseDocument(out, &local_error);
+  if (!ok && error != nullptr) *error = local_error;
+  return ok;
+}
+
+}  // namespace pol::obs

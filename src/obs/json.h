@@ -1,0 +1,127 @@
+#ifndef POL_OBS_JSON_H_
+#define POL_OBS_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+// A minimal JSON document model for the observability layer: the run
+// report, the Chrome trace export, the metrics snapshot and the bench
+// summaries all serialize through it, and `polinv report` parses run
+// reports back with it.
+//
+// Deliberately small and dependency-free (obs sits below common in the
+// layering so even the logging/quarantine layers can link it): objects
+// preserve insertion order (deterministic output for byte-stable
+// reports), numbers round-trip int64 exactly and doubles via shortest
+// round-trip formatting, and Parse is a strict recursive-descent reader
+// with a depth limit. Not a general-purpose JSON library: no comments,
+// no NaN/Infinity, duplicate keys keep the last value on lookup.
+
+namespace pol::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(double value) : type_(Type::kNumber), num_(value) {}  // NOLINT
+  Json(int value) : Json(static_cast<int64_t>(value)) {}  // NOLINT
+  Json(int64_t value)  // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(value)),
+        int_(value), is_int_(true) {}
+  Json(uint64_t value);  // NOLINT: falls back to double above int64 max.
+  Json(const char* value) : type_(Type::kString), str_(value) {}  // NOLINT
+  Json(std::string value)  // NOLINT
+      : type_(Type::kString), str_(std::move(value)) {}
+  Json(std::string_view value)  // NOLINT
+      : type_(Type::kString), str_(value) {}
+
+  static Json Array() {
+    Json value;
+    value.type_ = Type::kArray;
+    return value;
+  }
+  static Json Object() {
+    Json value;
+    value.type_ = Type::kObject;
+    return value;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Scalar accessors with a fallback for wrong-type access; report
+  // consumers stay total without exceptions.
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  int64_t AsInt64(int64_t fallback = 0) const;
+  uint64_t AsUint64(uint64_t fallback = 0) const;
+  const std::string& AsString() const {
+    static const std::string* const kEmpty = new std::string();  // NOLINT(pollint:naked-new): leaked empty-string sentinel.
+    return is_string() ? str_ : *kEmpty;
+  }
+
+  // Array access. Append coerces a null/scalar into nothing — callers
+  // must construct with Json::Array() first.
+  Json& Append(Json value) {
+    array_.push_back(std::move(value));
+    return array_.back();
+  }
+  size_t size() const {
+    return is_array() ? array_.size() : (is_object() ? members_.size() : 0);
+  }
+  const Json& at(size_t index) const { return array_[index]; }
+  const std::vector<Json>& items() const { return array_; }
+
+  // Object access. Set keeps insertion order and overwrites an existing
+  // key in place; Find returns nullptr when absent (or not an object).
+  Json& Set(std::string_view key, Json value);
+  const Json* Find(std::string_view key) const;
+  const std::vector<Member>& members() const { return members_; }
+
+  // Convenience lookups for report consumers.
+  double GetDouble(std::string_view key, double fallback = 0.0) const;
+  uint64_t GetUint64(std::string_view key, uint64_t fallback = 0) const;
+  std::string GetString(std::string_view key,
+                        std::string_view fallback = {}) const;
+
+  // Serializes the document. indent < 0 renders compact one-line JSON;
+  // indent >= 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  // Strict parse of one JSON document (trailing garbage is an error).
+  // On failure returns false and describes the problem in *error.
+  static bool Parse(std::string_view text, Json* out, std::string* error);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<Json> array_;
+  std::vector<Member> members_;
+};
+
+}  // namespace pol::obs
+
+#endif  // POL_OBS_JSON_H_

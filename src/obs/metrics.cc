@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pol::obs {
+namespace {
+
+// One shared handle per kind for POL_OBS=OFF builds: sites keep a valid
+// pointer, every operation on it is an inline no-op, and the registry
+// maps stay empty.
+template <typename Metric>
+Metric* Dummy() {
+  static Metric* const kDummy = new Metric();  // NOLINT(pollint:naked-new): leaked shared no-op handle.
+  return kDummy;
+}
+
+template <typename Metric>
+Metric* FindOrCreate(
+    std::mutex& mutex,
+    std::map<std::string, std::unique_ptr<Metric>, std::less<>>& metrics,
+    std::string_view name) {
+  if constexpr (!kEnabled) {
+    (void)mutex;
+    (void)metrics;
+    (void)name;
+    return Dummy<Metric>();
+  }
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = metrics.find(name);
+  if (it != metrics.end()) return it->second.get();
+  auto metric = std::make_unique<Metric>();
+  Metric* handle = metric.get();
+  metrics.emplace(std::string(name), std::move(metric));
+  return handle;
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  static Registry* const kGlobal = new Registry();  // NOLINT(pollint:naked-new): leaked singleton, safe at exit.
+  return *kGlobal;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  return FindOrCreate(mutex_, counters_, name);
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  return FindOrCreate(mutex_, gauges_, name);
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  return FindOrCreate(mutex_, histograms_, name);
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramEntry entry;
+    entry.name = name;
+    entry.count = histogram->count();
+    entry.sum_seconds = histogram->sum_seconds();
+    entry.min_seconds = histogram->min_seconds();
+    entry.max_seconds = histogram->max_seconds();
+    for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      entry.buckets[i] = histogram->bucket(i);
+    }
+    snapshot.histograms.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+Json MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
+  Json out = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.Set(name, Json(value));
+  }
+  out.Set("counters", std::move(counters));
+  Json gauges = Json::Object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.Set(name, Json(value));
+  }
+  out.Set("gauges", std::move(gauges));
+  Json histograms = Json::Object();
+  for (const MetricsSnapshot::HistogramEntry& entry : snapshot.histograms) {
+    Json histogram = Json::Object();
+    histogram.Set("count", Json(entry.count));
+    histogram.Set("sum_seconds", Json(entry.sum_seconds));
+    histogram.Set("min_seconds", Json(entry.min_seconds));
+    histogram.Set("max_seconds", Json(entry.max_seconds));
+    // Sparse: only non-empty buckets, keyed by their lower bound in
+    // seconds, so quiet histograms stay one line.
+    Json buckets = Json::Object();
+    for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      if (entry.buckets[i] == 0) continue;
+      buckets.Set(std::to_string(Histogram::BucketLowerBoundSeconds(i)),
+                  Json(entry.buckets[i]));
+    }
+    histogram.Set("buckets", std::move(buckets));
+    histograms.Set(entry.name, std::move(histogram));
+  }
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace pol::obs

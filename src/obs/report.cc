@@ -1,0 +1,71 @@
+#include "obs/report.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+namespace pol::obs {
+namespace {
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+bool WriteTextFileAtomic(const std::string& path, std::string_view text,
+                         std::string* error) {
+  const std::filesystem::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+    // A failed create_directories only matters if the open below fails.
+  }
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      SetError(error, "cannot open for writing: " + tmp_path);
+      return false;
+    }
+    file.write(text.data(), static_cast<std::streamsize>(text.size()));
+    file.flush();
+    if (!file) {
+      SetError(error, "short write: " + tmp_path);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    SetError(error, "cannot publish file: " + path);
+    return false;
+  }
+  return true;
+}
+
+bool WriteJsonFile(const std::string& path, const Json& value,
+                   std::string* error) {
+  return WriteTextFileAtomic(path, value.Dump(2) + "\n", error);
+}
+
+bool ReadTextFile(const std::string& path, std::string* out,
+                  std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    SetError(error, "cannot open for reading: " + path);
+    return false;
+  }
+  out->assign((std::istreambuf_iterator<char>(file)),
+              std::istreambuf_iterator<char>());
+  if (file.bad()) {
+    SetError(error, "read error: " + path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pol::obs

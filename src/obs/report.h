@@ -1,0 +1,35 @@
+#ifndef POL_OBS_REPORT_H_
+#define POL_OBS_REPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+
+// File emission for observability artifacts: run reports, trace
+// exports and bench summaries all land on disk through these. Writes
+// are atomic (tmp file + rename) so a crash mid-write never leaves a
+// half-document where a consumer polls for reports. Error reporting is
+// bool + message rather than pol::Status because obs sits below common
+// in the layering; core/run_report wraps these into Status.
+
+namespace pol::obs {
+
+// Writes `text` to `path` atomically. Returns false and describes the
+// failure in *error (when non-null) on any I/O problem.
+bool WriteTextFileAtomic(const std::string& path, std::string_view text,
+                         std::string* error);
+
+// Pretty-prints `value` (2-space indent, trailing newline) to `path`
+// atomically.
+bool WriteJsonFile(const std::string& path, const Json& value,
+                   std::string* error);
+
+// Reads a whole file into *out. Returns false (with *error) when
+// unreadable.
+bool ReadTextFile(const std::string& path, std::string* out,
+                  std::string* error);
+
+}  // namespace pol::obs
+
+#endif  // POL_OBS_REPORT_H_

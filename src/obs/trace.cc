@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace pol::obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* const kGlobal = new TraceRecorder();  // NOLINT(pollint:naked-new): leaked singleton, safe at exit.
+  return *kGlobal;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  // One buffer per (recorder, thread). The thread_local caches the
+  // global recorder's buffer only — other recorder instances (tests)
+  // take the slow path every time, which is fine off the hot path.
+  thread_local ThreadBuffer* global_buffer = nullptr;
+  const bool is_global = this == &Global();
+  if (is_global && global_buffer != nullptr) return global_buffer;
+  auto buffer = std::make_shared<ThreadBuffer>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+  }
+  // The shared_ptr in buffers_ keeps it alive past thread exit.
+  if (is_global) global_buffer = buffer.get();
+  return buffer.get();
+}
+
+void TraceRecorder::Record(std::string name, uint64_t ts_micros,
+                           uint64_t dur_micros) {
+  if constexpr (!kEnabled) {
+    (void)name;
+    (void)ts_micros;
+    (void)dur_micros;
+    return;
+  }
+  ThreadBuffer* buffer = BufferForThisThread();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.ts_micros = ts_micros;
+  event.dur_micros = dur_micros;
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(std::move(event));
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_micros != b.ts_micros) {
+                return a.ts_micros < b.ts_micros;
+              }
+              return a.tid < b.tid;
+            });
+  return events;
+}
+
+size_t TraceRecorder::event_count() const {
+  size_t count = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+std::string TraceRecorder::ExportChromeTraceJson() const {
+  Json document = Json::Object();
+  Json trace_events = Json::Array();
+  for (const TraceEvent& event : Events()) {
+    Json entry = Json::Object();
+    entry.Set("name", Json(event.name));
+    entry.Set("cat", Json("pol"));
+    entry.Set("ph", Json("X"));
+    entry.Set("ts", Json(event.ts_micros));
+    entry.Set("dur", Json(event.dur_micros));
+    entry.Set("pid", Json(int64_t{1}));
+    entry.Set("tid", Json(uint64_t{event.tid}));
+    trace_events.Append(std::move(entry));
+  }
+  document.Set("traceEvents", std::move(trace_events));
+  document.Set("displayTimeUnit", Json("ms"));
+  return document.Dump();
+}
+
+}  // namespace pol::obs

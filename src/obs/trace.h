@@ -1,0 +1,136 @@
+#ifndef POL_OBS_TRACE_H_
+#define POL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"  // kEnabled
+
+// Scoped trace spans with Chrome trace-event export. Instrumented
+// scopes declare
+//
+//   POL_TRACE_SPAN("stage.trips");
+//
+// and, while the global TraceRecorder is started, the span's
+// begin/duration lands in a per-thread buffer as one complete ("ph":
+// "X") event. ExportChromeTraceJson renders everything recorded so far
+// as a document chrome://tracing and Perfetto load directly.
+//
+// Overhead: with the recorder stopped a span is one relaxed atomic
+// load; recording appends to a thread-owned buffer under a per-buffer
+// mutex that only the exporter ever contends. Span names are copied at
+// record time (spans are coarse — stages, chunks, checkpoints — not
+// per-record). Under POL_OBS=OFF the macro compiles away entirely.
+
+namespace pol::obs {
+
+// One completed span.
+struct TraceEvent {
+  std::string name;
+  uint64_t ts_micros = 0;   // Begin, on the obs clock (process epoch).
+  uint64_t dur_micros = 0;  // Duration.
+  uint32_t tid = 0;         // Recorder-assigned thread id, dense from 1.
+};
+
+class TraceRecorder {
+ public:
+  // The process-wide recorder POL_TRACE_SPAN records into.
+  static TraceRecorder& Global();
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Collection gate. Spans that begin while stopped record nothing,
+  // even if the recorder starts before they end.
+  void Start() { enabled_.store(kEnabled, std::memory_order_relaxed); }
+  void Stop() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Appends one complete event to the calling thread's buffer.
+  void Record(std::string name, uint64_t ts_micros, uint64_t dur_micros);
+
+  // Drops every recorded event (buffers and thread ids survive).
+  void Clear();
+
+  // All events recorded so far, merged across threads in ascending
+  // begin-timestamp order.
+  std::vector<TraceEvent> Events() const;
+  size_t event_count() const;
+
+  // Chrome trace-event JSON: {"traceEvents": [{"name", "cat", "ph":
+  // "X", "ts", "dur", "pid", "tid"}, ...], "displayTimeUnit": "ms"}.
+  // Valid (and empty) when nothing was recorded.
+  std::string ExportChromeTraceJson() const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;  // guards: events
+    std::vector<TraceEvent> events;
+    uint32_t tid = 0;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;  // guards: buffers_, next_tid_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 1;
+};
+
+// RAII span: captures the start on construction and records into the
+// global recorder on destruction — iff the recorder was started when
+// the span began.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) {
+    if constexpr (kEnabled) {
+      if (TraceRecorder::Global().enabled()) {
+        name_.assign(name.data(), name.size());
+        start_micros_ = NowMicros();
+        active_ = true;
+      }
+    } else {
+      (void)name;
+    }
+  }
+
+  ~ScopedSpan() {
+    if constexpr (kEnabled) {
+      if (active_) {
+        const uint64_t end = NowMicros();
+        TraceRecorder::Global().Record(
+            std::move(name_), start_micros_,
+            end > start_micros_ ? end - start_micros_ : 0);
+      }
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::string name_;
+  uint64_t start_micros_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace pol::obs
+
+#define POL_TRACE_CONCAT_INNER_(a, b) a##b
+#define POL_TRACE_CONCAT_(a, b) POL_TRACE_CONCAT_INNER_(a, b)
+
+// Traces the enclosing scope as one complete span named `name` (any
+// std::string_view-convertible expression; evaluated once).
+#define POL_TRACE_SPAN(name) \
+  ::pol::obs::ScopedSpan POL_TRACE_CONCAT_(pol_trace_span_, __LINE__)(name)
+
+#endif  // POL_OBS_TRACE_H_

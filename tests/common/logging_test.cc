@@ -1,5 +1,10 @@
 #include "common/logging.h"
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace pol {
@@ -32,6 +37,67 @@ TEST(LoggingTest, DisabledLevelsDoNotEvaluate) {
 
 TEST(LoggingDeathTest, FatalAborts) {
   EXPECT_DEATH(POL_LOG(Fatal) << "fatal message", "fatal message");
+}
+
+TEST(LoggingTest, ParseLogLevelName) {
+  EXPECT_EQ(ParseLogLevelName("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevelName("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevelName("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevelName("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevelName("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevelName("fatal"), LogLevel::kFatal);
+  EXPECT_EQ(ParseLogLevelName("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevelName("3"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevelName(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevelName("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevelName("7"), std::nullopt);
+}
+
+TEST(LoggingTest, PluggableSinkCapturesLines) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  LogSink previous = SetLogSink(
+      [&captured](LogLevel level, std::string_view line) {
+        captured.emplace_back(level, std::string(line));
+      });
+  POL_LOG(Info) << "hello " << 42;
+  POL_LOG(Warning) << "careful";
+  POL_LOG(Debug) << "filtered before the sink";
+  SetLogSink(std::move(previous));  // Restore (stderr by default).
+  SetMinLogLevel(original);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured[0].second.find("hello 42"), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kWarning);
+  EXPECT_NE(captured[1].second.find("careful"), std::string::npos);
+  // Lines carry the severity tag the default sink prints.
+  EXPECT_NE(captured[1].second.find("W"), std::string::npos);
+}
+
+TEST(LoggingTest, SetLogSinkReturnsPrevious) {
+  LogSink sink_a = [](LogLevel, std::string_view) {};
+  LogSink previous = SetLogSink(sink_a);
+  EXPECT_EQ(previous, nullptr);  // Default sink is the null stderr path.
+  LogSink restored = SetLogSink(std::move(previous));
+  EXPECT_NE(restored, nullptr);  // Got sink_a back.
+  SetLogSink(nullptr);           // Leave the default in place.
+}
+
+TEST(LoggingTest, InitLogLevelFromEnvApplies) {
+  const LogLevel original = MinLogLevel();
+  ASSERT_EQ(setenv("POL_LOG_LEVEL", "error", /*overwrite=*/1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  ASSERT_EQ(setenv("POL_LOG_LEVEL", "1", /*overwrite=*/1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(MinLogLevel(), LogLevel::kInfo);
+  // Unparseable values leave the level untouched.
+  ASSERT_EQ(setenv("POL_LOG_LEVEL", "bogus", /*overwrite=*/1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(MinLogLevel(), LogLevel::kInfo);
+  ASSERT_EQ(unsetenv("POL_LOG_LEVEL"), 0);
+  SetMinLogLevel(original);
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 #include "flow/stage.h"
 #include "flow/stage_runner.h"
 #include "flow/threadpool.h"
+#include "obs/metrics.h"
 
 namespace pol::flow {
 namespace {
@@ -408,6 +409,77 @@ TEST(ConcurrencyStressTest, TeardownUnderLoad) {
     // No Wait: the destructor races the still-draining queue.
   }
   EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ConcurrencyStressTest, StageMetricsCollectorUnderContention) {
+  // Many threads hammer one collector across interleaved stages; the
+  // snapshot must account for every Record/RecordFailure exactly — this
+  // is the accumulator every in-flight chunk shares during a run.
+  StageMetricsCollector collector;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  constexpr size_t kStages = 3;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector, t] {
+      const char* names[kStages] = {"clean", "enrich", "extract"};
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t stage = static_cast<size_t>((t + i) % kStages);
+        collector.Record(stage, names[stage], /*records_in=*/10,
+                         /*records_out=*/8,
+                         /*peak_partition=*/static_cast<size_t>(i % 100),
+                         /*wall_seconds=*/0.0);
+        if (i % 10 == 0) {
+          collector.RecordFailure(stage, names[stage], StatusCode::kInternal);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<StageMetrics> metrics = collector.Snapshot();
+  ASSERT_EQ(metrics.size(), kStages);
+  uint64_t chunks = 0;
+  uint64_t failures = 0;
+  for (const StageMetrics& m : metrics) {
+    chunks += m.chunks;
+    failures += m.failures;
+    EXPECT_EQ(m.records_in, m.chunks * 10);
+    EXPECT_EQ(m.records_out, m.chunks * 8);
+    EXPECT_EQ(m.dropped, m.chunks * 2);
+    EXPECT_EQ(m.peak_partition, 99u);
+    EXPECT_EQ(m.failures_by_reason.at("Internal"), m.failures);
+  }
+  EXPECT_EQ(chunks, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(failures, uint64_t{kThreads} * (kPerThread / 10));
+}
+
+TEST(ConcurrencyStressTest, SharedRegistryMetricsFromPoolTasks) {
+  // Pool tasks record into one global-registry counter/histogram pair
+  // while ParallelFor storms run; totals must be exact. Under
+  // POL_OBS=OFF recording is a no-op and the totals are zero.
+  auto& registry = obs::Registry::Global();
+  obs::Counter* counter = registry.counter("test.stress.events");
+  obs::Histogram* histogram = registry.histogram("test.stress.latency");
+  counter->Reset();
+  histogram->Reset();
+  constexpr int kTasks = 16;
+  constexpr size_t kPerTask = 400;
+  {
+    ThreadPool pool(4);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.Submit([&pool, counter, histogram] {
+        pool.ParallelFor(kPerTask, [counter, histogram](size_t i) {
+          counter->Increment();
+          histogram->Record(1e-6 * static_cast<double>(i % 32));
+        });
+      });
+    }
+    pool.Wait();
+  }
+  const uint64_t expected = obs::kEnabled ? uint64_t{kTasks} * kPerTask : 0;
+  EXPECT_EQ(counter->value(), expected);
+  EXPECT_EQ(histogram->count(), expected);
 }
 
 TEST(ConcurrencyStressTest, TeardownRacesNestedParallelFor) {

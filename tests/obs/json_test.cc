@@ -1,0 +1,161 @@
+#include "obs/json.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace pol::obs {
+namespace {
+
+Json MustParse(std::string_view text) {
+  Json value;
+  std::string error;
+  EXPECT_TRUE(Json::Parse(text, &value, &error)) << error << " in " << text;
+  return value;
+}
+
+TEST(JsonTest, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).AsBool());
+  EXPECT_FALSE(Json(false).AsBool(true));
+  EXPECT_DOUBLE_EQ(Json(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Json(42).AsInt64(), 42);
+  EXPECT_EQ(Json("hello").AsString(), "hello");
+  EXPECT_EQ(Json(std::string("world")).AsString(), "world");
+  // Wrong-type access falls back rather than throwing.
+  EXPECT_EQ(Json("text").AsInt64(7), 7);
+  EXPECT_EQ(Json(3).AsString(), "");
+  EXPECT_FALSE(Json(3).AsBool());
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json object = Json::Object();
+  object.Set("zulu", 1);
+  object.Set("alpha", 2);
+  object.Set("mike", 3);
+  ASSERT_EQ(object.members().size(), 3u);
+  EXPECT_EQ(object.members()[0].first, "zulu");
+  EXPECT_EQ(object.members()[1].first, "alpha");
+  EXPECT_EQ(object.members()[2].first, "mike");
+  EXPECT_EQ(object.Dump(), R"({"zulu":1,"alpha":2,"mike":3})");
+}
+
+TEST(JsonTest, SetOverwritesInPlace) {
+  Json object = Json::Object();
+  object.Set("a", 1);
+  object.Set("b", 2);
+  object.Set("a", 9);
+  ASSERT_EQ(object.size(), 2u);
+  EXPECT_EQ(object.GetUint64("a"), 9u);
+  EXPECT_EQ(object.members()[0].first, "a");  // Position kept.
+}
+
+TEST(JsonTest, FindReturnsNullWhenAbsent) {
+  Json object = Json::Object();
+  object.Set("present", 1);
+  EXPECT_NE(object.Find("present"), nullptr);
+  EXPECT_EQ(object.Find("absent"), nullptr);
+  EXPECT_EQ(Json(3).Find("anything"), nullptr);  // Non-object.
+}
+
+TEST(JsonTest, Int64RoundTripsExactly) {
+  // Values above 2^53 lose precision through double; the int channel
+  // must carry them exactly through dump + parse.
+  const int64_t big = int64_t{9007199254740993};  // 2^53 + 1.
+  Json object = Json::Object();
+  object.Set("big", big);
+  object.Set("negative", int64_t{-1234567890123456789});
+  const Json parsed = MustParse(object.Dump());
+  EXPECT_EQ(parsed.Find("big")->AsInt64(), big);
+  EXPECT_EQ(parsed.Find("negative")->AsInt64(), -1234567890123456789);
+}
+
+TEST(JsonTest, Uint64AboveInt64MaxStillSerializes) {
+  const uint64_t huge = ~uint64_t{0};
+  const Json value(huge);
+  EXPECT_TRUE(value.is_number());
+  // Falls back to double above int64 max: approximate but finite.
+  EXPECT_GT(value.AsDouble(), 1e19);
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json object = Json::Object();
+  object.Set("text", "a\"b\\c\nd\te\x01");
+  const std::string dumped = object.Dump();
+  EXPECT_NE(dumped.find(R"(a\"b\\c\nd\te\u0001)"), std::string::npos);
+  const Json parsed = MustParse(dumped);
+  EXPECT_EQ(parsed.GetString("text"), "a\"b\\c\nd\te\x01");
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  const Json value = MustParse(R"("caf\u00e9")");
+  EXPECT_EQ(value.AsString(), "caf\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  const Json emoji = MustParse(R"("\ud83d\ude00")");
+  EXPECT_EQ(emoji.AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ParseRejectsMalformedDocuments) {
+  Json value;
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "1 2", "{\"a\" 1}", "\"unterminated",
+        "[1, 2", "nul", "+5", "\"\\ud83d\""}) {
+    EXPECT_FALSE(Json::Parse(bad, &value, &error)) << "accepted: " << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(JsonTest, ParseRejectsExcessiveDepth) {
+  std::string deep;
+  for (int i = 0; i < 1000; ++i) deep += "[";
+  for (int i = 0; i < 1000; ++i) deep += "]";
+  Json value;
+  std::string error;
+  EXPECT_FALSE(Json::Parse(deep, &value, &error));
+}
+
+TEST(JsonTest, RoundTripNestedDocument) {
+  const std::string text =
+      R"({"status":"ok","count":3,"ratio":0.25,"tags":["a","b"],)"
+      R"("nested":{"deep":[1,2,{"x":null}],"flag":true}})";
+  const Json value = MustParse(text);
+  EXPECT_EQ(value.GetString("status"), "ok");
+  EXPECT_EQ(value.GetUint64("count"), 3u);
+  EXPECT_DOUBLE_EQ(value.GetDouble("ratio"), 0.25);
+  ASSERT_NE(value.Find("tags"), nullptr);
+  EXPECT_EQ(value.Find("tags")->size(), 2u);
+  const Json* nested = value.Find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_TRUE(nested->Find("flag")->AsBool());
+  EXPECT_TRUE(nested->Find("deep")->at(2).Find("x")->is_null());
+  // Dump of a parse re-parses to the same dump (fixed point).
+  EXPECT_EQ(MustParse(value.Dump()).Dump(), value.Dump());
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  Json object = Json::Object();
+  object.Set("a", 1);
+  Json array = Json::Array();
+  array.Append(2);
+  object.Set("b", std::move(array));
+  const std::string pretty = object.Dump(2);
+  EXPECT_NE(pretty.find("{\n  \"a\": 1"), std::string::npos);
+  EXPECT_EQ(MustParse(pretty).Dump(), object.Dump());
+}
+
+TEST(JsonTest, ParseRejectsTrailingGarbage) {
+  Json value;
+  std::string error;
+  EXPECT_FALSE(Json::Parse("{} extra", &value, &error));
+  EXPECT_TRUE(Json::Parse("{}  \n ", &value, &error)) << error;
+}
+
+TEST(JsonTest, DuplicateKeysKeepLastOnLookup) {
+  const Json value = MustParse(R"({"k":1,"k":2})");
+  EXPECT_EQ(value.GetUint64("k"), 2u);
+}
+
+}  // namespace
+}  // namespace pol::obs

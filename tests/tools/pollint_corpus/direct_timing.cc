@@ -1,0 +1,15 @@
+// direct-timing corpus: raw monotonic-clock reads in library code.
+#include <chrono>
+
+void Timing() {
+  auto a = std::chrono::steady_clock::now();
+  auto b = std::chrono::high_resolution_clock::now();
+  using clock = std::chrono::steady_clock;
+  auto c = clock::now();  // Alias still names steady_clock? No: stays quiet.
+  auto d = std::chrono::steady_clock::now();  // NOLINT(pollint:direct-timing)
+  // NOLINTNEXTLINE(pollint:direct-timing)
+  auto e = std::chrono::steady_clock::now();
+  // system_clock is calendar time, not a measurement clock: no finding.
+  auto f = std::chrono::system_clock::now();
+  (void)a; (void)b; (void)c; (void)d; (void)e; (void)f;
+}

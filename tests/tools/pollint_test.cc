@@ -125,6 +125,25 @@ TEST(PollintCorpusTest, CatchSwallowOnlyInLibraryCode) {
                   .empty());
 }
 
+TEST(PollintCorpusTest, DirectTiming) {
+  // Raw steady_clock / high_resolution_clock reads fire; suppressed
+  // lines and system_clock (calendar time) stay quiet.
+  const std::vector<RuleLine> expected = {
+      {"direct-timing", 5},
+      {"direct-timing", 6},
+  };
+  EXPECT_EQ(Lint("direct_timing.cc", "src/corpus/direct_timing.cc"),
+            expected);
+}
+
+TEST(PollintCorpusTest, DirectTimingAllowedInObsAndTools) {
+  // src/obs is the timing authority, and non-library code may read the
+  // clock directly.
+  EXPECT_TRUE(Lint("direct_timing.cc", "src/obs/direct_timing.cc").empty());
+  EXPECT_TRUE(
+      Lint("direct_timing.cc", "tools/corpus/direct_timing.cc").empty());
+}
+
 TEST(PollintCorpusTest, MissingDirectInclude) {
   const std::vector<RuleLine> expected = {{"missing-include", 4}};
   EXPECT_EQ(Lint("missing_include.cc", "src/corpus/missing_include.cc"),

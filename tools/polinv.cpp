@@ -6,6 +6,7 @@
 //   polinv top <file> <n>                  n busiest cells
 //   polinv export <file>                   CSV of the (cell) grouping set
 //   polinv geojson <file> [min_records]    cell polygons as GeoJSON
+//   polinv report <file.json>              pretty-print a run report
 //
 // Exit code 0 on success, 1 on usage errors, 2 on IO/corruption.
 
@@ -13,10 +14,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/inventory.h"
+#include "flow/stage.h"
 #include "hexgrid/hexgrid.h"
+#include "obs/json.h"
+#include "obs/report.h"
 #include "sim/ports.h"
 
 namespace pol {
@@ -29,7 +34,8 @@ int Usage() {
                "  polinv query   <file.polinv> <lat> <lng>\n"
                "  polinv top     <file.polinv> <n>\n"
                "  polinv export  <file.polinv>\n"
-               "  polinv geojson <file.polinv> [min_records]\n");
+               "  polinv geojson <file.polinv> [min_records]\n"
+               "  polinv report  <report.json>\n");
   return 1;
 }
 
@@ -194,8 +200,139 @@ int CmdGeoJson(const core::Inventory& inv, uint64_t min_records) {
   return 0;
 }
 
+// Pretty-prints a pol.run_report/1 document (see core/run_report.h):
+// status and wall clock, the per-stage table, coverage, checkpoint and
+// quarantine activity, and a metrics digest.
+int CmdReport(const char* path) {
+  std::string text;
+  std::string error;
+  if (!obs::ReadTextFile(path, &text, &error)) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path, error.c_str());
+    return 2;
+  }
+  obs::Json report;
+  if (!obs::Json::Parse(text, &report, &error)) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", path, error.c_str());
+    return 2;
+  }
+  const std::string schema = report.GetString("schema");
+  if (schema != "pol.run_report/1") {
+    std::fprintf(stderr, "unrecognized report schema '%s'\n", schema.c_str());
+    return 2;
+  }
+
+  if (const obs::Json* status = report.Find("status")) {
+    const bool ok = status->Find("ok") != nullptr &&
+                    status->Find("ok")->AsBool();
+    std::printf("status:             %s", status->GetString("code").c_str());
+    const std::string message = status->GetString("message");
+    if (!ok && !message.empty()) std::printf(" (%s)", message.c_str());
+    std::printf("\n");
+  }
+  std::printf("wall seconds:       %.3f\n", report.GetDouble("wall_seconds"));
+  std::printf("records aggregated: %llu\n",
+              static_cast<unsigned long long>(
+                  report.GetUint64("aggregated_records")));
+
+  if (const obs::Json* coverage = report.Find("coverage")) {
+    std::printf(
+        "coverage:           %llu/%llu chunks folded, %llu quarantined "
+        "(%llu records), %llu retries\n",
+        static_cast<unsigned long long>(coverage->GetUint64("chunks_folded")),
+        static_cast<unsigned long long>(coverage->GetUint64("chunks_total")),
+        static_cast<unsigned long long>(
+            coverage->GetUint64("chunks_quarantined")),
+        static_cast<unsigned long long>(
+            coverage->GetUint64("records_quarantined")),
+        static_cast<unsigned long long>(coverage->GetUint64("retries")));
+  }
+  if (const obs::Json* ckpt = report.Find("checkpoint")) {
+    if (ckpt->Find("enabled") != nullptr && ckpt->Find("enabled")->AsBool()) {
+      std::printf(
+          "checkpoint:         %s%llu written, %llu failed, dir %s\n",
+          ckpt->Find("resumed") != nullptr && ckpt->Find("resumed")->AsBool()
+              ? "resumed, "
+              : "",
+          static_cast<unsigned long long>(ckpt->GetUint64("written")),
+          static_cast<unsigned long long>(ckpt->GetUint64("failures")),
+          ckpt->GetString("directory").c_str());
+    } else {
+      std::printf("checkpoint:         disabled\n");
+    }
+  }
+
+  // Rebuild flow::StageMetrics from the report so the exact table the
+  // pipeline prints is reproduced from the file.
+  if (const obs::Json* stages = report.Find("stages")) {
+    std::vector<flow::StageMetrics> metrics;
+    for (const obs::Json& stage : stages->items()) {
+      flow::StageMetrics m;
+      m.name = stage.GetString("name");
+      m.chunks = stage.GetUint64("chunks");
+      m.records_in = stage.GetUint64("records_in");
+      m.records_out = stage.GetUint64("records_out");
+      m.dropped = stage.GetUint64("dropped");
+      m.peak_partition = static_cast<size_t>(
+          stage.GetUint64("peak_partition"));
+      m.wall_seconds = stage.GetDouble("wall_seconds");
+      m.failures = stage.GetUint64("failures");
+      if (const obs::Json* by_reason = stage.Find("failures_by_reason")) {
+        for (const auto& [reason, count] : by_reason->members()) {
+          m.failures_by_reason[reason] = count.AsUint64();
+        }
+      }
+      metrics.push_back(std::move(m));
+    }
+    std::printf("\n%s", flow::StageMetricsTable(metrics).c_str());
+  }
+
+  if (const obs::Json* quarantined = report.Find("quarantined")) {
+    if (quarantined->size() > 0) {
+      std::printf("\nquarantined chunks:\n");
+      for (const obs::Json& entry : quarantined->items()) {
+        std::printf("  chunk %llu: %llu records, %llu attempts, %s: %s\n",
+                    static_cast<unsigned long long>(
+                        entry.GetUint64("chunk_index")),
+                    static_cast<unsigned long long>(
+                        entry.GetUint64("records")),
+                    static_cast<unsigned long long>(
+                        entry.GetUint64("attempts")),
+                    entry.GetString("code").c_str(),
+                    entry.GetString("message").c_str());
+      }
+    }
+  }
+
+  if (const obs::Json* metrics = report.Find("metrics")) {
+    const obs::Json* counters = metrics->Find("counters");
+    if (counters != nullptr && counters->size() > 0) {
+      std::printf("\ncounters:\n");
+      for (const auto& [name, value] : counters->members()) {
+        std::printf("  %-40s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value.AsUint64()));
+      }
+    }
+    const obs::Json* histograms = metrics->Find("histograms");
+    if (histograms != nullptr && histograms->size() > 0) {
+      std::printf("\nhistograms:\n");
+      for (const auto& [name, h] : histograms->members()) {
+        const uint64_t count = h.GetUint64("count");
+        std::printf("  %-40s n=%llu mean=%.6fs min=%.6fs max=%.6fs\n",
+                    name.c_str(), static_cast<unsigned long long>(count),
+                    count > 0 ? h.GetDouble("sum_seconds") /
+                                    static_cast<double>(count)
+                              : 0.0,
+                    h.GetDouble("min_seconds"), h.GetDouble("max_seconds"));
+      }
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 3) return Usage();
+  // `report` reads a JSON run report, not an inventory file.
+  if (std::strcmp(argv[1], "report") == 0) return CmdReport(argv[2]);
   const auto inventory = Load(argv[2]);
   if (!inventory.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", argv[2],

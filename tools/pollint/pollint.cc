@@ -198,6 +198,9 @@ class Linter {
       CheckMutexGuardComments();
       CheckMissingIncludes();
       CheckCatchSwallow();
+      // src/obs is the one layer allowed to touch the raw clock; it is
+      // what everything else times through.
+      if (!StartsWith(path_, "src/obs/")) CheckDirectTiming();
     }
     CheckFloatCompares();
     std::sort(findings_.begin(), findings_.end(),
@@ -478,6 +481,26 @@ class Linter {
     }
   }
 
+  // --- direct-timing ------------------------------------------------------
+  // Library code must measure time through obs/clock.h (obs::NowSeconds,
+  // obs::ScopedTimer, POL_TRACE_SPAN) rather than reading the monotonic
+  // clocks directly: that keeps one timing authority the POL_OBS switch
+  // and the trace/metrics layer can see. (system_clock is out of scope —
+  // wall-calendar time is common/time_util's business.)
+  void CheckDirectTiming() {
+    static const std::regex kClockNow(
+        R"((^|[^\w])(std::chrono::)?(steady_clock|high_resolution_clock)\s*::\s*now\s*\()");
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(lines_[i].code, match, kClockNow)) {
+        Report(i, "direct-timing",
+               "'" + match[3].str() +
+                   "::now' in library code; time through obs/clock.h "
+                   "(obs::NowSeconds / POL_TRACE_SPAN) instead");
+      }
+    }
+  }
+
   // --- missing-include ----------------------------------------------------
   void CheckMissingIncludes() {
     struct Entry {
@@ -534,9 +557,9 @@ class Linter {
 const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string>* const kIds =
       new std::vector<std::string>{
-          "banned-call", "catch-swallow", "float-compare",
-          "include-guard", "missing-include", "mutex-guard",
-          "naked-new", "stdout-io",
+          "banned-call", "catch-swallow", "direct-timing",
+          "float-compare", "include-guard", "missing-include",
+          "mutex-guard", "naked-new", "stdout-io",
       };
   return *kIds;
 }

@@ -11,6 +11,7 @@
 #   tools/run_tier1.sh --faults   # + fail-points build, fault-injection suite
 #   tools/run_tier1.sh --lint     # + build and run pollint over the tree
 #   tools/run_tier1.sh --format   # + clang-format check of touched files
+#   tools/run_tier1.sh --obs      # + obs tests, POL_OBS=OFF build, overhead bench
 #
 # Flags combine; plain tier-1 runtime is unchanged when none are given.
 # Run from anywhere; paths resolve relative to the repo root.
@@ -29,12 +30,18 @@ SAN_TESTS="threadpool_test|dataset_test|concurrency_stress_test|pipeline_test|pi
 # scenarios.
 FAULT_TESTS="failpoint_test|nmea_quarantine_test|checkpoint_test|fault_injection_test|concurrency_stress_test|status_test"
 
+# The observability suite: the obs unit tests, the report/trace
+# integration test, and the concurrency stress test that hammers the
+# registry. The same set must pass with the layer compiled to no-ops.
+OBS_TESTS="json_test|metrics_test|trace_test|run_report_test|logging_test|concurrency_stress_test"
+
 run_asan=0
 run_ubsan=0
 run_tsan=0
 run_faults=0
 run_lint=0
 run_format=0
+run_obs=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -44,6 +51,7 @@ for arg in "$@"; do
     --faults) run_faults=1 ;;
     --lint) run_lint=1 ;;
     --format) run_format=1 ;;
+    --obs) run_obs=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -86,6 +94,25 @@ lint_pass() {
   echo "pollint: clean"
 }
 
+obs_pass() {
+  echo "== obs pass: observability tests, POL_OBS=OFF build, overhead bench =="
+  local targets
+  targets="$(echo "$OBS_TESTS" | tr '|' ' ')"
+  # shellcheck disable=SC2086
+  cmake --build "$ROOT/build" -j "$JOBS" --target $targets bench_obs_overhead
+  (cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS" -R "^($OBS_TESTS)\$")
+  # The layer must compile to no-ops and the same suite must still pass.
+  cmake -B "$ROOT/build-noobs" -S "$ROOT" -DPOL_OBS=OFF
+  # shellcheck disable=SC2086
+  cmake --build "$ROOT/build-noobs" -j "$JOBS" --target $targets
+  (cd "$ROOT/build-noobs" &&
+     ctest --output-on-failure -j "$JOBS" -R "^($OBS_TESTS)\$")
+  # Overhead bar: instrumentation on (idle recorder) within 2% of a
+  # trace-recording run; the bench exits non-zero past the threshold.
+  "$ROOT/build/bench/bench_obs_overhead"
+  echo "obs: clean"
+}
+
 format_pass() {
   echo "== format pass: clang-format on files touched vs origin =="
   if ! command -v clang-format >/dev/null 2>&1; then
@@ -123,5 +150,6 @@ format_pass() {
 [ "$run_faults" -eq 1 ] && faults_pass
 [ "$run_lint" -eq 1 ] && lint_pass
 [ "$run_format" -eq 1 ] && format_pass
+[ "$run_obs" -eq 1 ] && obs_pass
 
 echo "== run_tier1.sh: all requested passes green =="
