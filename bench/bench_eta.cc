@@ -10,8 +10,10 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "bench/bench_util.h"
+#include "core/inventory_snapshot.h"
 #include "core/pipeline.h"
 #include "usecases/eta.h"
 
@@ -39,7 +41,11 @@ int Run() {
   pipeline_config.resolution = 6;
   core::PipelineResult result =
       core::RunPipeline(train, sim_output.fleet, pipeline_config);
-  const uc::EtaEstimator estimator(result.inventory.get());
+  // Estimate through the sealed serving snapshot, as a live deployment
+  // would.
+  const std::shared_ptr<const core::InventorySnapshot> snapshot =
+      result.inventory->Seal();
+  const uc::EtaEstimator estimator(snapshot.get());
 
   std::map<ais::Mmsi, ais::MarketSegment> segments;
   for (const auto& vessel : sim_output.fleet) {

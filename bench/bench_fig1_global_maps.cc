@@ -64,13 +64,14 @@ int Run() {
   uint64_t port_speed_n = 0;
   double ocean_speed_sum = 0;
   uint64_t ocean_speed_n = 0;
-  for (const auto& [key, summary] : inv.summaries()) {
-    if (key.grouping_set != 0) continue;
+  inv.VisitGroupingSet(core::GroupingSet::kCell, [&](const core::GroupKey& key,
+                                                     const core::CellSummary&
+                                                         summary) {
     if (summary.course_mean().count() >= 10) {
       ++lane_cells;
       if (summary.course_mean().ResultantLength() > 0.8) ++directional;
     }
-    if (summary.speed().count() < 5) continue;
+    if (summary.speed().count() < 5) return;
     const geo::LatLng center = hex::CellToLatLng(key.cell);
     const sim::Port* nearest = sim::PortDatabase::Global().Nearest(center);
     const double port_km = geo::HaversineKm(center, nearest->position);
@@ -81,7 +82,7 @@ int Run() {
       ocean_speed_sum += summary.speed().Mean();
       ++ocean_speed_n;
     }
-  }
+  });
   const double port_speed = port_speed_sum / std::max<uint64_t>(1, port_speed_n);
   const double ocean_speed =
       ocean_speed_sum / std::max<uint64_t>(1, ocean_speed_n);
@@ -100,13 +101,15 @@ int Run() {
   bench::PrintHeader("Table 3 feature set for the busiest cell");
   const core::CellSummary* busiest = nullptr;
   hex::CellIndex busiest_cell = hex::kInvalidCell;
-  for (const auto& [key, summary] : inv.summaries()) {
-    if (key.grouping_set != 0) continue;
-    if (busiest == nullptr || summary.record_count() > busiest->record_count()) {
-      busiest = &summary;
-      busiest_cell = key.cell;
-    }
-  }
+  inv.VisitGroupingSet(
+      core::GroupingSet::kCell,
+      [&](const core::GroupKey& key, const core::CellSummary& summary) {
+        if (busiest == nullptr ||
+            summary.record_count() > busiest->record_count()) {
+          busiest = &summary;
+          busiest_cell = key.cell;
+        }
+      });
   if (busiest != nullptr) {
     const geo::LatLng c = hex::CellToLatLng(busiest_cell);
     std::printf("cell %s at %s\n", hex::CellToString(busiest_cell).c_str(),

@@ -105,20 +105,22 @@ int Run() {
   uint64_t cells = 0;
   uint64_t low_speed_near_port = 0;
   uint64_t low_speed_total = 0;
-  for (const auto& [key, summary] : inv.summaries()) {
-    if (key.grouping_set != 0 || summary.speed().count() < 5) continue;
-    ++cells;
-    if (summary.speed().Mean() < 3.0) {
-      ++low_speed_total;
-      const geo::LatLng center = hex::CellToLatLng(key.cell);
-      double nearest_km = 1e18;
-      for (const sim::Port& port : scenario.ports.ports()) {
-        nearest_km =
-            std::min(nearest_km, geo::HaversineKm(center, port.position));
-      }
-      if (nearest_km < 40.0) ++low_speed_near_port;
-    }
-  }
+  inv.VisitGroupingSet(
+      core::GroupingSet::kCell,
+      [&](const core::GroupKey& key, const core::CellSummary& summary) {
+        if (summary.speed().count() < 5) return;
+        ++cells;
+        if (summary.speed().Mean() < 3.0) {
+          ++low_speed_total;
+          const geo::LatLng center = hex::CellToLatLng(key.cell);
+          double nearest_km = 1e18;
+          for (const sim::Port& port : scenario.ports.ports()) {
+            nearest_km =
+                std::min(nearest_km, geo::HaversineKm(center, port.position));
+          }
+          if (nearest_km < 40.0) ++low_speed_near_port;
+        }
+      });
   std::printf("cells with speed stats:                  %s\n",
               bench::FormatCount(cells).c_str());
   std::printf("loitering cells (<3 kn):                 %s\n",

@@ -46,19 +46,21 @@ int Run() {
   uint64_t near_n = 0;
   double far_sum = 0;
   uint64_t far_n = 0;
-  for (const auto& [key, summary] : inv.summaries()) {
-    if (key.grouping_set != 0 || summary.ata().count() < 5) continue;
-    const geo::LatLng center = hex::CellToLatLng(key.cell);
-    const sim::Port* nearest = sim::PortDatabase::Global().Nearest(center);
-    const double km = geo::HaversineKm(center, nearest->position);
-    if (km < 100) {
-      near_sum += summary.ata().Mean();
-      ++near_n;
-    } else if (km > 1000) {
-      far_sum += summary.ata().Mean();
-      ++far_n;
-    }
-  }
+  inv.VisitGroupingSet(
+      core::GroupingSet::kCell,
+      [&](const core::GroupKey& key, const core::CellSummary& summary) {
+        if (summary.ata().count() < 5) return;
+        const geo::LatLng center = hex::CellToLatLng(key.cell);
+        const sim::Port* nearest = sim::PortDatabase::Global().Nearest(center);
+        const double km = geo::HaversineKm(center, nearest->position);
+        if (km < 100) {
+          near_sum += summary.ata().Mean();
+          ++near_n;
+        } else if (km > 1000) {
+          far_sum += summary.ata().Mean();
+          ++far_n;
+        }
+      });
   bench::PrintHeader("Shape checks");
   const double near_h = near_sum / std::max<uint64_t>(1, near_n) / 3600;
   const double far_h = far_sum / std::max<uint64_t>(1, far_n) / 3600;

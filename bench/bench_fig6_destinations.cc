@@ -39,12 +39,13 @@ int Run() {
 
   // Per-cell top destination from the (cell) grouping set.
   std::vector<std::pair<hex::CellIndex, sim::PortId>> top;
-  for (const auto& [key, summary] : inv.summaries()) {
-    if (key.grouping_set != 0) continue;
-    const auto ranked = summary.destinations().TopN(1);
-    if (ranked.empty()) continue;
-    top.push_back({key.cell, static_cast<sim::PortId>(ranked[0].key)});
-  }
+  inv.VisitGroupingSet(
+      core::GroupingSet::kCell,
+      [&top](const core::GroupKey& key, const core::CellSummary& summary) {
+        const auto ranked = summary.destinations().TopN(1);
+        if (ranked.empty()) return;
+        top.push_back({key.cell, static_cast<sim::PortId>(ranked[0].key)});
+      });
 
   auto analyze = [&](const char* name, sim::PortId port_id) {
     const sim::Port& port = **ports.Find(port_id);

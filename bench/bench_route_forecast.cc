@@ -10,8 +10,10 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "bench/bench_util.h"
+#include "core/inventory_snapshot.h"
 #include "core/pipeline.h"
 #include "geo/geodesic.h"
 #include "hexgrid/hexgrid.h"
@@ -38,7 +40,11 @@ int Run() {
   pipeline_config.resolution = 6;
   core::PipelineResult result =
       core::RunPipeline(train, sim_output.fleet, pipeline_config);
-  const core::Inventory& inv = *result.inventory;
+  // Forecast through the sealed serving snapshot, as a live deployment
+  // would.
+  const std::shared_ptr<const core::InventorySnapshot> snapshot =
+      result.inventory->Seal();
+  const core::InventorySnapshot& inv = *snapshot;
   std::printf("inventory trained on %s reports (%s summaries)\n",
               bench::FormatCount(train.size()).c_str(),
               bench::FormatCount(inv.size()).c_str());

@@ -22,15 +22,16 @@ namespace pol {
 namespace {
 
 // Records within `km` of a reference point.
-uint64_t RecordsNear(const core::Inventory& inv, const geo::LatLng& center,
+uint64_t RecordsNear(const core::InventoryQuery& inv, const geo::LatLng& center,
                      double km) {
   uint64_t records = 0;
-  for (const auto& [key, summary] : inv.summaries()) {
-    if (key.grouping_set != 0) continue;
-    if (geo::HaversineKm(hex::CellToLatLng(key.cell), center) <= km) {
-      records += summary.record_count();
-    }
-  }
+  inv.VisitGroupingSet(
+      core::GroupingSet::kCell,
+      [&](const core::GroupKey& key, const core::CellSummary& summary) {
+        if (geo::HaversineKm(hex::CellToLatLng(key.cell), center) <= km) {
+          records += summary.record_count();
+        }
+      });
   return records;
 }
 

@@ -59,16 +59,18 @@ int main() {
   double lane_course = 90.0;
   auto probe_segment = ais::MarketSegment::kContainer;
   uint64_t best_support = 0;
-  for (const auto& [key, summary] : result.inventory->summaries()) {
-    if (key.grouping_set != 1 || summary.record_count() < 8) continue;
-    if (summary.course_mean().ResultantLength() < 0.8) continue;
-    if (summary.record_count() <= best_support) continue;
-    best_support = summary.record_count();
-    on_lane = hex::CellToLatLng(key.cell);
-    lane_speed = summary.speed().Mean();
-    lane_course = summary.course_mean().MeanDeg();
-    probe_segment = static_cast<ais::MarketSegment>(key.segment);
-  }
+  result.inventory->VisitGroupingSet(
+      core::GroupingSet::kCellType,
+      [&](const core::GroupKey& key, const core::CellSummary& summary) {
+        if (summary.record_count() < 8) return;
+        if (summary.course_mean().ResultantLength() < 0.8) return;
+        if (summary.record_count() <= best_support) return;
+        best_support = summary.record_count();
+        on_lane = hex::CellToLatLng(key.cell);
+        lane_speed = summary.speed().Mean();
+        lane_course = summary.course_mean().MeanDeg();
+        probe_segment = static_cast<ais::MarketSegment>(key.segment);
+      });
 
   std::printf("probe lane: (%.2f, %.2f), %s traffic, %.1f kn on %.0f deg "
               "(support %llu)\n",

@@ -13,8 +13,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "core/inventory_snapshot.h"
 #include "core/pipeline.h"
 #include "hexgrid/hexgrid.h"
 #include "sim/fleet.h"
@@ -77,22 +79,30 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(compression.cells),
               compression.compression * 100);
 
-  // 3. Query by location: what does traffic look like off Singapore?
+  // 3. Seal the build-side inventory into an immutable snapshot and
+  // query by location: what does traffic look like off Singapore?
+  // Snapshots answer every core::InventoryQuery call from flat sorted
+  // arrays — this is the read path a serving process uses.
+  const std::shared_ptr<const core::InventorySnapshot> snapshot =
+      inventory.Seal();
   // (At this small sample scale the exact cell can be empty; fall back
   // to the busiest cell of the inventory so the output is informative.)
   geo::LatLng query_point{1.2, 103.9};
-  if (inventory.AtPosition(query_point) == nullptr) {
+  if (snapshot->AtPosition(query_point) == nullptr) {
     uint64_t best = 0;
-    for (const auto& [key, summary] : inventory.summaries()) {
-      if (key.grouping_set == 0 && summary.record_count() > best) {
-        best = summary.record_count();
-        query_point = hex::CellToLatLng(key.cell);
-      }
-    }
+    snapshot->VisitGroupingSet(
+        core::GroupingSet::kCell,
+        [&best, &query_point](const core::GroupKey& key,
+                              const core::CellSummary& summary) {
+          if (summary.record_count() > best) {
+            best = summary.record_count();
+            query_point = hex::CellToLatLng(key.cell);
+          }
+        });
     std::printf("(cell off Singapore empty in this sample; querying the "
                 "busiest cell instead)\n");
   }
-  if (const core::CellSummary* cell = inventory.AtPosition(query_point)) {
+  if (const core::CellSummary* cell = snapshot->AtPosition(query_point)) {
     std::printf("\ncell at %s:\n", query_point.ToString().c_str());
     std::printf("  records:      %llu\n",
                 static_cast<unsigned long long>(cell->record_count()));

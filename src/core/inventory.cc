@@ -21,7 +21,9 @@ constexpr size_t kMagicLen = 8;
 }  // namespace
 
 Inventory::Inventory(int resolution, SummaryMap summaries)
-    : resolution_(resolution), summaries_(std::move(summaries)) {}
+    : resolution_(resolution), summaries_(std::move(summaries)) {
+  route_index_.Build(summaries_);
+}
 
 const CellSummary* Inventory::Cell(hex::CellIndex cell) const {
   const auto it = summaries_.find(KeyCell(cell));
@@ -42,36 +44,55 @@ const CellSummary* Inventory::CellRouteType(
   return it == summaries_.end() ? nullptr : &it->second;
 }
 
-const CellSummary* Inventory::AtPosition(const geo::LatLng& position) const {
-  return Cell(hex::LatLngToCell(position, resolution_));
-}
-
-sim::PortId Inventory::TopDestination(hex::CellIndex cell,
-                                      ais::MarketSegment segment,
-                                      bool any_segment) const {
-  const CellSummary* summary =
-      any_segment ? Cell(cell) : CellType(cell, segment);
-  if (summary == nullptr) return sim::kNoPort;
-  const auto top = summary->destinations().TopN(1);
-  if (top.empty()) return sim::kNoPort;
-  return static_cast<sim::PortId>(top[0].key);
-}
-
 std::vector<hex::CellIndex> Inventory::CellsForRoute(
     sim::PortId origin, sim::PortId destination,
     ais::MarketSegment segment) const {
-  std::vector<hex::CellIndex> cells;
-  for (const auto& [key, summary] : summaries_) {
-    if (key.grouping_set !=
-        static_cast<uint8_t>(GroupingSet::kCellRouteType)) {
-      continue;
+  return route_index_.CellsWithReversedFallback(origin, destination, segment);
+}
+
+std::vector<hex::CellIndex> Inventory::CellsForRouteScan(
+    sim::PortId origin, sim::PortId destination,
+    ais::MarketSegment segment) const {
+  const auto scan = [this, segment](sim::PortId o, sim::PortId d) {
+    std::vector<hex::CellIndex> cells;
+    for (const auto& [key, summary] : summaries_) {
+      if (key.grouping_set !=
+          static_cast<uint8_t>(GroupingSet::kCellRouteType)) {
+        continue;
+      }
+      if (key.origin == o && key.destination == d &&
+          key.segment == static_cast<uint8_t>(segment)) {
+        cells.push_back(key.cell);
+      }
     }
-    if (key.origin == origin && key.destination == destination &&
-        key.segment == static_cast<uint8_t>(segment)) {
-      cells.push_back(key.cell);
+    std::sort(cells.begin(), cells.end());
+    return cells;
+  };
+  std::vector<hex::CellIndex> cells = scan(origin, destination);
+  if (cells.empty()) cells = scan(destination, origin);
+  return cells;
+}
+
+std::vector<ais::MarketSegment> Inventory::SegmentsAt(
+    hex::CellIndex cell) const {
+  std::vector<ais::MarketSegment> segments;
+  for (const auto& [key, summary] : summaries_) {
+    if (key.grouping_set == static_cast<uint8_t>(GroupingSet::kCellType) &&
+        key.cell == cell) {
+      segments.push_back(static_cast<ais::MarketSegment>(key.segment));
     }
   }
-  return cells;
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+void Inventory::VisitGroupingSet(GroupingSet set,
+                                 const SummaryVisitor& visitor) const {
+  for (const auto& [key, summary] : summaries_) {
+    if (key.grouping_set == static_cast<uint8_t>(set)) {
+      visitor(key, summary);
+    }
+  }
 }
 
 uint64_t Inventory::DistinctCells() const {
@@ -116,6 +137,8 @@ Status Inventory::MergeFrom(Inventory&& other) {
     }
   }
   other.summaries_.clear();
+  other.route_index_.Clear();
+  route_index_.Build(summaries_);
   return Status::OK();
 }
 

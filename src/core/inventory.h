@@ -2,18 +2,31 @@
 #define POL_CORE_INVENTORY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/extractor.h"
+#include "core/inventory_query.h"
+#include "core/route_index.h"
 
 // The global inventory — the paper's end product: a keyed store of
 // per-cell statistical summaries for all grouping sets, queryable by
 // location (and segment, and port pair), serializable to a checksummed
 // binary file.
+//
+// This is the *build side*: a mutable map that InventoryBuilder folds
+// chunk results into and MergeFrom folds daily batches into. It
+// implements the read-side InventoryQuery interface directly (point
+// lookups are hash probes; CellsForRoute goes through an eagerly
+// maintained RouteIndex), and Seal() freezes the current contents into
+// an immutable, fully indexed InventorySnapshot for the serving side
+// (see inventory_snapshot.h and serving_inventory.h).
 
 namespace pol::core {
+
+class InventorySnapshot;
 
 // Table 4 quantities for one built inventory.
 struct CompressionReport {
@@ -26,40 +39,46 @@ struct CompressionReport {
   uint64_t serialized_bytes = 0;
 };
 
-class Inventory {
+class Inventory final : public InventoryQuery {
  public:
   Inventory(int resolution, SummaryMap summaries);
 
-  int resolution() const { return resolution_; }
-  size_t size() const { return summaries_.size(); }
+  int resolution() const override { return resolution_; }
+  size_t size() const override { return summaries_.size(); }
   const SummaryMap& summaries() const { return summaries_; }
 
   // Point lookups per grouping set; nullptr when the group is absent.
-  const CellSummary* Cell(hex::CellIndex cell) const;
+  const CellSummary* Cell(hex::CellIndex cell) const override;
   const CellSummary* CellType(hex::CellIndex cell,
-                              ais::MarketSegment segment) const;
+                              ais::MarketSegment segment) const override;
   const CellSummary* CellRouteType(hex::CellIndex cell, sim::PortId origin,
                                    sim::PortId destination,
-                                   ais::MarketSegment segment) const;
-
-  // Location-based convenience (the "query for a specific location" of
-  // the paper's abstract): summary of the cell containing a position.
-  const CellSummary* AtPosition(const geo::LatLng& position) const;
-
-  // The most frequent destination port for a cell (optionally per
-  // segment); kNoPort when unknown.
-  sim::PortId TopDestination(hex::CellIndex cell,
-                             ais::MarketSegment segment,
-                             bool any_segment) const;
+                                   ais::MarketSegment segment) const override;
 
   // All cells carrying a summary for a given (origin, destination,
   // segment) key — the route-forecasting query of section 4.1.3.
-  std::vector<hex::CellIndex> CellsForRoute(sim::PortId origin,
-                                            sim::PortId destination,
-                                            ais::MarketSegment segment) const;
+  // Answered by the route index in O(log routes + k), ascending cell
+  // order, with the reversed-pair fallback of the interface contract.
+  std::vector<hex::CellIndex> CellsForRoute(
+      sim::PortId origin, sim::PortId destination,
+      ais::MarketSegment segment) const override;
+
+  // The pre-index reference implementation: a full scan over every
+  // summary, same answer contract as CellsForRoute. Kept for the
+  // scan-vs-index property tests and the bench_query_speedup baseline —
+  // production callers use CellsForRoute.
+  std::vector<hex::CellIndex> CellsForRouteScan(
+      sim::PortId origin, sim::PortId destination,
+      ais::MarketSegment segment) const;
+
+  std::vector<ais::MarketSegment> SegmentsAt(
+      hex::CellIndex cell) const override;
+
+  void VisitGroupingSet(GroupingSet set,
+                        const SummaryVisitor& visitor) const override;
 
   // Distinct cells in grouping set 1 (the Table 4 "#Cells").
-  uint64_t DistinctCells() const;
+  uint64_t DistinctCells() const override;
 
   // Table 4 numbers for this inventory given the aggregated record count.
   CompressionReport Compression(uint64_t records) const;
@@ -68,8 +87,15 @@ class Inventory {
   // batch) into this one. Summaries merge exactly (every Table-3
   // statistic is mergeable), so building per-period inventories and
   // merging equals one build over the concatenated archive. Fails on
-  // resolution mismatch.
+  // resolution mismatch. Not safe concurrently with queries — serve
+  // reads from a sealed snapshot (ServingInventory) while merging.
   Status MergeFrom(Inventory&& other);
+
+  // Freezes the current contents into an immutable snapshot: flat
+  // sorted key/summary arrays per grouping set plus the secondary
+  // indexes, built once. The build side keeps working; the snapshot
+  // shares nothing with it. Records serving.seal_seconds.
+  std::shared_ptr<const InventorySnapshot> Seal() const;
 
   // Checksummed binary serialization.
   Status SaveToFile(const std::string& path) const;
@@ -81,6 +107,9 @@ class Inventory {
  private:
   int resolution_;
   SummaryMap summaries_;
+  // Rebuilt eagerly on construction and after MergeFrom, so const
+  // queries never mutate state (safe for concurrent readers).
+  RouteIndex route_index_;
 };
 
 }  // namespace pol::core

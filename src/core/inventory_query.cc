@@ -1,0 +1,32 @@
+#include "core/inventory_query.h"
+
+#include "hexgrid/hexgrid.h"
+
+namespace pol::core {
+
+InventoryQuery::~InventoryQuery() = default;
+
+uint64_t InventoryQuery::DistinctCells() const {
+  uint64_t cells = 0;
+  VisitGroupingSet(GroupingSet::kCell,
+                   [&cells](const GroupKey&, const CellSummary&) { ++cells; });
+  return cells;
+}
+
+const CellSummary* InventoryQuery::AtPosition(
+    const geo::LatLng& position) const {
+  return Cell(hex::LatLngToCell(position, resolution()));
+}
+
+sim::PortId InventoryQuery::TopDestination(hex::CellIndex cell,
+                                           ais::MarketSegment segment,
+                                           bool any_segment) const {
+  const CellSummary* summary =
+      any_segment ? Cell(cell) : CellType(cell, segment);
+  if (summary == nullptr) return sim::kNoPort;
+  const auto top = summary->destinations().TopN(1);
+  if (top.empty()) return sim::kNoPort;
+  return static_cast<sim::PortId>(top[0].key);
+}
+
+}  // namespace pol::core

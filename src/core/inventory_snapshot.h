@@ -1,0 +1,97 @@
+#ifndef POL_CORE_INVENTORY_SNAPSHOT_H_
+#define POL_CORE_INVENTORY_SNAPSHOT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/inventory.h"
+#include "core/inventory_query.h"
+#include "core/route_index.h"
+
+// The serving side of the inventory: an immutable, fully indexed
+// snapshot sealed from a build-side Inventory (Inventory::Seal()).
+//
+// Layout (see DESIGN.md §3.5): one flat, (cell, dims)-sorted key array
+// plus a parallel summary array per grouping set — point lookups are a
+// binary search, visitation is a linear walk in deterministic order —
+// and two secondary indexes built once at seal time: the RouteIndex
+// ((origin, destination, segment) -> cell list, backing CellsForRoute
+// in O(log n + k)) and a cell -> present-segments bitmask table.
+// Nothing mutates after sealing, so any number of threads may query
+// concurrently without synchronization; ServingInventory hot-swaps
+// whole snapshots to refresh.
+
+namespace pol::core {
+
+// Index sizes and seal cost of one snapshot (polinv `stats` prints
+// these; serving.seal_seconds records the duration distribution).
+struct InventorySnapshotStats {
+  std::array<uint64_t, kNumGroupingSets> summaries_per_set{};
+  uint64_t route_index_routes = 0;   // Distinct (o, d, segment) keys.
+  uint64_t route_index_cells = 0;    // Total indexed route cells.
+  uint64_t segment_index_cells = 0;  // Cells with a per-type summary.
+  double seal_seconds = 0.0;
+};
+
+class InventorySnapshot final : public InventoryQuery {
+ public:
+  int resolution() const override { return resolution_; }
+  size_t size() const override { return total_; }
+
+  const CellSummary* Cell(hex::CellIndex cell) const override;
+  const CellSummary* CellType(hex::CellIndex cell,
+                              ais::MarketSegment segment) const override;
+  const CellSummary* CellRouteType(hex::CellIndex cell, sim::PortId origin,
+                                   sim::PortId destination,
+                                   ais::MarketSegment segment) const override;
+
+  std::vector<hex::CellIndex> CellsForRoute(
+      sim::PortId origin, sim::PortId destination,
+      ais::MarketSegment segment) const override;
+
+  std::vector<ais::MarketSegment> SegmentsAt(
+      hex::CellIndex cell) const override;
+
+  void VisitGroupingSet(GroupingSet set,
+                        const SummaryVisitor& visitor) const override;
+
+  uint64_t DistinctCells() const override;
+
+  const InventorySnapshotStats& stats() const { return stats_; }
+
+ private:
+  friend class Inventory;  // Inventory::Seal() is the only builder.
+  struct SealTag {};
+
+ public:
+  // Constructible only through Inventory::Seal() (the tag is private);
+  // public so std::make_shared can reach it.
+  explicit InventorySnapshot(SealTag) {}
+
+ private:
+  // One grouping set: keys sorted by (cell, packed dims), values
+  // parallel to keys.
+  struct GroupArray {
+    std::vector<GroupKey> keys;
+    std::vector<CellSummary> values;
+  };
+
+  struct CellSegments {
+    hex::CellIndex cell = hex::kInvalidCell;
+    uint16_t mask = 0;  // Bit i set = MarketSegment(i) present.
+  };
+
+  const CellSummary* Lookup(GroupingSet set, const GroupKey& key) const;
+
+  int resolution_ = 0;
+  size_t total_ = 0;
+  std::array<GroupArray, kNumGroupingSets> groups_;
+  RouteIndex route_index_;
+  std::vector<CellSegments> segment_index_;  // Sorted by cell.
+  InventorySnapshotStats stats_;
+};
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_INVENTORY_SNAPSHOT_H_

@@ -1,0 +1,70 @@
+#include "core/route_index.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace pol::core {
+
+uint64_t RouteIndex::Pack(sim::PortId origin, sim::PortId destination,
+                          ais::MarketSegment segment) {
+  return (static_cast<uint64_t>(origin) << 32) |
+         (static_cast<uint64_t>(destination) << 16) |
+         static_cast<uint64_t>(segment);
+}
+
+void RouteIndex::Build(const SummaryMap& summaries) {
+  Clear();
+  std::vector<std::pair<uint64_t, hex::CellIndex>> entries;
+  for (const auto& [key, summary] : summaries) {
+    if (key.grouping_set !=
+        static_cast<uint8_t>(GroupingSet::kCellRouteType)) {
+      continue;
+    }
+    entries.emplace_back(
+        Pack(key.origin, key.destination,
+             static_cast<ais::MarketSegment>(key.segment)),
+        key.cell);
+  }
+  std::sort(entries.begin(), entries.end());
+  cells_.reserve(entries.size());
+  for (const auto& [route, cell] : entries) {
+    if (spans_.empty() || spans_.back().route != route) {
+      spans_.push_back(Span{route, cells_.size(), cells_.size()});
+    }
+    cells_.push_back(cell);
+    spans_.back().end = cells_.size();
+  }
+}
+
+void RouteIndex::Clear() {
+  spans_.clear();
+  cells_.clear();
+}
+
+const RouteIndex::Span* RouteIndex::Find(uint64_t packed) const {
+  const auto it = std::lower_bound(
+      spans_.begin(), spans_.end(), packed,
+      [](const Span& span, uint64_t route) { return span.route < route; });
+  if (it == spans_.end() || it->route != packed) return nullptr;
+  return &*it;
+}
+
+std::vector<hex::CellIndex> RouteIndex::Cells(
+    sim::PortId origin, sim::PortId destination,
+    ais::MarketSegment segment) const {
+  const Span* span = Find(Pack(origin, destination, segment));
+  if (span == nullptr) return {};
+  return std::vector<hex::CellIndex>(cells_.begin() + static_cast<ptrdiff_t>(span->begin),
+                                     cells_.begin() + static_cast<ptrdiff_t>(span->end));
+}
+
+std::vector<hex::CellIndex> RouteIndex::CellsWithReversedFallback(
+    sim::PortId origin, sim::PortId destination,
+    ais::MarketSegment segment) const {
+  std::vector<hex::CellIndex> cells = Cells(origin, destination, segment);
+  if (cells.empty()) cells = Cells(destination, origin, segment);
+  return cells;
+}
+
+}  // namespace pol::core

@@ -1,0 +1,109 @@
+#include "core/serving_inventory.h"
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pol::core {
+
+ServingInventory::ServingInventory(Inventory base) : base_(std::move(base)) {
+  Swap(base_.Seal());
+}
+
+std::shared_ptr<const InventorySnapshot> ServingInventory::Acquire() const {
+  obs::Registry::Global().counter("serving.reader_acquisitions")->Increment();
+#if defined(POL_SERVING_SNAPSHOT_ATOMIC)
+  return snapshot_.load(std::memory_order_acquire);
+#else
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+#endif
+}
+
+void ServingInventory::Swap(std::shared_ptr<const InventorySnapshot> next) {
+  POL_CHECK(next != nullptr);
+  POL_TRACE_SPAN("serving.swap");
+#if defined(POL_SERVING_SNAPSHOT_ATOMIC)
+  snapshot_.store(std::move(next), std::memory_order_release);
+#else
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = std::move(next);
+  }
+#endif
+  swap_count_.fetch_add(1, std::memory_order_relaxed);
+  auto& registry = obs::Registry::Global();
+  registry.counter("serving.swaps")->Increment();
+  registry.gauge("serving.active_snapshot_summaries")
+      ->Set(static_cast<int64_t>(Acquire()->size()));
+}
+
+Status ServingInventory::Refresh(Inventory&& delta) {
+  POL_TRACE_SPAN("serving.refresh");
+  std::lock_guard<std::mutex> lock(refresh_mutex_);
+  POL_RETURN_IF_ERROR(base_.MergeFrom(std::move(delta)));
+  Swap(base_.Seal());
+  return Status::OK();
+}
+
+namespace {
+
+// Read-side anchor for the pointer-returning queries: the snapshot a
+// pointer was answered from must outlive the caller's use of it, and
+// the temporary shared_ptr of a plain `Acquire()->Cell(...)` would die
+// at the end of the statement — a use-after-free the moment a
+// concurrent Swap dropped the other reference. Parking the acquired
+// snapshot in a thread-local keeps it alive until the same thread's
+// next ServingInventory query (RCU-style), which is exactly the
+// documented pointer-validity contract.
+const InventorySnapshot* AnchorForThisThread(
+    std::shared_ptr<const InventorySnapshot> snapshot) {
+  thread_local std::shared_ptr<const InventorySnapshot> anchor;
+  anchor = std::move(snapshot);
+  return anchor.get();
+}
+
+}  // namespace
+
+const CellSummary* ServingInventory::Cell(hex::CellIndex cell) const {
+  return AnchorForThisThread(Acquire())->Cell(cell);
+}
+
+const CellSummary* ServingInventory::CellType(
+    hex::CellIndex cell, ais::MarketSegment segment) const {
+  return AnchorForThisThread(Acquire())->CellType(cell, segment);
+}
+
+const CellSummary* ServingInventory::CellRouteType(
+    hex::CellIndex cell, sim::PortId origin, sim::PortId destination,
+    ais::MarketSegment segment) const {
+  return AnchorForThisThread(Acquire())
+      ->CellRouteType(cell, origin, destination, segment);
+}
+
+std::vector<hex::CellIndex> ServingInventory::CellsForRoute(
+    sim::PortId origin, sim::PortId destination,
+    ais::MarketSegment segment) const {
+  return Acquire()->CellsForRoute(origin, destination, segment);
+}
+
+std::vector<ais::MarketSegment> ServingInventory::SegmentsAt(
+    hex::CellIndex cell) const {
+  return Acquire()->SegmentsAt(cell);
+}
+
+void ServingInventory::VisitGroupingSet(GroupingSet set,
+                                        const SummaryVisitor& visitor) const {
+  Acquire()->VisitGroupingSet(set, visitor);
+}
+
+uint64_t ServingInventory::DistinctCells() const {
+  return Acquire()->DistinctCells();
+}
+
+}  // namespace pol::core

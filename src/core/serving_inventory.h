@@ -1,0 +1,114 @@
+#ifndef POL_CORE_SERVING_INVENTORY_H_
+#define POL_CORE_SERVING_INVENTORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+#include <version>
+
+#include "core/inventory.h"
+#include "core/inventory_query.h"
+#include "core/inventory_snapshot.h"
+
+// The hot-swap serving store: an atomic holder of the current immutable
+// InventorySnapshot plus the build-side Inventory it was sealed from.
+// Readers Acquire() the active snapshot (one atomic shared_ptr load)
+// and query it lock-free; Refresh() folds a new batch into the build
+// side, seals a fresh snapshot in the background, and publishes it with
+// Swap() — concurrent readers keep querying the old snapshot, which
+// stays alive until its last shared_ptr drops. This is the paper's
+// daily incremental fold turned into a zero-downtime refresh.
+//
+// ServingInventory also implements InventoryQuery directly: each call
+// acquires the active snapshot and answers from it, so single-shot
+// callers need no explicit Acquire. Pointers returned by the summary
+// lookups stay valid until the calling thread's next ServingInventory
+// query (the answering snapshot is anchored in a thread-local).
+// Multi-call consumers that need one consistent view across calls
+// (e.g. a LaneAnalyzer sweep) should Acquire() once and query the
+// snapshot.
+//
+// Metrics (obs::Registry, surfaced in the pol.run_report/1 metrics
+// block): serving.seal_seconds (histogram, recorded by Seal),
+// serving.seals / serving.swaps / serving.reader_acquisitions
+// (counters), serving.active_snapshot_summaries (gauge).
+
+// Snapshot-holder backend selection. The lock-free path needs library
+// support for std::atomic<std::shared_ptr>; ThreadSanitizer builds use
+// the mutex fallback instead, because TSan cannot see through
+// libstdc++'s _Sp_atomic spinlock (the lock bit lives inside the
+// control-block word) and reports its internal pointer swap as a race.
+#if defined(__SANITIZE_THREAD__)
+#define POL_SERVING_SNAPSHOT_MUTEX 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define POL_SERVING_SNAPSHOT_MUTEX 1
+#endif
+#endif
+#if !defined(POL_SERVING_SNAPSHOT_MUTEX) && \
+    defined(__cpp_lib_atomic_shared_ptr)
+#define POL_SERVING_SNAPSHOT_ATOMIC 1
+#endif
+
+namespace pol::core {
+
+class ServingInventory final : public InventoryQuery {
+ public:
+  // Takes ownership of the build side and publishes its first snapshot.
+  explicit ServingInventory(Inventory base);
+
+  // The active snapshot; never null. Holding the returned shared_ptr
+  // keeps that snapshot (and every pointer queried from it) alive
+  // across any number of concurrent Swap()s.
+  std::shared_ptr<const InventorySnapshot> Acquire() const;
+
+  // Folds `delta` into the build side, seals, and publishes. Readers
+  // see either the old or the new snapshot, never a partial merge.
+  // Serialized against concurrent Refresh() calls; fails on resolution
+  // mismatch (the build side is left unchanged on failure).
+  Status Refresh(Inventory&& delta);
+
+  // Publishes an externally built snapshot (e.g. sealed from a
+  // full rebuild). Must not be null.
+  void Swap(std::shared_ptr<const InventorySnapshot> next);
+
+  // Snapshots published so far, the initial one included.
+  uint64_t swap_count() const {
+    return swap_count_.load(std::memory_order_relaxed);
+  }
+
+  // --- InventoryQuery over the active snapshot. ---
+  int resolution() const override { return Acquire()->resolution(); }
+  size_t size() const override { return Acquire()->size(); }
+  const CellSummary* Cell(hex::CellIndex cell) const override;
+  const CellSummary* CellType(hex::CellIndex cell,
+                              ais::MarketSegment segment) const override;
+  const CellSummary* CellRouteType(hex::CellIndex cell, sim::PortId origin,
+                                   sim::PortId destination,
+                                   ais::MarketSegment segment) const override;
+  std::vector<hex::CellIndex> CellsForRoute(
+      sim::PortId origin, sim::PortId destination,
+      ais::MarketSegment segment) const override;
+  std::vector<ais::MarketSegment> SegmentsAt(
+      hex::CellIndex cell) const override;
+  void VisitGroupingSet(GroupingSet set,
+                        const SummaryVisitor& visitor) const override;
+  uint64_t DistinctCells() const override;
+
+ private:
+  std::mutex refresh_mutex_;  // guards: base_
+  Inventory base_;
+  std::atomic<uint64_t> swap_count_{0};
+#if defined(POL_SERVING_SNAPSHOT_ATOMIC)
+  std::atomic<std::shared_ptr<const InventorySnapshot>> snapshot_;
+#else
+  mutable std::mutex snapshot_mutex_;  // guards: snapshot_
+  std::shared_ptr<const InventorySnapshot> snapshot_;
+#endif
+};
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_SERVING_INVENTORY_H_

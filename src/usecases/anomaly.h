@@ -1,7 +1,7 @@
 #ifndef POL_USECASES_ANOMALY_H_
 #define POL_USECASES_ANOMALY_H_
 
-#include "core/inventory.h"
+#include "core/inventory_query.h"
 #include "core/records.h"
 
 // Anomaly detection against the model of normalcy (the paper's stated
@@ -36,7 +36,7 @@ struct AnomalyConfig {
 
 class AnomalyDetector {
  public:
-  AnomalyDetector(const core::Inventory* inventory,
+  AnomalyDetector(const core::InventoryQuery* inventory,
                   const AnomalyConfig& config = AnomalyConfig())
       : inventory_(inventory), config_(config) {}
 
@@ -46,7 +46,7 @@ class AnomalyDetector {
                            ais::MarketSegment segment) const;
 
  private:
-  const core::Inventory* inventory_;
+  const core::InventoryQuery* inventory_;
   AnomalyConfig config_;
 };
 

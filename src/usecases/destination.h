@@ -4,7 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/inventory.h"
+#include "core/inventory_query.h"
 
 // Streaming destination prediction (paper section 4.1.3): for each AIS
 // message of a vessel whose destination is undisclosed, query the
@@ -24,7 +24,8 @@ class DestinationPredictor {
   // `decay` in (0, 1]: per-observation multiplicative decay of older
   // votes. 1.0 accumulates forever; lower values adapt faster when a
   // vessel commits to one corridor.
-  DestinationPredictor(const core::Inventory* inventory, double decay = 0.98)
+  DestinationPredictor(const core::InventoryQuery* inventory,
+                       double decay = 0.98)
       : inventory_(inventory), decay_(decay) {}
 
   // Feeds one observed position. Returns true when the cell had history.
@@ -41,7 +42,7 @@ class DestinationPredictor {
   uint64_t observations() const { return observations_; }
 
  private:
-  const core::Inventory* inventory_;
+  const core::InventoryQuery* inventory_;
   double decay_;
   uint64_t observations_ = 0;
   std::unordered_map<sim::PortId, double> votes_;

@@ -1,7 +1,8 @@
 #ifndef POL_USECASES_ETA_H_
 #define POL_USECASES_ETA_H_
 
-#include "core/inventory.h"
+#include "common/status.h"
+#include "core/inventory_query.h"
 
 // Estimated time of arrival from the inventory's historical ATA
 // statistics (paper section 4.1.2): the per-cell actual-time-to-arrival
@@ -25,7 +26,7 @@ struct EtaEstimate {
 
 class EtaEstimator {
  public:
-  explicit EtaEstimator(const core::Inventory* inventory)
+  explicit EtaEstimator(const core::InventoryQuery* inventory)
       : inventory_(inventory) {}
 
   // Estimates the remaining time for a vessel at `position`. The most
@@ -38,7 +39,7 @@ class EtaEstimator {
                                sim::PortId destination = sim::kNoPort) const;
 
  private:
-  const core::Inventory* inventory_;
+  const core::InventoryQuery* inventory_;
 };
 
 }  // namespace pol::uc

@@ -1,5 +1,6 @@
 #include "usecases/lane_analysis.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace pol::uc {
@@ -51,27 +52,26 @@ CellClass LaneAnalyzer::Classify(const core::CellSummary& summary) const {
 
 LaneAnalysisReport LaneAnalyzer::AnalyzeAll() const {
   LaneAnalysisReport report;
-  for (const auto& [key, summary] : inventory_->summaries()) {
-    if (key.grouping_set !=
-        static_cast<uint8_t>(core::GroupingSet::kCell)) {
-      continue;
-    }
-    const CellClass c = Classify(summary);
-    ++report.cells_per_class[c];
-    if (c != CellClass::kSparse) ++report.classified;
-  }
+  inventory_->VisitGroupingSet(
+      core::GroupingSet::kCell,
+      [this, &report](const core::GroupKey&, const core::CellSummary& summary) {
+        const CellClass c = Classify(summary);
+        ++report.cells_per_class[c];
+        if (c != CellClass::kSparse) ++report.classified;
+      });
   return report;
 }
 
 std::vector<hex::CellIndex> LaneAnalyzer::CellsOfClass(CellClass c) const {
   std::vector<hex::CellIndex> cells;
-  for (const auto& [key, summary] : inventory_->summaries()) {
-    if (key.grouping_set !=
-        static_cast<uint8_t>(core::GroupingSet::kCell)) {
-      continue;
-    }
-    if (Classify(summary) == c) cells.push_back(key.cell);
-  }
+  inventory_->VisitGroupingSet(
+      core::GroupingSet::kCell,
+      [this, c, &cells](const core::GroupKey& key,
+                        const core::CellSummary& summary) {
+        if (Classify(summary) == c) cells.push_back(key.cell);
+      });
+  // Deterministic regardless of the backing store's visit order.
+  std::sort(cells.begin(), cells.end());
   return cells;
 }
 

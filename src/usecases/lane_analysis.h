@@ -4,7 +4,7 @@
 #include <map>
 #include <vector>
 
-#include "core/inventory.h"
+#include "core/inventory_query.h"
 
 // Knowledge extraction over the inventory (paper section 4.1.1): the
 // Figure 4 panels are read by a human; this module extracts the same
@@ -40,7 +40,7 @@ struct LaneAnalysisReport {
 
 class LaneAnalyzer {
  public:
-  LaneAnalyzer(const core::Inventory* inventory,
+  LaneAnalyzer(const core::InventoryQuery* inventory,
                const LaneAnalysisConfig& config = LaneAnalysisConfig())
       : inventory_(inventory), config_(config) {}
 
@@ -54,7 +54,7 @@ class LaneAnalyzer {
   std::vector<hex::CellIndex> CellsOfClass(CellClass c) const;
 
  private:
-  const core::Inventory* inventory_;
+  const core::InventoryQuery* inventory_;
   LaneAnalysisConfig config_;
 };
 

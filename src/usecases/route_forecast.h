@@ -4,7 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/inventory.h"
+#include "common/status.h"
+#include "core/inventory_query.h"
 
 // Route forecasting (paper section 4.1.3, Figure 2.f): for a vessel on a
 // declared (origin, destination) voyage, the inventory's cells for that
@@ -26,7 +27,7 @@ struct RouteForecast {
 
 class RouteForecaster {
  public:
-  explicit RouteForecaster(const core::Inventory* inventory,
+  explicit RouteForecaster(const core::InventoryQuery* inventory,
                            const sim::PortDatabase* ports)
       : inventory_(inventory), ports_(ports) {}
 
@@ -39,7 +40,7 @@ class RouteForecaster {
                                  ais::MarketSegment segment) const;
 
  private:
-  const core::Inventory* inventory_;
+  const core::InventoryQuery* inventory_;
   const sim::PortDatabase* ports_;
 };
 

@@ -1,0 +1,151 @@
+// Property regression for the serving split: on randomized inventories,
+// the legacy full-scan route query, the build-side route index, and the
+// sealed snapshot must agree on every answer — point lookups
+// byte-identical, corridors element-identical, including the
+// reversed-pair fallback.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/inventory.h"
+#include "core/inventory_snapshot.h"
+#include "hexgrid/hexgrid.h"
+
+namespace pol::core {
+namespace {
+
+struct RouteKey {
+  sim::PortId origin;
+  sim::PortId destination;
+  ais::MarketSegment segment;
+};
+
+struct Sample {
+  Inventory inventory;
+  std::vector<hex::CellIndex> cells;
+  std::vector<RouteKey> routes;
+};
+
+// A random inventory over a handful of ports and segments: small key
+// spaces on purpose, so collisions, multi-cell corridors, and pairs
+// present in both orientations all occur.
+Sample RandomInventory(uint64_t seed) {
+  Rng rng(seed);
+  SummaryMap summaries;
+  std::vector<hex::CellIndex> cells;
+  std::vector<RouteKey> routes;
+  const int groups = 30 + static_cast<int>(rng.NextBelow(50));
+  for (int i = 0; i < groups; ++i) {
+    const hex::CellIndex cell = hex::LatLngToCell(
+        {rng.Uniform(-55, 55), rng.Uniform(-180, 180)}, 6);
+    const auto origin = static_cast<sim::PortId>(1 + rng.NextBelow(5));
+    const auto destination = static_cast<sim::PortId>(1 + rng.NextBelow(5));
+    const auto segment =
+        static_cast<ais::MarketSegment>(rng.NextBelow(ais::kNumMarketSegments));
+    PipelineRecord r;
+    r.mmsi = static_cast<ais::Mmsi>(200000000 + rng.NextBelow(20));
+    r.trip_id = 1 + rng.NextBelow(40);
+    r.origin = origin;
+    r.destination = destination;
+    r.segment = segment;
+    r.sog_knots = rng.Uniform(2, 22);
+    r.cog_deg = rng.Uniform(0, 360);
+    r.heading_deg = r.cog_deg;
+    r.eto_s = rng.Uniform(100, 100000);
+    r.ata_s = rng.Uniform(100, 100000);
+    cells.push_back(cell);
+    routes.push_back({origin, destination, segment});
+    for (const GroupKey& key :
+         {KeyCell(cell), KeyCellType(cell, segment),
+          KeyCellRouteType(cell, origin, destination, segment)}) {
+      auto [it, inserted] = summaries.try_emplace(key);
+      (void)inserted;
+      const int adds = 1 + static_cast<int>(rng.NextBelow(4));
+      for (int k = 0; k < adds; ++k) it->second.Add(r);
+    }
+  }
+  return Sample{Inventory(6, std::move(summaries)), std::move(cells),
+                std::move(routes)};
+}
+
+std::string Bytes(const CellSummary* summary) {
+  if (summary == nullptr) return "<null>";
+  std::string out;
+  summary->Serialize(&out);
+  return out;
+}
+
+TEST(InventoryQueryPropertyTest, ScanIndexAndSnapshotAgree) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const Sample sample = RandomInventory(seed);
+    const Inventory& inv = sample.inventory;
+    const std::shared_ptr<const InventorySnapshot> snap = inv.Seal();
+    ASSERT_EQ(snap->size(), inv.size()) << "seed " << seed;
+
+    // Every route key, in both orientations, plus a never-inserted one.
+    std::vector<RouteKey> queries = sample.routes;
+    for (const RouteKey& route : sample.routes) {
+      queries.push_back({route.destination, route.origin, route.segment});
+    }
+    queries.push_back({200, 201, ais::MarketSegment::kTugAndService});
+    for (const RouteKey& q : queries) {
+      const auto scan =
+          inv.CellsForRouteScan(q.origin, q.destination, q.segment);
+      EXPECT_EQ(inv.CellsForRoute(q.origin, q.destination, q.segment), scan)
+          << "seed " << seed << " route " << q.origin << "->"
+          << q.destination;
+      EXPECT_EQ(snap->CellsForRoute(q.origin, q.destination, q.segment), scan)
+          << "seed " << seed << " route " << q.origin << "->"
+          << q.destination;
+    }
+
+    // Point lookups byte-identical on every touched cell (and one miss).
+    std::vector<hex::CellIndex> probes = sample.cells;
+    probes.push_back(hex::LatLngToCell({80, 0}, 6));
+    for (size_t i = 0; i < probes.size(); ++i) {
+      const hex::CellIndex cell = probes[i];
+      EXPECT_EQ(Bytes(snap->Cell(cell)), Bytes(inv.Cell(cell)))
+          << "seed " << seed;
+      const RouteKey& route = sample.routes[i % sample.routes.size()];
+      EXPECT_EQ(Bytes(snap->CellType(cell, route.segment)),
+                Bytes(inv.CellType(cell, route.segment)))
+          << "seed " << seed;
+      EXPECT_EQ(Bytes(snap->CellRouteType(cell, route.origin,
+                                          route.destination, route.segment)),
+                Bytes(inv.CellRouteType(cell, route.origin, route.destination,
+                                        route.segment)))
+          << "seed " << seed;
+      EXPECT_EQ(snap->SegmentsAt(cell), inv.SegmentsAt(cell))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(InventoryQueryPropertyTest, IndexSurvivesMerges) {
+  for (uint64_t seed = 100; seed <= 110; ++seed) {
+    Sample a = RandomInventory(seed);
+    Sample b = RandomInventory(seed + 1000);
+    ASSERT_TRUE(a.inventory.MergeFrom(std::move(b.inventory)).ok());
+    const Inventory& merged = a.inventory;
+    const std::shared_ptr<const InventorySnapshot> snap = merged.Seal();
+    std::vector<RouteKey> queries = a.routes;
+    queries.insert(queries.end(), b.routes.begin(), b.routes.end());
+    for (const RouteKey& q : queries) {
+      const auto scan =
+          merged.CellsForRouteScan(q.origin, q.destination, q.segment);
+      EXPECT_FALSE(scan.empty()) << "seed " << seed;
+      EXPECT_EQ(merged.CellsForRoute(q.origin, q.destination, q.segment),
+                scan)
+          << "seed " << seed;
+      EXPECT_EQ(snap->CellsForRoute(q.origin, q.destination, q.segment), scan)
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pol::core

@@ -108,6 +108,25 @@ TEST(InventoryTest, CellsForRoute) {
   EXPECT_TRUE(inv.CellsForRoute(9, 9, ais::MarketSegment::kTanker).empty());
 }
 
+// Regression: a route keyed (3, 21) used to silently match nothing when
+// queried as (21, 3). The reversed pair now answers with the same
+// corridor, and the exact orientation still wins when both exist.
+TEST(InventoryTest, CellsForRouteAnswersReversedPortPairs) {
+  const Inventory inv = SmallInventory();
+  const auto forward =
+      inv.CellsForRoute(3, 21, ais::MarketSegment::kContainer);
+  const auto reversed =
+      inv.CellsForRoute(21, 3, ais::MarketSegment::kContainer);
+  ASSERT_EQ(forward.size(), 2u);
+  EXPECT_EQ(reversed, forward);
+  // The fallback is per (pair, segment): no tanker traffic on 3 -> 21
+  // in either orientation.
+  EXPECT_TRUE(inv.CellsForRoute(21, 3, ais::MarketSegment::kTanker).empty());
+  // The scan reference path implements the same contract.
+  EXPECT_EQ(inv.CellsForRouteScan(21, 3, ais::MarketSegment::kContainer),
+            forward);
+}
+
 TEST(InventoryTest, CompressionReportMath) {
   const Inventory inv = SmallInventory();
   EXPECT_EQ(inv.DistinctCells(), 2u);

@@ -1,0 +1,18 @@
+// inventory-query corpus: direct summary-map access outside src/core.
+
+void Consume(const pol::core::Inventory& inv) {
+  for (const auto& [key, summary] : inv.summaries()) {
+    (void)key;
+    (void)summary;
+  }
+  auto spaced = inv . summaries ( );
+  (void)spaced;
+  auto ok = inv.summaries();  // NOLINT(pollint:inventory-query)
+  (void)ok;
+  // NOLINTNEXTLINE(pollint:inventory-query)
+  auto also_ok = inv.summaries();
+  (void)also_ok;
+  // A different identifier that merely ends in the word stays quiet.
+  auto quiet = inv.chunk_summaries();
+  (void)quiet;
+}

@@ -144,6 +144,28 @@ TEST(PollintCorpusTest, DirectTimingAllowedInObsAndTools) {
       Lint("direct_timing.cc", "tools/corpus/direct_timing.cc").empty());
 }
 
+TEST(PollintCorpusTest, InventoryQueryBoundary) {
+  // Direct summaries() iteration fires everywhere outside src/core —
+  // library, bench, examples and tools alike; suppressions and
+  // identifiers merely ending in "summaries" stay quiet.
+  const std::vector<RuleLine> expected = {
+      {"inventory-query", 4},
+      {"inventory-query", 8},
+  };
+  EXPECT_EQ(Lint("direct_summaries.cc", "src/usecases/direct_summaries.cc"),
+            expected);
+  EXPECT_EQ(Lint("direct_summaries.cc", "bench/direct_summaries.cc"),
+            expected);
+  EXPECT_EQ(Lint("direct_summaries.cc", "tools/direct_summaries.cc"),
+            expected);
+}
+
+TEST(PollintCorpusTest, InventoryQueryAllowedInCore) {
+  // src/core owns the summary map; the rule must not fire there.
+  EXPECT_TRUE(
+      Lint("direct_summaries.cc", "src/core/direct_summaries.cc").empty());
+}
+
 TEST(PollintCorpusTest, MissingDirectInclude) {
   const std::vector<RuleLine> expected = {{"missing-include", 4}};
   EXPECT_EQ(Lint("missing_include.cc", "src/corpus/missing_include.cc"),

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/inventory.h"
 #include "hexgrid/hexgrid.h"
 
 namespace pol::uc {

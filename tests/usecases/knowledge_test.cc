@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cleaning.h"
+#include "core/inventory.h"
 #include "core/pipeline.h"
 #include "sim/fleet.h"
 #include "usecases/congestion.h"

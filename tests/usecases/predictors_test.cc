@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "core/inventory.h"
 #include "geo/geodesic.h"
 #include "hexgrid/hexgrid.h"
 #include "usecases/destination.h"

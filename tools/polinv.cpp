@@ -1,12 +1,19 @@
 // polinv — command-line inspector for saved Patterns-of-Life inventory
 // files (*.polinv).
 //
-//   polinv stats <file>                    header + per-grouping-set counts
+//   polinv stats <file>                    header, per-grouping-set counts,
+//                                          snapshot index sizes
 //   polinv query <file> <lat> <lng>        Table-3 summary of the cell
+//   polinv route <file> <o> <d> <segment>  corridor cells of a route key
+//                                          (indexed CellsForRoute path)
 //   polinv top <file> <n>                  n busiest cells
 //   polinv export <file>                   CSV of the (cell) grouping set
 //   polinv geojson <file> [min_records]    cell polygons as GeoJSON
 //   polinv report <file.json>              pretty-print a run report
+//
+// Every inventory command queries through core::InventoryQuery against
+// a sealed InventorySnapshot — the same read path a serving process
+// uses — never the raw summary map.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on IO/corruption.
 
@@ -14,10 +21,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/inventory.h"
+#include "core/inventory_snapshot.h"
 #include "flow/stage.h"
 #include "hexgrid/hexgrid.h"
 #include "obs/json.h"
@@ -32,6 +41,7 @@ int Usage() {
                "usage:\n"
                "  polinv stats   <file.polinv>\n"
                "  polinv query   <file.polinv> <lat> <lng>\n"
+               "  polinv route   <file.polinv> <origin> <dest> <segment>\n"
                "  polinv top     <file.polinv> <n>\n"
                "  polinv export  <file.polinv>\n"
                "  polinv geojson <file.polinv> [min_records]\n"
@@ -43,27 +53,34 @@ Result<core::Inventory> Load(const char* path) {
   return core::Inventory::LoadFromFile(path);
 }
 
-int CmdStats(const core::Inventory& inv) {
+int CmdStats(const core::InventorySnapshot& inv) {
   std::printf("resolution:        %d (mean cell ~%.1f km^2)\n",
               inv.resolution(), hex::MeanCellAreaKm2(inv.resolution()));
   std::printf("summaries:         %zu\n", inv.size());
-  std::map<int, uint64_t> by_gs;
   uint64_t records = 0;
-  for (const auto& [key, summary] : inv.summaries()) {
-    ++by_gs[key.grouping_set];
-    if (key.grouping_set == 0) records += summary.record_count();
-  }
+  inv.VisitGroupingSet(core::GroupingSet::kCell,
+                       [&records](const core::GroupKey&,
+                                  const core::CellSummary& summary) {
+                         records += summary.record_count();
+                       });
   static const char* kNames[] = {"(cell)", "(cell,type)",
                                  "(cell,origin,destination,type)"};
-  for (const auto& [gs, count] : by_gs) {
-    std::printf("  grouping set %d %-32s %llu\n", gs,
-                gs < 3 ? kNames[gs] : "?",
-                static_cast<unsigned long long>(count));
+  const core::InventorySnapshotStats& stats = inv.stats();
+  for (int gs = 0; gs < core::kNumGroupingSets; ++gs) {
+    std::printf("  grouping set %d %-32s %llu\n", gs, kNames[gs],
+                static_cast<unsigned long long>(
+                    stats.summaries_per_set[static_cast<size_t>(gs)]));
   }
   std::printf("records aggregated: %llu\n",
               static_cast<unsigned long long>(records));
   std::printf("distinct cells:     %llu\n",
               static_cast<unsigned long long>(inv.DistinctCells()));
+  std::printf("snapshot indexes:   %llu route keys over %llu cells, "
+              "%llu cells with per-type summaries (sealed in %.3f ms)\n",
+              static_cast<unsigned long long>(stats.route_index_routes),
+              static_cast<unsigned long long>(stats.route_index_cells),
+              static_cast<unsigned long long>(stats.segment_index_cells),
+              stats.seal_seconds * 1e3);
   return 0;
 }
 
@@ -111,7 +128,7 @@ void PrintSummary(const core::CellSummary& s) {
   }
 }
 
-int CmdQuery(const core::Inventory& inv, double lat, double lng) {
+int CmdQuery(const core::InventoryQuery& inv, double lat, double lng) {
   const geo::LatLng p{lat, lng};
   if (!p.IsValid()) {
     std::fprintf(stderr, "invalid coordinates\n");
@@ -129,13 +146,13 @@ int CmdQuery(const core::Inventory& inv, double lat, double lng) {
   return 0;
 }
 
-int CmdTop(const core::Inventory& inv, int n) {
+int CmdTop(const core::InventoryQuery& inv, int n) {
   std::vector<std::pair<uint64_t, hex::CellIndex>> ranked;
-  for (const auto& [key, summary] : inv.summaries()) {
-    if (key.grouping_set == 0) {
-      ranked.push_back({summary.record_count(), key.cell});
-    }
-  }
+  inv.VisitGroupingSet(core::GroupingSet::kCell,
+                       [&ranked](const core::GroupKey& key,
+                                 const core::CellSummary& summary) {
+                         ranked.push_back({summary.record_count(), key.cell});
+                       });
   std::sort(ranked.rbegin(), ranked.rend());
   std::printf("%-6s %-22s %-26s %s\n", "rank", "cell", "centre", "records");
   for (int i = 0; i < n && i < static_cast<int>(ranked.size()); ++i) {
@@ -150,23 +167,76 @@ int CmdTop(const core::Inventory& inv, int n) {
   return 0;
 }
 
-int CmdExport(const core::Inventory& inv) {
+// Accepts a segment name ("container", case-sensitive as printed by
+// ais::MarketSegmentName) or its numeric value.
+bool ParseSegment(const char* arg, ais::MarketSegment* out) {
+  for (int i = 0; i < ais::kNumMarketSegments; ++i) {
+    const auto segment = static_cast<ais::MarketSegment>(i);
+    if (ais::MarketSegmentName(segment) == arg) {
+      *out = segment;
+      return true;
+    }
+  }
+  char* end = nullptr;
+  const long value = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || value < 0 ||
+      value >= ais::kNumMarketSegments) {
+    return false;
+  }
+  *out = static_cast<ais::MarketSegment>(value);
+  return true;
+}
+
+int CmdRoute(const core::InventoryQuery& inv, const char* origin_arg,
+             const char* dest_arg, const char* segment_arg) {
+  const auto origin = static_cast<sim::PortId>(std::atoi(origin_arg));
+  const auto destination = static_cast<sim::PortId>(std::atoi(dest_arg));
+  ais::MarketSegment segment;
+  if (!ParseSegment(segment_arg, &segment)) {
+    std::fprintf(stderr, "unknown segment '%s' (name or 0..%d)\n", segment_arg,
+                 ais::kNumMarketSegments - 1);
+    return 1;
+  }
+  const std::vector<hex::CellIndex> cells =
+      inv.CellsForRoute(origin, destination, segment);
+  std::printf("route %u -> %u [%.*s]: %zu corridor cells\n",
+              static_cast<unsigned>(origin), static_cast<unsigned>(destination),
+              static_cast<int>(ais::MarketSegmentName(segment).size()),
+              ais::MarketSegmentName(segment).data(), cells.size());
+  std::printf("%-22s %-26s %-10s %s\n", "cell", "centre", "records",
+              "speed_mean");
+  for (const hex::CellIndex cell : cells) {
+    const core::CellSummary* s =
+        inv.CellRouteType(cell, origin, destination, segment);
+    if (s == nullptr) {
+      // Answered via the reversed-pair fallback: the summaries live
+      // under the opposite key orientation.
+      s = inv.CellRouteType(cell, destination, origin, segment);
+    }
+    std::printf("%-22s %-26s %-10llu %.2f\n", hex::CellToString(cell).c_str(),
+                hex::CellToLatLng(cell).ToString().c_str(),
+                static_cast<unsigned long long>(s ? s->record_count() : 0),
+                s ? s->speed().Mean() : 0.0);
+  }
+  return 0;
+}
+
+int CmdExport(const core::InventoryQuery& inv) {
   std::printf(
       "cell,lat,lng,records,ships,trips,speed_mean,speed_p50,course_mean,"
       "course_concentration,eto_mean_s,ata_mean_s\n");
-  for (const auto& [key, s] : inv.summaries()) {
-    if (key.grouping_set != 0) continue;
-    const geo::LatLng c = hex::CellToLatLng(key.cell);
-    std::printf("%llu,%.6f,%.6f,%llu,%.0f,%.0f,%.2f,%.2f,%.1f,%.3f,%.0f,%.0f\n",
-                static_cast<unsigned long long>(key.cell), c.lat_deg,
-                c.lng_deg,
-                static_cast<unsigned long long>(s.record_count()),
-                s.ships().Estimate(), s.trips().Estimate(),
-                s.speed().Mean(), s.speed_percentiles().Quantile(0.5),
-                s.course_mean().MeanDeg(),
-                s.course_mean().ResultantLength(), s.eto().Mean(),
-                s.ata().Mean());
-  }
+  inv.VisitGroupingSet(
+      core::GroupingSet::kCell,
+      [](const core::GroupKey& key, const core::CellSummary& s) {
+        const geo::LatLng c = hex::CellToLatLng(key.cell);
+        std::printf(
+            "%llu,%.6f,%.6f,%llu,%.0f,%.0f,%.2f,%.2f,%.1f,%.3f,%.0f,%.0f\n",
+            static_cast<unsigned long long>(key.cell), c.lat_deg, c.lng_deg,
+            static_cast<unsigned long long>(s.record_count()),
+            s.ships().Estimate(), s.trips().Estimate(), s.speed().Mean(),
+            s.speed_percentiles().Quantile(0.5), s.course_mean().MeanDeg(),
+            s.course_mean().ResultantLength(), s.eto().Mean(), s.ata().Mean());
+      });
   return 0;
 }
 
@@ -174,28 +244,33 @@ int CmdExport(const core::Inventory& inv) {
 // polygon per cell with the headline statistics as properties. Feed it
 // straight into QGIS / kepler.gl / geojson.io for the Figure 1 style
 // visualisation.
-int CmdGeoJson(const core::Inventory& inv, uint64_t min_records) {
+int CmdGeoJson(const core::InventoryQuery& inv, uint64_t min_records) {
   std::printf("{\"type\":\"FeatureCollection\",\"features\":[");
   bool first = true;
-  for (const auto& [key, s] : inv.summaries()) {
-    if (key.grouping_set != 0 || s.record_count() < min_records) continue;
-    if (!first) std::printf(",");
-    first = false;
-    std::printf("{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
-                "\"coordinates\":[[");
-    const auto boundary = hex::CellToBoundary(key.cell);
-    for (size_t i = 0; i <= boundary.size(); ++i) {
-      const geo::LatLng& v = boundary[i % boundary.size()];
-      std::printf("%s[%.6f,%.6f]", i == 0 ? "" : ",", v.lng_deg, v.lat_deg);
-    }
-    std::printf("]]},\"properties\":{\"records\":%llu,\"ships\":%.0f,"
-                "\"speed_mean\":%.2f,\"course_mean\":%.1f,"
-                "\"course_concentration\":%.3f}}",
-                static_cast<unsigned long long>(s.record_count()),
-                s.ships().Estimate(), s.speed().Mean(),
-                s.course_mean().MeanDeg(),
-                s.course_mean().ResultantLength());
-  }
+  inv.VisitGroupingSet(
+      core::GroupingSet::kCell,
+      [min_records, &first](const core::GroupKey& key,
+                            const core::CellSummary& s) {
+        if (s.record_count() < min_records) return;
+        if (!first) std::printf(",");
+        first = false;
+        std::printf(
+            "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
+            "\"coordinates\":[[");
+        const auto boundary = hex::CellToBoundary(key.cell);
+        for (size_t i = 0; i <= boundary.size(); ++i) {
+          const geo::LatLng& v = boundary[i % boundary.size()];
+          std::printf("%s[%.6f,%.6f]", i == 0 ? "" : ",", v.lng_deg,
+                      v.lat_deg);
+        }
+        std::printf(
+            "]]},\"properties\":{\"records\":%llu,\"ships\":%.0f,"
+            "\"speed_mean\":%.2f,\"course_mean\":%.1f,"
+            "\"course_concentration\":%.3f}}",
+            static_cast<unsigned long long>(s.record_count()),
+            s.ships().Estimate(), s.speed().Mean(),
+            s.course_mean().MeanDeg(), s.course_mean().ResultantLength());
+      });
   std::printf("]}\n");
   return 0;
 }
@@ -339,18 +414,24 @@ int Main(int argc, char** argv) {
                  inventory.status().ToString().c_str());
     return 2;
   }
-  if (std::strcmp(argv[1], "stats") == 0) return CmdStats(*inventory);
+  // Seal once and serve every command from the immutable snapshot.
+  const std::shared_ptr<const core::InventorySnapshot> snapshot =
+      inventory->Seal();
+  if (std::strcmp(argv[1], "stats") == 0) return CmdStats(*snapshot);
   if (std::strcmp(argv[1], "query") == 0 && argc == 5) {
-    return CmdQuery(*inventory, std::atof(argv[3]), std::atof(argv[4]));
+    return CmdQuery(*snapshot, std::atof(argv[3]), std::atof(argv[4]));
+  }
+  if (std::strcmp(argv[1], "route") == 0 && argc == 6) {
+    return CmdRoute(*snapshot, argv[3], argv[4], argv[5]);
   }
   if (std::strcmp(argv[1], "top") == 0 && argc == 4) {
-    return CmdTop(*inventory, std::atoi(argv[3]));
+    return CmdTop(*snapshot, std::atoi(argv[3]));
   }
-  if (std::strcmp(argv[1], "export") == 0) return CmdExport(*inventory);
+  if (std::strcmp(argv[1], "export") == 0) return CmdExport(*snapshot);
   if (std::strcmp(argv[1], "geojson") == 0) {
     const uint64_t min_records =
         argc >= 4 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
-    return CmdGeoJson(*inventory, min_records);
+    return CmdGeoJson(*snapshot, min_records);
   }
   return Usage();
 }

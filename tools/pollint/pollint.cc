@@ -203,6 +203,9 @@ class Linter {
       if (!StartsWith(path_, "src/obs/")) CheckDirectTiming();
     }
     CheckFloatCompares();
+    // The serving-side boundary applies to every linted tree (bench,
+    // examples, tools included); only src/core may touch the map.
+    if (!StartsWith(path_, "src/core/")) CheckInventoryQuery();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -501,6 +504,25 @@ class Linter {
     }
   }
 
+  // --- inventory-query ----------------------------------------------------
+  // src/core owns the raw summary map; every other layer queries the
+  // inventory through core::InventoryQuery (point lookups, CellsForRoute,
+  // VisitGroupingSet). Direct `summaries()` iteration outside src/core
+  // bypasses the serving-side indexes and pins callers to the build-side
+  // container type.
+  void CheckInventoryQuery() {
+    static const std::regex kSummaries(R"((^|[^\w])summaries\s*\(\s*\))");
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(lines_[i].code, match, kSummaries)) {
+        Report(i, "inventory-query",
+               "direct summaries() access outside src/core; query through "
+               "core::InventoryQuery (VisitGroupingSet / point lookups) "
+               "instead");
+      }
+    }
+  }
+
   // --- missing-include ----------------------------------------------------
   void CheckMissingIncludes() {
     struct Entry {
@@ -558,8 +580,8 @@ const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string>* const kIds =
       new std::vector<std::string>{
           "banned-call", "catch-swallow", "direct-timing",
-          "float-compare", "include-guard", "missing-include",
-          "mutex-guard", "naked-new", "stdout-io",
+          "float-compare", "include-guard", "inventory-query",
+          "missing-include", "mutex-guard", "naked-new", "stdout-io",
       };
   return *kIds;
 }
