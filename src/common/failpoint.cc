@@ -1,6 +1,5 @@
 #include "common/failpoint.h"
 
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,30 +34,30 @@ FailPointRegistry& FailPointRegistry::Global() {
 }
 
 void FailPointRegistry::Arm(std::string_view name, FailPointSpec spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Point& point = points_[std::string(name)];
   point.armed = true;
   point.spec = std::move(spec);
 }
 
 void FailPointRegistry::Disarm(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = points_.find(name);
   if (it != points_.end()) it->second.armed = false;
 }
 
 void FailPointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, point] : points_) point.armed = false;
 }
 
 void FailPointRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   points_.clear();
 }
 
 Status FailPointRegistry::Evaluate(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(name);
   if (it == points_.end()) {
     it = points_.emplace(std::string(name), Point()).first;
@@ -82,13 +81,13 @@ Status FailPointRegistry::Evaluate(std::string_view name) {
 }
 
 uint64_t FailPointRegistry::HitCount(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 std::vector<std::string> FailPointRegistry::KnownPoints() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(points_.size());
   for (const auto& [name, point] : points_) names.push_back(name);

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 // Deterministic fault injection for the pipeline's failure-containment
 // layer. A *fail point* is a named site in library code — stage
@@ -84,8 +85,8 @@ class FailPointRegistry {
     FailPointSpec spec;
   };
 
-  mutable std::mutex mutex_;  // guards: points_
-  std::map<std::string, Point, std::less<>> points_;
+  mutable Mutex mutex_;
+  std::map<std::string, Point, std::less<>> points_ POL_GUARDED_BY(mutex_);
 };
 
 }  // namespace pol

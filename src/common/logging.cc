@@ -3,11 +3,13 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pol {
 namespace {
@@ -28,8 +30,8 @@ std::atomic<int>& MinLevelVar() {
 }
 
 struct SinkState {
-  std::mutex mutex;  // guards: sink
-  LogSink sink;      // Empty = stderr default.
+  Mutex mutex;
+  LogSink sink POL_GUARDED_BY(mutex);  // Empty = stderr default.
 };
 
 SinkState& GlobalSink() {
@@ -55,12 +57,13 @@ const char* LevelTag(LogLevel level) {
 
 void Emit(LogLevel level, std::string_view line) {
   SinkState& state = GlobalSink();
-  std::unique_lock<std::mutex> lock(state.mutex);
-  if (state.sink) {
-    state.sink(level, line);
-    return;
+  {
+    MutexLock lock(state.mutex);
+    if (state.sink) {
+      state.sink(level, line);
+      return;
+    }
   }
-  lock.unlock();
   std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()), line.data());
 }
 
@@ -100,7 +103,7 @@ void InitLogLevelFromEnv() {
 
 LogSink SetLogSink(LogSink sink) {
   SinkState& state = GlobalSink();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   std::swap(state.sink, sink);
   return sink;
 }

@@ -1,0 +1,98 @@
+#ifndef POL_COMMON_MUTEX_H_
+#define POL_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+// The project's annotated locking vocabulary: pol::Mutex (a capability
+// the Clang thread-safety analysis can track), pol::MutexLock (the RAII
+// scope that acquires it) and pol::CondVar (a condition variable that
+// waits on a Mutex directly). Every mutex in src/ is one of these —
+// raw std::mutex carries no capability attribute under libstdc++, so
+// the analysis could not connect locks to the POL_GUARDED_BY fields
+// they protect (enforced by the pollint `mutex-annotation` rule).
+//
+// Usage:
+//
+//   class Counters {
+//    public:
+//     void Tick() {
+//       MutexLock lock(mutex_);
+//       ++count_;
+//     }
+//    private:
+//     mutable Mutex mutex_;
+//     int count_ POL_GUARDED_BY(mutex_) = 0;
+//   };
+//
+// Condition waits are written as explicit while loops so the guarded
+// predicate reads stay inside the locked (and analyzed) scope:
+//
+//   MutexLock lock(mutex_);
+//   while (queue_.empty()) work_available_.Wait(mutex_);
+//
+// Like thread_annotations.h, this header is freestanding over the C++
+// standard library only and is assigned to the `base` layer in
+// tools/pollint/layers.txt, so src/obs may include it without growing
+// a real dependency on common.
+
+namespace pol {
+
+// A std::mutex with the capability attribute the analysis needs.
+// Satisfies Lockable, so the std lock adapters still work — but prefer
+// MutexLock, which the analysis understands as a scoped acquire.
+class POL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() POL_ACQUIRE() { mu_.lock(); }
+  void unlock() POL_RELEASE() { mu_.unlock(); }
+  bool try_lock() POL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock scope over a Mutex (the std::lock_guard replacement the
+// analysis can see through).
+class POL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) POL_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() POL_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable that waits on a Mutex directly. Wait() atomically
+// releases the mutex, blocks, and reacquires before returning; callers
+// therefore hold the mutex across the whole wait loop as far as the
+// analysis (and the program logic) is concerned. Spurious wakeups are
+// possible — always wait in a while loop over the guarded predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) POL_REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any waits on any Lockable — including Mutex
+  // itself, which keeps the annotated type in the signature instead of
+  // forcing an unannotated std::unique_lock through the call site.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace pol
+
+#endif  // POL_COMMON_MUTEX_H_

@@ -1,6 +1,5 @@
 #include "common/quarantine.h"
 
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,7 +21,7 @@ void QuarantineStore::Record(std::string_view source, const Status& status,
     registry.counter("quarantine." + std::string(source) + ".dead_letters")
         ->Increment();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++counters_[{std::string(source), status.code()}];
   if (letters_.size() >= max_retained_) return;
   DeadLetter letter;
@@ -34,14 +33,14 @@ void QuarantineStore::Record(std::string_view source, const Status& status,
 }
 
 uint64_t QuarantineStore::total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const auto& [key, count] : counters_) total += count;
   return total;
 }
 
 uint64_t QuarantineStore::CountForSource(std::string_view source) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const auto& [key, count] : counters_) {
     if (key.first == source) total += count;
@@ -51,17 +50,17 @@ uint64_t QuarantineStore::CountForSource(std::string_view source) const {
 
 std::map<std::pair<std::string, StatusCode>, uint64_t>
 QuarantineStore::Counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_;
 }
 
 std::vector<DeadLetter> QuarantineStore::Letters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return letters_;
 }
 
 std::string QuarantineStore::CountersToString() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   for (const auto& [key, count] : counters_) {
     out += key.first;

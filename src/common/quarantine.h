@@ -4,13 +4,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 // A dead-letter store: the landing zone for inputs a fault-tolerant
 // consumer refuses to process but must not silently drop. Producers
@@ -59,9 +60,10 @@ class QuarantineStore {
 
  private:
   const size_t max_retained_;
-  mutable std::mutex mutex_;  // guards: counters_, letters_
-  std::map<std::pair<std::string, StatusCode>, uint64_t> counters_;
-  std::vector<DeadLetter> letters_;
+  mutable Mutex mutex_;
+  std::map<std::pair<std::string, StatusCode>, uint64_t> counters_
+      POL_GUARDED_BY(mutex_);
+  std::vector<DeadLetter> letters_ POL_GUARDED_BY(mutex_);
 };
 
 }  // namespace pol

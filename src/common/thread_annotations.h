@@ -1,0 +1,73 @@
+#ifndef POL_COMMON_THREAD_ANNOTATIONS_H_
+#define POL_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety annotations (see DESIGN.md §3.6). These macros
+// let the compiler prove lock discipline at build time: a field marked
+// POL_GUARDED_BY(mu_) may only be touched while mu_ is held, and the
+// `analyze` CMake preset (-Wthread-safety -Werror, Clang only) turns
+// any violation into a compile error — races TSan can only catch when
+// a test happens to interleave them.
+//
+// Under non-Clang compilers every macro expands to nothing, so the
+// annotated tree builds identically under GCC. The annotations attach
+// to the capability types in common/mutex.h (pol::Mutex, pol::MutexLock,
+// pol::CondVar); raw std::mutex is banned in src/ by the pollint
+// `mutex-annotation` rule because libstdc++'s mutex carries no
+// capability attribute the analysis could see.
+//
+// This header is macro-only and include-free on purpose: it is assigned
+// to the `base` layer in tools/pollint/layers.txt so even src/obs (the
+// otherwise dependency-free bottom layer) may include it.
+
+#if defined(__clang__)
+#define POL_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define POL_THREAD_ANNOTATION_ATTRIBUTE_(x)  // No-op off Clang.
+#endif
+
+// Type annotations: a class that is a lock ("capability") or an RAII
+// scope that holds one.
+#define POL_CAPABILITY(x) POL_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+#define POL_SCOPED_CAPABILITY POL_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+// Data annotations: the mutex that must be held to touch a field (or,
+// for pointers, the pointed-to data).
+#define POL_GUARDED_BY(x) POL_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+#define POL_PT_GUARDED_BY(x) POL_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// Function annotations: locks required on entry, acquired, released,
+// or forbidden (deadlock avoidance) by a call.
+#define POL_REQUIRES(...) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define POL_REQUIRES_SHARED(...) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+#define POL_ACQUIRE(...) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define POL_ACQUIRE_SHARED(...) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+#define POL_RELEASE(...) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define POL_RELEASE_SHARED(...) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+#define POL_TRY_ACQUIRE(...) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+#define POL_EXCLUDES(...) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+// Lock ordering documentation, checked when both locks are annotated.
+#define POL_ACQUIRED_BEFORE(...) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define POL_ACQUIRED_AFTER(...) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+// A function that returns a reference to the capability guarding its
+// class (accessor pattern).
+#define POL_RETURN_CAPABILITY(x) \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (documented at each
+// use; see DESIGN.md §3.6 for when it is acceptable).
+#define POL_NO_THREAD_SAFETY_ANALYSIS \
+  POL_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // POL_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,8 +1,9 @@
 #include "core/port_calls.h"
 
 #include <algorithm>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace pol::core {
 namespace {
@@ -26,7 +27,7 @@ bool IsStop(const PipelineRecord& record, const Geofencer& geofencer,
 std::vector<PortCall> ExtractPortCalls(
     const flow::Dataset<PipelineRecord>& records, const Geofencer& geofencer,
     const PortCallConfig& config) {
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<PortCall> calls;
 
   records.pool()->ParallelFor(
@@ -70,7 +71,7 @@ std::vector<PortCall> ExtractPortCalls(
           open.records = 1;
         }
         close_call(&open);
-        const std::lock_guard<std::mutex> lock(mutex);
+        const MutexLock lock(mutex);
         calls.insert(calls.end(), local.begin(), local.end());
       });
 

@@ -1,17 +1,20 @@
 #include "core/serving_inventory.h"
 
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace pol::core {
 
 ServingInventory::ServingInventory(Inventory base) : base_(std::move(base)) {
+  // No concurrency yet, but sealing reads the guarded build side — take
+  // the lock so the access is inside the analyzed discipline.
+  MutexLock lock(refresh_mutex_);
   Swap(base_.Seal());
 }
 
@@ -20,7 +23,7 @@ std::shared_ptr<const InventorySnapshot> ServingInventory::Acquire() const {
 #if defined(POL_SERVING_SNAPSHOT_ATOMIC)
   return snapshot_.load(std::memory_order_acquire);
 #else
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  MutexLock lock(snapshot_mutex_);
   return snapshot_;
 #endif
 }
@@ -32,7 +35,7 @@ void ServingInventory::Swap(std::shared_ptr<const InventorySnapshot> next) {
   snapshot_.store(std::move(next), std::memory_order_release);
 #else
   {
-    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    MutexLock lock(snapshot_mutex_);
     snapshot_ = std::move(next);
   }
 #endif
@@ -45,7 +48,7 @@ void ServingInventory::Swap(std::shared_ptr<const InventorySnapshot> next) {
 
 Status ServingInventory::Refresh(Inventory&& delta) {
   POL_TRACE_SPAN("serving.refresh");
-  std::lock_guard<std::mutex> lock(refresh_mutex_);
+  MutexLock lock(refresh_mutex_);
   POL_RETURN_IF_ERROR(base_.MergeFrom(std::move(delta)));
   Swap(base_.Seal());
   return Status::OK();

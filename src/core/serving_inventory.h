@@ -4,9 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 #include <version>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "core/inventory.h"
 #include "core/inventory_query.h"
@@ -98,14 +100,15 @@ class ServingInventory final : public InventoryQuery {
   uint64_t DistinctCells() const override;
 
  private:
-  std::mutex refresh_mutex_;  // guards: base_
-  Inventory base_;
+  Mutex refresh_mutex_;
+  Inventory base_ POL_GUARDED_BY(refresh_mutex_);
   std::atomic<uint64_t> swap_count_{0};
 #if defined(POL_SERVING_SNAPSHOT_ATOMIC)
   std::atomic<std::shared_ptr<const InventorySnapshot>> snapshot_;
 #else
-  mutable std::mutex snapshot_mutex_;  // guards: snapshot_
-  std::shared_ptr<const InventorySnapshot> snapshot_;
+  mutable Mutex snapshot_mutex_;
+  std::shared_ptr<const InventorySnapshot> snapshot_
+      POL_GUARDED_BY(snapshot_mutex_);
 #endif
 };
 

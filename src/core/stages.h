@@ -1,11 +1,12 @@
 #ifndef POL_CORE_STAGES_H_
 #define POL_CORE_STAGES_H_
 
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/cleaning.h"
 #include "core/enrich.h"
 #include "core/extractor.h"
@@ -40,20 +41,20 @@ class CleaningStage
       flow::Dataset<ais::PositionReport> input) override {
     CleaningStats local;
     flow::Dataset<PipelineRecord> out = CleanChunk(input, config_, &local);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.Accumulate(local);
     return out;
   }
 
   CleaningStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
   }
 
  private:
   CleaningConfig config_;
-  mutable std::mutex mutex_;  // guards: stats_
-  CleaningStats stats_;
+  mutable Mutex mutex_;
+  CleaningStats stats_ POL_GUARDED_BY(mutex_);
 };
 
 // Stage 2 — enrichment: vessel-registry join + commercial filter.
@@ -71,7 +72,7 @@ class EnrichmentStage
     EnrichmentStats local;
     flow::Dataset<PipelineRecord> out =
         enricher_.Enrich(input, commercial_only_, &local);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.input += local.input;
     stats_.unknown_vessel += local.unknown_vessel;
     stats_.non_commercial += local.non_commercial;
@@ -80,15 +81,15 @@ class EnrichmentStage
   }
 
   EnrichmentStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
   }
 
  private:
   Enricher enricher_;
   bool commercial_only_;
-  mutable std::mutex mutex_;  // guards: stats_
-  EnrichmentStats stats_;
+  mutable Mutex mutex_;
+  EnrichmentStats stats_ POL_GUARDED_BY(mutex_);
 };
 
 // Stage 3 — trip semantics via port geofencing.
@@ -105,7 +106,7 @@ class TripStage : public flow::Stage<PipelineRecord, PipelineRecord> {
     TripStats local;
     flow::Dataset<PipelineRecord> out =
         ExtractTrips(input, geofencer_, &local, config_);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.input += local.input;
     stats_.trips += local.trips;
     stats_.annotated += local.annotated;
@@ -114,7 +115,7 @@ class TripStage : public flow::Stage<PipelineRecord, PipelineRecord> {
   }
 
   TripStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
   }
 
@@ -123,8 +124,8 @@ class TripStage : public flow::Stage<PipelineRecord, PipelineRecord> {
  private:
   Geofencer geofencer_;
   TripConfig config_;
-  mutable std::mutex mutex_;  // guards: stats_
-  TripStats stats_;
+  mutable Mutex mutex_;
+  TripStats stats_ POL_GUARDED_BY(mutex_);
 };
 
 // Stage 4 — projection to the hexagonal grid (+ in-trip transitions).

@@ -6,14 +6,15 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "flow/dataset.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -70,7 +71,7 @@ class StageMetricsCollector {
   void Record(size_t stage, std::string_view name, uint64_t records_in,
               uint64_t records_out, size_t peak_partition,
               double wall_seconds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     StageMetrics& m = Slot(stage, name);
     ++m.chunks;
     m.records_in += records_in;
@@ -81,27 +82,28 @@ class StageMetricsCollector {
   }
 
   void RecordFailure(size_t stage, std::string_view name, StatusCode code) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     StageMetrics& m = Slot(stage, name);
     ++m.failures;
     ++m.failures_by_reason[std::string(StatusCodeName(code))];
   }
 
   std::vector<StageMetrics> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return metrics_;
   }
 
  private:
-  StageMetrics& Slot(size_t stage, std::string_view name) {
+  StageMetrics& Slot(size_t stage, std::string_view name)
+      POL_REQUIRES(mutex_) {
     if (metrics_.size() <= stage) metrics_.resize(stage + 1);
     StageMetrics& m = metrics_[stage];
     if (m.name.empty()) m.name = std::string(name);
     return m;
   }
 
-  mutable std::mutex mutex_;  // guards: metrics_
-  std::vector<StageMetrics> metrics_;
+  mutable Mutex mutex_;
+  std::vector<StageMetrics> metrics_ POL_GUARDED_BY(mutex_);
 };
 
 // One pipeline stage: consumes a chunk, produces a chunk or an error.

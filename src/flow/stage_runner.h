@@ -3,11 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -15,6 +13,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "flow/stage.h"
 #include "flow/threadpool.h"
@@ -133,22 +132,22 @@ class StageRunner {
       bool done = false;
     };
     std::vector<Slot> slots(total);
-    std::mutex mutex;
-    std::condition_variable ready;
+    Mutex mutex;
+    CondVar ready;
     size_t in_flight = 0;
     size_t next_to_submit = start_chunk;
     std::atomic<uint64_t> retries{0};
 
     // Abort paths must not leave pool tasks referencing this frame.
     const auto drain = [&] {
-      std::unique_lock<std::mutex> lock(mutex);
-      ready.wait(lock, [&] { return in_flight == 0; });
+      MutexLock lock(mutex);
+      while (in_flight != 0) ready.Wait(mutex);
     };
 
     for (size_t next_to_fold = start_chunk; next_to_fold < total;
          ++next_to_fold) {
       {
-        std::unique_lock<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         for (;;) {
           // Keep the window full.
           while (next_to_submit < total &&
@@ -162,14 +161,14 @@ class StageRunner {
                 obs::ScopedSpan span("chunk." + std::to_string(k));
                 RunChunkWithRetries(chunk, &slots[k], &retries);
               }
-              std::unique_lock<std::mutex> task_lock(mutex);
+              MutexLock task_lock(mutex);
               slots[k].done = true;
               --in_flight;
-              ready.notify_all();
+              ready.NotifyAll();
             });
           }
           if (slots[next_to_fold].done) break;
-          ready.wait(lock);
+          ready.Wait(mutex);
         }
       }
       Slot& slot = slots[next_to_fold];

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "obs/clock.h"
 
 namespace pol::flow {
@@ -31,10 +30,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -43,11 +42,11 @@ void ThreadPool::Submit(std::function<void()> task) {
   pending.fn = std::move(task);
   if constexpr (obs::kEnabled) pending.enqueue_micros = obs::NowMicros();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(pending));
     queue_depth_metric_->Set(static_cast<int64_t>(queue_.size()));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 bool ThreadPool::IsWorkerThread() const {
@@ -65,8 +64,8 @@ void ThreadPool::Wait() {
       << "ThreadPool::Wait() called from inside a pool task; this would "
          "deadlock (the calling task counts as active). Use ParallelFor "
          "for nested fan-out.";
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) all_done_.Wait(mutex_);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -84,8 +83,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   struct CallState {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mutex;
-    std::condition_variable finished;
+    Mutex mutex;
+    CondVar finished;
   };
   auto state = std::make_shared<CallState>();
   auto run = [state, n, &fn] {
@@ -106,25 +105,23 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       const size_t completed = run();
       if (completed != 0 &&
           state->done.fetch_add(completed) + completed == n) {
-        std::unique_lock<std::mutex> lock(state->mutex);
-        state->finished.notify_all();
+        MutexLock lock(state->mutex);
+        state->finished.NotifyAll();
       }
     });
   }
   const size_t completed = run();
   if (completed != 0) state->done.fetch_add(completed);
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->finished.wait(lock,
-                       [&state, n] { return state->done.load() == n; });
+  MutexLock lock(state->mutex);
+  while (state->done.load() != n) state->finished.Wait(state->mutex);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     PendingTask task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
       if (queue_.empty()) return;  // Shutting down.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -143,9 +140,9 @@ void ThreadPool::WorkerLoop() {
       task.fn();
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
-      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+      if (queue_.empty() && active_ == 0) all_done_.NotifyAll();
     }
   }
 }

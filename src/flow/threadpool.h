@@ -1,15 +1,15 @@
 #ifndef POL_FLOW_THREADPOOL_H_
 #define POL_FLOW_THREADPOOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 // Fixed-size worker pool driving the dataflow engine. Tasks are
@@ -69,12 +69,13 @@ class ThreadPool {
 
   void WorkerLoop();
 
-  std::mutex mutex_;  // guards: queue_, active_, shutting_down_
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<PendingTask> queue_;
-  size_t active_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<PendingTask> queue_ POL_GUARDED_BY(mutex_);
+  size_t active_ POL_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ POL_GUARDED_BY(mutex_) = false;
+  // Written only by the constructor; read lock-free thereafter.
   std::vector<std::thread> workers_;
 
   // Cached registry handles (stable pointers; dummies when disabled).

@@ -1,10 +1,11 @@
 #include "obs/metrics.h"
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace pol::obs {
 namespace {
@@ -18,18 +19,13 @@ Metric* Dummy() {
   return kDummy;
 }
 
+// Registry lookup body; the caller holds the registry mutex (the three
+// public accessors lock, so the guarded map access is inside the
+// analyzed scope instead of laundered through a reference parameter).
 template <typename Metric>
-Metric* FindOrCreate(
-    std::mutex& mutex,
+Metric* FindOrCreateLocked(
     std::map<std::string, std::unique_ptr<Metric>, std::less<>>& metrics,
     std::string_view name) {
-  if constexpr (!kEnabled) {
-    (void)mutex;
-    (void)metrics;
-    (void)name;
-    return Dummy<Metric>();
-  }
-  std::lock_guard<std::mutex> lock(mutex);
   const auto it = metrics.find(name);
   if (it != metrics.end()) return it->second.get();
   auto metric = std::make_unique<Metric>();
@@ -46,20 +42,35 @@ Registry& Registry::Global() {
 }
 
 Counter* Registry::counter(std::string_view name) {
-  return FindOrCreate(mutex_, counters_, name);
+  if constexpr (!kEnabled) {
+    (void)name;
+    return Dummy<Counter>();
+  }
+  MutexLock lock(mutex_);
+  return FindOrCreateLocked(counters_, name);
 }
 
 Gauge* Registry::gauge(std::string_view name) {
-  return FindOrCreate(mutex_, gauges_, name);
+  if constexpr (!kEnabled) {
+    (void)name;
+    return Dummy<Gauge>();
+  }
+  MutexLock lock(mutex_);
+  return FindOrCreateLocked(gauges_, name);
 }
 
 Histogram* Registry::histogram(std::string_view name) {
-  return FindOrCreate(mutex_, histograms_, name);
+  if constexpr (!kEnabled) {
+    (void)name;
+    return Dummy<Histogram>();
+  }
+  MutexLock lock(mutex_);
+  return FindOrCreateLocked(histograms_, name);
 }
 
 MetricsSnapshot Registry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.emplace_back(name, counter->value());
   }
@@ -82,7 +93,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, histogram] : histograms_) histogram->Reset();

@@ -8,11 +8,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+// common/mutex.h and common/thread_annotations.h live in the `base`
+// layer (see tools/pollint/layers.txt): freestanding lock vocabulary
+// the dependency-free obs layer may use without depending on common.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 // The process-wide metrics registry: monotonic counters, gauges and
@@ -211,10 +215,13 @@ class Registry {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;  // guards: counters_, gauges_, histograms_
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      POL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      POL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      POL_GUARDED_BY(mutex_);
 };
 
 }  // namespace pol::obs

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/json.h"
 
 namespace pol::obs {
@@ -25,7 +25,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
   if (is_global && global_buffer != nullptr) return global_buffer;
   auto buffer = std::make_shared<ThreadBuffer>();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     buffer->tid = next_tid_++;
     buffers_.push_back(buffer);
   }
@@ -48,14 +48,14 @@ void TraceRecorder::Record(std::string name, uint64_t ts_micros,
   event.ts_micros = ts_micros;
   event.dur_micros = dur_micros;
   event.tid = buffer->tid;
-  std::lock_guard<std::mutex> lock(buffer->mutex);
+  MutexLock lock(buffer->mutex);
   buffer->events.push_back(std::move(event));
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     buffer->events.clear();
   }
 }
@@ -63,9 +63,9 @@ void TraceRecorder::Clear() {
 std::vector<TraceEvent> TraceRecorder::Events() const {
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      MutexLock buffer_lock(buffer->mutex);
       events.insert(events.end(), buffer->events.begin(),
                     buffer->events.end());
     }
@@ -82,9 +82,9 @@ std::vector<TraceEvent> TraceRecorder::Events() const {
 
 size_t TraceRecorder::event_count() const {
   size_t count = 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     count += buffer->events.size();
   }
   return count;

@@ -5,12 +5,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"  // kEnabled
 
@@ -73,17 +74,18 @@ class TraceRecorder {
 
  private:
   struct ThreadBuffer {
-    std::mutex mutex;  // guards: events
-    std::vector<TraceEvent> events;
-    uint32_t tid = 0;
+    Mutex mutex;
+    std::vector<TraceEvent> events POL_GUARDED_BY(mutex);
+    uint32_t tid = 0;  // Written once at creation (under the recorder
+                       // mutex), read lock-free by the owning thread.
   };
 
   ThreadBuffer* BufferForThisThread();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;  // guards: buffers_, next_tid_
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  uint32_t next_tid_ = 1;
+  mutable Mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ POL_GUARDED_BY(mutex_);
+  uint32_t next_tid_ POL_GUARDED_BY(mutex_) = 1;
 };
 
 // RAII span: captures the start on construction and records into the

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "geo/geodesic.h"
 
 namespace pol::uc {
@@ -30,7 +30,7 @@ std::vector<PortActivity> AnalyzePortActivity(
     const flow::Dataset<core::PipelineRecord>& records,
     const sim::PortDatabase& ports, const CongestionConfig& config) {
   // Detect anchorage waits: stationary runs near (but not in) a port.
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<Wait> waits;
   records.pool()->ParallelFor(
       static_cast<size_t>(records.num_partitions()), [&](size_t p) {
@@ -78,7 +78,7 @@ std::vector<PortActivity> AnalyzePortActivity(
           }
         }
         close(&open);
-        const std::lock_guard<std::mutex> lock(mutex);
+        const MutexLock lock(mutex);
         waits.insert(waits.end(), local.begin(), local.end());
       });
 

@@ -1,0 +1,264 @@
+// poldeps self-tests: layer-spec parsing, include-graph construction,
+// and the project rules (layer violations, cycles, unknown layers,
+// dangling includes) over hermetic in-memory fixture projects, plus
+// the missing-include transitive regression over corpus files.
+
+#include "tools/pollint/poldeps.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pol::tools::pollint {
+namespace {
+
+#ifndef POLLINT_CORPUS_DIR
+#error "POLLINT_CORPUS_DIR must point at tests/tools/pollint_corpus"
+#endif
+
+std::string ReadCorpusFile(const std::string& name) {
+  const std::string path = std::string(POLLINT_CORPUS_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing corpus fixture: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+LayerSpec Parse(const std::string& text) {
+  LayerSpecParse parse = ParseLayerSpec(text);
+  EXPECT_TRUE(parse.errors.empty())
+      << "unexpected spec error: " << parse.errors.front();
+  return std::move(parse.spec);
+}
+
+// A miniature of the real DAG, enough for every graph rule.
+const char kSpec[] =
+    "# comment\n"
+    "layer base\n"
+    "layer obs : base\n"
+    "layer common : obs\n"
+    "layer core : common\n"
+    "layer tools : core\n"
+    "assign src/common/special.h base\n";
+
+using RuleLine = std::pair<std::string, int>;
+
+std::vector<RuleLine> RulesOf(const std::vector<Finding>& findings) {
+  std::vector<RuleLine> out;
+  for (const Finding& finding : findings) {
+    out.emplace_back(finding.rule, finding.line);
+  }
+  return out;
+}
+
+TEST(LayerSpecTest, ClosesDependenciesTransitively) {
+  const LayerSpec spec = Parse(kSpec);
+  const std::vector<std::string> expected_order = {"base", "obs", "common",
+                                                   "core", "tools"};
+  EXPECT_EQ(spec.order, expected_order);
+  // tools : core closes over common, obs, base.
+  const std::set<std::string> expected_deps = {"base", "common", "core",
+                                               "obs"};
+  EXPECT_EQ(spec.allowed.at("tools"), expected_deps);
+  EXPECT_TRUE(spec.allowed.at("base").empty());
+}
+
+TEST(LayerSpecTest, ColonMayTouchTheLayerName) {
+  const LayerSpec spec = Parse("layer a\nlayer b: a\n");
+  EXPECT_EQ(spec.allowed.at("b"), std::set<std::string>{"a"});
+}
+
+TEST(LayerSpecTest, RejectsForwardAndUnknownDeps) {
+  // Deps must be declared above — that is what makes the spec a DAG by
+  // construction.
+  const LayerSpecParse parse = ParseLayerSpec("layer a : b\nlayer b\n");
+  ASSERT_EQ(parse.errors.size(), 1u);
+  EXPECT_NE(parse.errors[0].find("line 1"), std::string::npos);
+  EXPECT_NE(parse.errors[0].find("'b'"), std::string::npos);
+}
+
+TEST(LayerSpecTest, RejectsDuplicatesBadAssignsAndUnknownDirectives) {
+  const LayerSpecParse parse = ParseLayerSpec(
+      "layer a\n"
+      "layer a\n"
+      "assign src/x.h nope\n"
+      "frobnicate\n");
+  EXPECT_EQ(parse.errors.size(), 3u);
+}
+
+TEST(LayerSpecTest, LayerForPathUsesOverridesThenDirectories) {
+  const LayerSpec spec = Parse(kSpec);
+  EXPECT_EQ(LayerForPath(spec, "src/common/special.h"), "base");
+  EXPECT_EQ(LayerForPath(spec, "src/common/check.h"), "common");
+  EXPECT_EQ(LayerForPath(spec, "tools/pollint/pollint.cc"), "tools");
+  EXPECT_EQ(LayerForPath(spec, "src/unheard_of/x.h"), "");
+  EXPECT_EQ(LayerForPath(spec, "bench/bench_util.h"), "");
+}
+
+TEST(PoldepsTest, AcceptsDownwardAndSameLayerIncludes) {
+  const LayerSpec spec = Parse(kSpec);
+  const std::vector<SourceFile> files = {
+      {"src/core/api.h", "#include \"common/check.h\"\n"},
+      {"src/common/check.h", "#include \"common/special.h\"\n"},
+      {"src/common/special.h", ""},
+      {"src/obs/metrics.h", "#include \"common/special.h\"\n"},
+  };
+  const ProjectGraph graph = BuildProjectGraph(files, spec);
+  EXPECT_TRUE(CheckProject(graph, spec).empty());
+  EXPECT_EQ(graph.edges.size(), 3u);
+}
+
+TEST(PoldepsTest, ReportsUpwardIncludeAsLayerViolation) {
+  // The canonical breakage: the dependency-free obs layer reaching up
+  // into core.
+  const LayerSpec spec = Parse(kSpec);
+  const std::vector<SourceFile> files = {
+      {"src/obs/metrics.h", "// preamble\n#include \"core/api.h\"\n"},
+      {"src/core/api.h", ""},
+  };
+  const std::vector<Finding> findings =
+      CheckProject(BuildProjectGraph(files, spec), spec);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/obs/metrics.h");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].rule, "layer-violation");
+  EXPECT_NE(findings[0].message.find("layer core"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("layer obs"), std::string::npos);
+}
+
+TEST(PoldepsTest, ReportsTwoNodeIncludeCycle) {
+  const LayerSpec spec = Parse(kSpec);
+  const std::vector<SourceFile> files = {
+      {"src/core/a.h", "#include \"core/b.h\"\n"},
+      {"src/core/b.h", "#include \"core/a.h\"\n"},
+  };
+  const std::vector<Finding> findings =
+      CheckProject(BuildProjectGraph(files, spec), spec);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  EXPECT_EQ(findings[0].path, "src/core/a.h");
+  EXPECT_NE(findings[0].message.find(
+                "src/core/a.h -> src/core/b.h -> src/core/a.h"),
+            std::string::npos);
+}
+
+TEST(PoldepsTest, ReportsThreeNodeIncludeCycleOnce) {
+  const LayerSpec spec = Parse(kSpec);
+  const std::vector<SourceFile> files = {
+      {"src/core/a.h", "#include \"core/b.h\"\n"},
+      {"src/core/b.h", "#include \"core/c.h\"\n"},
+      {"src/core/c.h", "#include \"core/a.h\"\n"},
+      {"src/core/acyclic.h", "#include \"core/a.h\"\n"},
+  };
+  const std::vector<Finding> findings =
+      CheckProject(BuildProjectGraph(files, spec), spec);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  EXPECT_EQ(findings[0].path, "src/core/a.h");
+}
+
+TEST(PoldepsTest, ReportsUnknownLayer) {
+  const LayerSpec spec = Parse(kSpec);
+  const std::vector<SourceFile> files = {
+      {"src/mystery/thing.h", ""},
+  };
+  const std::vector<Finding> findings =
+      CheckProject(BuildProjectGraph(files, spec), spec);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unknown-layer");
+  EXPECT_EQ(findings[0].path, "src/mystery/thing.h");
+}
+
+TEST(PoldepsTest, ReportsDanglingIncludeOnlyForLayerPaths) {
+  const LayerSpec spec = Parse(kSpec);
+  const std::vector<SourceFile> files = {
+      // "core/gone.h" names a declared layer but resolves to nothing;
+      // <vector> and the non-layer "third_party/x.h" are exempt.
+      {"src/core/api.h",
+       "#include <vector>\n"
+       "#include \"core/gone.h\"\n"
+       "#include \"third_party/x.h\"\n"},
+  };
+  const std::vector<Finding> findings =
+      CheckProject(BuildProjectGraph(files, spec), spec);
+  const std::vector<RuleLine> expected = {{"dangling-include", 2}};
+  EXPECT_EQ(RulesOf(findings), expected);
+}
+
+TEST(PoldepsTest, TransitiveStdIncludesCrossHeadersButNotSelf) {
+  const LayerSpec spec = Parse(kSpec);
+  const std::vector<SourceFile> files = {
+      {"src/core/use.cc",
+       "#include <string>\n#include \"core/mid.h\"\n"},
+      {"src/core/mid.h", "#include \"common/check.h\"\n"},
+      {"src/common/check.h", "#include <vector>\n"},
+  };
+  const ProjectGraph graph = BuildProjectGraph(files, spec);
+  const std::set<std::string> through = {"vector"};
+  // <string> is use.cc's own direct include, not a transitive one;
+  // <vector> arrives through mid.h -> check.h.
+  EXPECT_EQ(TransitiveStdIncludes(graph, "src/core/use.cc"), through);
+  EXPECT_EQ(TransitiveStdIncludes(graph, "src/core/mid.h"), through);
+  EXPECT_TRUE(TransitiveStdIncludes(graph, "src/common/check.h").empty());
+}
+
+TEST(PoldepsTest, ProjectLintSuppressesTransitiveMissingInclude) {
+  // Corpus regression: transitive_include.cc uses std::vector with
+  // <vector> visible only through aggregator.h. Single-file lint
+  // reports it; project lint knows the include graph and stays quiet.
+  const std::string consumer = ReadCorpusFile("transitive_include.cc");
+  const std::vector<RuleLine> single = {{"missing-include", 5}};
+  EXPECT_EQ(RulesOf(LintSource("src/corpus/transitive_include.cc", consumer)),
+            single);
+
+  const LayerSpec spec = Parse("layer corpus\n");
+  const std::vector<SourceFile> files = {
+      {"src/corpus/aggregator.h", ReadCorpusFile("aggregator.h")},
+      {"src/corpus/transitive_include.cc", consumer},
+  };
+  const ProjectLintResult result = ProjectLint(spec, files);
+  EXPECT_TRUE(result.findings.empty())
+      << FormatFinding(result.findings.front());
+}
+
+TEST(PoldepsTest, DotExportIsDeterministic) {
+  const LayerSpec spec = Parse(kSpec);
+  const std::vector<SourceFile> files = {
+      {"src/core/api.h", "#include \"common/check.h\"\n"},
+      {"src/common/check.h", ""},
+      {"bench/loose.cc", ""},
+  };
+  const ProjectGraph graph = BuildProjectGraph(files, spec);
+  EXPECT_EQ(ToDot(graph, spec),
+            "digraph poldeps {\n"
+            "  rankdir=LR;\n"
+            "  node [shape=box, fontsize=10];\n"
+            "  subgraph cluster_common {\n"
+            "    label=\"common\";\n"
+            "    \"src/common/check.h\";\n"
+            "  }\n"
+            "  subgraph cluster_core {\n"
+            "    label=\"core\";\n"
+            "    \"src/core/api.h\";\n"
+            "  }\n"
+            "  \"bench/loose.cc\";\n"
+            "  \"src/core/api.h\" -> \"src/common/check.h\";\n"
+            "}\n");
+}
+
+TEST(PoldepsTest, ProjectRuleIdsAreSortedAndUnique) {
+  const std::vector<std::string>& ids = ProjectRuleIds();
+  EXPECT_FALSE(ids.empty());
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+}  // namespace pol::tools::pollint

@@ -1,0 +1,13 @@
+#ifndef POL_CORPUS_AGGREGATOR_H_
+#define POL_CORPUS_AGGREGATOR_H_
+
+// Corpus: an aggregator header that pulls in <vector> for its own
+// types. Files including it see std::vector transitively — the
+// missing-include false positive poldeps' include graph suppresses.
+#include <vector>
+
+struct Batch {
+  std::vector<int> values;
+};
+
+#endif  // POL_CORPUS_AGGREGATOR_H_

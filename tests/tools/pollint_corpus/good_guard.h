@@ -2,20 +2,22 @@
 #define POL_CORPUS_GOOD_GUARD_H_
 
 // Corpus: fully clean header — correct guard for the virtual path
-// src/corpus/good_guard.h, documented mutex, direct includes.
-#include <mutex>
+// src/corpus/good_guard.h, annotated mutex, direct includes.
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 class GoodGuard {
  public:
   void Add(int v) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    pol::MutexLock lock(mutex_);
     values_.push_back(v);
   }
 
  private:
-  std::mutex mutex_;  // guards: values_
-  std::vector<int> values_;
+  mutable pol::Mutex mutex_;
+  std::vector<int> values_ POL_GUARDED_BY(mutex_);
 };
 
 #endif  // POL_CORPUS_GOOD_GUARD_H_

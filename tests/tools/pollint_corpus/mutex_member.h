@@ -1,24 +1,29 @@
 #ifndef POL_CORPUS_MUTEX_MEMBER_H_
 #define POL_CORPUS_MUTEX_MEMBER_H_
 
-// Corpus: std::mutex members must carry a '// guards:' comment.
+// Corpus: mutex-annotation — raw std::mutex family types are banned in
+// library code, and a pol::Mutex member (trailing underscore) must
+// guard at least one POL_GUARDED_BY field in the file.
 #include <mutex>
+#include <shared_mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 class Counters {
  public:
   void Tick();
 
  private:
-  std::mutex mutex_;
-  // guards: slow_
-  mutable std::mutex slow_mutex_;
-  std::shared_mutex rw_mutex_;  // guards: totals_
-  int slow_ = 0;
-  int totals_ = 0;
+  std::mutex raw_;
+  mutable std::shared_mutex rw_;
+  Mutex unguarded_;
+  mutable pol::Mutex mutex_;
+  int total_ POL_GUARDED_BY(mutex_) = 0;
 };
 
-inline void LocalMutexIsFine() {
-  static std::mutex local;  // Not a member: trailing underscore absent.
+inline void LocalsAreNotMembers() {
+  pol::Mutex local;  // No trailing underscore: guard check skips it.
   (void)local;
 }
 

@@ -1,0 +1,5 @@
+// Corpus: uses std::vector with <vector> visible only through the
+// aggregator header. Single-file lint reports missing-include (line 5);
+// project lint, which knows the include graph, stays quiet.
+#include "corpus/aggregator.h"
+std::vector<int> Twice(Batch batch);

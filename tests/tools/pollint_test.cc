@@ -104,9 +104,44 @@ TEST(PollintCorpusTest, CleanHeaderHasNoFindings) {
   EXPECT_TRUE(Lint("good_guard.h", "src/corpus/good_guard.h").empty());
 }
 
-TEST(PollintCorpusTest, MutexMemberNeedsGuardsComment) {
-  const std::vector<RuleLine> expected = {{"mutex-guard", 12}};
+TEST(PollintCorpusTest, MutexAnnotations) {
+  // Raw std::mutex / std::shared_mutex members fire part (a); the
+  // pol::Mutex member guarding nothing fires part (b); the annotated
+  // member and the function-local Mutex stay quiet.
+  const std::vector<RuleLine> expected = {
+      {"mutex-annotation", 18},
+      {"mutex-annotation", 19},
+      {"mutex-annotation", 20},
+  };
   EXPECT_EQ(Lint("mutex_member.h", "src/corpus/mutex_member.h"), expected);
+}
+
+TEST(PollintCorpusTest, MutexAnnotationsOnlyInLibraryCode) {
+  // Under a tools/ path only the path-derived include-guard rule may
+  // fire; the mutex rule is library-code-only.
+  for (const RuleLine& finding :
+       Lint("mutex_member.h", "tools/corpus/mutex_member.h")) {
+    EXPECT_NE(finding.first, "mutex-annotation");
+  }
+}
+
+TEST(PollintTest, MutexWrapperHeaderIsExempt) {
+  // The one legitimate home of a raw std::mutex.
+  const auto findings = LintSource(
+      "src/common/mutex.h",
+      "#ifndef POL_COMMON_MUTEX_H_\n#define POL_COMMON_MUTEX_H_\n"
+      "#include <mutex>\nclass Mutex { std::mutex mu_; };\n#endif\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(PollintTest, TransitiveStdIncludesSuppressMissingInclude) {
+  // The LintOptions overload treats project-propagated std headers as
+  // satisfied; the plain overload keeps demanding a direct include.
+  const std::string content = "std::vector<int> v;\n";
+  ASSERT_EQ(LintSource("src/x/y.cc", content).size(), 1u);
+  LintOptions options;
+  options.transitive_std_includes.insert("vector");
+  EXPECT_TRUE(LintSource("src/x/y.cc", content, options).empty());
 }
 
 TEST(PollintCorpusTest, CatchSwallow) {

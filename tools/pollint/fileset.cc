@@ -1,0 +1,80 @@
+#include "tools/pollint/fileset.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+namespace pol::tools::pollint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+bool CollectFiles(const std::string& root, const std::string& arg,
+                  std::vector<std::string>* out, std::string* error) {
+  const fs::path full = fs::path(root) / arg;
+  std::error_code ec;
+  if (fs::is_regular_file(full, ec)) {
+    out->push_back(arg);
+    return true;
+  }
+  if (!fs::is_directory(full, ec)) {
+    *error = "no such file or directory: " + full.string();
+    return false;
+  }
+  for (fs::recursive_directory_iterator it(full, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      *error = ec.message();
+      return false;
+    }
+    if (!it->is_regular_file() || !HasLintableExtension(it->path())) continue;
+    const std::string rel =
+        fs::relative(it->path(), root, ec).generic_string();
+    // Never lint build trees or the linter's own test fixtures.
+    if (rel.find("CMakeFiles") != std::string::npos ||
+        rel.find("pollint_corpus") != std::string::npos) {
+      continue;
+    }
+    out->push_back(rel);
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* content,
+              std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+bool ReadSources(const std::string& root,
+                 const std::vector<std::string>& paths,
+                 std::vector<SourceFile>* out, std::string* error) {
+  for (const std::string& path : paths) {
+    SourceFile file;
+    file.path = path;
+    if (!ReadFile((fs::path(root) / path).string(), &file.content, error)) {
+      return false;
+    }
+    out->push_back(std::move(file));
+  }
+  return true;
+}
+
+}  // namespace pol::tools::pollint

@@ -1,0 +1,35 @@
+#ifndef POL_TOOLS_POLLINT_FILESET_H_
+#define POL_TOOLS_POLLINT_FILESET_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/pollint/poldeps.h"
+
+// The one place pollint touches the filesystem. The lint libraries
+// (pollint.h, poldeps.h) stay path+content in-memory; the CLI and the
+// poldeps self-check test use these helpers to turn a repo tree into
+// that form.
+
+namespace pol::tools::pollint {
+
+// Collects lintable files (.h/.cc/.cpp) under root/arg (file or
+// directory), appending root-relative POSIX paths to `out`. Skips
+// build trees (CMakeFiles) and the linter's own corpus fixtures. On
+// failure returns false with `error` set.
+bool CollectFiles(const std::string& root, const std::string& arg,
+                  std::vector<std::string>* out, std::string* error);
+
+// Reads every root-relative path into a SourceFile. On failure returns
+// false with `error` set.
+bool ReadSources(const std::string& root,
+                 const std::vector<std::string>& paths,
+                 std::vector<SourceFile>* out, std::string* error);
+
+// Reads one file whole. On failure returns false with `error` set.
+bool ReadFile(const std::string& path, std::string* content,
+              std::string* error);
+
+}  // namespace pol::tools::pollint
+
+#endif  // POL_TOOLS_POLLINT_FILESET_H_

@@ -1,0 +1,422 @@
+#include "tools/pollint/poldeps.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace pol::tools::pollint {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  // Give ':' its own token so "layer core : flow sim" and
+  // "layer core: flow sim" parse the same.
+  std::string spaced;
+  spaced.reserve(text.size());
+  for (const char c : text) {
+    if (c == ':') {
+      spaced += " : ";
+    } else {
+      spaced += c;
+    }
+  }
+  std::istringstream in(spaced);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+void SortFindings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+}
+
+// First path component after "src/" ("src/flow/stage.h" -> "flow"), or
+// the whole first component for non-src trees ("tools/..." -> "tools").
+std::string DirComponent(std::string_view path) {
+  std::string_view rest = path;
+  if (rest.substr(0, 4) == "src/") rest.remove_prefix(4);
+  const size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return "";
+  return std::string(rest.substr(0, slash));
+}
+
+}  // namespace
+
+LayerSpecParse ParseLayerSpec(std::string_view content) {
+  LayerSpecParse parse;
+  LayerSpec& spec = parse.spec;
+  std::istringstream in{std::string(content)};
+  std::string raw;
+  int line_number = 0;
+  const auto error = [&](const std::string& message) {
+    parse.errors.push_back("line " + std::to_string(line_number) + ": " +
+                           message);
+  };
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::vector<std::string> tokens = Tokenize(raw);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "layer") {
+      if (tokens.size() < 2 || tokens[1] == ":") {
+        error("'layer' needs a name");
+        continue;
+      }
+      const std::string& name = tokens[1];
+      if (spec.allowed.count(name) != 0) {
+        error("layer '" + name + "' declared twice");
+        continue;
+      }
+      std::set<std::string> deps;
+      if (tokens.size() > 2) {
+        if (tokens[2] != ":") {
+          error("expected ':' after layer name '" + name + "'");
+          continue;
+        }
+        bool ok = true;
+        for (size_t i = 3; i < tokens.size(); ++i) {
+          const auto it = spec.allowed.find(tokens[i]);
+          if (it == spec.allowed.end()) {
+            // Already-declared deps make cycles unrepresentable and
+            // declaration order a topological order.
+            error("layer '" + name + "' depends on '" + tokens[i] +
+                  "', which is not declared above it");
+            ok = false;
+            break;
+          }
+          deps.insert(tokens[i]);
+          deps.insert(it->second.begin(), it->second.end());
+        }
+        if (!ok) continue;
+      }
+      spec.order.push_back(name);
+      spec.allowed.emplace(name, std::move(deps));
+    } else if (tokens[0] == "assign") {
+      if (tokens.size() != 3) {
+        error("'assign' needs exactly a path and a layer");
+        continue;
+      }
+      if (spec.allowed.count(tokens[2]) == 0) {
+        error("assign to undeclared layer '" + tokens[2] + "'");
+        continue;
+      }
+      spec.file_overrides[tokens[1]] = tokens[2];
+    } else {
+      error("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  return parse;
+}
+
+std::string LayerForPath(const LayerSpec& spec, std::string_view path) {
+  const auto it = spec.file_overrides.find(std::string(path));
+  if (it != spec.file_overrides.end()) return it->second;
+  std::string layer;
+  if (path.substr(0, 4) == "src/") {
+    layer = DirComponent(path);
+  } else if (path.substr(0, 6) == "tools/") {
+    layer = "tools";
+  }
+  if (!layer.empty() && spec.allowed.count(layer) != 0) return layer;
+  return "";
+}
+
+ProjectGraph BuildProjectGraph(const std::vector<SourceFile>& files,
+                               const LayerSpec& spec) {
+  static const std::regex kInclude(
+      R"inc(^\s*#\s*include\s*(<([^>]+)>|"([^"]+)"))inc");
+  ProjectGraph graph;
+  std::set<std::string> paths;
+  for (const SourceFile& file : files) paths.insert(file.path);
+  graph.files.assign(paths.begin(), paths.end());
+  for (const std::string& path : graph.files) {
+    graph.layer_of[path] = LayerForPath(spec, path);
+  }
+  for (const SourceFile& file : files) {
+    std::istringstream in(file.content);
+    std::string line;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      std::smatch match;
+      if (!std::regex_search(line, match, kInclude)) continue;
+      if (match[2].matched) {
+        graph.std_includes[file.path].insert(match[2].str());
+        continue;
+      }
+      const std::string inc = match[3].str();
+      // The build has two include roots: the repo (tools/...) and src/.
+      std::string resolved;
+      if (paths.count(inc) != 0) {
+        resolved = inc;
+      } else if (paths.count("src/" + inc) != 0) {
+        resolved = "src/" + inc;
+      }
+      if (!resolved.empty()) {
+        graph.edges.push_back(IncludeEdge{file.path, resolved, line_number});
+      } else if (!LayerForPath(spec, inc).empty() ||
+                 !LayerForPath(spec, "src/" + inc).empty()) {
+        // Looks like project code (its directory names a declared
+        // layer) but matches nothing in the set: a dead or typo'd path
+        // that can never form a dependency edge. Includes outside the
+        // layered dirs (third-party, generated) stay exempt.
+        graph.dangling.push_back(IncludeEdge{file.path, inc, line_number});
+      }
+    }
+  }
+  const auto by_from_line = [](const IncludeEdge& a, const IncludeEdge& b) {
+    return std::tie(a.from, a.line, a.to) < std::tie(b.from, b.line, b.to);
+  };
+  std::sort(graph.edges.begin(), graph.edges.end(), by_from_line);
+  std::sort(graph.dangling.begin(), graph.dangling.end(), by_from_line);
+  return graph;
+}
+
+namespace {
+
+// Tarjan's strongly-connected-components algorithm over the include
+// graph. Any SCC with more than one file (or a self-include) is an
+// include cycle.
+class SccFinder {
+ public:
+  explicit SccFinder(const ProjectGraph& graph) : graph_(graph) {
+    for (const IncludeEdge& edge : graph.edges) {
+      adjacency_[edge.from].push_back(edge.to);
+    }
+  }
+
+  std::vector<std::vector<std::string>> Cycles() {
+    for (const std::string& file : graph_.files) {
+      if (index_.count(file) == 0) Visit(file);
+    }
+    std::vector<std::vector<std::string>> cycles;
+    for (std::vector<std::string>& scc : sccs_) {
+      if (scc.size() > 1 || SelfLoop(scc.front())) {
+        std::sort(scc.begin(), scc.end());
+        cycles.push_back(std::move(scc));
+      }
+    }
+    std::sort(cycles.begin(), cycles.end());
+    return cycles;
+  }
+
+ private:
+  bool SelfLoop(const std::string& file) const {
+    const auto it = adjacency_.find(file);
+    if (it == adjacency_.end()) return false;
+    return std::find(it->second.begin(), it->second.end(), file) !=
+           it->second.end();
+  }
+
+  void Visit(const std::string& file) {
+    index_[file] = lowlink_[file] = next_index_++;
+    stack_.push_back(file);
+    on_stack_.insert(file);
+    const auto adj = adjacency_.find(file);
+    if (adj != adjacency_.end()) {
+      for (const std::string& to : adj->second) {
+        if (index_.count(to) == 0) {
+          Visit(to);
+          lowlink_[file] = std::min(lowlink_[file], lowlink_[to]);
+        } else if (on_stack_.count(to) != 0) {
+          lowlink_[file] = std::min(lowlink_[file], index_[to]);
+        }
+      }
+    }
+    if (lowlink_[file] == index_[file]) {
+      std::vector<std::string> scc;
+      while (true) {
+        std::string member = std::move(stack_.back());
+        stack_.pop_back();
+        on_stack_.erase(member);
+        const bool done = member == file;
+        scc.push_back(std::move(member));
+        if (done) break;
+      }
+      sccs_.push_back(std::move(scc));
+    }
+  }
+
+  const ProjectGraph& graph_;
+  std::map<std::string, std::vector<std::string>> adjacency_;
+  std::map<std::string, int> index_;
+  std::map<std::string, int> lowlink_;
+  std::vector<std::string> stack_;
+  std::set<std::string> on_stack_;
+  std::vector<std::vector<std::string>> sccs_;
+  int next_index_ = 0;
+};
+
+std::string JoinArrow(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out += " -> ";
+    out += part;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckProject(const ProjectGraph& graph,
+                                  const LayerSpec& spec) {
+  std::vector<Finding> findings;
+  for (const std::string& file : graph.files) {
+    if (graph.layer_of.at(file).empty()) {
+      findings.push_back(Finding{
+          file, 1, "unknown-layer",
+          "file maps to no declared layer; add its directory to "
+          "tools/pollint/layers.txt (or an 'assign' override)"});
+    }
+  }
+  for (const IncludeEdge& edge : graph.edges) {
+    const std::string& from_layer = graph.layer_of.at(edge.from);
+    const std::string& to_layer = graph.layer_of.at(edge.to);
+    // Unknown layers are already reported above.
+    if (from_layer.empty() || to_layer.empty()) continue;
+    if (from_layer == to_layer) continue;
+    if (spec.allowed.at(from_layer).count(to_layer) != 0) continue;
+    std::string allowed;
+    for (const std::string& dep : spec.allowed.at(from_layer)) {
+      if (!allowed.empty()) allowed += ", ";
+      allowed += dep;
+    }
+    findings.push_back(Finding{
+        edge.from, edge.line, "layer-violation",
+        "include of '" + edge.to + "' (layer " + to_layer +
+            ") from layer " + from_layer +
+            " is not on the declared DAG (may depend on: " +
+            (allowed.empty() ? "nothing" : allowed) + ")"});
+  }
+  for (const std::vector<std::string>& cycle : SccFinder(graph).Cycles()) {
+    // One finding per cycle, cited at the first member's edge that
+    // stays inside the cycle.
+    const std::set<std::string> members(cycle.begin(), cycle.end());
+    int line = 1;
+    for (const IncludeEdge& edge : graph.edges) {
+      if (edge.from == cycle.front() && members.count(edge.to) != 0) {
+        line = edge.line;
+        break;
+      }
+    }
+    findings.push_back(Finding{cycle.front(), line, "include-cycle",
+                               "include cycle: " + JoinArrow(cycle) +
+                                   " -> " + cycle.front()});
+  }
+  for (const IncludeEdge& edge : graph.dangling) {
+    findings.push_back(Finding{
+        edge.from, edge.line, "dangling-include",
+        "include \"" + edge.to +
+            "\" names a declared layer but resolves to no file in the "
+            "scanned set (dead or typo'd path)"});
+  }
+  SortFindings(findings);
+  return findings;
+}
+
+std::set<std::string> TransitiveStdIncludes(const ProjectGraph& graph,
+                                            const std::string& path) {
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const IncludeEdge& edge : graph.edges) {
+    adjacency[edge.from].push_back(edge.to);
+  }
+  std::set<std::string> visited;
+  std::vector<std::string> frontier{path};
+  visited.insert(path);
+  std::set<std::string> result;
+  while (!frontier.empty()) {
+    const std::string current = std::move(frontier.back());
+    frontier.pop_back();
+    // The starting file's own angle includes are not "transitive".
+    if (current != path) {
+      const auto std_it = graph.std_includes.find(current);
+      if (std_it != graph.std_includes.end()) {
+        result.insert(std_it->second.begin(), std_it->second.end());
+      }
+    }
+    const auto adj = adjacency.find(current);
+    if (adj == adjacency.end()) continue;
+    for (const std::string& to : adj->second) {
+      if (visited.insert(to).second) frontier.push_back(to);
+    }
+  }
+  return result;
+}
+
+ProjectLintResult ProjectLint(const LayerSpec& spec,
+                              const std::vector<SourceFile>& files) {
+  ProjectLintResult result;
+  result.graph = BuildProjectGraph(files, spec);
+  result.findings = CheckProject(result.graph, spec);
+  for (const SourceFile& file : files) {
+    LintOptions options;
+    options.transitive_std_includes =
+        TransitiveStdIncludes(result.graph, file.path);
+    std::vector<Finding> findings =
+        LintSource(file.path, file.content, options);
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+  }
+  SortFindings(result.findings);
+  return result;
+}
+
+std::string ToDot(const ProjectGraph& graph, const LayerSpec& spec) {
+  std::ostringstream out;
+  out << "digraph poldeps {\n";
+  out << "  rankdir=LR;\n";
+  out << "  node [shape=box, fontsize=10];\n";
+  std::set<std::string> clustered;
+  for (const std::string& layer : spec.order) {
+    std::vector<std::string> members;
+    for (const std::string& file : graph.files) {
+      if (graph.layer_of.at(file) == layer) members.push_back(file);
+    }
+    if (members.empty()) continue;
+    out << "  subgraph cluster_" << layer << " {\n";
+    out << "    label=\"" << layer << "\";\n";
+    for (const std::string& file : members) {
+      out << "    \"" << file << "\";\n";
+      clustered.insert(file);
+    }
+    out << "  }\n";
+  }
+  for (const std::string& file : graph.files) {
+    if (clustered.count(file) == 0) out << "  \"" << file << "\";\n";
+  }
+  // Dedup multi-line includes of the same target; std::set iteration
+  // keeps edge output sorted.
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const IncludeEdge& edge : graph.edges) {
+    seen.insert({edge.from, edge.to});
+  }
+  for (const auto& [from, to] : seen) {
+    out << "  \"" << from << "\" -> \"" << to << "\";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+const std::vector<std::string>& ProjectRuleIds() {
+  static const std::vector<std::string>* const kIds =
+      new std::vector<std::string>{
+          "dangling-include", "include-cycle", "layer-violation",
+          "unknown-layer",
+      };  // NOLINT(pollint:naked-new): leaked singleton, safe at exit.
+  return *kIds;
+}
+
+}  // namespace pol::tools::pollint

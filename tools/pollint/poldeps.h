@@ -1,0 +1,128 @@
+#ifndef POL_TOOLS_POLLINT_POLDEPS_H_
+#define POL_TOOLS_POLLINT_POLDEPS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/pollint/pollint.h"
+
+// poldeps: whole-project static analysis over the include graph. Where
+// pollint.h checks one file at a time, this module parses every
+// #include under src/ and tools/, builds the file-level dependency
+// graph, and checks it against the declared layer DAG — the
+// architectural contract per-line rules cannot express ("obs never
+// includes core", "no include cycles anywhere").
+//
+// Like pollint, the library is filesystem-free: callers hand in
+// (path, content) pairs and the parsed layer spec, so the corpus tests
+// lint fixture projects hermetically. File reading lives in fileset.h
+// (CLI + self-check test only).
+//
+// Project-level rules (ids share the pollint Finding/FormatFinding
+// plumbing):
+//   layer-violation  — an include crossing the layer DAG against the
+//                      declared edges (transitively closed).
+//   include-cycle    — a strongly connected component of ≥ 2 files, or
+//                      a self-include (Tarjan SCC).
+//   unknown-layer    — a file whose path maps to no declared layer.
+//   dangling-include — a quoted include that names a declared layer but
+//                      resolves to no file in the set (so it can never
+//                      form a dependency edge — a dead or typo'd path).
+
+namespace pol::tools::pollint {
+
+// One file handed to the analysis. `path` is repo-relative with POSIX
+// separators ("src/flow/stage.h").
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+// The declared layer DAG, parsed from tools/pollint/layers.txt:
+//
+//   # comment
+//   layer <name> [: dep1 dep2 ...]   # deps must be declared earlier
+//   assign <path> <layer>            # per-file override (base headers)
+//
+// Requiring deps to be already-declared makes cycles unrepresentable
+// and declaration order a topological order of the DAG.
+struct LayerSpec {
+  std::vector<std::string> order;  // Declaration (= topological) order.
+  // layer -> every layer it may depend on (transitively closed; does
+  // not include the layer itself).
+  std::map<std::string, std::set<std::string>> allowed;
+  // Exact path -> layer, overriding directory inference.
+  std::map<std::string, std::string> file_overrides;
+};
+
+struct LayerSpecParse {
+  LayerSpec spec;
+  std::vector<std::string> errors;  // "line N: message"; empty = OK.
+};
+
+LayerSpecParse ParseLayerSpec(std::string_view content);
+
+// The layer a path belongs to under `spec`: a file override if one
+// matches, else "src/<layer>/..." -> <layer> and "tools/..." ->
+// "tools". Empty string = no declared layer.
+std::string LayerForPath(const LayerSpec& spec, std::string_view path);
+
+// One resolved project include: `from` includes `to` at `line`.
+struct IncludeEdge {
+  std::string from;
+  std::string to;
+  int line = 0;  // 1-based.
+};
+
+struct ProjectGraph {
+  std::vector<std::string> files;  // Sorted paths of the input set.
+  std::vector<IncludeEdge> edges;  // Resolved project includes, sorted.
+  // Quoted includes that name a declared layer but match no input file.
+  std::vector<IncludeEdge> dangling;  // `to` holds the include text.
+  std::map<std::string, std::string> layer_of;  // path -> layer ("" = none).
+  // Angle-bracket includes per file ("vector", "mutex", ...).
+  std::map<std::string, std::set<std::string>> std_includes;
+};
+
+// Parses the includes of every file and resolves quoted includes
+// against the file set (as written, and with "src/" prepended — the
+// build's two include roots).
+ProjectGraph BuildProjectGraph(const std::vector<SourceFile>& files,
+                               const LayerSpec& spec);
+
+// Runs the project-level rules over the graph. Deterministic order:
+// sorted by (path, line, rule).
+std::vector<Finding> CheckProject(const ProjectGraph& graph,
+                                  const LayerSpec& spec);
+
+// The std headers visible to `path` through its project includes,
+// transitively (the file's own direct angle includes are not part of
+// the result). Powers the missing-include transitive fix: a direct-use
+// finding is suppressed when an aggregator header already pulls the
+// std header in.
+std::set<std::string> TransitiveStdIncludes(const ProjectGraph& graph,
+                                            const std::string& path);
+
+// The whole pass: project rules plus per-file LintSource with each
+// file's transitive std includes wired in.
+struct ProjectLintResult {
+  std::vector<Finding> findings;
+  ProjectGraph graph;
+};
+
+ProjectLintResult ProjectLint(const LayerSpec& spec,
+                              const std::vector<SourceFile>& files);
+
+// Graphviz DOT export of the include graph, files clustered by layer
+// in declaration order. Deterministic: nodes and edges sorted.
+std::string ToDot(const ProjectGraph& graph, const LayerSpec& spec);
+
+// Stable ids of the project-level rules, for --list-rules and tests.
+const std::vector<std::string>& ProjectRuleIds();
+
+}  // namespace pol::tools::pollint
+
+#endif  // POL_TOOLS_POLLINT_POLDEPS_H_

@@ -186,8 +186,9 @@ bool CommentSuppresses(const std::string& comment, std::string_view marker,
 
 class Linter {
  public:
-  Linter(std::string_view path, std::string_view content)
-      : path_(path), lines_(SplitLines(content)) {}
+  Linter(std::string_view path, std::string_view content,
+         const LintOptions& options)
+      : path_(path), options_(options), lines_(SplitLines(content)) {}
 
   std::vector<Finding> Run() {
     if (IsHeaderPath(path_)) CheckIncludeGuard();
@@ -195,7 +196,7 @@ class Linter {
       CheckBannedCalls();
       CheckStdoutIo();
       CheckNakedNewDelete();
-      CheckMutexGuardComments();
+      CheckMutexAnnotations();
       CheckMissingIncludes();
       CheckCatchSwallow();
       // src/obs is the one layer allowed to touch the raw clock; it is
@@ -411,22 +412,50 @@ class Linter {
     return code.substr(begin, end - begin);
   }
 
-  // --- mutex-guard --------------------------------------------------------
-  void CheckMutexGuardComments() {
-    // Member declarations only: Google style gives members a trailing
-    // underscore, which keeps function-local mutexes out of scope.
+  // --- mutex-annotation ---------------------------------------------------
+  // Library code locks through the annotated vocabulary in
+  // common/mutex.h so Clang's -Wthread-safety analysis (the `analyze`
+  // preset) can see every acquisition. Two checks:
+  //   (a) raw std::mutex family types are banned in src/ outside the
+  //       wrapper itself — an unannotated mutex is invisible to the
+  //       analysis;
+  //   (b) a pol::Mutex *member* (trailing-underscore name, so function
+  //       locals stay out of scope) must have at least one field in the
+  //       same file annotated POL_GUARDED_BY / POL_PT_GUARDED_BY with
+  //       its name — a capability that guards nothing is either dead or
+  //       undocumented.
+  void CheckMutexAnnotations() {
+    if (path_ == "src/common/mutex.h") return;  // The wrapper itself.
+    static const std::regex kStdMutex(
+        R"((^|[^\w])std::(shared_|recursive_|timed_|shared_timed_)?mutex\b)");
     static const std::regex kMutexMember(
-        R"(^\s*(mutable\s+)?std::(shared_|recursive_|timed_|shared_timed_)?mutex\s+\w+_\s*;)");
+        R"(^\s*(mutable\s+)?(pol::)?Mutex\s+(\w+_)\s*;)");
     for (size_t i = 0; i < lines_.size(); ++i) {
-      if (!std::regex_search(lines_[i].code, kMutexMember)) continue;
-      const bool documented =
-          lines_[i].comment.find("guards:") != std::string::npos ||
-          (i > 0 &&
-           lines_[i - 1].comment.find("guards:") != std::string::npos);
-      if (!documented) {
-        Report(i, "mutex-guard",
-               "std::mutex member needs a '// guards:' comment naming the "
-               "fields it protects (same line or the line above)");
+      std::smatch match;
+      if (std::regex_search(lines_[i].code, match, kStdMutex)) {
+        Report(i, "mutex-annotation",
+               "raw std::" + match[2].str() +
+                   "mutex in library code; use pol::Mutex + POL_GUARDED_BY "
+                   "(common/mutex.h) so -Wthread-safety can analyze it");
+        continue;
+      }
+      if (!std::regex_search(lines_[i].code, match, kMutexMember)) continue;
+      const std::string name = match[3].str();
+      bool guarded = false;
+      for (const SplitLine& line : lines_) {
+        if (line.code.find("POL_GUARDED_BY(" + name + ")") !=
+                std::string::npos ||
+            line.code.find("POL_PT_GUARDED_BY(" + name + ")") !=
+                std::string::npos) {
+          guarded = true;
+          break;
+        }
+      }
+      if (!guarded) {
+        Report(i, "mutex-annotation",
+               "mutex member '" + name +
+                   "' guards no field; annotate what it protects with "
+                   "POL_GUARDED_BY(" + name + ")");
       }
     }
   }
@@ -559,6 +588,9 @@ class Linter {
     }
     for (const Entry& entry : *kEntries) {
       if (included.count(entry.header) != 0) continue;
+      // Visible through a transitively included project header (poldeps
+      // computes the closure in --project mode): not a missing include.
+      if (options_.transitive_std_includes.count(entry.header) != 0) continue;
       for (size_t i = 0; i < lines_.size(); ++i) {
         if (!std::regex_search(lines_[i].code, entry.use)) continue;
         Report(i, "missing-include",
@@ -570,6 +602,7 @@ class Linter {
   }
 
   std::string_view path_;
+  const LintOptions& options_;
   std::vector<SplitLine> lines_;
   std::vector<Finding> findings_;
 };
@@ -581,14 +614,20 @@ const std::vector<std::string>& RuleIds() {
       new std::vector<std::string>{
           "banned-call", "catch-swallow", "direct-timing",
           "float-compare", "include-guard", "inventory-query",
-          "missing-include", "mutex-guard", "naked-new", "stdout-io",
+          "missing-include", "mutex-annotation", "naked-new", "stdout-io",
       };
   return *kIds;
 }
 
 std::vector<Finding> LintSource(std::string_view path,
                                 std::string_view content) {
-  return Linter(path, content).Run();
+  return LintSource(path, content, LintOptions());
+}
+
+std::vector<Finding> LintSource(std::string_view path,
+                                std::string_view content,
+                                const LintOptions& options) {
+  return Linter(path, content, options).Run();
 }
 
 std::string FormatFinding(const Finding& finding) {

@@ -1,13 +1,14 @@
 #ifndef POL_TOOLS_POLLINT_POLLINT_H_
 #define POL_TOOLS_POLLINT_POLLINT_H_
 
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
 // pollint: the project linter. Token/line-level checks for invariants
 // the compiler cannot enforce — include-guard naming, calls banned in
-// library code, floating-point ==/!=, undocumented mutex members, and
+// library code, floating-point ==/!=, unannotated mutex members, and
 // directly-used std headers that are not directly included. Findings
 // are suppressed per line with `// NOLINT(pollint:<rule>)` (or
 // `// NOLINT(pollint)` for all rules). See DESIGN.md § Correctness
@@ -16,7 +17,8 @@
 // The library is deliberately filesystem-free: LintSource takes the
 // repo-relative path (which drives file classification) plus the file
 // content, so the corpus tests can lint fixture text under virtual
-// paths. The CLI lives in pollint_main.cc.
+// paths. The CLI lives in pollint_main.cc; whole-project analysis
+// (layer DAG, include cycles) lives in poldeps.h.
 
 namespace pol::tools::pollint {
 
@@ -30,11 +32,26 @@ struct Finding {
 // Stable list of every rule id, for --list-rules and the tests.
 const std::vector<std::string>& RuleIds();
 
+// Project-derived context a caller may thread into single-file linting.
+// Default-constructed options reproduce plain LintSource behavior.
+struct LintOptions {
+  // Std headers visible to this file through the project headers it
+  // includes, transitively (computed by poldeps::TransitiveStdIncludes
+  // in --project mode). missing-include treats these as satisfied, so
+  // using std::vector under an aggregator header that already includes
+  // <vector> no longer fires a false positive. Single-file mode leaves
+  // this empty and keeps demanding direct includes.
+  std::set<std::string> transitive_std_includes;
+};
+
 // Lints one file. `path` must be repo-relative with POSIX separators
 // ("src/flow/dataset.h"); classification (library vs tool code, header
 // vs source, expected include-guard name) derives from it alone.
 std::vector<Finding> LintSource(std::string_view path,
                                 std::string_view content);
+std::vector<Finding> LintSource(std::string_view path,
+                                std::string_view content,
+                                const LintOptions& options);
 
 // "path:line: pollint:rule: message" — one line, no trailing newline.
 std::string FormatFinding(const Finding& finding);

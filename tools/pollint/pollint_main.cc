@@ -5,74 +5,90 @@
 //   pollint                          # lint src/ bench/ examples/ tools/
 //   pollint --root /path/to/repo     # same, from elsewhere
 //   pollint src/flow tools/polinv.cpp
+//   pollint --project src tools      # + layer DAG / cycle analysis
+//   pollint --project --dot deps.dot # export the include graph
 //   pollint --list-rules
+//
+// Every given path is linted in the one process (run_tier1.sh --lint is
+// a single invocation, not a per-file loop). --project additionally
+// builds the whole include graph over the collected files, checks it
+// against tools/pollint/layers.txt (override with --layers), and feeds
+// each file's transitive std includes back into the per-file rules.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
 #include <algorithm>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/pollint/fileset.h"
+#include "tools/pollint/poldeps.h"
 #include "tools/pollint/pollint.h"
 
-namespace fs = std::filesystem;
 namespace pollint = pol::tools::pollint;
 
 namespace {
 
-bool HasLintableExtension(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".h" || ext == ".cc" || ext == ".cpp";
-}
-
-// Collects lintable files under `path` (file or directory), repo-root
-// relative, sorted for deterministic output.
-bool CollectFiles(const fs::path& root, const std::string& arg,
-                  std::vector<std::string>* out) {
-  const fs::path full = root / arg;
-  std::error_code ec;
-  if (fs::is_regular_file(full, ec)) {
-    out->push_back(arg);
-    return true;
+int RunProject(const std::string& root, const std::vector<std::string>& files,
+               const std::string& layers_path, const std::string& dot_path) {
+  std::string error;
+  std::string layers_text;
+  if (!pollint::ReadFile(layers_path, &layers_text, &error)) {
+    std::cerr << "pollint: " << error << "\n";
+    return 2;
   }
-  if (!fs::is_directory(full, ec)) {
-    std::cerr << "pollint: no such file or directory: " << full.string()
-              << "\n";
-    return false;
-  }
-  for (fs::recursive_directory_iterator it(full, ec), end; it != end;
-       it.increment(ec)) {
-    if (ec) {
-      std::cerr << "pollint: " << ec.message() << "\n";
-      return false;
+  const pollint::LayerSpecParse parsed = pollint::ParseLayerSpec(layers_text);
+  if (!parsed.errors.empty()) {
+    for (const std::string& message : parsed.errors) {
+      std::cerr << "pollint: " << layers_path << ": " << message << "\n";
     }
-    if (!it->is_regular_file() || !HasLintableExtension(it->path())) continue;
-    const std::string rel =
-        fs::relative(it->path(), root, ec).generic_string();
-    // Never lint build trees or the linter's own test fixtures.
-    if (rel.find("CMakeFiles") != std::string::npos ||
-        rel.find("pollint_corpus") != std::string::npos) {
-      continue;
-    }
-    out->push_back(rel);
+    return 2;
   }
-  return true;
+  std::vector<pollint::SourceFile> sources;
+  if (!pollint::ReadSources(root, files, &sources, &error)) {
+    std::cerr << "pollint: " << error << "\n";
+    return 2;
+  }
+  const pollint::ProjectLintResult result =
+      pollint::ProjectLint(parsed.spec, sources);
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pollint: cannot write " << dot_path << "\n";
+      return 2;
+    }
+    out << pollint::ToDot(result.graph, parsed.spec);
+  }
+  for (const pollint::Finding& finding : result.findings) {
+    std::cout << pollint::FormatFinding(finding) << "\n";
+  }
+  if (!result.findings.empty()) {
+    std::cout << "pollint: " << result.findings.size() << " finding"
+              << (result.findings.size() == 1 ? "" : "s") << " in "
+              << files.size() << " files\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = fs::current_path();
+  std::string root = ".";
+  std::string layers_path;
+  std::string dot_path;
+  bool project = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       for (const std::string& rule : pollint::RuleIds()) {
         std::cout << rule << "\n";
+      }
+      for (const std::string& rule : pollint::ProjectRuleIds()) {
+        std::cout << rule << " (--project)\n";
       }
       return 0;
     }
@@ -84,10 +100,34 @@ int main(int argc, char** argv) {
       root = argv[++i];
       continue;
     }
+    if (arg == "--layers") {
+      if (i + 1 >= argc) {
+        std::cerr << "pollint: --layers needs a file\n";
+        return 2;
+      }
+      layers_path = argv[++i];
+      continue;
+    }
+    if (arg == "--dot") {
+      if (i + 1 >= argc) {
+        std::cerr << "pollint: --dot needs an output file\n";
+        return 2;
+      }
+      dot_path = argv[++i];
+      continue;
+    }
+    if (arg == "--project") {
+      project = true;
+      continue;
+    }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: pollint [--root DIR] [--list-rules] [paths...]\n"
-                   "Lints src/ bench/ examples/ tools/ under the root when "
-                   "no paths are given.\n";
+      std::cout
+          << "usage: pollint [--root DIR] [--project] [--layers FILE]\n"
+             "               [--dot FILE] [--list-rules] [paths...]\n"
+             "Lints src/ bench/ examples/ tools/ under the root when no\n"
+             "paths are given. --project (default paths: src tools) adds\n"
+             "the include-graph checks against tools/pollint/layers.txt\n"
+             "and writes the graph as Graphviz with --dot.\n";
       return 0;
     }
     if (arg.rfind("--", 0) == 0) {
@@ -96,26 +136,36 @@ int main(int argc, char** argv) {
     }
     args.push_back(arg);
   }
-  if (args.empty()) args = {"src", "bench", "examples", "tools"};
+  if (args.empty()) {
+    args = project ? std::vector<std::string>{"src", "tools"}
+                   : std::vector<std::string>{"src", "bench", "examples",
+                                              "tools"};
+  }
 
   std::vector<std::string> files;
+  std::string error;
   for (const std::string& arg : args) {
-    if (!CollectFiles(root, arg, &files)) return 2;
+    if (!pollint::CollectFiles(root, arg, &files, &error)) {
+      std::cerr << "pollint: " << error << "\n";
+      return 2;
+    }
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  if (project) {
+    if (layers_path.empty()) layers_path = root + "/tools/pollint/layers.txt";
+    return RunProject(root, files, layers_path, dot_path);
+  }
+
   size_t findings = 0;
   for (const std::string& file : files) {
-    std::ifstream in(root / file, std::ios::binary);
-    if (!in) {
-      std::cerr << "pollint: cannot read " << file << "\n";
+    std::string content;
+    if (!pollint::ReadFile(root + "/" + file, &content, &error)) {
+      std::cerr << "pollint: " << error << "\n";
       return 2;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    for (const pollint::Finding& finding :
-         pollint::LintSource(file, buffer.str())) {
+    for (const pollint::Finding& finding : pollint::LintSource(file, content)) {
       std::cout << pollint::FormatFinding(finding) << "\n";
       ++findings;
     }
