@@ -33,6 +33,7 @@ pol_add_bench(bench_adaptive_ablation)
 pol_add_bench(bench_suez_disruption)
 pol_add_bench(bench_checkpoint)
 pol_add_bench(bench_obs_overhead)
+pol_add_bench(bench_serving_guard)
 
 # Microbenchmarks use google-benchmark.
 pol_add_bench(bench_micro)

@@ -1,6 +1,7 @@
 #ifndef POL_COMMON_MUTEX_H_
 #define POL_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -83,6 +84,20 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(Mutex& mu) POL_REQUIRES(mu) { cv_.wait(mu); }
+
+  // Timed wait: blocks for at most `seconds` (non-positive waits return
+  // immediately). Returns false on timeout, true when notified — but
+  // spurious wakeups report true too, so callers treat the return value
+  // as a hint and re-check both the guarded predicate and their own
+  // clock, exactly as with Wait(). This is the deadline-wait vocabulary
+  // the serving layer is held to (pollint `serving-wait` flags raw
+  // condition variables and sleep-based waiting in src/core/serving*).
+  bool WaitFor(Mutex& mu, double seconds) POL_REQUIRES(mu) {
+    if (!(seconds > 0.0)) return false;
+    return cv_.wait_for(mu, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -28,6 +28,12 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -39,6 +45,8 @@ std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
       StatusCode::kAlreadyExists, StatusCode::kCorruption,
       StatusCode::kIoError,       StatusCode::kFailedPrecondition,
       StatusCode::kUnimplemented, StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
+      StatusCode::kUnavailable,
   };
   for (const StatusCode code : kCodes) {
     if (StatusCodeName(code) == name) return code;

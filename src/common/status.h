@@ -29,7 +29,17 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  // Serving-side codes (see core/serving_guard.h): a call ran out of
+  // its deadline budget, was shed by admission control, or was refused
+  // because the store is degraded (refresh circuit breaker open).
+  kDeadlineExceeded = 10,
+  kResourceExhausted = 11,
+  kUnavailable = 12,
 };
+
+// Highest valid StatusCode value; serialized codes above this are
+// corrupt (checkpoint decode uses this bound).
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kUnavailable;
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
 std::string_view StatusCodeName(StatusCode code);
@@ -79,10 +89,43 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // Whether retrying the failed operation can plausibly succeed: true
+  // for transient infrastructure faults (I/O errors, corruption seen on
+  // a flaky read, internal faults — the codes fail points inject — plus
+  // shed load and a temporarily unavailable store), false for caller
+  // errors that will fail identically on every attempt (invalid
+  // arguments, failed preconditions, exhausted deadlines, ...). This is
+  // the one retryability authority: flow::StageRunner's retry loop and
+  // the serving-side refresh circuit breaker (core/serving_guard.h)
+  // both consult it.
+  bool IsRetryable() const { return StatusCodeIsRetryable(code_); }
+
+  static bool StatusCodeIsRetryable(StatusCode code) {
+    switch (code) {
+      case StatusCode::kCorruption:
+      case StatusCode::kIoError:
+      case StatusCode::kInternal:
+      case StatusCode::kResourceExhausted:
+      case StatusCode::kUnavailable:
+        return true;
+      default:
+        return false;
+    }
+  }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -153,7 +153,7 @@ Result<CheckpointState> CheckpointManager::Decode(std::string_view input) {
     POL_RETURN_IF_ERROR(GetVarint64(&body, &entry.records));
     POL_RETURN_IF_ERROR(GetVarint64(&body, &entry.attempts));
     POL_RETURN_IF_ERROR(GetVarint64(&body, &code));
-    if (code > static_cast<uint64_t>(StatusCode::kInternal)) {
+    if (code > static_cast<uint64_t>(kMaxStatusCode)) {
       return Status::Corruption("bad status code in checkpoint");
     }
     entry.code = static_cast<StatusCode>(code);

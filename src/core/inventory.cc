@@ -95,6 +95,15 @@ void Inventory::VisitGroupingSet(GroupingSet set,
   }
 }
 
+bool Inventory::VisitGroupingSetWhile(
+    GroupingSet set, const CancellableVisitor& visitor) const {
+  for (const auto& [key, summary] : summaries_) {
+    if (key.grouping_set != static_cast<uint8_t>(set)) continue;
+    if (!visitor(key, summary)) return false;
+  }
+  return true;
+}
+
 uint64_t Inventory::DistinctCells() const {
   uint64_t cells = 0;
   for (const auto& [key, summary] : summaries_) {

@@ -76,6 +76,8 @@ class Inventory final : public InventoryQuery {
 
   void VisitGroupingSet(GroupingSet set,
                         const SummaryVisitor& visitor) const override;
+  bool VisitGroupingSetWhile(GroupingSet set,
+                             const CancellableVisitor& visitor) const override;
 
   // Distinct cells in grouping set 1 (the Table 4 "#Cells").
   uint64_t DistinctCells() const override;

@@ -6,6 +6,21 @@ namespace pol::core {
 
 InventoryQuery::~InventoryQuery() = default;
 
+bool InventoryQuery::VisitGroupingSetWhile(
+    GroupingSet set, const CancellableVisitor& visitor) const {
+  // Fallback over the unconditional walk: visits stop the moment the
+  // visitor asks, but the underlying iteration still runs to the end of
+  // the set. Concrete stores override this with a real early exit; the
+  // semantics — no visits after a stop, return value reports whether
+  // the walk completed — are identical.
+  bool keep_going = true;
+  VisitGroupingSet(set, [&keep_going, &visitor](const GroupKey& key,
+                                                const CellSummary& summary) {
+    if (keep_going) keep_going = visitor(key, summary);
+  });
+  return keep_going;
+}
+
 uint64_t InventoryQuery::DistinctCells() const {
   uint64_t cells = 0;
   VisitGroupingSet(GroupingSet::kCell,

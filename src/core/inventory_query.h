@@ -64,6 +64,18 @@ class InventoryQuery {
   virtual void VisitGroupingSet(GroupingSet set,
                                 const SummaryVisitor& visitor) const = 0;
 
+  // Like VisitGroupingSet, but the visitor returns false to stop the
+  // walk — the cooperative-cancellation hook the serving guard threads
+  // per-call deadlines through (see core/serving_guard.h). Returns true
+  // when every summary was visited, false when a visitor stopped early.
+  // The base implementation suppresses visits after a stop (correct for
+  // any store); Inventory and InventorySnapshot override it with a real
+  // early exit out of the walk.
+  using CancellableVisitor =
+      std::function<bool(const GroupKey&, const CellSummary&)>;
+  virtual bool VisitGroupingSetWhile(GroupingSet set,
+                                     const CancellableVisitor& visitor) const;
+
   // Distinct cells in grouping set 1 (the Table 4 "#Cells"). Default
   // counts via VisitGroupingSet; snapshots answer in O(1).
   virtual uint64_t DistinctCells() const;

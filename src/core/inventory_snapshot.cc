@@ -77,6 +77,15 @@ void InventorySnapshot::VisitGroupingSet(GroupingSet set,
   }
 }
 
+bool InventorySnapshot::VisitGroupingSetWhile(
+    GroupingSet set, const CancellableVisitor& visitor) const {
+  const GroupArray& group = groups_[static_cast<size_t>(set)];
+  for (size_t i = 0; i < group.keys.size(); ++i) {
+    if (!visitor(group.keys[i], group.values[i])) return false;
+  }
+  return true;
+}
+
 uint64_t InventorySnapshot::DistinctCells() const {
   return groups_[static_cast<size_t>(GroupingSet::kCell)].keys.size();
 }

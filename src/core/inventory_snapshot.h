@@ -55,6 +55,8 @@ class InventorySnapshot final : public InventoryQuery {
 
   void VisitGroupingSet(GroupingSet set,
                         const SummaryVisitor& visitor) const override;
+  bool VisitGroupingSetWhile(GroupingSet set,
+                             const CancellableVisitor& visitor) const override;
 
   uint64_t DistinctCells() const override;
 

@@ -1,7 +1,9 @@
 #include "core/run_report.h"
 
 #include <string>
+#include <string_view>
 
+#include "core/serving_guard.h"
 #include "flow/stage.h"
 #include "flow/stage_runner.h"
 #include "obs/metrics.h"
@@ -87,6 +89,27 @@ obs::Json CheckpointToJson(const PipelineConfig& config,
   return out;
 }
 
+// Serving-resilience summary, distilled from the guard's gauges so the
+// report answers "was this run serving degraded?" without digging
+// through the metrics block. All-defaults (healthy) when no
+// ServingGuard ran or under POL_OBS=OFF.
+obs::Json ServingToJson(const obs::MetricsSnapshot& metrics) {
+  const auto gauge = [&metrics](std::string_view name) -> int64_t {
+    for (const auto& [gauge_name, value] : metrics.gauges) {
+      if (gauge_name == name) return value;
+    }
+    return 0;
+  };
+  obs::Json out = obs::Json::Object();
+  out.Set("degraded", gauge("serving.degraded") != 0);
+  out.Set("breaker_state",
+          std::string(BreakerStateName(
+              static_cast<BreakerState>(gauge("serving.breaker_state")))));
+  out.Set("snapshot_age_refreshes",
+          static_cast<uint64_t>(gauge("serving.snapshot_age_refreshes")));
+  return out;
+}
+
 }  // namespace
 
 obs::Json BuildRunReport(const PipelineConfig& config,
@@ -109,8 +132,9 @@ obs::Json BuildRunReport(const PipelineConfig& config,
   }
   report.Set("quarantined", std::move(quarantined));
   report.Set("checkpoint", CheckpointToJson(config, result.coverage));
-  report.Set("metrics",
-             obs::MetricsSnapshotToJson(obs::Registry::Global().Snapshot()));
+  const obs::MetricsSnapshot metrics = obs::Registry::Global().Snapshot();
+  report.Set("serving", ServingToJson(metrics));
+  report.Set("metrics", obs::MetricsSnapshotToJson(metrics));
   return report;
 }
 

@@ -25,6 +25,9 @@
 //     "quarantined": [{chunk_index, records, attempts, code, message}],
 //     "checkpoint": {enabled, directory, interval_chunks, resumed,
 //                    resume_cursor, written, failures},
+//     "serving": {degraded, breaker_state,      // Guard health (all
+//                 snapshot_age_refreshes},      // healthy defaults when
+//                                               // no guard ran).
 //     "metrics": {counters, gauges, histograms}  // Registry snapshot.
 //   }
 //

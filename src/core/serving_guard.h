@@ -1,0 +1,212 @@
+#ifndef POL_CORE_SERVING_GUARD_H_
+#define POL_CORE_SERVING_GUARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/serving_inventory.h"
+#include "obs/metrics.h"
+
+// The serving-resilience layer around core::ServingInventory: the
+// paper's inventory is built once a day and queried all day, and an
+// always-on query frontend needs three protections the raw store does
+// not give it (DESIGN.md §3.7):
+//
+//  1. **Deadlines.** Every guarded call carries a pol::Deadline
+//     (common/deadline.h, monotonic via obs/clock.h). Long scans —
+//     VisitGroupingSet sweeps, CellsForRoute corridors — poll it
+//     cooperatively every `deadline_check_stride` summaries through
+//     InventoryQuery::VisitGroupingSetWhile and return
+//     StatusCode::kDeadlineExceeded instead of running unbounded.
+//  2. **Admission control.** Two query classes (interactive point
+//     lookups vs batch sweeps) each hold a bounded number of in-flight
+//     slots. A call that finds its class full waits at most
+//     `max_queue_wait_seconds` (and never past its own deadline) for a
+//     slot, then is shed with StatusCode::kResourceExhausted — bounded
+//     queues, not unbounded convoys. The admission fast path is two
+//     atomic operations; the mutex and pol::CondVar are touched only
+//     when a class is saturated.
+//  3. **Refresh circuit breaker.** Consecutive *retryable* Refresh
+//     failures (Status::IsRetryable(), the same authority the stage
+//     retry loop uses; fail points inject exactly these) trip the
+//     breaker open: further refreshes are rejected with
+//     StatusCode::kUnavailable while readers keep serving the last
+//     good snapshot — degraded, not down. After `breaker_open_seconds`
+//     one half-open probe refresh is let through; success closes the
+//     breaker, another retryable failure re-opens it. Non-retryable
+//     failures (a resolution-mismatched delta) are caller errors: they
+//     fail the call but never trip the breaker, because the store
+//     itself is healthy. `snapshot_age_refreshes` counts refresh
+//     attempts since the last published snapshot — the staleness the
+//     degraded mode is trading for availability.
+//
+// Metrics (obs::Registry, in the pol.run_report/1 metrics block and
+// the report's "serving" section):
+//   serving.admitted / serving.queued / serving.shed /
+//   serving.deadline_exceeded    (admission outcomes: every guarded
+//                                 call lands in admitted, shed, or
+//                                 deadline_exceeded exactly once;
+//                                 queued counts the admitted-or-shed
+//                                 calls that had to wait)
+//   serving.scan_deadline_exceeded  (admitted calls canceled mid-scan)
+//   serving.breaker_trips / serving.breaker_probes /
+//   serving.breaker_closes / serving.breaker_rejected_refreshes
+//   serving.degraded (gauge 0/1), serving.breaker_state (gauge:
+//   0 closed, 1 open, 2 half-open),
+//   serving.snapshot_age_refreshes (gauge)
+//
+// The guard is a wrapper, not a store: it owns no snapshot and adds no
+// state to the read path beyond the admission slots, so bench
+// bench_serving_guard holds it to <2% overhead on the Acquire +
+// point-lookup hot path.
+
+namespace pol::core {
+
+// Admission class of one guarded call. Interactive: point lookups and
+// corridor queries a user is waiting on. Batch: whole-grouping-set
+// sweeps (LaneAnalyzer-style analytics) that must not crowd them out.
+enum class QueryClass { kInteractive = 0, kBatch = 1 };
+
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+// "closed" / "open" / "half-open" (run-report and log vocabulary).
+std::string_view BreakerStateName(BreakerState state);
+
+struct ServingGuardOptions {
+  // In-flight slots per admission class.
+  int max_concurrent_interactive = 64;
+  int max_concurrent_batch = 4;
+  // Longest a call may wait for a slot before being shed (its own
+  // deadline caps the wait too, whichever comes first).
+  double max_queue_wait_seconds = 0.05;
+  // Consecutive retryable refresh failures that trip the breaker.
+  int breaker_trip_failures = 3;
+  // Cooldown before an open breaker admits a half-open probe.
+  double breaker_open_seconds = 30.0;
+  // Deadline poll cadence inside long scans, in summaries visited.
+  // Must be a power of two.
+  uint32_t deadline_check_stride = 256;
+};
+
+class ServingGuard {
+ public:
+  // The store must outlive the guard. Metric handles are resolved once
+  // here; gauges are reset to the healthy state.
+  explicit ServingGuard(ServingInventory* store,
+                        ServingGuardOptions options = ServingGuardOptions());
+
+  ServingGuard(const ServingGuard&) = delete;
+  ServingGuard& operator=(const ServingGuard&) = delete;
+
+  // The guarded-call primitive: admit under `cls` (shedding or
+  // deadline-rejecting instead of queueing unboundedly), acquire the
+  // active snapshot, run `fn(snapshot)` on the calling thread, release
+  // the slot. `fn` is Status(const InventorySnapshot&); the snapshot
+  // reference is valid exactly for the call, so no lifetime escapes.
+  // `fn` observes the deadline it closed over for cooperative
+  // cancellation; a kDeadlineExceeded return is counted as a mid-scan
+  // cancel. Templated so the hot path inlines — the guard's cost is
+  // the admission atomics plus one clock read.
+  template <typename Fn>
+  Status Run(QueryClass cls, const Deadline& deadline, Fn&& fn) {
+    POL_RETURN_IF_ERROR(Admit(cls, deadline));
+    const std::shared_ptr<const InventorySnapshot> snapshot =
+        store_->Acquire();
+    Status status;
+    try {
+      status = fn(*snapshot);
+    } catch (...) {
+      Release(cls);
+      throw;
+    }
+    Release(cls);
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      scan_deadline_exceeded_->Increment();
+    }
+    return status;
+  }
+
+  // VisitGroupingSet with the deadline threaded through the scan: the
+  // visitor runs until the set is exhausted or the deadline expires
+  // (checked every deadline_check_stride summaries), in which case the
+  // sweep stops and kDeadlineExceeded is returned. Sweeps default to
+  // the batch class.
+  Status VisitGroupingSet(GroupingSet set, const Deadline& deadline,
+                          const InventoryQuery::SummaryVisitor& visitor,
+                          QueryClass cls = QueryClass::kBatch);
+
+  // CellsForRoute under admission + deadline; the corridor is copied
+  // out so no snapshot lifetime escapes the call.
+  Result<std::vector<hex::CellIndex>> CellsForRoute(
+      sim::PortId origin, sim::PortId destination, ais::MarketSegment segment,
+      const Deadline& deadline, QueryClass cls = QueryClass::kInteractive);
+
+  // Refresh through the circuit breaker (see the class comment for the
+  // closed / open / half-open protocol). Failures never disturb the
+  // active snapshot: readers keep acquiring the last good generation.
+  Status Refresh(Inventory&& delta);
+
+  // Breaker introspection (also exported as gauges).
+  BreakerState breaker_state() const;
+  // Degraded mode: the breaker is open or probing half-open — the
+  // store serves, but from a snapshot whose refreshes are failing.
+  bool degraded() const;
+  // Refresh attempts since the last successfully published snapshot.
+  uint64_t snapshot_age_refreshes() const;
+
+  ServingInventory* store() const { return store_; }
+  const ServingGuardOptions& options() const { return options_; }
+
+ private:
+  // Per-class admission slots. `in_flight` is the fast path (two
+  // atomics per guarded call); `waiters` tells Release whether anyone
+  // is parked on the condition variable, so the uncontended release
+  // never takes the mutex. Both are seq_cst where they rendezvous —
+  // see AdmitSlow/Release in the .cc for the missed-wakeup argument.
+  struct ClassState {
+    std::atomic<int> in_flight{0};
+    std::atomic<int> waiters{0};
+    int limit = 0;
+  };
+
+  Status Admit(QueryClass cls, const Deadline& deadline);
+  Status AdmitSlow(ClassState& state, const Deadline& deadline);
+  void Release(QueryClass cls);
+
+  ServingInventory* const store_;
+  const ServingGuardOptions options_;
+
+  mutable Mutex mutex_;
+  CondVar slot_available_;
+  BreakerState breaker_state_ POL_GUARDED_BY(mutex_) = BreakerState::kClosed;
+  int consecutive_failures_ POL_GUARDED_BY(mutex_) = 0;
+  double opened_at_seconds_ POL_GUARDED_BY(mutex_) = 0.0;
+  bool probe_in_flight_ POL_GUARDED_BY(mutex_) = false;
+  uint64_t snapshot_age_refreshes_ POL_GUARDED_BY(mutex_) = 0;
+
+  ClassState classes_[2];
+
+  obs::Counter* admitted_;
+  obs::Counter* queued_;
+  obs::Counter* shed_;
+  obs::Counter* deadline_exceeded_;
+  obs::Counter* scan_deadline_exceeded_;
+  obs::Counter* breaker_trips_;
+  obs::Counter* breaker_probes_;
+  obs::Counter* breaker_closes_;
+  obs::Counter* breaker_rejected_;
+  obs::Gauge* degraded_gauge_;
+  obs::Gauge* breaker_state_gauge_;
+  obs::Gauge* age_gauge_;
+};
+
+}  // namespace pol::core
+
+#endif  // POL_CORE_SERVING_GUARD_H_

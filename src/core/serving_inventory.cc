@@ -1,10 +1,12 @@
 #include "core/serving_inventory.h"
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/mutex.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -49,9 +51,18 @@ void ServingInventory::Swap(std::shared_ptr<const InventorySnapshot> next) {
 Status ServingInventory::Refresh(Inventory&& delta) {
   POL_TRACE_SPAN("serving.refresh");
   MutexLock lock(refresh_mutex_);
+  POL_RETURN_IF_ERROR(POL_FAILPOINT("serving.merge"));
   POL_RETURN_IF_ERROR(base_.MergeFrom(std::move(delta)));
-  Swap(base_.Seal());
+  POL_RETURN_IF_ERROR(POL_FAILPOINT("serving.seal"));
+  std::shared_ptr<const InventorySnapshot> next = base_.Seal();
+  POL_RETURN_IF_ERROR(POL_FAILPOINT("serving.swap"));
+  Swap(std::move(next));
   return Status::OK();
+}
+
+void ServingInventory::SerializeBuildSide(std::string* out) const {
+  MutexLock lock(refresh_mutex_);
+  base_.SerializeTo(out);
 }
 
 namespace {
@@ -103,6 +114,11 @@ std::vector<ais::MarketSegment> ServingInventory::SegmentsAt(
 void ServingInventory::VisitGroupingSet(GroupingSet set,
                                         const SummaryVisitor& visitor) const {
   Acquire()->VisitGroupingSet(set, visitor);
+}
+
+bool ServingInventory::VisitGroupingSetWhile(
+    GroupingSet set, const CancellableVisitor& visitor) const {
+  return Acquire()->VisitGroupingSetWhile(set, visitor);
 }
 
 uint64_t ServingInventory::DistinctCells() const {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 #include <version>
 
@@ -69,7 +70,17 @@ class ServingInventory final : public InventoryQuery {
   // Folds `delta` into the build side, seals, and publishes. Readers
   // see either the old or the new snapshot, never a partial merge.
   // Serialized against concurrent Refresh() calls; fails on resolution
-  // mismatch (the build side is left unchanged on failure).
+  // mismatch (the build side is left unchanged on failure, and the
+  // active snapshot is never republished on any failure path).
+  //
+  // Fail points (faults preset): "serving.merge" fires before the fold
+  // (build side untouched — a poisoned delta), "serving.seal" after the
+  // fold but before sealing, "serving.swap" after sealing but before
+  // publishing. The latter two model a refresh that died mid-flight:
+  // the build side holds the merged delta, the last good snapshot keeps
+  // serving, and the next successful Refresh publishes everything. The
+  // refresh circuit breaker (core/serving_guard.h) trips on consecutive
+  // failures from any of the three.
   Status Refresh(Inventory&& delta);
 
   // Publishes an externally built snapshot (e.g. sealed from a
@@ -80,6 +91,12 @@ class ServingInventory final : public InventoryQuery {
   uint64_t swap_count() const {
     return swap_count_.load(std::memory_order_relaxed);
   }
+
+  // Canonical bytes of the build side (Inventory::SerializeTo under the
+  // refresh lock): the persistence hook for checkpointing the serving
+  // store, and the byte-identity witness the refresh-failure guarantees
+  // are tested against.
+  void SerializeBuildSide(std::string* out) const;
 
   // --- InventoryQuery over the active snapshot. ---
   int resolution() const override { return Acquire()->resolution(); }
@@ -97,10 +114,12 @@ class ServingInventory final : public InventoryQuery {
       hex::CellIndex cell) const override;
   void VisitGroupingSet(GroupingSet set,
                         const SummaryVisitor& visitor) const override;
+  bool VisitGroupingSetWhile(GroupingSet set,
+                             const CancellableVisitor& visitor) const override;
   uint64_t DistinctCells() const override;
 
  private:
-  Mutex refresh_mutex_;
+  mutable Mutex refresh_mutex_;
   Inventory base_ POL_GUARDED_BY(refresh_mutex_);
   std::atomic<uint64_t> swap_count_{0};
 #if defined(POL_SERVING_SNAPSHOT_ATOMIC)

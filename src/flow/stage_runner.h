@@ -31,9 +31,11 @@
 // chunk order reproduces the single-shot merge order bit for bit (see
 // dataset.h on the reproducibility contract).
 //
-// Failure containment. A chunk whose chain attempt returns an error is
-// retried up to `max_attempts` times total, with exponential backoff
-// between attempts (the input is defensively copied for every attempt
+// Failure containment. A chunk whose chain attempt returns a
+// *retryable* error (Status::IsRetryable() — transient infrastructure
+// faults; caller errors go straight to quarantine) is retried up to
+// `max_attempts` times total, with exponential backoff between
+// attempts (the input is defensively copied for every attempt
 // except the last, so a retry always sees the original bytes). A chunk
 // that exhausts its attempts is *quarantined*: the run continues, the
 // failure is recorded as a ChunkFailure dead letter in the RunSummary
@@ -251,6 +253,12 @@ class StageRunner {
       }
       slot->status = out.status();
       if (final_attempt) return;
+      // Retryability is centralized in Status::IsRetryable() (shared
+      // with the serving-side refresh circuit breaker): a caller error
+      // like kInvalidArgument fails identically on every attempt, so
+      // burning the remaining attempts — and the backoff sleeps — on it
+      // only delays the quarantine decision.
+      if (!slot->status.IsRetryable()) return;
       retries->fetch_add(1);
       if (options_.retry_backoff_seconds > 0.0) {
         const double factor =

@@ -35,6 +35,30 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, RetryabilitySplitsTransientFromCallerErrors) {
+  // Transient store/environment faults — the stage retry loop and the
+  // serving circuit breaker may try again.
+  EXPECT_TRUE(Status::Corruption("x").IsRetryable());
+  EXPECT_TRUE(Status::IoError("x").IsRetryable());
+  EXPECT_TRUE(Status::Internal("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  // Caller and contract errors — retrying cannot change the outcome.
+  EXPECT_FALSE(Status().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::OutOfRange("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::AlreadyExists("x").IsRetryable());
+  EXPECT_FALSE(Status::FailedPrecondition("x").IsRetryable());
+  EXPECT_FALSE(Status::Unimplemented("x").IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsRetryable());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -55,6 +79,8 @@ TEST(StatusTest, CodeNameRoundTripsThroughFromName) {
       StatusCode::kAlreadyExists, StatusCode::kCorruption,
       StatusCode::kIoError,       StatusCode::kFailedPrecondition,
       StatusCode::kUnimplemented, StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
+      StatusCode::kUnavailable,
   };
   for (const StatusCode code : codes) {
     const auto parsed = StatusCodeFromName(StatusCodeName(code));

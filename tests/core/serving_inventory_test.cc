@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -68,6 +69,30 @@ TEST(ServingInventoryTest, PublishesOnConstructionAndRefresh) {
   SummaryMap empty;
   EXPECT_FALSE(serving.Refresh(Inventory(7, std::move(empty))).ok());
   EXPECT_EQ(serving.swap_count(), 2u);
+}
+
+TEST(ServingInventoryTest, FailedRefreshLeavesBothSidesByteIdentical) {
+  // A resolution-mismatched delta must be a complete no-op: build side
+  // byte-identical, the very same snapshot object still published, and
+  // no swap recorded.
+  ServingInventory serving(Batch(0, 3));
+  std::string before;
+  serving.SerializeBuildSide(&before);
+  const std::shared_ptr<const InventorySnapshot> active = serving.Acquire();
+  const uint64_t swaps = serving.swap_count();
+
+  SummaryMap mismatched;
+  const Status status = serving.Refresh(Inventory(7, std::move(mismatched)));
+  ASSERT_FALSE(status.ok());
+  // A caller error, not a transient store fault — the circuit breaker
+  // and retry loops must not treat it as retryable.
+  EXPECT_FALSE(status.IsRetryable());
+
+  std::string after;
+  serving.SerializeBuildSide(&after);
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(serving.Acquire().get(), active.get());
+  EXPECT_EQ(serving.swap_count(), swaps);
 }
 
 TEST(ServingInventoryTest, AcquireKeepsRetiredSnapshotsAlive) {

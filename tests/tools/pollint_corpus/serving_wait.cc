@@ -1,0 +1,18 @@
+// serving-wait corpus: raw condition variables and sleep-based waiting
+// in the serving path must go through pol::CondVar::WaitFor instead.
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+
+std::condition_variable cv;
+std::condition_variable_any cv_any;
+
+void Wait() {
+  std::chrono::steady_clock::time_point wake;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::sleep_until(wake);
+  usleep(100);
+  nanosleep(nullptr, nullptr);
+  // NOLINTNEXTLINE(pollint:serving-wait)
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

@@ -201,6 +201,24 @@ TEST(PollintCorpusTest, InventoryQueryAllowedInCore) {
       Lint("direct_summaries.cc", "src/core/direct_summaries.cc").empty());
 }
 
+TEST(PollintCorpusTest, ServingWait) {
+  // Raw condition variables and every sleep flavor fire inside the
+  // serving path; the NOLINTNEXTLINE-suppressed sleep stays quiet.
+  const std::vector<RuleLine> expected = {
+      {"serving-wait", 7},  {"serving-wait", 8},  {"serving-wait", 12},
+      {"serving-wait", 13}, {"serving-wait", 14}, {"serving-wait", 15},
+  };
+  EXPECT_EQ(Lint("serving_wait.cc", "src/core/serving_wait.cc"), expected);
+}
+
+TEST(PollintCorpusTest, ServingWaitScopedToServingPath) {
+  // The same text is legal elsewhere — the rule polices the serving
+  // path only (other core files, other layers, non-library trees).
+  EXPECT_TRUE(Lint("serving_wait.cc", "src/core/inventory_wait.cc").empty());
+  EXPECT_TRUE(Lint("serving_wait.cc", "src/flow/serving_wait.cc").empty());
+  EXPECT_TRUE(Lint("serving_wait.cc", "tools/serving_wait.cc").empty());
+}
+
 TEST(PollintCorpusTest, MissingDirectInclude) {
   const std::vector<RuleLine> expected = {{"missing-include", 4}};
   EXPECT_EQ(Lint("missing_include.cc", "src/corpus/missing_include.cc"),

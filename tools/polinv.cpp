@@ -276,8 +276,8 @@ int CmdGeoJson(const core::InventoryQuery& inv, uint64_t min_records) {
 }
 
 // Pretty-prints a pol.run_report/1 document (see core/run_report.h):
-// status and wall clock, the per-stage table, coverage, checkpoint and
-// quarantine activity, and a metrics digest.
+// status and wall clock, the per-stage table, coverage, checkpoint,
+// serving health, quarantine activity, and a metrics digest.
 int CmdReport(const char* path) {
   std::string text;
   std::string error;
@@ -334,6 +334,16 @@ int CmdReport(const char* path) {
     } else {
       std::printf("checkpoint:         disabled\n");
     }
+  }
+  if (const obs::Json* serving = report.Find("serving")) {
+    const bool degraded = serving->Find("degraded") != nullptr &&
+                          serving->Find("degraded")->AsBool();
+    std::printf(
+        "serving:            %s, breaker %s, snapshot age %llu refreshes\n",
+        degraded ? "DEGRADED" : "healthy",
+        serving->GetString("breaker_state").c_str(),
+        static_cast<unsigned long long>(
+            serving->GetUint64("snapshot_age_refreshes")));
   }
 
   // Rebuild flow::StageMetrics from the report so the exact table the

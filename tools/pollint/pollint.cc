@@ -202,6 +202,9 @@ class Linter {
       // src/obs is the one layer allowed to touch the raw clock; it is
       // what everything else times through.
       if (!StartsWith(path_, "src/obs/")) CheckDirectTiming();
+      // The serving path may block only through the annotated,
+      // deadline-bounded vocabulary.
+      if (StartsWith(path_, "src/core/serving")) CheckServingWait();
     }
     CheckFloatCompares();
     // The serving-side boundary applies to every linted tree (bench,
@@ -552,6 +555,34 @@ class Linter {
     }
   }
 
+  // --- serving-wait -------------------------------------------------------
+  // The serving path (src/core/serving*) blocks only through the
+  // annotated pol::CondVar, whose WaitFor bounds every wait by a
+  // deadline: a raw std::condition_variable escapes the Clang
+  // thread-safety analysis, and sleep-polling (sleep_for / usleep /
+  // nanosleep) turns deadline misses into fixed latency floors that no
+  // Release() can cut short.
+  void CheckServingWait() {
+    static const std::regex kCondVar(R"(std::condition_variable(_any)?\b)");
+    static const std::regex kSleep(
+        R"((^|[^\w])(sleep_for|sleep_until|usleep|nanosleep)\s*\()");
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(lines_[i].code, match, kCondVar)) {
+        Report(i, "serving-wait",
+               "raw std::condition_variable in the serving path; wait on "
+               "the annotated pol::CondVar so every block is "
+               "deadline-bounded (WaitFor) and analyzable");
+      } else if (std::regex_search(lines_[i].code, match, kSleep)) {
+        Report(i, "serving-wait",
+               "'" + match[2].str() +
+                   "' sleep-based waiting in the serving path; use "
+                   "pol::CondVar::WaitFor with a deadline so a Release() "
+                   "can wake the waiter early");
+      }
+    }
+  }
+
   // --- missing-include ----------------------------------------------------
   void CheckMissingIncludes() {
     struct Entry {
@@ -614,7 +645,8 @@ const std::vector<std::string>& RuleIds() {
       new std::vector<std::string>{
           "banned-call", "catch-swallow", "direct-timing",
           "float-compare", "include-guard", "inventory-query",
-          "missing-include", "mutex-annotation", "naked-new", "stdout-io",
+          "missing-include", "mutex-annotation", "naked-new", "serving-wait",
+          "stdout-io",
       };
   return *kIds;
 }

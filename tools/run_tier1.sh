@@ -15,6 +15,7 @@
 #   tools/run_tier1.sh --tidy     # + clang-tidy over src/ (needs clang-tidy)
 #   tools/run_tier1.sh --format   # + clang-format check of touched files
 #   tools/run_tier1.sh --obs      # + obs tests, POL_OBS=OFF build, overhead bench
+#   tools/run_tier1.sh --soak     # + serving chaos soak under TSan and fail points
 #
 # Flags combine; plain tier-1 runtime is unchanged when none are given.
 # Passes needing Clang tooling (--analyze, --tidy, --format) skip with a
@@ -29,12 +30,17 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 # The tests that exercise the thread pool, the stage runner, and the
 # chunked folding path — the ones worth the sanitizer rebuild. The
 # stress tests exist specifically to give TSan interleavings to bite on.
-SAN_TESTS="threadpool_test|dataset_test|concurrency_stress_test|pipeline_test|pipeline_property_test|pipeline_chunked_test|cleaning_test|extractor_test|inventory_test|serving_inventory_test"
+SAN_TESTS="threadpool_test|dataset_test|concurrency_stress_test|pipeline_test|pipeline_property_test|pipeline_chunked_test|cleaning_test|extractor_test|inventory_test|serving_inventory_test|serving_resilience_test"
 
 # The failure-containment suite: these run in every build, but only the
 # faults preset (POL_FAILPOINTS=ON) un-skips the armed kill-and-resume
 # scenarios.
-FAULT_TESTS="failpoint_test|nmea_quarantine_test|checkpoint_test|fault_injection_test|concurrency_stress_test|status_test"
+FAULT_TESTS="failpoint_test|nmea_quarantine_test|checkpoint_test|fault_injection_test|concurrency_stress_test|status_test|serving_resilience_test"
+
+# The serving chaos soak: concurrent readers + faulting refreshes +
+# deadline storms against the ServingGuard. --soak runs it under both
+# the TSan and the fail-points presets (the two builds where it bites).
+SOAK_TESTS="serving_resilience_test|serving_inventory_test"
 
 # The observability suite: the obs unit tests, the report/trace
 # integration test, and the concurrency stress test that hammers the
@@ -51,6 +57,7 @@ run_analyze=0
 run_tidy=0
 run_format=0
 run_obs=0
+run_soak=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -64,6 +71,7 @@ for arg in "$@"; do
     --tidy) run_tidy=1 ;;
     --format) run_format=1 ;;
     --obs) run_obs=1 ;;
+    --soak) run_soak=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -158,6 +166,22 @@ obs_pass() {
   echo "obs: clean"
 }
 
+soak_pass() {
+  echo "== soak pass: serving resilience under TSan and fail points =="
+  local targets
+  targets="$(echo "$SOAK_TESTS" | tr '|' ' ')"
+  local preset
+  for preset in tsan faults; do
+    cmake --preset "$preset" -S "$ROOT"
+    # shellcheck disable=SC2086
+    cmake --build "$ROOT/build-$preset" -j "$JOBS" --target $targets
+    (cd "$ROOT/build-$preset" &&
+       TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+       ctest --output-on-failure -j "$JOBS" -R "^($SOAK_TESTS)\$")
+  done
+  echo "soak: clean"
+}
+
 format_pass() {
   echo "== format pass: clang-format on files touched vs origin =="
   if ! command -v clang-format >/dev/null 2>&1; then
@@ -203,5 +227,6 @@ format_pass() {
 [ "$run_tidy" -eq 1 ] && tidy_pass
 [ "$run_format" -eq 1 ] && format_pass
 [ "$run_obs" -eq 1 ] && obs_pass
+[ "$run_soak" -eq 1 ] && soak_pass
 
 echo "== run_tier1.sh: all requested passes green =="
