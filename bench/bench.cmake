@@ -34,6 +34,7 @@ pol_add_bench(bench_suez_disruption)
 pol_add_bench(bench_checkpoint)
 pol_add_bench(bench_obs_overhead)
 pol_add_bench(bench_serving_guard)
+pol_add_bench(bench_serving_telemetry)
 
 # Microbenchmarks use google-benchmark.
 pol_add_bench(bench_micro)

@@ -17,13 +17,16 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/pipeline.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/querylog.h"
 #include "obs/report.h"
+#include "obs/window.h"
 #include "sim/fleet.h"
 
 namespace pol {
@@ -31,6 +34,56 @@ namespace {
 
 constexpr int kRounds = 9;
 constexpr double kMaxOverhead = 0.02;
+
+// Windowed-telemetry micro-timings: ns per record for the serving-path
+// primitives (cumulative Histogram as the baseline, then the windowed
+// ring variants and the query log). Informational — the end-to-end bar
+// for the serving path lives in bench_serving_telemetry — but recorded
+// into the summary so regressions in the record fast path are visible
+// across runs.
+struct WindowedMicros {
+  double histogram_ns = 0.0;
+  double windowed_histogram_ns = 0.0;
+  double windowed_rate_ns = 0.0;
+  double query_log_ns = 0.0;
+};
+
+WindowedMicros MeasureWindowedMicros() {
+  constexpr int kOps = 2'000'000;
+  constexpr int kMicroRounds = 5;
+  WindowedMicros out;
+  obs::Histogram histogram;
+  obs::WindowedHistogram windowed(1.0, 60);
+  obs::WindowedRate rate(1.0, 60);
+  obs::QueryLog log;
+  obs::QueryEvent event;
+  event.query_class = "interactive";
+  event.op = "bench";
+  event.status = "Ok";
+  event.scan_seconds = 0.0001;
+  const auto per_op_ns = [&](auto&& body) {
+    double best = 1e300;
+    for (int round = 0; round < kMicroRounds; ++round) {
+      best = std::min(best, bench::TimeSeconds([&] {
+        for (int i = 0; i < kOps; ++i) body(i);
+      }));
+    }
+    return best / kOps * 1e9;
+  };
+  out.histogram_ns =
+      per_op_ns([&](int i) { histogram.Record(1e-6 * (i & 1023)); });
+  out.windowed_histogram_ns =
+      per_op_ns([&](int i) { windowed.Record(1e-6 * (i & 1023)); });
+  out.windowed_rate_ns = per_op_ns([&](int i) {
+    (void)i;
+    rate.Increment();
+  });
+  out.query_log_ns = per_op_ns([&](int i) {
+    event.id = static_cast<uint64_t>(i);
+    log.Record(event);
+  });
+  return out;
+}
 
 sim::SimulationOutput BenchArchive() {
   sim::FleetConfig config;
@@ -105,6 +158,17 @@ int Run(int argc, char** argv) {
               bench::FormatPercent(overhead).c_str(),
               bench::FormatPercent(kMaxOverhead).c_str());
 
+  const WindowedMicros micros = MeasureWindowedMicros();
+  std::printf("\nwindowed-telemetry record path (best of 5 x 2M ops):\n");
+  std::printf("  Histogram::Record          %6.1f ns/op\n",
+              micros.histogram_ns);
+  std::printf("  WindowedHistogram::Record  %6.1f ns/op\n",
+              micros.windowed_histogram_ns);
+  std::printf("  WindowedRate::Increment    %6.1f ns/op\n",
+              micros.windowed_rate_ns);
+  std::printf("  QueryLog::Record           %6.1f ns/op\n",
+              micros.query_log_ns);
+
   std::printf(
       "BENCH {\"bench\":\"obs_overhead\",\"records\":%llu,\"rounds\":%d,"
       "\"obs_enabled\":%s,\"idle_s\":%.4f,\"traced_s\":%.4f,"
@@ -123,6 +187,12 @@ int Run(int argc, char** argv) {
     summary.Set("traced_s", traced_s);
     summary.Set("overhead_frac", overhead);
     summary.Set("max_overhead_frac", kMaxOverhead);
+    obs::Json windowed = obs::Json::Object();
+    windowed.Set("histogram_ns", micros.histogram_ns);
+    windowed.Set("windowed_histogram_ns", micros.windowed_histogram_ns);
+    windowed.Set("windowed_rate_ns", micros.windowed_rate_ns);
+    windowed.Set("query_log_ns", micros.query_log_ns);
+    summary.Set("windowed_record_ns", std::move(windowed));
     std::string error;
     if (!obs::WriteJsonFile(summary_path, summary, &error)) {
       std::fprintf(stderr, "cannot write %s: %s\n", summary_path.c_str(),

@@ -124,7 +124,12 @@ int Run(int argc, char** argv) {
 
   bench::PrintHeader("ServingGuard overhead (admission + deadline path)");
   core::ServingInventory store(BuildInventory(48, 40));
-  core::ServingGuard guard(&store);
+  // Telemetry off: this bar measures admission + deadline bookkeeping
+  // alone. The fully-telemetered path has its own bar in
+  // bench_serving_telemetry.
+  core::ServingGuardOptions guard_options;
+  guard_options.telemetry.enabled = false;
+  core::ServingGuard guard(&store, guard_options);
   std::printf("snapshot: %s summaries, %d calls x %d lookups per round\n\n",
               bench::FormatCount(store.size()).c_str(), kCallsPerRound,
               kLookupsPerCall);

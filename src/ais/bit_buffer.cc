@@ -80,7 +80,10 @@ BitReader BitReader::FromSixBitSymbols(const std::vector<uint8_t>& symbols,
   }
   if (fill_bits > 0 && fill_bits <= 5 &&
       bits.size() >= static_cast<size_t>(fill_bits)) {
-    bits.resize(bits.size() - static_cast<size_t>(fill_bits));
+    // erase (not resize) so the shrink never touches the vector<bool>
+    // fill-insert path, which GCC 12 -O3 flags as a bogus huge memset.
+    bits.erase(bits.end() - static_cast<std::ptrdiff_t>(fill_bits),
+               bits.end());
   }
   return BitReader(std::move(bits));
 }

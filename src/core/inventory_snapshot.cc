@@ -1,10 +1,12 @@
 #include "core/inventory_snapshot.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/serving_metric_names.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -146,10 +148,15 @@ std::shared_ptr<const InventorySnapshot> Inventory::Seal() const {
   snapshot->stats_.segment_index_cells = snapshot->segment_index_.size();
 
   snapshot->stats_.seal_seconds = obs::NowSeconds() - start;
+  // Process-wide seal ordinal: the snapshot id the serving telemetry
+  // joins query-log rows and the active_id gauge on.
+  static std::atomic<uint64_t> seal_counter{0};
+  snapshot->stats_.seal_sequence =
+      seal_counter.fetch_add(1, std::memory_order_relaxed) + 1;
   auto& registry = obs::Registry::Global();
-  registry.histogram("serving.seal_seconds")
+  registry.histogram(kMetricServingSealSeconds)
       ->Record(snapshot->stats_.seal_seconds);
-  registry.counter("serving.seals")->Increment();
+  registry.counter(kMetricServingSeals)->Increment();
   return snapshot;
 }
 

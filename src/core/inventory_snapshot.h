@@ -32,6 +32,11 @@ struct InventorySnapshotStats {
   uint64_t route_index_cells = 0;    // Total indexed route cells.
   uint64_t segment_index_cells = 0;  // Cells with a per-type summary.
   double seal_seconds = 0.0;
+  // Process-wide seal ordinal, from 1: the snapshot id the serving
+  // telemetry stamps into query-log rows and the
+  // serving.snapshot.active_id gauge, so a logged query pins down
+  // exactly which generation answered it.
+  uint64_t seal_sequence = 0;
 };
 
 class InventorySnapshot final : public InventoryQuery {

@@ -1,9 +1,12 @@
 #include "core/run_report.h"
 
+#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "core/serving_guard.h"
+#include "core/serving_metric_names.h"
 #include "flow/stage.h"
 #include "flow/stage_runner.h"
 #include "obs/metrics.h"
@@ -101,12 +104,66 @@ obs::Json ServingToJson(const obs::MetricsSnapshot& metrics) {
     return 0;
   };
   obs::Json out = obs::Json::Object();
-  out.Set("degraded", gauge("serving.degraded") != 0);
+  out.Set("degraded", gauge(kMetricServingDegraded) != 0);
   out.Set("breaker_state",
           std::string(BreakerStateName(
-              static_cast<BreakerState>(gauge("serving.breaker_state")))));
+              static_cast<BreakerState>(gauge(kMetricServingBreakerState)))));
   out.Set("snapshot_age_refreshes",
-          static_cast<uint64_t>(gauge("serving.snapshot_age_refreshes")));
+          static_cast<uint64_t>(gauge(kMetricServingSnapshotAgeRefreshes)));
+  return out;
+}
+
+// The serving.slo.* gauge set folded back into per-SLO objects:
+// {"availability": {"burning": false, "burn_fast_milli": 0, ...}, ...}.
+// Empty object when no ServingTelemetry published SLOs (no guard ran,
+// telemetry disabled, or POL_OBS=OFF).
+obs::Json ServingSloToJson(const obs::MetricsSnapshot& metrics) {
+  struct SloAggregate {
+    bool burning = false;
+    int64_t burn_fast_milli = 0;
+    int64_t burn_slow_milli = 0;
+    uint64_t breaches = 0;
+  };
+  std::map<std::string, SloAggregate> slos;
+  const std::string_view prefix = kServingSloGaugePrefix;
+  const auto split = [&prefix](std::string_view name, std::string_view* slo,
+                               std::string_view* field) {
+    if (name.substr(0, prefix.size()) != prefix) return false;
+    name.remove_prefix(prefix.size());
+    const size_t dot = name.rfind('.');
+    if (dot == std::string_view::npos || dot == 0) return false;
+    *slo = name.substr(0, dot);
+    *field = name.substr(dot + 1);
+    return true;
+  };
+  for (const auto& [name, value] : metrics.gauges) {
+    std::string_view slo;
+    std::string_view field;
+    if (!split(name, &slo, &field)) continue;
+    SloAggregate& aggregate = slos[std::string(slo)];
+    if (field == "burning") {
+      aggregate.burning = value != 0;
+    } else if (field == "burn_fast_milli") {
+      aggregate.burn_fast_milli = value;
+    } else if (field == "burn_slow_milli") {
+      aggregate.burn_slow_milli = value;
+    }
+  }
+  for (const auto& [name, value] : metrics.counters) {
+    std::string_view slo;
+    std::string_view field;
+    if (!split(name, &slo, &field)) continue;
+    if (field == "breaches") slos[std::string(slo)].breaches = value;
+  }
+  obs::Json out = obs::Json::Object();
+  for (const auto& [name, aggregate] : slos) {
+    obs::Json one = obs::Json::Object();
+    one.Set("burning", aggregate.burning);
+    one.Set("burn_fast_milli", aggregate.burn_fast_milli);
+    one.Set("burn_slow_milli", aggregate.burn_slow_milli);
+    one.Set("breaches", aggregate.breaches);
+    out.Set(name, std::move(one));
+  }
   return out;
 }
 
@@ -134,6 +191,7 @@ obs::Json BuildRunReport(const PipelineConfig& config,
   report.Set("checkpoint", CheckpointToJson(config, result.coverage));
   const obs::MetricsSnapshot metrics = obs::Registry::Global().Snapshot();
   report.Set("serving", ServingToJson(metrics));
+  report.Set("serving_slo", ServingSloToJson(metrics));
   report.Set("metrics", obs::MetricsSnapshotToJson(metrics));
   return report;
 }

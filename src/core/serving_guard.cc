@@ -2,16 +2,32 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "core/serving_metric_names.h"
 #include "obs/clock.h"
+#include "obs/openmetrics.h"
 #include "obs/trace.h"
 
 namespace pol::core {
+namespace {
+
+int64_t MillisGauge(double seconds) {
+  double millis = seconds * 1000.0;
+  if (!(millis >= 0.0)) millis = 0.0;
+  if (millis > 9e15) millis = 9e15;
+  return static_cast<int64_t>(std::llround(millis));
+}
+
+}  // namespace
 
 std::string_view BreakerStateName(BreakerState state) {
   switch (state) {
@@ -26,7 +42,9 @@ std::string_view BreakerStateName(BreakerState state) {
 }
 
 ServingGuard::ServingGuard(ServingInventory* store, ServingGuardOptions options)
-    : store_(store), options_(options) {
+    : store_(store),
+      options_(std::move(options)),
+      telemetry_(std::make_unique<ServingTelemetry>(options_.telemetry)) {
   POL_CHECK(store_ != nullptr);
   POL_CHECK(options_.max_concurrent_interactive >= 1);
   POL_CHECK(options_.max_concurrent_batch >= 1);
@@ -42,24 +60,43 @@ ServingGuard::ServingGuard(ServingInventory* store, ServingGuardOptions options)
       options_.max_concurrent_batch;
 
   auto& registry = obs::Registry::Global();
-  admitted_ = registry.counter("serving.admitted");
-  queued_ = registry.counter("serving.queued");
-  shed_ = registry.counter("serving.shed");
-  deadline_exceeded_ = registry.counter("serving.deadline_exceeded");
-  scan_deadline_exceeded_ = registry.counter("serving.scan_deadline_exceeded");
-  breaker_trips_ = registry.counter("serving.breaker_trips");
-  breaker_probes_ = registry.counter("serving.breaker_probes");
-  breaker_closes_ = registry.counter("serving.breaker_closes");
-  breaker_rejected_ = registry.counter("serving.breaker_rejected_refreshes");
-  degraded_gauge_ = registry.gauge("serving.degraded");
-  breaker_state_gauge_ = registry.gauge("serving.breaker_state");
-  age_gauge_ = registry.gauge("serving.snapshot_age_refreshes");
+  admitted_ = registry.counter(kMetricServingAdmitted);
+  queued_ = registry.counter(kMetricServingQueued);
+  shed_ = registry.counter(kMetricServingShed);
+  deadline_exceeded_ = registry.counter(kMetricServingDeadlineExceeded);
+  scan_deadline_exceeded_ =
+      registry.counter(kMetricServingScanDeadlineExceeded);
+  breaker_trips_ = registry.counter(kMetricServingBreakerTrips);
+  breaker_probes_ = registry.counter(kMetricServingBreakerProbes);
+  breaker_closes_ = registry.counter(kMetricServingBreakerCloses);
+  breaker_rejected_ = registry.counter(kMetricServingBreakerRejected);
+  degraded_gauge_ = registry.gauge(kMetricServingDegraded);
+  breaker_state_gauge_ = registry.gauge(kMetricServingBreakerState);
+  age_gauge_ = registry.gauge(kMetricServingSnapshotAgeRefreshes);
+  telemetry_exports_ = registry.counter(kMetricServingTelemetryExports);
+  telemetry_export_failures_ =
+      registry.counter(kMetricServingTelemetryExportFailures);
+  active_snapshot_id_gauge_ = registry.gauge(kMetricServingActiveSnapshotId);
+  snapshot_age_ms_gauge_ = registry.gauge(kMetricServingSnapshotAgeMs);
   degraded_gauge_->Set(0);
   breaker_state_gauge_->Set(0);
   age_gauge_->Set(0);
 }
 
-Status ServingGuard::Admit(QueryClass cls, const Deadline& deadline) {
+ServingGuard::~ServingGuard() { StopTelemetryExporter(); }
+
+std::string ServingGuard::QuerySpanName(std::string_view op, uint64_t id) {
+  std::string name;
+  name.reserve(kSpanServingQueryPrefix.size() + op.size() + 21);
+  name.append(kSpanServingQueryPrefix);
+  name.append(op);
+  name.push_back('#');
+  name.append(std::to_string(id));
+  return name;
+}
+
+Status ServingGuard::Admit(QueryClass cls, const Deadline& deadline,
+                           double* queue_wait_seconds) {
   ClassState& state = classes_[static_cast<size_t>(cls)];
   if (deadline.Expired()) {
     deadline_exceeded_->Increment();
@@ -75,13 +112,14 @@ Status ServingGuard::Admit(QueryClass cls, const Deadline& deadline) {
     return Status::OK();
   }
   state.in_flight.fetch_sub(1, std::memory_order_seq_cst);
-  return AdmitSlow(state, deadline);
+  return AdmitSlow(state, deadline, queue_wait_seconds);
 }
 
-Status ServingGuard::AdmitSlow(ClassState& state, const Deadline& deadline) {
+Status ServingGuard::AdmitSlow(ClassState& state, const Deadline& deadline,
+                               double* queue_wait_seconds) {
   queued_->Increment();
-  const double queue_deadline =
-      obs::NowSeconds() + options_.max_queue_wait_seconds;
+  const double queued_at = obs::NowSeconds();
+  const double queue_deadline = queued_at + options_.max_queue_wait_seconds;
   MutexLock lock(mutex_);
   // Missed-wakeup argument: `waiters` is published seq_cst before the
   // final in_flight re-check below, and Release decrements in_flight
@@ -120,6 +158,9 @@ Status ServingGuard::AdmitSlow(ClassState& state, const Deadline& deadline) {
     slot_available_.WaitFor(mutex_, wait_until - now);
   }
   state.waiters.fetch_sub(1, std::memory_order_seq_cst);
+  if (queue_wait_seconds != nullptr) {
+    *queue_wait_seconds = obs::NowSeconds() - queued_at;
+  }
   return result;
 }
 
@@ -138,48 +179,56 @@ void ServingGuard::Release(QueryClass cls) {
 Status ServingGuard::VisitGroupingSet(GroupingSet set, const Deadline& deadline,
                                       const InventoryQuery::SummaryVisitor& visitor,
                                       QueryClass cls) {
-  return Run(cls, deadline, [&](const InventorySnapshot& snapshot) {
-    const uint32_t stride_mask = options_.deadline_check_stride - 1;
-    uint32_t visited = 0;
-    bool expired = false;
-    snapshot.VisitGroupingSetWhile(
-        set, [&](const GroupKey& key, const CellSummary& summary) {
-          if ((visited++ & stride_mask) == 0 && deadline.Expired()) {
-            expired = true;
-            return false;
-          }
-          visitor(key, summary);
-          return true;
-        });
-    if (expired) {
-      return Status::DeadlineExceeded(
-          "grouping-set sweep canceled: deadline exceeded mid-scan");
-    }
-    return Status::OK();
-  });
+  uint64_t visited = 0;
+  return RunCounted(
+      "visit_grouping_set", cls, deadline, &visited,
+      [&](const InventorySnapshot& snapshot) {
+        const uint32_t stride_mask = options_.deadline_check_stride - 1;
+        bool expired = false;
+        snapshot.VisitGroupingSetWhile(
+            set, [&](const GroupKey& key, const CellSummary& summary) {
+              if ((static_cast<uint32_t>(visited++) & stride_mask) == 0 &&
+                  deadline.Expired()) {
+                expired = true;
+                return false;
+              }
+              visitor(key, summary);
+              return true;
+            });
+        if (expired) {
+          return Status::DeadlineExceeded(
+              "grouping-set sweep canceled: deadline exceeded mid-scan");
+        }
+        return Status::OK();
+      });
 }
 
 Result<std::vector<hex::CellIndex>> ServingGuard::CellsForRoute(
     sim::PortId origin, sim::PortId destination, ais::MarketSegment segment,
     const Deadline& deadline, QueryClass cls) {
   std::vector<hex::CellIndex> cells;
-  Status status = Run(cls, deadline, [&](const InventorySnapshot& snapshot) {
-    cells = snapshot.CellsForRoute(origin, destination, segment);
-    // The index lookup is O(log routes); the corridor copy above is the
-    // long part, so the cooperative check lands after it.
-    if (deadline.Expired()) {
-      cells.clear();
-      return Status::DeadlineExceeded(
-          "route corridor query canceled: deadline exceeded");
-    }
-    return Status::OK();
-  });
+  uint64_t visited = 0;
+  Status status = RunCounted(
+      "cells_for_route", cls, deadline, &visited,
+      [&](const InventorySnapshot& snapshot) {
+        cells = snapshot.CellsForRoute(origin, destination, segment);
+        visited = cells.size();
+        // The index lookup is O(log routes); the corridor copy above is
+        // the long part, so the cooperative check lands after it.
+        if (deadline.Expired()) {
+          cells.clear();
+          visited = 0;
+          return Status::DeadlineExceeded(
+              "route corridor query canceled: deadline exceeded");
+        }
+        return Status::OK();
+      });
   if (!status.ok()) return status;
   return cells;
 }
 
 Status ServingGuard::Refresh(Inventory&& delta) {
-  POL_TRACE_SPAN("serving.guard_refresh");
+  POL_TRACE_SPAN(kSpanServingGuardRefresh);
   bool probing = false;
   {
     MutexLock lock(mutex_);
@@ -262,6 +311,80 @@ bool ServingGuard::degraded() const {
 uint64_t ServingGuard::snapshot_age_refreshes() const {
   MutexLock lock(mutex_);
   return snapshot_age_refreshes_;
+}
+
+Status ServingGuard::TickTelemetry(const std::string& openmetrics_path) {
+  telemetry_->UpdateWindowGauges();
+  telemetry_->EvaluateSlos();
+  active_snapshot_id_gauge_->Set(
+      static_cast<int64_t>(store_->active_seal_sequence()));
+  snapshot_age_ms_gauge_->Set(
+      MillisGauge(store_->active_snapshot_age_seconds()));
+  if (openmetrics_path.empty()) {
+    telemetry_exports_->Increment();
+    return Status::OK();
+  }
+  std::string error;
+  if (!obs::WriteOpenMetricsFile(openmetrics_path,
+                                 obs::Registry::Global().Snapshot(), &error)) {
+    telemetry_export_failures_->Increment();
+    return Status::IoError("openmetrics export failed: " + error);
+  }
+  telemetry_exports_->Increment();
+  return Status::OK();
+}
+
+Status ServingGuard::StartTelemetryExporter(
+    TelemetryExporterOptions exporter_options) {
+  if (!(exporter_options.period_seconds > 0.0)) {
+    return Status::InvalidArgument("exporter period must be positive");
+  }
+  {
+    MutexLock lock(exporter_mutex_);
+    if (exporter_running_) {
+      return Status::FailedPrecondition("telemetry exporter already running");
+    }
+    exporter_running_ = true;
+    exporter_stop_ = false;
+  }
+  exporter_thread_ = std::thread(&ServingGuard::ExporterLoop, this,
+                                 std::move(exporter_options));
+  return Status::OK();
+}
+
+void ServingGuard::StopTelemetryExporter() {
+  {
+    MutexLock lock(exporter_mutex_);
+    if (!exporter_running_) return;
+    exporter_stop_ = true;
+    exporter_cv_.NotifyAll();
+  }
+  if (exporter_thread_.joinable()) exporter_thread_.join();
+  MutexLock lock(exporter_mutex_);
+  exporter_running_ = false;
+}
+
+bool ServingGuard::telemetry_exporter_running() const {
+  MutexLock lock(exporter_mutex_);
+  return exporter_running_;
+}
+
+void ServingGuard::ExporterLoop(TelemetryExporterOptions exporter_options) {
+  for (;;) {
+    {
+      MutexLock lock(exporter_mutex_);
+      if (!exporter_stop_) {
+        // Timeout (or spurious wake) just runs a tick; the stop flag is
+        // the guarded predicate that ends the loop.
+        exporter_cv_.WaitFor(exporter_mutex_, exporter_options.period_seconds);
+      }
+      if (exporter_stop_) return;
+    }
+    // An export-write failure is already counted and retried next tick;
+    // the loop has nowhere to report it.
+    const Status tick = TickTelemetry(exporter_options.openmetrics_path);
+    static_cast<void>(tick);
+  }
 }
 
 }  // namespace pol::core

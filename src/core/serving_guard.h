@@ -4,7 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <string_view>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
@@ -12,7 +16,9 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/serving_inventory.h"
+#include "core/serving_telemetry.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 // The serving-resilience layer around core::ServingInventory: the
 // paper's inventory is built once a day and queried all day, and an
@@ -66,13 +72,21 @@
 // state to the read path beyond the admission slots, so bench
 // bench_serving_guard holds it to <2% overhead on the Acquire +
 // point-lookup hot path.
+//
+// Query-level telemetry (DESIGN.md §3.8): unless disabled through
+// ServingGuardOptions::telemetry, every guarded call additionally
+// lands in the guard's ServingTelemetry — a query id (joined to the
+// per-query trace span "serving.query.<op>#<id>" when tracing is on),
+// a wide query-log event, the per-class trailing-window latency
+// histograms, and the ok/error/shed rates the serving.slo.* burn-rate
+// gauges evaluate over. The windowed record path is lock-free and
+// bench_serving_telemetry holds the whole package — windows, query
+// log, exporter — to <2% on the same hot path. The optional exporter
+// thread (StartTelemetryExporter) periodically refreshes the gauges,
+// evaluates the SLOs, and atomically rewrites an OpenMetrics text file
+// `polinv watch` or any Prometheus-style scraper can tail.
 
 namespace pol::core {
-
-// Admission class of one guarded call. Interactive: point lookups and
-// corridor queries a user is waiting on. Batch: whole-grouping-set
-// sweeps (LaneAnalyzer-style analytics) that must not crowd them out.
-enum class QueryClass { kInteractive = 0, kBatch = 1 };
 
 enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
 
@@ -93,6 +107,19 @@ struct ServingGuardOptions {
   // Deadline poll cadence inside long scans, in summaries visited.
   // Must be a power of two.
   uint32_t deadline_check_stride = 256;
+  // Query-level telemetry (windows, query log, SLOs). Set
+  // telemetry.enabled = false to strip every per-query clock read and
+  // record from the path — the admission counters above stay.
+  ServingTelemetryOptions telemetry;
+};
+
+// The periodic exporter owned by ServingGuard: each tick refreshes the
+// windowed gauges, evaluates the SLOs, and (when a path is set)
+// atomically replaces an OpenMetrics rendering of the whole Registry.
+struct TelemetryExporterOptions {
+  // Export file path; empty keeps the tick gauges-only.
+  std::string openmetrics_path;
+  double period_seconds = 1.0;
 };
 
 class ServingGuard {
@@ -101,6 +128,9 @@ class ServingGuard {
   // here; gauges are reset to the healthy state.
   explicit ServingGuard(ServingInventory* store,
                         ServingGuardOptions options = ServingGuardOptions());
+
+  // Stops the exporter thread, if running.
+  ~ServingGuard();
 
   ServingGuard(const ServingGuard&) = delete;
   ServingGuard& operator=(const ServingGuard&) = delete;
@@ -113,24 +143,21 @@ class ServingGuard {
   // `fn` observes the deadline it closed over for cooperative
   // cancellation; a kDeadlineExceeded return is counted as a mid-scan
   // cancel. Templated so the hot path inlines — the guard's cost is
-  // the admission atomics plus one clock read.
+  // the admission atomics plus one clock read (three with telemetry,
+  // which also buys the windowed record and the query-log row).
   template <typename Fn>
   Status Run(QueryClass cls, const Deadline& deadline, Fn&& fn) {
-    POL_RETURN_IF_ERROR(Admit(cls, deadline));
-    const std::shared_ptr<const InventorySnapshot> snapshot =
-        store_->Acquire();
-    Status status;
-    try {
-      status = fn(*snapshot);
-    } catch (...) {
-      Release(cls);
-      throw;
-    }
-    Release(cls);
-    if (status.code() == StatusCode::kDeadlineExceeded) {
-      scan_deadline_exceeded_->Increment();
-    }
-    return status;
+    return RunOp("query", cls, deadline, std::forward<Fn>(fn));
+  }
+
+  // Run with a telemetry operation name: the static-storage `op`
+  // literal lands in the query-log row and names the per-query trace
+  // span (constants' kSpanServingQueryPrefix + op + "#" + id), so a
+  // trace and its query-log row join on the id.
+  template <typename Fn>
+  Status RunOp(std::string_view op, QueryClass cls, const Deadline& deadline,
+               Fn&& fn) {
+    return RunCounted(op, cls, deadline, nullptr, std::forward<Fn>(fn));
   }
 
   // VisitGroupingSet with the deadline threaded through the scan: the
@@ -161,6 +188,24 @@ class ServingGuard {
   // Refresh attempts since the last successfully published snapshot.
   uint64_t snapshot_age_refreshes() const;
 
+  // Never null; disabled telemetry reports enabled() == false and
+  // records nothing.
+  ServingTelemetry* telemetry() const { return telemetry_.get(); }
+
+  // Starts the periodic exporter thread (FailedPrecondition if one is
+  // already running). Each tick runs TickTelemetry(). Stopping is
+  // idempotent; the destructor stops a still-running exporter.
+  Status StartTelemetryExporter(TelemetryExporterOptions options);
+  void StopTelemetryExporter();
+  bool telemetry_exporter_running() const;
+
+  // One exporter tick, synchronously: refresh the windowed gauges and
+  // the snapshot id/age gauges, evaluate the SLOs, and write the
+  // OpenMetrics file when `openmetrics_path` is non-empty. Public so
+  // tests and one-shot exports stay deterministic. Returns the write
+  // error, if any (gauges are refreshed regardless).
+  Status TickTelemetry(const std::string& openmetrics_path);
+
   ServingInventory* store() const { return store_; }
   const ServingGuardOptions& options() const { return options_; }
 
@@ -176,12 +221,81 @@ class ServingGuard {
     int limit = 0;
   };
 
-  Status Admit(QueryClass cls, const Deadline& deadline);
-  Status AdmitSlow(ClassState& state, const Deadline& deadline);
+  // When `queue_wait_seconds` is non-null it receives the time spent
+  // queued for a slot — 0.0 on the uncontended fast path, which reads
+  // no clock for it.
+  Status Admit(QueryClass cls, const Deadline& deadline,
+               double* queue_wait_seconds = nullptr);
+  Status AdmitSlow(ClassState& state, const Deadline& deadline,
+                   double* queue_wait_seconds);
   void Release(QueryClass cls);
+
+  // "serving.query.<op>#<id>" (core/serving_metric_names.h prefix).
+  static std::string QuerySpanName(std::string_view op, uint64_t id);
+
+  // The instrumented guarded-call core behind Run/RunOp. When
+  // telemetry is on the clock is read twice — at admission and at
+  // finish (queue wait comes from AdmitSlow, which is already clocked);
+  // `summaries_visited` (may be null) is read after `fn` returns, so a
+  // scan can point it at a counter its visitor increments. A throwing
+  // `fn` releases the slot and propagates without a telemetry record —
+  // the query log reconciles against non-throwing traffic.
+  template <typename Fn>
+  Status RunCounted(std::string_view op, QueryClass cls,
+                    const Deadline& deadline,
+                    const uint64_t* summaries_visited, Fn&& fn) {
+    ServingTelemetry* const telemetry = telemetry_.get();
+    const bool telemetered = telemetry->enabled();
+    double queue_wait_seconds = 0.0;
+    {
+      const Status admit = Admit(cls, deadline, &queue_wait_seconds);
+      if (!admit.ok()) {
+        if (telemetered) telemetry->RecordRejected(cls, op, admit);
+        return admit;
+      }
+    }
+    const double admitted_at = telemetered ? obs::NowSecondsFast() : 0.0;
+    const std::shared_ptr<const InventorySnapshot> snapshot =
+        store_->Acquire();
+    const uint64_t id = telemetered ? telemetry->BeginQuery() : 0;
+    // The per-query span joins the query-log row on the id. Built only
+    // while the recorder collects, so the untraced path allocates
+    // nothing (the name must outlive the span, hence the local).
+    std::string span_name;
+    std::optional<obs::ScopedSpan> span;
+    if (telemetered && obs::TraceRecorder::Global().enabled()) {
+      span_name = QuerySpanName(op, id);
+      span.emplace(span_name);
+    }
+    Status status;
+    try {
+      status = fn(*snapshot);
+    } catch (...) {
+      Release(cls);
+      throw;
+    }
+    Release(cls);
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      scan_deadline_exceeded_->Increment();
+    }
+    if (telemetered) {
+      const double finished_at = obs::NowSecondsFast();
+      telemetry->RecordQueryAt(
+          finished_at, id, cls, op, status, queue_wait_seconds,
+          finished_at - admitted_at,
+          deadline.is_infinite() ? -1.0
+                                 : deadline.RemainingSecondsAt(finished_at),
+          snapshot->stats().seal_sequence,
+          summaries_visited != nullptr ? *summaries_visited : 0);
+    }
+    return status;
+  }
+
+  void ExporterLoop(TelemetryExporterOptions exporter_options);
 
   ServingInventory* const store_;
   const ServingGuardOptions options_;
+  const std::unique_ptr<ServingTelemetry> telemetry_;
 
   mutable Mutex mutex_;
   CondVar slot_available_;
@@ -205,6 +319,18 @@ class ServingGuard {
   obs::Gauge* degraded_gauge_;
   obs::Gauge* breaker_state_gauge_;
   obs::Gauge* age_gauge_;
+  obs::Counter* telemetry_exports_;
+  obs::Counter* telemetry_export_failures_;
+  obs::Gauge* active_snapshot_id_gauge_;
+  obs::Gauge* snapshot_age_ms_gauge_;
+
+  // Exporter thread state. Start/Stop (and the destructor) must not
+  // race each other; the flags below coordinate with the loop itself.
+  mutable Mutex exporter_mutex_;
+  CondVar exporter_cv_;
+  bool exporter_stop_ POL_GUARDED_BY(exporter_mutex_) = false;
+  bool exporter_running_ POL_GUARDED_BY(exporter_mutex_) = false;
+  std::thread exporter_thread_;  // Touched only by Start/Stop/dtor.
 };
 
 }  // namespace pol::core

@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/mutex.h"
+#include "core/serving_metric_names.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -21,7 +23,9 @@ ServingInventory::ServingInventory(Inventory base) : base_(std::move(base)) {
 }
 
 std::shared_ptr<const InventorySnapshot> ServingInventory::Acquire() const {
-  obs::Registry::Global().counter("serving.reader_acquisitions")->Increment();
+  obs::Registry::Global()
+      .counter(kMetricServingReaderAcquisitions)
+      ->Increment();
 #if defined(POL_SERVING_SNAPSHOT_ATOMIC)
   return snapshot_.load(std::memory_order_acquire);
 #else
@@ -32,7 +36,8 @@ std::shared_ptr<const InventorySnapshot> ServingInventory::Acquire() const {
 
 void ServingInventory::Swap(std::shared_ptr<const InventorySnapshot> next) {
   POL_CHECK(next != nullptr);
-  POL_TRACE_SPAN("serving.swap");
+  POL_TRACE_SPAN(kSpanServingSwap);
+  const uint64_t seal_sequence = next->stats().seal_sequence;
 #if defined(POL_SERVING_SNAPSHOT_ATOMIC)
   snapshot_.store(std::move(next), std::memory_order_release);
 #else
@@ -42,20 +47,29 @@ void ServingInventory::Swap(std::shared_ptr<const InventorySnapshot> next) {
   }
 #endif
   swap_count_.fetch_add(1, std::memory_order_relaxed);
+  active_seal_sequence_.store(seal_sequence, std::memory_order_relaxed);
+  published_at_micros_.store(obs::NowMicros(), std::memory_order_relaxed);
   auto& registry = obs::Registry::Global();
-  registry.counter("serving.swaps")->Increment();
-  registry.gauge("serving.active_snapshot_summaries")
+  registry.counter(kMetricServingSwaps)->Increment();
+  registry.gauge(kMetricServingActiveSnapshotSummaries)
       ->Set(static_cast<int64_t>(Acquire()->size()));
 }
 
+double ServingInventory::active_snapshot_age_seconds() const {
+  const uint64_t published = published_at_micros_.load(
+      std::memory_order_relaxed);
+  const uint64_t now = obs::NowMicros();
+  return now > published ? static_cast<double>(now - published) * 1e-6 : 0.0;
+}
+
 Status ServingInventory::Refresh(Inventory&& delta) {
-  POL_TRACE_SPAN("serving.refresh");
+  POL_TRACE_SPAN(kSpanServingRefresh);
   MutexLock lock(refresh_mutex_);
-  POL_RETURN_IF_ERROR(POL_FAILPOINT("serving.merge"));
+  POL_RETURN_IF_ERROR(POL_FAILPOINT(kFailPointServingMerge));
   POL_RETURN_IF_ERROR(base_.MergeFrom(std::move(delta)));
-  POL_RETURN_IF_ERROR(POL_FAILPOINT("serving.seal"));
+  POL_RETURN_IF_ERROR(POL_FAILPOINT(kFailPointServingSeal));
   std::shared_ptr<const InventorySnapshot> next = base_.Seal();
-  POL_RETURN_IF_ERROR(POL_FAILPOINT("serving.swap"));
+  POL_RETURN_IF_ERROR(POL_FAILPOINT(kFailPointServingSwap));
   Swap(std::move(next));
   return Status::OK();
 }

@@ -92,6 +92,18 @@ class ServingInventory final : public InventoryQuery {
     return swap_count_.load(std::memory_order_relaxed);
   }
 
+  // Seal sequence of the active snapshot (the process-wide ordinal
+  // Inventory::Seal stamped into InventorySnapshotStats) — the
+  // snapshot id query-log rows and the serving.snapshot.active_id
+  // gauge carry. 0 only before the constructor's first Swap.
+  uint64_t active_seal_sequence() const {
+    return active_seal_sequence_.load(std::memory_order_relaxed);
+  }
+
+  // Seconds since the active snapshot was published (obs clock); the
+  // staleness the serving.snapshot.age_ms gauge tracks.
+  double active_snapshot_age_seconds() const;
+
   // Canonical bytes of the build side (Inventory::SerializeTo under the
   // refresh lock): the persistence hook for checkpointing the serving
   // store, and the byte-identity witness the refresh-failure guarantees
@@ -122,6 +134,8 @@ class ServingInventory final : public InventoryQuery {
   mutable Mutex refresh_mutex_;
   Inventory base_ POL_GUARDED_BY(refresh_mutex_);
   std::atomic<uint64_t> swap_count_{0};
+  std::atomic<uint64_t> active_seal_sequence_{0};
+  std::atomic<uint64_t> published_at_micros_{0};
 #if defined(POL_SERVING_SNAPSHOT_ATOMIC)
   std::atomic<std::shared_ptr<const InventorySnapshot>> snapshot_;
 #else

@@ -18,6 +18,15 @@ namespace pol::obs {
 // Monotonic seconds since the process-local epoch.
 double NowSeconds();
 
+// Telemetry-grade fast clock: on x86_64 a raw TSC read scaled by a
+// one-time calibration against NowSeconds (~200µs spin on first use),
+// an alias for NowSeconds elsewhere. Shares the process epoch but may
+// differ from NowSeconds by the calibration error (~0.03%), which the
+// windowed consumers tolerate — use it on hot record paths (the
+// serving query path reads it twice per call), not for durations that
+// feed reports directly.
+double NowSecondsFast();
+
 // Monotonic microseconds since the process-local epoch (trace
 // timestamps; Chrome's trace-event "ts" unit).
 uint64_t NowMicros();

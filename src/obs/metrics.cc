@@ -81,6 +81,7 @@ MetricsSnapshot Registry::Snapshot() const {
     MetricsSnapshot::HistogramEntry entry;
     entry.name = name;
     entry.count = histogram->count();
+    entry.overflow_count = histogram->overflow_count();
     entry.sum_seconds = histogram->sum_seconds();
     entry.min_seconds = histogram->min_seconds();
     entry.max_seconds = histogram->max_seconds();
@@ -115,6 +116,11 @@ Json MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
   for (const MetricsSnapshot::HistogramEntry& entry : snapshot.histograms) {
     Json histogram = Json::Object();
     histogram.Set("count", Json(entry.count));
+    // Sparse like the buckets: only present when samples actually fell
+    // past the last finite bucket bound.
+    if (entry.overflow_count > 0) {
+      histogram.Set("overflow_count", Json(entry.overflow_count));
+    }
     histogram.Set("sum_seconds", Json(entry.sum_seconds));
     histogram.Set("min_seconds", Json(entry.min_seconds));
     histogram.Set("max_seconds", Json(entry.max_seconds));

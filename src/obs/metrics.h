@@ -89,6 +89,13 @@ class Gauge {
 // longer (~2^30 us ≈ 18 minutes and up). Recording is two relaxed
 // adds plus two bounded CAS loops for min/max — no locks, no floats in
 // shared state (durations accumulate as integer nanoseconds).
+//
+// Samples past the last finite bucket bound (>= 2^31 us, where the
+// saturating BucketIndex starts folding everything into the top
+// bucket) are additionally counted in overflow_count(): quantile
+// estimates over the top bucket would otherwise be silently
+// pessimistic, so consumers interpolate toward the observed max and
+// report the overflow explicitly (MetricsSnapshot, polinv report).
 class Histogram {
  public:
   static constexpr size_t kBucketCount = 32;
@@ -97,8 +104,11 @@ class Histogram {
     if constexpr (kEnabled) {
       if (!(seconds >= 0.0)) seconds = 0.0;  // NaN/negative clamp.
       const auto nanos = static_cast<uint64_t>(seconds * 1e9);
-      buckets_[BucketIndex(nanos / 1000)].fetch_add(
-          1, std::memory_order_relaxed);
+      const uint64_t micros = nanos / 1000;
+      buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+      if ((micros >> (kBucketCount - 1)) != 0) {  // >= 2^31 us.
+        overflow_count_.fetch_add(1, std::memory_order_relaxed);
+      }
       count_.fetch_add(1, std::memory_order_relaxed);
       sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
       UpdateMin(nanos);
@@ -124,6 +134,11 @@ class Histogram {
   uint64_t bucket(size_t index) const {
     return buckets_[index].load(std::memory_order_relaxed);
   }
+  // Samples beyond the last finite bucket bound (see the class
+  // comment); always <= bucket(kBucketCount - 1).
+  uint64_t overflow_count() const {
+    return overflow_count_.load(std::memory_order_relaxed);
+  }
 
   // Inclusive lower bound of a bucket, in seconds.
   static double BucketLowerBoundSeconds(size_t index) {
@@ -140,6 +155,7 @@ class Histogram {
   void Reset() {
     for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
+    overflow_count_.store(0, std::memory_order_relaxed);
     sum_nanos_.store(0, std::memory_order_relaxed);
     min_nanos_.store(kNoSample, std::memory_order_relaxed);
     max_nanos_.store(0, std::memory_order_relaxed);
@@ -163,6 +179,7 @@ class Histogram {
 
   std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
   std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> overflow_count_{0};
   std::atomic<uint64_t> sum_nanos_{0};
   std::atomic<uint64_t> min_nanos_{kNoSample};
   std::atomic<uint64_t> max_nanos_{0};
@@ -175,6 +192,7 @@ struct MetricsSnapshot {
   struct HistogramEntry {
     std::string name;
     uint64_t count = 0;
+    uint64_t overflow_count = 0;  // Samples past the last finite bound.
     double sum_seconds = 0.0;
     double min_seconds = 0.0;
     double max_seconds = 0.0;

@@ -1,0 +1,130 @@
+#include "obs/slo.h"
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace pol::obs {
+namespace {
+
+constexpr double kMinBudget = 1e-9;       // Guard against objective = 1.
+constexpr double kMaxBurnMilli = 1e15;    // Gauge saturation.
+
+// Samples at or under `threshold` in a merged snapshot, with the same
+// in-bucket interpolation the quantile estimate uses (linear in bucket
+// 0, log-linear elsewhere) so the two stay consistent.
+double CountAtMost(const WindowedSnapshot& snapshot, double threshold) {
+  double at_most = 0.0;
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    const uint64_t in_bucket = snapshot.buckets[i];
+    if (in_bucket == 0) continue;
+    const double lower = Histogram::BucketLowerBoundSeconds(i);
+    double upper;
+    if (i + 1 < Histogram::kBucketCount) {
+      upper = Histogram::BucketLowerBoundSeconds(i + 1);
+    } else {
+      upper = std::max(snapshot.max_seconds, lower * 2.0);
+    }
+    if (threshold >= upper) {
+      at_most += static_cast<double>(in_bucket);
+    } else if (threshold > lower) {
+      double frac;
+      if (i == 0) {
+        frac = threshold / 1e-6;
+      } else {
+        frac = std::log(threshold / lower) / std::log(upper / lower);
+      }
+      at_most += frac * static_cast<double>(in_bucket);
+    }
+  }
+  return at_most;
+}
+
+int64_t BurnMilli(double burn) {
+  double milli = burn * 1000.0;
+  if (!(milli >= 0.0)) milli = 0.0;
+  if (milli > kMaxBurnMilli) milli = kMaxBurnMilli;
+  return static_cast<int64_t>(std::llround(milli));
+}
+
+}  // namespace
+
+SloTracker::SloTracker(std::string gauge_prefix)
+    : prefix_(std::move(gauge_prefix)) {}
+
+void SloTracker::Add(SloSpec spec, SloSource source) {
+  Bound bound;
+  const std::string base = prefix_ + spec.name;
+  auto& registry = Registry::Global();
+  bound.burning_gauge = registry.gauge(base + ".burning");
+  bound.burn_fast_gauge = registry.gauge(base + ".burn_fast_milli");
+  bound.burn_slow_gauge = registry.gauge(base + ".burn_slow_milli");
+  bound.breaches_counter = registry.counter(base + ".breaches");
+  bound.burning_gauge->Set(0);
+  bound.burn_fast_gauge->Set(0);
+  bound.burn_slow_gauge->Set(0);
+  bound.spec = std::move(spec);
+  bound.source = source;
+  slos_.push_back(std::move(bound));
+}
+
+double SloTracker::BurnRateAt(const Bound& bound, double now_seconds,
+                              size_t windows) {
+  const SloSpec& spec = bound.spec;
+  const double budget = std::max(1.0 - spec.objective, kMinBudget);
+  if (spec.kind == SloKind::kAvailability) {
+    if (bound.source.good == nullptr || bound.source.bad == nullptr) {
+      return 0.0;
+    }
+    const double good = static_cast<double>(
+        bound.source.good->TotalAt(now_seconds, windows));
+    const double bad = static_cast<double>(
+        bound.source.bad->TotalAt(now_seconds, windows));
+    const double total = good + bad;
+    if (total <= 0.0) return 0.0;  // No traffic spends no budget.
+    return (bad / total) / budget;
+  }
+  if (bound.source.latency == nullptr) return 0.0;
+  const WindowedSnapshot snapshot =
+      bound.source.latency->TrailingSnapshotAt(now_seconds, windows);
+  if (snapshot.count == 0) return 0.0;
+  const double over_fraction =
+      1.0 - CountAtMost(snapshot, spec.threshold_seconds) /
+                static_cast<double>(snapshot.count);
+  return std::max(over_fraction, 0.0) / budget;
+}
+
+std::vector<SloStatus> SloTracker::EvaluateAt(double now_seconds) {
+  std::vector<SloStatus> out;
+  out.reserve(slos_.size());
+  for (Bound& bound : slos_) {
+    SloStatus status;
+    status.name = bound.spec.name;
+    status.burn_fast = BurnRateAt(bound, now_seconds, bound.spec.fast_windows);
+    status.burn_slow = BurnRateAt(bound, now_seconds, bound.spec.slow_windows);
+    status.burning = status.burn_fast >= bound.spec.burn_threshold &&
+                     status.burn_slow >= bound.spec.burn_threshold;
+    if (status.burning && !bound.was_burning) {
+      bound.breaches_counter->Increment();
+      ++bound.breach_count;
+    }
+    bound.was_burning = status.burning;
+    status.breaches = bound.breach_count;
+    bound.burning_gauge->Set(status.burning ? 1 : 0);
+    bound.burn_fast_gauge->Set(BurnMilli(status.burn_fast));
+    bound.burn_slow_gauge->Set(BurnMilli(status.burn_slow));
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::vector<SloStatus> SloTracker::Evaluate() {
+  return EvaluateAt(NowSeconds());
+}
+
+}  // namespace pol::obs

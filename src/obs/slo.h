@@ -1,0 +1,116 @@
+#ifndef POL_OBS_SLO_H_
+#define POL_OBS_SLO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+// Declarative SLOs over the windowed telemetry (DESIGN.md §3.8):
+// "availability >= 99.9%" over a good/bad WindowedRate pair, or "p99
+// latency <= X" over a WindowedHistogram, each evaluated over a fast
+// and a slow trailing window with the standard multi-window burn-rate
+// rule.
+//
+// Burn rate is "how fast is the error budget being spent": with budget
+// b = 1 - objective (availability) or 1 - quantile (latency), the burn
+// over a window is observed_bad_fraction / b — 1.0 means exactly
+// on-budget, >> 1 means the objective will be blown well before the
+// compliance period ends. An SLO is *burning* only when BOTH windows
+// are at or over the threshold: the fast window (e.g. 5 ticks) makes
+// the signal react in seconds, the slow window (e.g. 60) keeps a brief
+// spike from paging, and requiring both is what makes the alert quiet
+// AND responsive (the Monarch/SRE-workbook multi-window policy).
+//
+// Evaluation publishes gauges into the global Registry under
+// `<prefix><name>.burning` (0/1), `.burn_fast_milli` and
+// `.burn_slow_milli` (burn x 1000, saturated), plus a
+// `<prefix><name>.breaches` counter incremented on each transition
+// into burning — so run reports and the OpenMetrics export carry SLO
+// state with no extra plumbing.
+//
+// Threading: Add() during setup, Evaluate*() from one thread at a time
+// (the ServingGuard exporter thread in production). The windows being
+// read are concurrently written by recording threads, which is safe;
+// only the tracker's own transition state is single-threaded.
+
+namespace pol::obs {
+
+enum class SloKind {
+  kAvailability = 0,    // good/bad event streams.
+  kLatencyQuantile = 1  // a latency quantile against a bound.
+};
+
+struct SloSpec {
+  std::string name;  // Metric-path component, e.g. "availability".
+  SloKind kind = SloKind::kAvailability;
+  // kAvailability: target good fraction (0.999 = "99.9% of calls OK").
+  // kLatencyQuantile: target quantile (0.99 = "p99 under threshold").
+  double objective = 0.999;
+  // kLatencyQuantile only: the latency bound the quantile must hold.
+  double threshold_seconds = 0.0;
+  size_t fast_windows = 5;
+  size_t slow_windows = 60;
+  // Both burns must reach this to count as burning.
+  double burn_threshold = 1.0;
+};
+
+// Non-owning bindings; the windows must outlive the tracker.
+struct SloSource {
+  const WindowedRate* good = nullptr;          // kAvailability.
+  const WindowedRate* bad = nullptr;           // kAvailability.
+  const WindowedHistogram* latency = nullptr;  // kLatencyQuantile.
+};
+
+struct SloStatus {
+  std::string name;
+  double burn_fast = 0.0;
+  double burn_slow = 0.0;
+  bool burning = false;
+  uint64_t breaches = 0;  // Cumulative transitions into burning.
+};
+
+class SloTracker {
+ public:
+  // `gauge_prefix` prefixes every published metric name, e.g.
+  // "serving.slo." -> "serving.slo.availability.burning".
+  explicit SloTracker(std::string gauge_prefix);
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  void Add(SloSpec spec, SloSource source);
+
+  // Evaluates every SLO at `now`, publishes the gauge set, and returns
+  // the per-SLO status (same order as Add).
+  std::vector<SloStatus> EvaluateAt(double now_seconds);
+  std::vector<SloStatus> Evaluate();
+
+  size_t size() const { return slos_.size(); }
+
+ private:
+  struct Bound {
+    SloSpec spec;
+    SloSource source;
+    Gauge* burning_gauge = nullptr;
+    Gauge* burn_fast_gauge = nullptr;
+    Gauge* burn_slow_gauge = nullptr;
+    Counter* breaches_counter = nullptr;
+    bool was_burning = false;
+    uint64_t breach_count = 0;
+  };
+
+  static double BurnRateAt(const Bound& bound, double now_seconds,
+                           size_t windows);
+
+  const std::string prefix_;
+  std::vector<Bound> slos_;
+};
+
+}  // namespace pol::obs
+
+#endif  // POL_OBS_SLO_H_

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -23,6 +24,8 @@
 #include "hexgrid/hexgrid.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/querylog.h"
+#include "obs/slo.h"
 
 namespace pol::core {
 namespace {
@@ -374,6 +377,12 @@ TEST(ServingResilienceSoakTest, ChaosSoak) {
   options.breaker_trip_failures = 3;
   options.breaker_open_seconds = 0.0;  // Deterministic probing.
   options.deadline_check_stride = 16;
+  // Small telemetry windows so the SLO burn trips — and recovers —
+  // within the soak's own lifetime.
+  options.telemetry.window_seconds = 0.05;
+  options.telemetry.window_count = 32;
+  options.telemetry.slo_fast_windows = 4;
+  options.telemetry.slo_slow_windows = 20;
   ServingGuard guard(&store, options);
   const size_t initial_size = store.size();
 
@@ -505,6 +514,23 @@ TEST(ServingResilienceSoakTest, ChaosSoak) {
                         << " never folded; breaker wedged";
   }
 
+  // While the deadline storm still rages: every storm call feeds the
+  // error rate, so the availability SLO must report burning once both
+  // trailing windows (fast 4 x 50ms, slow 20 x 50ms) have seen it.
+  bool saw_burning = false;
+  uint64_t availability_breaches = 0;
+  if (guard.telemetry()->enabled()) {
+    const double evaluate_until = obs::NowSeconds() + 5.0;
+    while (!saw_burning && obs::NowSeconds() < evaluate_until) {
+      const std::vector<obs::SloStatus> statuses =
+          guard.telemetry()->EvaluateSlos();
+      ASSERT_FALSE(statuses.empty());
+      saw_burning = statuses[0].burning;
+      availability_breaches = statuses[0].breaches;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
   stop_storm.store(true, std::memory_order_release);
   for (std::thread& reader : readers) reader.join();
   storm.join();
@@ -529,6 +555,27 @@ TEST(ServingResilienceSoakTest, ChaosSoak) {
     EXPECT_EQ(shed, shed_calls.load());
     EXPECT_EQ(deadline + scans, deadline_calls.load());
     EXPECT_EQ(ok_calls.load(), admitted - scans);
+
+    // Query-level telemetry reconciles against the same ledger: every
+    // admitted call wrote exactly one wide event, OK or not, and
+    // nothing else did.
+    const obs::QueryLog::Totals logged =
+        guard.telemetry()->query_log().totals();
+    EXPECT_EQ(logged.ok + logged.errors, admitted);
+    EXPECT_EQ(logged.ok, ok_calls.load());
+    EXPECT_EQ(logged.errors, scans);
+
+    // The storm tripped the availability SLO; with the storm gone and
+    // the fast window drained, the alert clears (the slow window may
+    // still remember the incident — burning needs both).
+    EXPECT_TRUE(saw_burning);
+    EXPECT_GE(availability_breaches, 1u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    const std::vector<obs::SloStatus> recovered =
+        guard.telemetry()->EvaluateSlos();
+    ASSERT_FALSE(recovered.empty());
+    EXPECT_FALSE(recovered[0].burning);
+    EXPECT_GE(recovered[0].breaches, 1u);
   }
 
   // (c) The fault windows passed: the breaker closed again, every

@@ -92,6 +92,36 @@ TEST(HistogramTest, NegativeAndNanClampToZero) {
   EXPECT_DOUBLE_EQ(histogram.sum_seconds(), 0.0);
 }
 
+TEST(HistogramTest, OverflowCountsSamplesPastLastFiniteBound) {
+  if (!kEnabled) GTEST_SKIP() << "obs compiled to no-ops";
+  Histogram histogram;
+  histogram.Record(2000.0);  // 2e9 us: top bucket, still under 2^31 us.
+  EXPECT_EQ(histogram.overflow_count(), 0u);
+  histogram.Record(3000.0);  // 3e9 us: past the last finite bound.
+  histogram.Record(4000.0);
+  EXPECT_EQ(histogram.overflow_count(), 2u);
+  // Overflow samples still land in the top bucket — the count is an
+  // annotation for quantile consumers, not a separate bin.
+  EXPECT_EQ(histogram.bucket(Histogram::kBucketCount - 1), 3u);
+  EXPECT_LE(histogram.overflow_count(),
+            histogram.bucket(Histogram::kBucketCount - 1));
+  histogram.Reset();
+  EXPECT_EQ(histogram.overflow_count(), 0u);
+}
+
+TEST(HistogramTest, SnapshotCarriesOverflowAndMax) {
+  if (!kEnabled) GTEST_SKIP() << "obs compiled to no-ops";
+  Registry registry;
+  Histogram* histogram = registry.histogram("of.latency");
+  histogram->Record(0.001);
+  histogram->Record(5000.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 2u);
+  EXPECT_EQ(snapshot.histograms[0].overflow_count, 1u);
+  EXPECT_NEAR(snapshot.histograms[0].max_seconds, 5000.0, 1e-6);
+}
+
 TEST(RegistryTest, HandlesAreStableAndNamed) {
   Registry registry;
   Counter* counter = registry.counter("test.counter");

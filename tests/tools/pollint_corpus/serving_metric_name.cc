@@ -1,0 +1,19 @@
+// serving-metric-name corpus: ad-hoc "serving.*" metric-name literals
+// in the serving path must come from core/serving_metric_names.h.
+#include <string_view>
+
+void Names() {
+  const std::string_view adhoc = "serving.refreshes";
+  const std::string_view nested = "serving.breaker.trips";
+  // Literal-start only: "serving." appearing mid-string (log messages)
+  // and dot-free prose stay quiet.
+  const std::string_view message = "falling back to serving.stale data";
+  const std::string_view prose = "serving last good snapshot";
+  // NOLINTNEXTLINE(pollint:serving-metric-name)
+  const std::string_view suppressed = "serving.suppressed";
+  static_cast<void>(adhoc);
+  static_cast<void>(nested);
+  static_cast<void>(message);
+  static_cast<void>(prose);
+  static_cast<void>(suppressed);
+}

@@ -219,6 +219,37 @@ TEST(PollintCorpusTest, ServingWaitScopedToServingPath) {
   EXPECT_TRUE(Lint("serving_wait.cc", "tools/serving_wait.cc").empty());
 }
 
+TEST(PollintCorpusTest, ServingMetricName) {
+  // Ad-hoc "serving.*" name literals fire in the serving path; prose
+  // mentioning serving, mid-string occurrences, and the NOLINT'd line
+  // stay quiet.
+  const std::vector<RuleLine> expected = {
+      {"serving-metric-name", 6},
+      {"serving-metric-name", 7},
+  };
+  EXPECT_EQ(Lint("serving_metric_name.cc", "src/core/serving_metric_name.cc"),
+            expected);
+}
+
+TEST(PollintCorpusTest, ServingMetricNameScopedToServingPath) {
+  // Outside src/core/serving* the literals are legal, and the constants
+  // header itself — the one place the names are allowed to live as
+  // literals — is exempt.
+  EXPECT_TRUE(
+      Lint("serving_metric_name.cc", "src/core/inventory_names.cc").empty());
+  EXPECT_TRUE(
+      Lint("serving_metric_name.cc", "src/flow/serving_metric_name.cc")
+          .empty());
+  EXPECT_TRUE(
+      Lint("serving_metric_name.cc", "tools/serving_metric_name.cc").empty());
+  // The header path still gets the other rules (include-guard, &c), so
+  // only assert the metric-name rule is muted there.
+  for (const RuleLine& finding :
+       Lint("serving_metric_name.cc", "src/core/serving_metric_names.h")) {
+    EXPECT_NE(finding.first, "serving-metric-name") << finding.second;
+  }
+}
+
 TEST(PollintCorpusTest, MissingDirectInclude) {
   const std::vector<RuleLine> expected = {{"missing-include", 4}};
   EXPECT_EQ(Lint("missing_include.cc", "src/corpus/missing_include.cc"),

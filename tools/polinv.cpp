@@ -10,6 +10,10 @@
 //   polinv export <file>                   CSV of the (cell) grouping set
 //   polinv geojson <file> [min_records]    cell polygons as GeoJSON
 //   polinv report <file.json>              pretty-print a run report
+//   polinv watch <metrics.txt> [opts]      tail an OpenMetrics export
+//                                          (ServingGuard telemetry
+//                                          exporter output) as a live
+//                                          one-screen serving table
 //
 // Every inventory command queries through core::InventoryQuery against
 // a sealed InventorySnapshot — the same read path a serving process
@@ -17,12 +21,14 @@
 //
 // Exit code 0 on success, 1 on usage errors, 2 on IO/corruption.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/inventory.h"
@@ -30,6 +36,7 @@
 #include "flow/stage.h"
 #include "hexgrid/hexgrid.h"
 #include "obs/json.h"
+#include "obs/openmetrics.h"
 #include "obs/report.h"
 #include "sim/ports.h"
 
@@ -45,7 +52,9 @@ int Usage() {
                "  polinv top     <file.polinv> <n>\n"
                "  polinv export  <file.polinv>\n"
                "  polinv geojson <file.polinv> [min_records]\n"
-               "  polinv report  <report.json>\n");
+               "  polinv report  <report.json>\n"
+               "  polinv watch   <metrics.txt> [--interval=SECONDS] "
+               "[--iterations=N] [--once] [--no-clear]\n");
   return 1;
 }
 
@@ -275,9 +284,148 @@ int CmdGeoJson(const core::InventoryQuery& inv, uint64_t min_records) {
   return 0;
 }
 
+// --- polinv watch -----------------------------------------------------------
+// Tails the OpenMetrics file the ServingGuard telemetry exporter
+// atomically rewrites and renders the serving_* samples as one screen:
+// QPS / error / shed rates, per-class latency quantiles, SLO burn
+// rates, breaker and snapshot state, query-log totals.
+
+double WatchValue(const std::vector<obs::OpenMetricsSample>& samples,
+                  std::string_view name, double fallback = 0.0) {
+  const obs::OpenMetricsSample* sample = obs::FindSample(samples, name);
+  return sample != nullptr ? sample->value : fallback;
+}
+
+// Humanizes a latency gauge carried in microseconds.
+std::string FormatMicros(double micros) {
+  char buffer[32];
+  if (micros < 1000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fus", micros);
+  } else if (micros < 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", micros / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3fs", micros / 1e6);
+  }
+  return buffer;
+}
+
+void RenderWatchFrame(const std::vector<obs::OpenMetricsSample>& samples,
+                      const char* path, uint64_t tick) {
+  std::printf("serving telemetry  %s  (tick %llu)\n", path,
+              static_cast<unsigned long long>(tick));
+  std::printf("qps %.1f   error %.1f%%   shed %.1f%%\n",
+              WatchValue(samples, "serving_query_qps_milli") / 1e3,
+              WatchValue(samples, "serving_query_error_rate_milli") / 10.0,
+              WatchValue(samples, "serving_query_shed_rate_milli") / 10.0);
+
+  std::printf("\n%-14s %10s %10s %10s\n", "latency", "p50", "p95", "p99");
+  static const char* kClasses[] = {"interactive", "batch"};
+  for (const char* cls : kClasses) {
+    const std::string base = std::string("serving_query_") + cls;
+    std::printf("%-14s %10s %10s %10s\n", cls,
+                FormatMicros(WatchValue(samples, base + "_p50_us")).c_str(),
+                FormatMicros(WatchValue(samples, base + "_p95_us")).c_str(),
+                FormatMicros(WatchValue(samples, base + "_p99_us")).c_str());
+  }
+
+  // SLOs are discovered from the *_burning gauges so custom objectives
+  // show up without polinv knowing their names.
+  std::printf("\n%-18s %8s %10s %10s %9s\n", "slo", "burning", "burn_fast",
+              "burn_slow", "breaches");
+  for (const obs::OpenMetricsSample& sample : samples) {
+    const std::string_view name = sample.name;
+    const std::string_view prefix = "serving_slo_";
+    const std::string_view suffix = "_burning";
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.substr(0, prefix.size()) != prefix ||
+        name.substr(name.size() - suffix.size()) != suffix) {
+      continue;
+    }
+    const std::string slo(
+        name.substr(prefix.size(),
+                    name.size() - prefix.size() - suffix.size()));
+    const std::string base = std::string(prefix) + slo;
+    std::printf("%-18s %8s %10.2f %10.2f %9.0f\n", slo.c_str(),
+                static_cast<long long>(sample.value) != 0 ? "YES" : "no",
+                WatchValue(samples, base + "_burn_fast_milli") / 1e3,
+                WatchValue(samples, base + "_burn_slow_milli") / 1e3,
+                WatchValue(samples, base + "_breaches_total"));
+  }
+
+  static const char* kBreakerNames[] = {"closed", "open", "half-open"};
+  const int breaker = static_cast<int>(
+      WatchValue(samples, "serving_breaker_state"));
+  std::printf(
+      "\nbreaker %s   degraded %s   snapshot id %.0f age %.0fms\n",
+      breaker >= 0 && breaker <= 2 ? kBreakerNames[breaker] : "?",
+      static_cast<long long>(WatchValue(samples, "serving_degraded")) != 0
+          ? "YES"
+          : "no",
+      WatchValue(samples, "serving_snapshot_active_id"),
+      WatchValue(samples, "serving_snapshot_age_ms"));
+  std::printf(
+      "admitted %.0f   queued %.0f   shed %.0f   deadline_exceeded %.0f\n",
+      WatchValue(samples, "serving_admitted_total"),
+      WatchValue(samples, "serving_queued_total"),
+      WatchValue(samples, "serving_shed_total"),
+      WatchValue(samples, "serving_deadline_exceeded_total"));
+  std::printf("querylog %.0f events: %.0f ok, %.0f errors, %.0f slow\n",
+              WatchValue(samples, "serving_querylog_events"),
+              WatchValue(samples, "serving_querylog_ok"),
+              WatchValue(samples, "serving_querylog_errors"),
+              WatchValue(samples, "serving_querylog_slow"));
+}
+
+int CmdWatch(int argc, char** argv) {
+  const char* path = nullptr;
+  double interval_seconds = 1.0;
+  uint64_t iterations = 0;  // 0 = until interrupted.
+  bool clear_screen = true;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--interval=", 11) == 0) {
+      interval_seconds = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--iterations=", 13) == 0) {
+      iterations = static_cast<uint64_t>(std::atoll(arg + 13));
+    } else if (std::strcmp(arg, "--once") == 0) {
+      iterations = 1;
+    } else if (std::strcmp(arg, "--no-clear") == 0) {
+      clear_screen = false;
+    } else if (path == nullptr) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path == nullptr) return Usage();
+  if (!(interval_seconds > 0.0)) interval_seconds = 1.0;
+
+  int exit_code = 0;
+  for (uint64_t tick = 1; iterations == 0 || tick <= iterations; ++tick) {
+    std::string text;
+    std::string error;
+    if (clear_screen) std::printf("\033[H\033[2J");
+    if (obs::ReadTextFile(path, &text, &error)) {
+      RenderWatchFrame(obs::ParseOpenMetrics(text), path, tick);
+      exit_code = 0;
+    } else {
+      // The exporter may not have written its first file yet; keep
+      // polling. Exit 2 only if a bounded run never saw one.
+      std::printf("waiting for %s (%s)\n", path, error.c_str());
+      exit_code = 2;
+    }
+    std::fflush(stdout);
+    if (iterations != 0 && tick == iterations) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_seconds));
+  }
+  return exit_code;
+}
+
 // Pretty-prints a pol.run_report/1 document (see core/run_report.h):
 // status and wall clock, the per-stage table, coverage, checkpoint,
-// serving health, quarantine activity, and a metrics digest.
+// serving health, SLO burn rates, quarantine activity, and a metrics
+// digest.
 int CmdReport(const char* path) {
   std::string text;
   std::string error;
@@ -345,6 +493,18 @@ int CmdReport(const char* path) {
         static_cast<unsigned long long>(
             serving->GetUint64("snapshot_age_refreshes")));
   }
+  if (const obs::Json* slos = report.Find("serving_slo")) {
+    for (const auto& [name, slo] : slos->members()) {
+      const bool burning = slo.Find("burning") != nullptr &&
+                           slo.Find("burning")->AsBool();
+      std::printf(
+          "  slo %-16s %s  burn fast %.2f / slow %.2f  breaches %llu\n",
+          name.c_str(), burning ? "BURNING" : "ok",
+          slo.GetDouble("burn_fast_milli") / 1e3,
+          slo.GetDouble("burn_slow_milli") / 1e3,
+          static_cast<unsigned long long>(slo.GetUint64("breaches")));
+    }
+  }
 
   // Rebuild flow::StageMetrics from the report so the exact table the
   // pipeline prints is reproduced from the file.
@@ -402,12 +562,20 @@ int CmdReport(const char* path) {
       std::printf("\nhistograms:\n");
       for (const auto& [name, h] : histograms->members()) {
         const uint64_t count = h.GetUint64("count");
-        std::printf("  %-40s n=%llu mean=%.6fs min=%.6fs max=%.6fs\n",
+        std::printf("  %-40s n=%llu mean=%.6fs min=%.6fs max=%.6fs",
                     name.c_str(), static_cast<unsigned long long>(count),
                     count > 0 ? h.GetDouble("sum_seconds") /
                                     static_cast<double>(count)
                               : 0.0,
                     h.GetDouble("min_seconds"), h.GetDouble("max_seconds"));
+        // Samples past the top bucket boundary: the bucket array
+        // saturated, so the quantile math is bounded by observed max.
+        const uint64_t overflow = h.GetUint64("overflow_count");
+        if (overflow > 0) {
+          std::printf(" overflow=%llu",
+                      static_cast<unsigned long long>(overflow));
+        }
+        std::printf("\n");
       }
     }
   }
@@ -416,8 +584,10 @@ int CmdReport(const char* path) {
 
 int Main(int argc, char** argv) {
   if (argc < 3) return Usage();
-  // `report` reads a JSON run report, not an inventory file.
+  // `report` reads a JSON run report and `watch` an OpenMetrics
+  // export, not an inventory file.
   if (std::strcmp(argv[1], "report") == 0) return CmdReport(argv[2]);
+  if (std::strcmp(argv[1], "watch") == 0) return CmdWatch(argc, argv);
   const auto inventory = Load(argv[2]);
   if (!inventory.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", argv[2],

@@ -22,6 +22,11 @@ namespace {
 struct SplitLine {
   std::string code;     // Comments and literal contents removed.
   std::string comment;  // Text of // and /* */ comments on this line.
+  // Contents of the string literals on this line, each prefixed by a
+  // '\x01' start marker (char literals are skipped). Rules that care
+  // what a literal *says* — serving-metric-name — scan this, since the
+  // code part deliberately blanks literal contents.
+  std::string literals;
 };
 
 std::vector<SplitLine> SplitLines(std::string_view content) {
@@ -63,10 +68,12 @@ std::vector<SplitLine> SplitLines(std::string_view content) {
           size_t j = i + 2;
           while (j < n && content[j] != '(') raw_delimiter += content[j++];
           current.code += "\"\"";
+          current.literals += '\x01';
           i = j;  // Position at '('.
           state = State::kRawString;
         } else if (c == '"') {
           current.code += '"';
+          current.literals += '\x01';
           state = State::kString;
         } else if (c == '\'') {
           current.code += '\'';
@@ -77,10 +84,13 @@ std::vector<SplitLine> SplitLines(std::string_view content) {
         break;
       case State::kString:
         if (c == '\\' && i + 1 < n) {
+          current.literals += content[i + 1];
           ++i;
         } else if (c == '"') {
           current.code += '"';
           state = State::kCode;
+        } else {
+          current.literals += c;
         }
         break;
       case State::kChar:
@@ -107,6 +117,8 @@ std::vector<SplitLine> SplitLines(std::string_view content) {
         if (content.compare(i, close.size(), close) == 0) {
           i += close.size() - 1;
           state = State::kCode;
+        } else {
+          current.literals += c;
         }
         break;
       }
@@ -204,7 +216,15 @@ class Linter {
       if (!StartsWith(path_, "src/obs/")) CheckDirectTiming();
       // The serving path may block only through the annotated,
       // deadline-bounded vocabulary.
-      if (StartsWith(path_, "src/core/serving")) CheckServingWait();
+      if (StartsWith(path_, "src/core/serving")) {
+        CheckServingWait();
+        // ... and may spell "serving."-prefixed metric/span/fail-point
+        // names only through the central constants table (which is, of
+        // course, exempt from its own rule).
+        if (path_ != "src/core/serving_metric_names.h") {
+          CheckServingMetricNames();
+        }
+      }
     }
     CheckFloatCompares();
     // The serving-side boundary applies to every linted tree (bench,
@@ -275,8 +295,10 @@ class Linter {
     for (size_t i = 0; i < lines_.size(); ++i) {
       std::smatch match;
       if (std::regex_search(lines_[i].code, match, kBanned)) {
+        // std::string first operand: char* + string&& front-inserts,
+        // which GCC 12 -O3 flags with a bogus -Wrestrict.
         Report(i, "banned-call",
-               "'" + match[3].str() +
+               std::string("'") + match[3].str() +
                    "' is banned in library code (non-reentrant or "
                    "non-deterministic); use common/rng or common/time_util");
       }
@@ -529,7 +551,7 @@ class Linter {
       std::smatch match;
       if (std::regex_search(lines_[i].code, match, kClockNow)) {
         Report(i, "direct-timing",
-               "'" + match[3].str() +
+               std::string("'") + match[3].str() +
                    "::now' in library code; time through obs/clock.h "
                    "(obs::NowSeconds / POL_TRACE_SPAN) instead");
       }
@@ -575,10 +597,36 @@ class Linter {
                "deadline-bounded (WaitFor) and analyzable");
       } else if (std::regex_search(lines_[i].code, match, kSleep)) {
         Report(i, "serving-wait",
-               "'" + match[2].str() +
+               std::string("'") + match[2].str() +
                    "' sleep-based waiting in the serving path; use "
                    "pol::CondVar::WaitFor with a deadline so a Release() "
                    "can wake the waiter early");
+      }
+    }
+  }
+
+  // --- serving-metric-name ------------------------------------------------
+  // Every "serving."-prefixed name in src/core/serving* — metric, trace
+  // span, fail point — must come from core/serving_metric_names.h, so
+  // dashboards, `polinv watch` and the run-report scanners never chase
+  // a typo'd ad-hoc literal. Scans the captured literal contents: the
+  // `code` part blanks them, so this is the one rule reading
+  // SplitLine::literals. Only the literal's *start* is tested — a
+  // message like "serving last good snapshot" (no dot) or an embedded
+  // mention does not trip it.
+  void CheckServingMetricNames() {
+    constexpr std::string_view kPrefix = "serving.";
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      const std::string& literals = lines_[i].literals;
+      size_t pos = 0;
+      while ((pos = literals.find('\x01', pos)) != std::string::npos) {
+        ++pos;
+        if (literals.compare(pos, kPrefix.size(), kPrefix) == 0) {
+          Report(i, "serving-metric-name",
+                 "ad-hoc \"serving.*\" name literal in the serving path; "
+                 "use the constants in core/serving_metric_names.h");
+          break;  // One finding per line.
+        }
       }
     }
   }
@@ -645,8 +693,8 @@ const std::vector<std::string>& RuleIds() {
       new std::vector<std::string>{
           "banned-call", "catch-swallow", "direct-timing",
           "float-compare", "include-guard", "inventory-query",
-          "missing-include", "mutex-annotation", "naked-new", "serving-wait",
-          "stdout-io",
+          "missing-include", "mutex-annotation", "naked-new",
+          "serving-metric-name", "serving-wait", "stdout-io",
       };
   return *kIds;
 }

@@ -30,7 +30,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 # The tests that exercise the thread pool, the stage runner, and the
 # chunked folding path — the ones worth the sanitizer rebuild. The
 # stress tests exist specifically to give TSan interleavings to bite on.
-SAN_TESTS="threadpool_test|dataset_test|concurrency_stress_test|pipeline_test|pipeline_property_test|pipeline_chunked_test|cleaning_test|extractor_test|inventory_test|serving_inventory_test|serving_resilience_test"
+SAN_TESTS="threadpool_test|dataset_test|concurrency_stress_test|pipeline_test|pipeline_property_test|pipeline_chunked_test|cleaning_test|extractor_test|inventory_test|serving_inventory_test|serving_resilience_test|window_test"
 
 # The failure-containment suite: these run in every build, but only the
 # faults preset (POL_FAILPOINTS=ON) un-skips the armed kill-and-resume
@@ -45,7 +45,7 @@ SOAK_TESTS="serving_resilience_test|serving_inventory_test"
 # The observability suite: the obs unit tests, the report/trace
 # integration test, and the concurrency stress test that hammers the
 # registry. The same set must pass with the layer compiled to no-ops.
-OBS_TESTS="json_test|metrics_test|trace_test|run_report_test|logging_test|concurrency_stress_test"
+OBS_TESTS="json_test|metrics_test|trace_test|run_report_test|logging_test|concurrency_stress_test|window_test|querylog_test|slo_test|openmetrics_test|serving_telemetry_test"
 
 run_asan=0
 run_ubsan=0
@@ -152,7 +152,8 @@ obs_pass() {
   local targets
   targets="$(echo "$OBS_TESTS" | tr '|' ' ')"
   # shellcheck disable=SC2086
-  cmake --build "$ROOT/build" -j "$JOBS" --target $targets bench_obs_overhead
+  cmake --build "$ROOT/build" -j "$JOBS" --target $targets \
+    bench_obs_overhead bench_serving_telemetry
   (cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS" -R "^($OBS_TESTS)\$")
   # The layer must compile to no-ops and the same suite must still pass.
   cmake -B "$ROOT/build-noobs" -S "$ROOT" -DPOL_OBS=OFF
@@ -163,6 +164,9 @@ obs_pass() {
   # Overhead bar: instrumentation on (idle recorder) within 2% of a
   # trace-recording run; the bench exits non-zero past the threshold.
   "$ROOT/build/bench/bench_obs_overhead"
+  # Same bar for the query-path telemetry: windowed histograms, the
+  # query log, and SLO gauges must stay under 2% on the read path.
+  "$ROOT/build/bench/bench_serving_telemetry"
   echo "obs: clean"
 }
 
