@@ -35,6 +35,7 @@ pol_add_bench(bench_checkpoint)
 pol_add_bench(bench_obs_overhead)
 pol_add_bench(bench_serving_guard)
 pol_add_bench(bench_serving_telemetry)
+pol_add_bench(bench_snapshot_store)
 
 # Microbenchmarks use google-benchmark.
 pol_add_bench(bench_micro)

@@ -34,6 +34,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -46,7 +48,7 @@ std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
       StatusCode::kIoError,       StatusCode::kFailedPrecondition,
       StatusCode::kUnimplemented, StatusCode::kInternal,
       StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
-      StatusCode::kUnavailable,
+      StatusCode::kUnavailable,      StatusCode::kDataLoss,
   };
   for (const StatusCode code : kCodes) {
     if (StatusCodeName(code) == name) return code;

@@ -35,11 +35,17 @@ enum class StatusCode : uint8_t {
   kDeadlineExceeded = 10,
   kResourceExhausted = 11,
   kUnavailable = 12,
+  // Durable data is unrecoverably damaged: a snapshot-store file failed
+  // magic/CRC/framing validation (see store/snapshot_format.h). Unlike
+  // kCorruption — which flags a flaky read worth retrying — kDataLoss
+  // means retrying the same bytes will fail identically; recovery is
+  // falling back to an older generation, not a retry.
+  kDataLoss = 13,
 };
 
 // Highest valid StatusCode value; serialized codes above this are
 // corrupt (checkpoint decode uses this bound).
-inline constexpr StatusCode kMaxStatusCode = StatusCode::kUnavailable;
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kDataLoss;
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
 std::string_view StatusCodeName(StatusCode code);
@@ -97,6 +103,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -39,6 +39,16 @@ uint64_t GroupKeyDimsPacked(const GroupKey& key) {
          (static_cast<uint64_t>(key.destination) << 32);
 }
 
+GroupKey GroupKeyFromPacked(uint64_t cell, uint64_t dims) {
+  GroupKey key;
+  key.cell = cell;
+  key.grouping_set = static_cast<uint8_t>(dims & 0xff);
+  key.segment = static_cast<uint8_t>((dims >> 8) & 0xff);
+  key.origin = static_cast<uint16_t>((dims >> 16) & 0xffff);
+  key.destination = static_cast<uint16_t>((dims >> 32) & 0xffff);
+  return key;
+}
+
 std::string GroupKeyToString(const GroupKey& key) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "gs%u:%s:seg%u:o%u:d%u", key.grouping_set,

@@ -53,6 +53,11 @@ GroupKey KeyCellRouteType(hex::CellIndex cell, sim::PortId origin,
 // and as the hash input).
 uint64_t GroupKeyDimsPacked(const GroupKey& key);
 
+// Inverse of GroupKeyDimsPacked: reassembles the key from its cell and
+// packed dimensions. The POLINV01 body and the POLSNAP1 key sections
+// both store keys as (cell, dims) pairs in exactly this packing.
+GroupKey GroupKeyFromPacked(uint64_t cell, uint64_t dims);
+
 struct GroupKeyHash {
   size_t operator()(const GroupKey& key) const {
     // Mix the two 64-bit halves (splitmix-style finalizer).

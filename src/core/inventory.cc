@@ -219,12 +219,7 @@ Result<Inventory> Inventory::DeserializeFrom(std::string_view input) {
     uint64_t dims = 0;
     POL_RETURN_IF_ERROR(GetVarint64(&body, &cell));
     POL_RETURN_IF_ERROR(GetVarint64(&body, &dims));
-    GroupKey key;
-    key.cell = cell;
-    key.grouping_set = static_cast<uint8_t>(dims & 0xff);
-    key.segment = static_cast<uint8_t>((dims >> 8) & 0xff);
-    key.origin = static_cast<uint16_t>((dims >> 16) & 0xffff);
-    key.destination = static_cast<uint16_t>((dims >> 32) & 0xffff);
+    const GroupKey key = GroupKeyFromPacked(cell, dims);
     std::string_view summary_bytes;
     POL_RETURN_IF_ERROR(GetLengthPrefixed(&body, &summary_bytes));
     CellSummary summary;

@@ -3,8 +3,10 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/inventory.h"
 #include "core/inventory_query.h"
 #include "core/route_index.h"
@@ -21,6 +23,10 @@
 // Nothing mutates after sealing, so any number of threads may query
 // concurrently without synchronization; ServingInventory hot-swaps
 // whole snapshots to refresh.
+
+namespace pol::store {
+class SnapshotStore;
+}  // namespace pol::store
 
 namespace pol::core {
 
@@ -39,7 +45,9 @@ struct InventorySnapshotStats {
   uint64_t seal_sequence = 0;
 };
 
-class InventorySnapshot final : public InventoryQuery {
+// Not `final`: core/snapshot_codec.h derives MappedSnapshot, the
+// mmap-backed implementation that serves a POLSNAP1 file zero-copy.
+class InventorySnapshot : public InventoryQuery {
  public:
   int resolution() const override { return resolution_; }
   size_t size() const override { return total_; }
@@ -67,8 +75,22 @@ class InventorySnapshot final : public InventoryQuery {
 
   const InventorySnapshotStats& stats() const { return stats_; }
 
+  // Encodes this snapshot as a complete POLSNAP1 file image (the
+  // columnar sections of core/snapshot_codec.h inside the store/
+  // container framing). Deterministic for a given snapshot. Virtual:
+  // a mapped snapshot re-encodes as the exact bytes it was opened
+  // from, so republishing one is a byte-identical copy, not a re-seal.
+  virtual void EncodeTo(std::string* out) const;
+
+  // Encodes and durably publishes this snapshot as the store's next
+  // generation; the new generation number lands in `*generation` when
+  // non-null. Defined in snapshot_codec.cc.
+  Status WriteTo(store::SnapshotStore* store,
+                 uint64_t* generation = nullptr) const;
+
  private:
-  friend class Inventory;  // Inventory::Seal() is the only builder.
+  friend class Inventory;       // Inventory::Seal() is the only builder.
+  friend class MappedSnapshot;  // Restores the base fields from a file.
   struct SealTag {};
 
  public:

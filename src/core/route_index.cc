@@ -6,7 +6,7 @@
 
 namespace pol::core {
 
-uint64_t RouteIndex::Pack(sim::PortId origin, sim::PortId destination,
+uint64_t RouteIndex::PackRouteKey(sim::PortId origin, sim::PortId destination,
                           ais::MarketSegment segment) {
   return (static_cast<uint64_t>(origin) << 32) |
          (static_cast<uint64_t>(destination) << 16) |
@@ -22,7 +22,7 @@ void RouteIndex::Build(const SummaryMap& summaries) {
       continue;
     }
     entries.emplace_back(
-        Pack(key.origin, key.destination,
+        PackRouteKey(key.origin, key.destination,
              static_cast<ais::MarketSegment>(key.segment)),
         key.cell);
   }
@@ -53,7 +53,7 @@ const RouteIndex::Span* RouteIndex::Find(uint64_t packed) const {
 std::vector<hex::CellIndex> RouteIndex::Cells(
     sim::PortId origin, sim::PortId destination,
     ais::MarketSegment segment) const {
-  const Span* span = Find(Pack(origin, destination, segment));
+  const Span* span = Find(PackRouteKey(origin, destination, segment));
   if (span == nullptr) return {};
   return std::vector<hex::CellIndex>(cells_.begin() + static_cast<ptrdiff_t>(span->begin),
                                      cells_.begin() + static_cast<ptrdiff_t>(span->end));

@@ -44,6 +44,22 @@ class RouteIndex {
   size_t routes() const { return spans_.size(); }
   size_t cells() const { return cells_.size(); }
 
+  // The canonical packed (origin, destination, segment) route key —
+  // also the on-disk span key of the POLSNAP1 route-index section, so
+  // the mapped snapshot can binary-search spans straight off the file.
+  static uint64_t PackRouteKey(sim::PortId origin, sim::PortId destination,
+                               ais::MarketSegment segment);
+
+  // Visits every span as (packed_route, begin, end) in sorted route
+  // order, for the snapshot codec's columnar writer.
+  template <typename Fn>
+  void ForEachSpan(Fn&& fn) const {
+    for (const Span& span : spans_) fn(span.route, span.begin, span.end);
+  }
+
+  // The flat, span-ordered cell array the spans index into.
+  const std::vector<hex::CellIndex>& cell_array() const { return cells_; }
+
  private:
   struct Span {
     uint64_t route = 0;  // Packed (origin, destination, segment).
@@ -51,8 +67,6 @@ class RouteIndex {
     size_t end = 0;
   };
 
-  static uint64_t Pack(sim::PortId origin, sim::PortId destination,
-                       ais::MarketSegment segment);
   const Span* Find(uint64_t packed) const;
 
   std::vector<Span> spans_;          // Sorted by packed route key.

@@ -11,6 +11,7 @@
 #include "flow/stage_runner.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "store/store_metric_names.h"
 
 namespace pol::core {
 namespace {
@@ -113,6 +114,36 @@ obs::Json ServingToJson(const obs::MetricsSnapshot& metrics) {
   return out;
 }
 
+// Snapshot-store summary: the durable-publish and cold-open ledger of
+// the run. All zeros when no SnapshotStore was touched (no store
+// configured, or POL_OBS=OFF).
+obs::Json StoreToJson(const obs::MetricsSnapshot& metrics) {
+  const auto counter = [&metrics](std::string_view name) -> uint64_t {
+    for (const auto& [counter_name, value] : metrics.counters) {
+      if (counter_name == name) return value;
+    }
+    return 0;
+  };
+  const auto gauge = [&metrics](std::string_view name) -> int64_t {
+    for (const auto& [gauge_name, value] : metrics.gauges) {
+      if (gauge_name == name) return value;
+    }
+    return 0;
+  };
+  obs::Json out = obs::Json::Object();
+  out.Set("publishes", counter(store::kMetricStorePublishes));
+  out.Set("publish_failures", counter(store::kMetricStorePublishFailures));
+  out.Set("publish_bytes", counter(store::kMetricStorePublishBytes));
+  out.Set("opens", counter(store::kMetricStoreOpens));
+  out.Set("open_failures", counter(store::kMetricStoreOpenFailures));
+  out.Set("fallbacks", counter(store::kMetricStoreFallbacks));
+  out.Set("decode_failures", counter(store::kMetricStoreDecodeFailures));
+  out.Set("gc_removed", counter(store::kMetricStoreGcRemoved));
+  out.Set("generations", gauge(store::kMetricStoreGenerations));
+  out.Set("latest_generation", gauge(store::kMetricStoreLatestGeneration));
+  return out;
+}
+
 // The serving.slo.* gauge set folded back into per-SLO objects:
 // {"availability": {"burning": false, "burn_fast_milli": 0, ...}, ...}.
 // Empty object when no ServingTelemetry published SLOs (no guard ran,
@@ -192,6 +223,7 @@ obs::Json BuildRunReport(const PipelineConfig& config,
   const obs::MetricsSnapshot metrics = obs::Registry::Global().Snapshot();
   report.Set("serving", ServingToJson(metrics));
   report.Set("serving_slo", ServingSloToJson(metrics));
+  report.Set("store", StoreToJson(metrics));
   report.Set("metrics", obs::MetricsSnapshotToJson(metrics));
   return report;
 }

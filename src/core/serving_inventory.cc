@@ -9,6 +9,7 @@
 #include "common/failpoint.h"
 #include "common/mutex.h"
 #include "core/serving_metric_names.h"
+#include "core/snapshot_codec.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -20,6 +21,46 @@ ServingInventory::ServingInventory(Inventory base) : base_(std::move(base)) {
   // the lock so the access is inside the analyzed discipline.
   MutexLock lock(refresh_mutex_);
   Swap(base_.Seal());
+}
+
+ServingInventory::ServingInventory(
+    Inventory base, std::shared_ptr<const InventorySnapshot> initial)
+    : base_(std::move(base)) {
+  POL_CHECK(initial != nullptr);
+  {
+    MutexLock lock(refresh_mutex_);
+    POL_CHECK(base_.resolution() == initial->resolution())
+        << "build side and initial snapshot disagree on resolution";
+  }
+  Swap(std::move(initial));
+}
+
+Result<std::unique_ptr<ServingInventory>> ServingInventory::OpenLatest(
+    const store::SnapshotStore& store, uint64_t* generation) {
+  POL_ASSIGN_OR_RETURN(std::shared_ptr<const InventorySnapshot> snapshot,
+                       OpenLatestSnapshot(store, generation));
+  Inventory base(snapshot->resolution(), SummaryMap{});
+  return std::make_unique<ServingInventory>(std::move(base),
+                                            std::move(snapshot));
+}
+
+Result<std::unique_ptr<ServingInventory>> ServingInventory::OpenLatest(
+    const store::SnapshotStore& store, Inventory base, uint64_t* generation) {
+  POL_ASSIGN_OR_RETURN(std::shared_ptr<const InventorySnapshot> snapshot,
+                       OpenLatestSnapshot(store, generation));
+  if (base.resolution() != snapshot->resolution()) {
+    return Status::FailedPrecondition(
+        "restored build side resolution " +
+        std::to_string(base.resolution()) + " != stored snapshot's " +
+        std::to_string(snapshot->resolution()));
+  }
+  return std::make_unique<ServingInventory>(std::move(base),
+                                            std::move(snapshot));
+}
+
+void ServingInventory::AttachDurableStore(store::SnapshotStore* durable) {
+  MutexLock lock(refresh_mutex_);
+  durable_store_ = durable;
 }
 
 std::shared_ptr<const InventorySnapshot> ServingInventory::Acquire() const {
@@ -69,6 +110,13 @@ Status ServingInventory::Refresh(Inventory&& delta) {
   POL_RETURN_IF_ERROR(base_.MergeFrom(std::move(delta)));
   POL_RETURN_IF_ERROR(POL_FAILPOINT(kFailPointServingSeal));
   std::shared_ptr<const InventorySnapshot> next = base_.Seal();
+  if (durable_store_ != nullptr) {
+    // Durability before visibility: the sealed snapshot must be on
+    // disk before any reader can acquire it. On failure the refresh
+    // fails retryably with the merged delta intact — identical
+    // semantics to the serving.swap fail point below.
+    POL_RETURN_IF_ERROR(next->WriteTo(durable_store_));
+  }
   POL_RETURN_IF_ERROR(POL_FAILPOINT(kFailPointServingSwap));
   Swap(std::move(next));
   return Status::OK();

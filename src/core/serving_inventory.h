@@ -55,12 +55,48 @@
 #define POL_SERVING_SNAPSHOT_ATOMIC 1
 #endif
 
+namespace pol::store {
+class SnapshotStore;
+}  // namespace pol::store
+
 namespace pol::core {
 
 class ServingInventory final : public InventoryQuery {
  public:
   // Takes ownership of the build side and publishes its first snapshot.
   explicit ServingInventory(Inventory base);
+
+  // Takes ownership of the build side and publishes `initial` as-is —
+  // no seal. This is the zero-copy cold-start path: `initial` is
+  // typically a mapped snapshot (core/snapshot_codec.h) served straight
+  // off a store file. Resolutions must agree (POL_CHECKed).
+  ServingInventory(Inventory base,
+                   std::shared_ptr<const InventorySnapshot> initial);
+
+  // Cold start from a snapshot store: maps the newest readable
+  // generation (falling back past corrupt ones) and serves it
+  // immediately over an *empty* build side — queries are answered in
+  // mmap time, no LoadFromFile, no Seal. Note a later Refresh seals
+  // from the build side, which starts empty here: processes that also
+  // restore build-side state should use the second overload, which
+  // serves the mapped snapshot while keeping `base` as the refresh
+  // foundation (resolutions must match).
+  static Result<std::unique_ptr<ServingInventory>> OpenLatest(
+      const store::SnapshotStore& store, uint64_t* generation = nullptr);
+  static Result<std::unique_ptr<ServingInventory>> OpenLatest(
+      const store::SnapshotStore& store, Inventory base,
+      uint64_t* generation = nullptr);
+
+  // Publish-on-refresh: after this, every successful Refresh writes the
+  // freshly sealed snapshot to `durable` (InventorySnapshot::WriteTo)
+  // *before* swapping it in, so readers never see a snapshot that is
+  // not durable. A publish failure fails the Refresh with the build
+  // side holding the merged delta and the old snapshot still serving —
+  // the same retryable contract as the serving.swap fail point, so the
+  // refresh circuit breaker (core/serving_guard.h) trips on a
+  // persistently failing store. Pass nullptr to detach. The store must
+  // outlive this object; publishes are serialized by the refresh lock.
+  void AttachDurableStore(store::SnapshotStore* durable);
 
   // The active snapshot; never null. Holding the returned shared_ptr
   // keeps that snapshot (and every pointer queried from it) alive
@@ -133,6 +169,9 @@ class ServingInventory final : public InventoryQuery {
  private:
   mutable Mutex refresh_mutex_;
   Inventory base_ POL_GUARDED_BY(refresh_mutex_);
+  // Durable publish target of Refresh; nullptr = in-memory only.
+  store::SnapshotStore* durable_store_ POL_GUARDED_BY(refresh_mutex_) =
+      nullptr;
   std::atomic<uint64_t> swap_count_{0};
   std::atomic<uint64_t> active_seal_sequence_{0};
   std::atomic<uint64_t> published_at_micros_{0};

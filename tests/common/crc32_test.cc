@@ -36,6 +36,21 @@ TEST(Crc32Test, DetectsSingleBitFlip) {
   }
 }
 
+TEST(Crc32Test, ChainingAgreesAtEverySplit) {
+  // Every split point makes the continuation start at a different
+  // word-path phase, so the sliced fast path and the bytewise tail must
+  // agree with each other and with the one-shot CRC.
+  std::string data(100, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 37 + 11);
+  }
+  const uint32_t whole = Crc32(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t head = Crc32(data.substr(0, split));
+    EXPECT_EQ(Crc32(data.substr(split), head), whole) << "split " << split;
+  }
+}
+
 TEST(Crc32Test, BinaryDataWithEmbeddedNulls) {
   const std::string a{"ab\0cd", 5};
   const std::string b{"ab\0ce", 5};

@@ -40,6 +40,7 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
 }
 
 TEST(StatusTest, RetryabilitySplitsTransientFromCallerErrors) {
@@ -59,6 +60,10 @@ TEST(StatusTest, RetryabilitySplitsTransientFromCallerErrors) {
   EXPECT_FALSE(Status::FailedPrecondition("x").IsRetryable());
   EXPECT_FALSE(Status::Unimplemented("x").IsRetryable());
   EXPECT_FALSE(Status::DeadlineExceeded("x").IsRetryable());
+  // Durable bytes failed validation: retrying the same read returns the
+  // same bytes. Recovery is falling back to another generation, which
+  // the snapshot store does itself — not a retry loop's business.
+  EXPECT_FALSE(Status::DataLoss("x").IsRetryable());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -80,7 +85,7 @@ TEST(StatusTest, CodeNameRoundTripsThroughFromName) {
       StatusCode::kIoError,       StatusCode::kFailedPrecondition,
       StatusCode::kUnimplemented, StatusCode::kInternal,
       StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
-      StatusCode::kUnavailable,
+      StatusCode::kUnavailable,      StatusCode::kDataLoss,
   };
   for (const StatusCode code : codes) {
     const auto parsed = StatusCodeFromName(StatusCodeName(code));

@@ -51,6 +51,20 @@ TEST(PollintCorpusTest, BannedCalls) {
   EXPECT_EQ(Lint("banned_calls.cc", "src/corpus/banned_calls.cc"), expected);
 }
 
+TEST(PollintCorpusTest, StoreRawWriteBannedInStore) {
+  const std::vector<RuleLine> expected = {
+      {"banned-call", 9},
+      {"banned-call", 10},
+      {"banned-call", 11},
+  };
+  EXPECT_EQ(Lint("store_raw_write.cc", "src/store/store_raw_write.cc"),
+            expected);
+}
+
+TEST(PollintCorpusTest, StoreRawWriteAllowedOutsideStore) {
+  EXPECT_TRUE(Lint("store_raw_write.cc", "src/core/store_raw_write.cc").empty());
+}
+
 TEST(PollintCorpusTest, StdoutIoInLibraryCode) {
   const std::vector<RuleLine> expected = {
       {"stdout-io", 8},

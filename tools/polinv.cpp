@@ -9,6 +9,9 @@
 //   polinv top <file> <n>                  n busiest cells
 //   polinv export <file>                   CSV of the (cell) grouping set
 //   polinv geojson <file> [min_records]    cell polygons as GeoJSON
+//   polinv snapshots <store-dir>           list a snapshot store's
+//                                          generations: size, CRC status,
+//                                          seal stats, cold-start pick
 //   polinv report <file.json>              pretty-print a run report
 //   polinv watch <metrics.txt> [opts]      tail an OpenMetrics export
 //                                          (ServingGuard telemetry
@@ -25,20 +28,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
 #include "core/inventory.h"
 #include "core/inventory_snapshot.h"
+#include "core/snapshot_codec.h"
 #include "flow/stage.h"
 #include "hexgrid/hexgrid.h"
 #include "obs/json.h"
 #include "obs/openmetrics.h"
 #include "obs/report.h"
 #include "sim/ports.h"
+#include "store/snapshot_store.h"
 
 namespace pol {
 namespace {
@@ -52,6 +59,7 @@ int Usage() {
                "  polinv top     <file.polinv> <n>\n"
                "  polinv export  <file.polinv>\n"
                "  polinv geojson <file.polinv> [min_records]\n"
+               "  polinv snapshots <store-dir>\n"
                "  polinv report  <report.json>\n"
                "  polinv watch   <metrics.txt> [--interval=SECONDS] "
                "[--iterations=N] [--once] [--no-clear]\n");
@@ -422,6 +430,70 @@ int CmdWatch(int argc, char** argv) {
   return exit_code;
 }
 
+// --- polinv snapshots -------------------------------------------------------
+// Lists a snapshot-store directory (store::SnapshotStore): one line per
+// generation with its size, validation status and seal-time stats, the
+// advisory MANIFEST value, and — the line operators actually want —
+// which generation a cold start (OpenLatest with corrupt-generation
+// fallback) would serve.
+int CmdSnapshots(const char* dir) {
+  const store::SnapshotStore snapshot_store(
+      store::SnapshotStoreOptions{dir, /*keep=*/3});
+  const std::vector<uint64_t> generations = snapshot_store.ListGenerations();
+  std::printf("snapshot store %s: %llu generation(s)\n", dir,
+              static_cast<unsigned long long>(generations.size()));
+  const auto manifest = snapshot_store.ManifestCurrent();
+  if (manifest.ok()) {
+    std::printf("MANIFEST current:  %llu (advisory)\n",
+                static_cast<unsigned long long>(*manifest));
+  } else {
+    std::printf("MANIFEST:          %s\n",
+                manifest.status().ToString().c_str());
+  }
+  if (generations.empty()) return 2;
+  uint64_t pick = 0;
+  const auto latest = core::OpenLatestSnapshot(snapshot_store, &pick);
+  if (latest.ok()) {
+    std::printf("cold start serves: %llu\n",
+                static_cast<unsigned long long>(pick));
+  } else {
+    std::printf("cold start serves: NONE (%s)\n",
+                latest.status().ToString().c_str());
+  }
+  for (const uint64_t generation : generations) {
+    const std::string path = snapshot_store.GenerationPath(generation);
+    std::error_code ec;
+    const uint64_t bytes = std::filesystem::file_size(path, ec);
+    std::printf("gen %llu: %llu bytes",
+                static_cast<unsigned long long>(generation),
+                static_cast<unsigned long long>(ec ? 0 : bytes));
+    const auto opened = snapshot_store.OpenGeneration(generation);
+    if (!opened.ok()) {
+      std::printf(", %s\n", opened.status().ToString().c_str());
+      continue;
+    }
+    const auto meta = core::DecodeSnapshotMeta(opened->view);
+    if (!meta.ok()) {
+      std::printf(", valid container, %s\n",
+                  meta.status().ToString().c_str());
+      continue;
+    }
+    uint64_t summaries = 0;
+    for (const uint64_t count : meta->stats.summaries_per_set) {
+      summaries += count;
+    }
+    std::printf(
+        ", ok, resolution %d, %llu summaries, %llu routes, seal seq %llu, "
+        "sealed in %.3fs%s\n",
+        meta->resolution, static_cast<unsigned long long>(summaries),
+        static_cast<unsigned long long>(meta->stats.route_index_routes),
+        static_cast<unsigned long long>(meta->stats.seal_sequence),
+        meta->stats.seal_seconds,
+        latest.ok() && generation == pick ? "  [cold-start pick]" : "");
+  }
+  return latest.ok() ? 0 : 2;
+}
+
 // Pretty-prints a pol.run_report/1 document (see core/run_report.h):
 // status and wall clock, the per-stage table, coverage, checkpoint,
 // serving health, SLO burn rates, quarantine activity, and a metrics
@@ -503,6 +575,29 @@ int CmdReport(const char* path) {
           slo.GetDouble("burn_fast_milli") / 1e3,
           slo.GetDouble("burn_slow_milli") / 1e3,
           static_cast<unsigned long long>(slo.GetUint64("breaches")));
+    }
+  }
+
+  if (const obs::Json* store_block = report.Find("store")) {
+    const uint64_t touched = store_block->GetUint64("publishes") +
+                             store_block->GetUint64("publish_failures") +
+                             store_block->GetUint64("opens") +
+                             store_block->GetUint64("open_failures");
+    if (touched > 0) {
+      std::printf(
+          "store:              %llu publishes (%llu failed), %llu opens, "
+          "%llu fallbacks, %llu generations, latest %llu\n",
+          static_cast<unsigned long long>(
+              store_block->GetUint64("publishes")),
+          static_cast<unsigned long long>(
+              store_block->GetUint64("publish_failures")),
+          static_cast<unsigned long long>(store_block->GetUint64("opens")),
+          static_cast<unsigned long long>(
+              store_block->GetUint64("fallbacks")),
+          static_cast<unsigned long long>(
+              store_block->GetUint64("generations")),
+          static_cast<unsigned long long>(
+              store_block->GetUint64("latest_generation")));
     }
   }
 
@@ -588,6 +683,8 @@ int Main(int argc, char** argv) {
   // export, not an inventory file.
   if (std::strcmp(argv[1], "report") == 0) return CmdReport(argv[2]);
   if (std::strcmp(argv[1], "watch") == 0) return CmdWatch(argc, argv);
+  // `snapshots` inspects a snapshot-store directory, not an inventory.
+  if (std::strcmp(argv[1], "snapshots") == 0) return CmdSnapshots(argv[2]);
   const auto inventory = Load(argv[2]);
   if (!inventory.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", argv[2],

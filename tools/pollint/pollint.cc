@@ -303,6 +303,26 @@ class Linter {
                    "non-deterministic); use common/rng or common/time_util");
       }
     }
+    // The persistence layer must never write through buffered stream
+    // APIs: a torn ofstream write is exactly the corruption class the
+    // store exists to rule out. Everything durable goes through the
+    // temp + fsync + rename helpers.
+    if (StartsWith(path_, "src/store/")) {
+      static const std::regex kRawWrite(
+          R"((^|[^\w.:>])((std::)?(ofstream|fstream)\b|fopen\s*\())");
+      static const std::regex kInclude(R"(^\s*#\s*include\b)");
+      for (size_t i = 0; i < lines_.size(); ++i) {
+        // `#include <fstream>` names the header, not a write.
+        if (std::regex_search(lines_[i].code, kInclude)) continue;
+        std::smatch match;
+        if (std::regex_search(lines_[i].code, match, kRawWrite)) {
+          Report(i, "banned-call",
+                 "raw file output is banned in src/store/; durable "
+                 "writes go through store/atomic_file.h "
+                 "(WriteFileDurable: temp + fsync + rename)");
+        }
+      }
+    }
   }
 
   // --- stdout-io ----------------------------------------------------------

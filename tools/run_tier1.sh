@@ -16,6 +16,8 @@
 #   tools/run_tier1.sh --format   # + clang-format check of touched files
 #   tools/run_tier1.sh --obs      # + obs tests, POL_OBS=OFF build, overhead bench
 #   tools/run_tier1.sh --soak     # + serving chaos soak under TSan and fail points
+#   tools/run_tier1.sh --store    # + snapshot-store suites (ASan + fail points),
+#                                 #   cold-start bench vs LoadFromFile+Seal
 #
 # Flags combine; plain tier-1 runtime is unchanged when none are given.
 # Passes needing Clang tooling (--analyze, --tidy, --format) skip with a
@@ -35,7 +37,14 @@ SAN_TESTS="threadpool_test|dataset_test|concurrency_stress_test|pipeline_test|pi
 # The failure-containment suite: these run in every build, but only the
 # faults preset (POL_FAILPOINTS=ON) un-skips the armed kill-and-resume
 # scenarios.
-FAULT_TESTS="failpoint_test|nmea_quarantine_test|checkpoint_test|fault_injection_test|concurrency_stress_test|status_test|serving_resilience_test"
+FAULT_TESTS="failpoint_test|nmea_quarantine_test|checkpoint_test|fault_injection_test|concurrency_stress_test|status_test|serving_resilience_test|snapshot_fuzz_test"
+
+# The durable snapshot-store suites: container format, generation
+# directory, codec equivalence, format-hostility fuzz, and the
+# cold-start/publish wiring. --store runs them under ASan (mmap'd
+# pointer arithmetic) and the fail-points preset (torn publish, forced
+# open failures), then holds the cold-start bench to its >=10x bar.
+STORE_TESTS="snapshot_format_test|snapshot_store_test|snapshot_codec_test|snapshot_fuzz_test|serving_store_test"
 
 # The serving chaos soak: concurrent readers + faulting refreshes +
 # deadline storms against the ServingGuard. --soak runs it under both
@@ -58,6 +67,7 @@ run_tidy=0
 run_format=0
 run_obs=0
 run_soak=0
+run_store=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -72,6 +82,7 @@ for arg in "$@"; do
     --format) run_format=1 ;;
     --obs) run_obs=1 ;;
     --soak) run_soak=1 ;;
+    --store) run_store=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -186,6 +197,27 @@ soak_pass() {
   echo "soak: clean"
 }
 
+store_pass() {
+  echo "== store pass: snapshot-store suites under ASan and fail points =="
+  local targets
+  targets="$(echo "$STORE_TESTS" | tr '|' ' ')"
+  local preset
+  for preset in asan faults; do
+    cmake --preset "$preset" -S "$ROOT"
+    # shellcheck disable=SC2086
+    cmake --build "$ROOT/build-$preset" -j "$JOBS" --target $targets
+    (cd "$ROOT/build-$preset" &&
+       ctest --output-on-failure -j "$JOBS" -R "^($STORE_TESTS)\$")
+  done
+  # Cold-start bar: mmap OpenLatest must beat LoadFromFile + Seal by
+  # >=10x; the bench exits non-zero below the threshold and writes the
+  # machine-readable comparison next to the other BENCH_* reports.
+  cmake --build "$ROOT/build" -j "$JOBS" --target bench_snapshot_store
+  "$ROOT/build/bench/bench_snapshot_store" \
+    --report-out="$ROOT/BENCH_snapshot_store.json"
+  echo "store: clean"
+}
+
 format_pass() {
   echo "== format pass: clang-format on files touched vs origin =="
   if ! command -v clang-format >/dev/null 2>&1; then
@@ -232,5 +264,6 @@ format_pass() {
 [ "$run_format" -eq 1 ] && format_pass
 [ "$run_obs" -eq 1 ] && obs_pass
 [ "$run_soak" -eq 1 ] && soak_pass
+[ "$run_store" -eq 1 ] && store_pass
 
 echo "== run_tier1.sh: all requested passes green =="
